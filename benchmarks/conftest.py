@@ -1,0 +1,18 @@
+"""Shared fixtures for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates a paper artifact (T1/T2/F1-F7) or a
+quantitative experiment (Q1-Q4) and *asserts the paper's qualitative
+claims* on the measured result -- a benchmark that silently produced
+wrong numbers would fail, not mislead.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    # Benchmarks are ordered by experiment id for readable reports.
+    items.sort(key=lambda item: item.nodeid)

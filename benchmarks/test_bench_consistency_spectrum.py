@@ -1,0 +1,83 @@
+"""Q5 (extension): the price of total order.
+
+The paper's introduction motivates causal memory as "a low latency
+abstraction with respect to stronger consistency criteria such as
+sequential and atomic consistency, as it admits more executions and,
+hence, more concurrency."  This benchmark quantifies that claim on our
+substrate: the totally-ordered sequencer baseline vs OptP on identical
+workloads.
+
+Expected shape (asserted): total order delays strictly more than
+causal order at every point, and the gap widens with concurrency
+(process count), since total order must serialize even fully
+independent writes.
+"""
+
+import pytest
+
+from repro.analysis import check_run
+from repro.sim import SeededLatency, run_schedule
+from repro.workloads import WorkloadConfig, random_schedule
+
+SEEDS = (0, 1, 2)
+
+
+def _delays(proto, n, ops=12, write_fraction=0.8):
+    total = 0
+    for seed in SEEDS:
+        cfg = WorkloadConfig(
+            n_processes=n, ops_per_process=ops,
+            write_fraction=write_fraction, seed=seed,
+        )
+        r = run_schedule(
+            proto, n, random_schedule(cfg),
+            latency=SeededLatency(seed, dist="exponential", mean=2.0),
+        )
+        report = check_run(r)
+        assert report.ok, report.summary()
+        total += report.total_delays
+    return total
+
+
+@pytest.mark.parametrize("n", [3, 6, 9])
+def test_bench_q5_total_vs_causal_order(benchmark, n):
+    def run():
+        return {
+            "optp": _delays("optp", n),
+            "sequencer": _delays("sequencer", n),
+        }
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert totals["sequencer"] > totals["optp"], totals
+    print(f"\nn={n}: causal(optp)={totals['optp']} "
+          f"total-order(sequencer)={totals['sequencer']} "
+          f"ratio={totals['sequencer'] / max(1, totals['optp']):.2f}x")
+
+
+def test_bench_q5_gap_grows_with_concurrency(benchmark):
+    def run():
+        return {
+            n: _delays("sequencer", n) - _delays("optp", n)
+            for n in (3, 9)
+        }
+
+    gaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert gaps[9] > gaps[3], gaps
+    print(f"\ntotal-order delay penalty: n=3 -> {gaps[3]}, n=9 -> {gaps[9]}")
+
+
+def test_bench_q5_false_causality_share(benchmark):
+    """The workload-level opportunity count behind ANBKH's waste
+    (analysis cost measured; counts reported)."""
+    from repro.analysis import analyze_false_causality
+
+    cfg = WorkloadConfig(n_processes=6, ops_per_process=15,
+                         write_fraction=0.8, seed=2)
+    r = run_schedule("anbkh", 6, random_schedule(cfg),
+                     latency=SeededLatency(2, dist="exponential", mean=2.0))
+
+    rep = benchmark(analyze_false_causality, r)
+    assert rep.hb_pairs > 0
+    assert 0.0 <= rep.false_share <= 1.0
+    print(f"\nfalse-causality opportunities: {rep.n_opportunities}/"
+          f"{rep.hb_pairs} hb pairs ({rep.false_share:.1%})")

@@ -1,0 +1,79 @@
+"""Q6 (extension): robustness under crash-stop faults.
+
+The paper assumes reliable, failure-free processes; this benchmark
+probes what each protocol's *structure* implies when that assumption
+breaks: broadcast protocols keep the survivors fully consistent, while
+the token protocol's propagation dies with the ring.
+"""
+
+import pytest
+
+from repro.analysis.checker import check_safety
+from repro.model.legality import is_causally_consistent
+from repro.sim import ConstantLatency, SimCluster
+from repro.workloads import Schedule, ScheduledOp, WriteOp
+
+
+def workload(n, writes_per_proc=6, gap=2.0):
+    items = []
+    for p in range(n):
+        for k in range(writes_per_proc):
+            items.append(ScheduledOp(k * gap + p * 0.1, p, WriteOp(f"x{p}", k)))
+    return Schedule.of(items)
+
+
+def run_with_crash(proto, n=4, crash_proc=3, crash_time=5.0, deadline=120.0):
+    c = SimCluster(proto, n, latency=ConstantLatency(1.0),
+                   crashes={crash_proc: crash_time}, deadline=deadline)
+    return c.run_schedule(workload(n))
+
+
+def survivor_apply_fraction(result, crashed: int) -> float:
+    """Fraction of (survivor, issued-write) pairs that were applied."""
+    survivors = [k for k in range(result.n_processes) if k != crashed]
+    pairs = 0
+    applied = 0
+    for wid in result.trace.writes_issued():
+        for k in survivors:
+            if k == wid.process:
+                continue
+            pairs += 1
+            if result.trace.apply_event(k, wid) is not None:
+                applied += 1
+    return applied / pairs if pairs else 1.0
+
+
+@pytest.mark.parametrize("proto", ["optp", "anbkh"])
+def test_bench_q6_broadcast_protocols_survive(benchmark, proto):
+    result = benchmark.pedantic(run_with_crash, args=(proto,), rounds=1,
+                                iterations=1)
+    frac = survivor_apply_fraction(result, crashed=3)
+    assert frac == 1.0, f"{proto}: survivors missed applies ({frac:.2%})"
+    assert not check_safety(result)
+    assert is_causally_consistent(result.history)
+    print(f"\n{proto}: survivors applied 100% of issued writes after crash")
+
+
+def test_bench_q6_token_protocol_degrades(benchmark):
+    result = benchmark.pedantic(run_with_crash, args=("jimenez-token",),
+                                rounds=1, iterations=1)
+    frac = survivor_apply_fraction(result, crashed=3)
+    assert frac < 1.0, "token loss should strand post-crash writes"
+    # what DID apply is still safe and legal
+    assert not check_safety(result)
+    assert is_causally_consistent(result.history)
+    print(f"\njimenez-token: survivors applied only {frac:.1%} of issued "
+          "writes (ring broken)")
+
+
+def test_bench_q6_sequencer_crash_is_fatal(benchmark):
+    """Crashing the sequencer itself halts all post-crash propagation --
+    the centralization cost of total order."""
+    result = benchmark.pedantic(
+        run_with_crash, args=("sequencer",),
+        kwargs=dict(crash_proc=0, crash_time=5.0), rounds=1, iterations=1,
+    )
+    frac = survivor_apply_fraction(result, crashed=0)
+    assert frac < 1.0
+    assert not check_safety(result)
+    print(f"\nsequencer crash: survivors applied {frac:.1%} of issued writes")

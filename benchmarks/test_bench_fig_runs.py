@@ -1,0 +1,35 @@
+"""F1/F2/F3/F6/F7: regenerate every figure's run and assert its facts."""
+
+import pytest
+
+from repro.paperfigs import fig1, fig2, fig3, fig6, fig7
+
+
+def test_bench_fig1(benchmark):
+    text = benchmark(fig1.generate)
+    assert "write delays at p3: 0" in text
+    assert "write delays at p3: 1" in text
+
+
+def test_bench_fig2(benchmark):
+    text = benchmark(fig2.generate)
+    assert "NON-NECESSARY delay" in text
+
+
+def test_bench_fig3(benchmark):
+    text = benchmark(fig3.generate)
+    # the headline: same schedule, ANBKH 1 unnecessary delay, OptP 0
+    assert "delays: 1 (unnecessary: 1)" in text
+    assert "delays: 0 (unnecessary: 0)" in text
+
+
+def test_bench_fig6(benchmark):
+    text = benchmark(fig6.generate)
+    assert "Write_co=[1,1,0]" in text  # b carries no trace of c
+    assert "all necessary: True" in text
+
+
+def test_bench_fig7(benchmark):
+    text = benchmark(fig7.generate)
+    assert "w1(x1)a -> w2(x2)b" in text
+    assert "w2(x2)b -> w3(x2)d" in text

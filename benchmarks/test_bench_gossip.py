@@ -1,0 +1,79 @@
+"""Q7 (extension): broadcast vs anti-entropy propagation for OptP.
+
+Footnote 5 says the propagation mechanism does not matter *for
+correctness*; this benchmark shows what it does to the performance
+envelope: gossip trades per-write broadcast fanout for periodic digest
+traffic and round-quantized propagation latency.  Both variants are
+verified write-delay optimal on every measured run.
+"""
+
+import pytest
+
+from repro.analysis import check_run
+from repro.sim import SeededLatency, run_schedule
+from repro.workloads import WorkloadConfig, random_schedule
+
+
+def _run(proto, seed, n=4, ops=12):
+    cfg = WorkloadConfig(n_processes=n, ops_per_process=ops,
+                         write_fraction=0.7, seed=seed)
+    return run_schedule(
+        proto, n, random_schedule(cfg),
+        latency=SeededLatency(seed, dist="exponential", mean=0.8),
+    )
+
+
+def test_bench_q7_gossip_vs_broadcast(benchmark):
+    def run():
+        out = {}
+        for proto in ("optp", "gossip-optp"):
+            msgs = delays = 0
+            duration = 0.0
+            for seed in (0, 1, 2):
+                r = _run(proto, seed)
+                report = check_run(r)
+                assert report.ok, report.summary()
+                assert not report.unnecessary_delays  # Thm 4 holds for both
+                msgs += r.messages_sent
+                delays += report.total_delays
+                duration += r.duration
+            out[proto] = dict(msgs=msgs, delays=delays, duration=duration)
+        return out
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    # gossip quantizes propagation into rounds: runs take longer...
+    assert stats["gossip-optp"]["duration"] > stats["optp"]["duration"]
+    # ...and anti-entropy chatter costs messages (digests + duplicates)
+    assert stats["gossip-optp"]["msgs"] > stats["optp"]["msgs"]
+    print(f"\nbroadcast: {stats['optp']}")
+    print(f"gossip:    {stats['gossip-optp']}")
+
+
+def test_bench_q7_gossip_interval_tradeoff(benchmark):
+    """Faster gossip rounds buy propagation latency with traffic."""
+    from repro.protocols.gossip import GossipOptPProtocol
+
+    class FastGossip(GossipOptPProtocol):
+        name = "gossip-optp"
+        timer_interval = 0.25
+
+    class SlowGossip(GossipOptPProtocol):
+        name = "gossip-optp"
+        timer_interval = 2.0
+
+    def run():
+        out = {}
+        for label, factory in (("fast", FastGossip), ("slow", SlowGossip)):
+            cfg = WorkloadConfig(n_processes=4, ops_per_process=10,
+                                 write_fraction=0.7, seed=3)
+            r = run_schedule(factory, 4, random_schedule(cfg),
+                             latency=SeededLatency(3, dist="exponential",
+                                                   mean=0.5))
+            assert check_run(r).ok
+            out[label] = dict(msgs=r.messages_sent, duration=r.duration)
+        return out
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats["fast"]["duration"] < stats["slow"]["duration"]
+    assert stats["fast"]["msgs"] > stats["slow"]["msgs"]
+    print(f"\nfast rounds: {stats['fast']}  slow rounds: {stats['slow']}")

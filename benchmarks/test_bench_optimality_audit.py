@@ -1,0 +1,77 @@
+"""Q2: Theorem 4 audited at scale.
+
+Every write delay OptP executes is *necessary* (some causal predecessor
+was genuinely missing at receipt), across workload shapes and latency
+regimes; ANBKH's unnecessary-delay count is the measured price of false
+causality.  The benchmark also measures the audit itself (it is the
+most expensive analyzer: ->co closure + per-delay witness search).
+"""
+
+import pytest
+
+from repro.analysis import check_run
+from repro.analysis.checker import audit_delays
+from repro.sim import SeededLatency, run_schedule
+from repro.workloads import WorkloadConfig, random_schedule
+
+
+def _runs(proto, n=6, ops=15, seeds=(0, 1, 2, 3)):
+    out = []
+    for seed in seeds:
+        cfg = WorkloadConfig(
+            n_processes=n, ops_per_process=ops, write_fraction=0.7,
+            n_variables=3, seed=seed,
+        )
+        r = run_schedule(
+            proto, n, random_schedule(cfg),
+            latency=SeededLatency(seed, dist="exponential", mean=2.0),
+        )
+        out.append(r)
+    return out
+
+
+def test_bench_q2_optp_audit(benchmark):
+    runs = _runs("optp")
+
+    def audit_all():
+        return [audit_delays(r) for r in runs]
+
+    audits = benchmark(audit_all)
+    total = sum(len(a) for a in audits)
+    unnecessary = sum(1 for a in audits for d in a if not d.necessary)
+    assert total > 0, "workload produced no delays; sweep is vacuous"
+    assert unnecessary == 0  # Theorem 4
+    print(f"\noptp: {total} delays, all necessary")
+
+
+def test_bench_q2_anbkh_audit(benchmark):
+    runs = _runs("anbkh")
+
+    def audit_all():
+        return [audit_delays(r) for r in runs]
+
+    audits = benchmark(audit_all)
+    total = sum(len(a) for a in audits)
+    unnecessary = sum(1 for a in audits for d in a if not d.necessary)
+    assert total > 0
+    # ANBKH may or may not hit false causality on a given seed family,
+    # but across this one it reliably does; every unnecessary delay has
+    # no witness by construction.
+    assert unnecessary > 0
+    print(f"\nanbkh: {total} delays, {unnecessary} unnecessary")
+
+
+def test_bench_q2_full_check(benchmark):
+    """Cost of the complete checker (legality + safety + liveness +
+    audit + characterization) on one mid-size verified OptP run."""
+    cfg = WorkloadConfig(
+        n_processes=6, ops_per_process=25, write_fraction=0.6, seed=7
+    )
+    r = run_schedule(
+        "optp", 6, random_schedule(cfg),
+        latency=SeededLatency(7), record_state=True,
+    )
+    report = benchmark(check_run, r)
+    assert report.ok
+    assert report.characterization_ok is True
+    assert not report.unnecessary_delays

@@ -1,0 +1,59 @@
+"""Q8 (extension): partial replication -- the [14] setting, measured.
+
+Sweeps the replication factor k (holders per variable): traffic falls
+roughly with k (that is reference [14]'s motivation for partial
+replication), while delays per write fall too (fewer held predecessors
+to wait for).  Every run is verified, including the transitive
+dependencies through unheld variables.
+"""
+
+import pytest
+
+from repro.analysis import check_run
+from repro.protocols.partial import ReplicationMap, partial_factory
+from repro.sim import SeededLatency, run_schedule
+from repro.workloads import WorkloadConfig
+from repro.workloads.generators import random_partial_schedule
+
+N, M = 6, 8
+VARIABLES = [f"x{i}" for i in range(M)]
+SEEDS = (0, 1, 2)
+
+
+def run_factor(k):
+    rmap = ReplicationMap.round_robin(VARIABLES, N, k)
+    msgs = delays = writes = 0
+    for seed in SEEDS:
+        cfg = WorkloadConfig(n_processes=N, ops_per_process=12,
+                             n_variables=M, write_fraction=0.7, seed=seed)
+        sched = random_partial_schedule(cfg, rmap)
+        r = run_schedule(partial_factory(rmap), N, sched,
+                         latency=SeededLatency(seed, dist="exponential",
+                                               mean=2.0))
+        report = check_run(r)
+        assert report.ok, (k, seed, report.summary())
+        assert not report.unnecessary_delays
+        msgs += r.messages_sent
+        delays += report.total_delays
+        writes += r.writes_issued
+    return dict(msgs=msgs, delays=delays, writes=writes)
+
+
+@pytest.mark.parametrize("k", [2, 4, 6])
+def test_bench_q8_replication_factor(benchmark, k):
+    stats = benchmark.pedantic(run_factor, args=(k,), rounds=1, iterations=1)
+    assert stats["writes"] > 0
+    print(f"\nk={k}: msgs={stats['msgs']} delays={stats['delays']} "
+          f"writes={stats['writes']}")
+
+
+def test_bench_q8_traffic_shape(benchmark):
+    """Messages grow ~linearly in k; full replication (k=n) is the
+    ceiling."""
+
+    def run():
+        return {k: run_factor(k)["msgs"] for k in (2, 4, 6)}
+
+    msgs = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert msgs[2] < msgs[4] < msgs[6]
+    print(f"\ntraffic by replication factor: {msgs}")

@@ -1,0 +1,16 @@
+"""T1: regenerate Table 1 (X_co-safe of H1's apply events)."""
+
+from repro.paperfigs import table1
+from repro.workloads.patterns import WID_A, WID_B, WID_C, WID_D
+
+
+def test_bench_table1(benchmark):
+    text = benchmark(table1.generate)
+    # the paper's rows, verbatim facts
+    d = table1.as_dict()
+    for k in range(3):
+        assert d[(k, WID_A)] == frozenset()
+        assert d[(k, WID_C)] == {WID_A}
+        assert d[(k, WID_B)] == {WID_A}
+        assert d[(k, WID_D)] == {WID_A, WID_B}
+    assert "Table 1" in text

@@ -1,0 +1,17 @@
+"""T2: regenerate Table 2 (X_ANBKH of the Figure 3 run).
+
+Includes the paper's non-optimality witnesses: exactly six rows exceed
+the safe minimum, each by {w1(x1)c}.
+"""
+
+from repro.paperfigs import table2
+from repro.workloads.patterns import WID_A, WID_B, WID_C, WID_D
+
+
+def test_bench_table2(benchmark):
+    text = benchmark(table2.generate)
+    d = table2.as_dict()
+    for k in range(3):
+        assert d[(k, WID_B)] == {WID_A, WID_C}
+        assert d[(k, WID_D)] == {WID_A, WID_C, WID_B}
+    assert "rows where X_ANBKH ⊃ X_co-safe: 6" in text

@@ -1,0 +1,104 @@
+"""Q3: the writing-semantics trade (Section 3.6).
+
+Measures what the WS variants buy (fewer receiver delays, fewer
+messages for the token variant) and what they give up (writes never
+applied: skips at receivers, suppressions at senders -- both leave
+class 𝒫), across variable-popularity skew; plus the metadata overhead
+the receiver-side variant pays (per-variable vectors on every message).
+"""
+
+import pytest
+
+from repro.paperfigs.comparison import compare_on_schedule
+from repro.sim import SeededLatency, run_schedule
+from repro.workloads import WorkloadConfig, random_schedule, write_burst_schedule
+
+SEEDS = (0, 1, 2)
+
+
+def _skewed(seed, zipf_s, n=5, ops=20):
+    cfg = WorkloadConfig(
+        n_processes=n, ops_per_process=ops, n_variables=6,
+        write_fraction=0.8, zipf_s=zipf_s, seed=seed,
+    )
+    return random_schedule(cfg)
+
+
+@pytest.mark.parametrize("zipf_s", [0.0, 2.0])
+def test_bench_q3_skip_vs_skew(benchmark, zipf_s):
+    def run():
+        out = []
+        for seed in SEEDS:
+            out += compare_on_schedule(
+                _skewed(seed, zipf_s), 5,
+                protocols=("optp", "ws-receiver"),
+                latency=SeededLatency(seed, dist="exponential", mean=2.0),
+            )
+        return out
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    ws = [m for m in metrics if m.protocol == "ws-receiver"]
+    optp = [m for m in metrics if m.protocol == "optp"]
+    # WS never delays more than OptP on the same schedule
+    assert sum(m.delays for m in ws) <= sum(m.delays for m in optp)
+    skips = sum(m.skipped for m in ws)
+    print(f"\nzipf={zipf_s}: ws delays={sum(m.delays for m in ws)} "
+          f"optp delays={sum(m.delays for m in optp)} skips={skips}")
+
+
+def test_bench_q3_burst_workload(benchmark):
+    """Same-variable bursts: the WS-receiver's best case -- most of a
+    burst's writes are overwritten by its last write."""
+    sched = write_burst_schedule(4, bursts=3, burst_size=6)
+
+    def run():
+        return compare_on_schedule(
+            sched, 4, protocols=("optp", "ws-receiver"),
+            latency=SeededLatency(3, dist="exponential", mean=3.0),
+        )
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    by = {m.protocol: m for m in metrics}
+    assert by["ws-receiver"].skipped > 0
+    assert by["ws-receiver"].delays <= by["optp"].delays
+
+
+def test_bench_q3_token_suppression(benchmark):
+    """Sender-side WS: bursts collapse to one update per variable per
+    token round, and the token protocol sends FEWER update payloads but
+    pays token/batch traffic."""
+    sched = write_burst_schedule(4, bursts=2, burst_size=8)
+
+    def run():
+        return compare_on_schedule(
+            sched, 4, protocols=("optp", "jimenez-token"),
+            latency=SeededLatency(5),
+        )
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    by = {m.protocol: m for m in metrics}
+    assert by["jimenez-token"].suppressed > 0
+    # suppressed writes are simply never seen remotely
+    assert by["jimenez-token"].remote_applies < by["optp"].remote_applies
+    print(f"\ntoken: suppressed={by['jimenez-token'].suppressed} "
+          f"msgs={by['jimenez-token'].messages} vs optp msgs={by['optp'].messages}")
+
+
+def test_bench_q3_metadata_overhead(benchmark):
+    """The WS-receiver's per-variable vectors cost wire bytes; measure
+    the estimated overhead ratio vs plain OptP on the same workload."""
+    cfg = WorkloadConfig(
+        n_processes=5, ops_per_process=25, n_variables=8,
+        write_fraction=0.7, seed=11,
+    )
+    sched = random_schedule(cfg)
+
+    def run():
+        r_optp = run_schedule("optp", 5, sched, latency=SeededLatency(11))
+        r_ws = run_schedule("ws-receiver", 5, sched, latency=SeededLatency(11))
+        return r_optp, r_ws
+
+    r_optp, r_ws = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert r_ws.bytes_estimate > r_optp.bytes_estimate
+    ratio = r_ws.bytes_estimate / r_optp.bytes_estimate
+    print(f"\nws-receiver metadata overhead: {ratio:.2f}x OptP bytes")

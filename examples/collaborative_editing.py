@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Collaborative editing on a causally consistent DSM.
+
+Three editors share a document of named sections.  Each editor writes
+its own section and reacts to what it *reads* from the others:
+
+- Alice drafts the intro, then revises it;
+- Bob waits until he has seen Alice's intro, then writes the body
+  (his body causally depends on the intro -- every replica must apply
+  the intro first);
+- Carol waits for Bob's body and appends the conclusion.
+
+Causal consistency is exactly the guarantee collaborative editing
+needs: nobody ever observes a reply before the text it replies to,
+while concurrent edits to different sections flow with no coordination.
+The run is simulated with randomized latencies and then machine-checked.
+
+Run:  python examples/collaborative_editing.py [seed]
+"""
+
+import sys
+
+from repro import check_run, run_programs
+from repro.sim import SeededLatency
+from repro.workloads import Program, WaitReadStep, WriteStep
+
+
+def editors() -> list:
+    alice = Program.of(
+        WriteStep("intro", "draft-intro"),
+        WriteStep("intro", "intro-v2", delay=2.0),
+    )
+    bob = Program.of(
+        WaitReadStep("intro", "draft-intro", poll=0.4),
+        WriteStep("body", "body-after-intro"),
+    )
+    carol = Program.of(
+        WaitReadStep("body", "body-after-intro", poll=0.4),
+        WriteStep("conclusion", "the-end"),
+    )
+    return [alice, bob, carol]
+
+
+def main(seed: int = 7) -> None:
+    result = run_programs(
+        "optp", 3, editors(),
+        latency=SeededLatency(seed, dist="exponential", mean=1.5),
+    )
+    report = check_run(result)
+    print("final document at each replica:")
+    for i, store in enumerate(result.stores):
+        doc = {var: value for var, (value, _) in sorted(store.items())}
+        print(f"  editor {i}: {doc}")
+    print(f"\nrun verdict: {report.summary()}")
+    assert report.ok
+
+    # The causal chain intro -> body -> conclusion is enforced at
+    # every replica: check the apply orders directly.
+    h = result.history
+    writes = {w.variable: w for w in h.writes() if w.value != "draft-intro"}
+    co = h.causal_order
+    intro = next(w for w in h.writes() if w.value == "draft-intro")
+    assert co.precedes(intro, writes["body"])
+    assert co.precedes(writes["body"], writes["conclusion"])
+    for k in range(3):
+        order = result.trace.apply_order(k)
+        assert order.index(intro.wid) < order.index(writes["body"].wid)
+        assert order.index(writes["body"].wid) < order.index(
+            writes["conclusion"].wid
+        )
+    print("causal chain intro -> body -> conclusion respected at every replica.")
+    print(f"write delays incurred: {report.total_delays} "
+          f"(unnecessary: {len(report.unnecessary_delays)})")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)

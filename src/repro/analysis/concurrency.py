@@ -1,0 +1,84 @@
+"""Concurrency structure of a history's writes.
+
+The delay-gap shapes in EXPERIMENTS.md keep saying "the gap grows with
+concurrency"; this module makes concurrency a *measured* quantity:
+
+- :func:`concurrent_write_pairs` -- how many unordered write pairs the
+  history contains (the raw pool of potential false causality);
+- :func:`max_concurrent_writes` -- the *width* of the ``->co`` poset on
+  writes: the largest antichain, i.e. the most writes that are mutually
+  concurrent.  By Dilworth's theorem this equals the minimum number of
+  ``->co``-chains covering the writes, computed via König/Fulkerson:
+  ``width = W - |maximum matching|`` in the bipartite comparability
+  graph of the transitive closure;
+- :func:`chain_decomposition_depth` -- the poset's *height* (longest
+  ``->co`` chain + 1), the dual measure.
+
+``benchmarks/test_bench_delay_comparison.py``'s shapes can be read
+against these: more width = more pairs ANBKH can get wrong.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import networkx as nx
+
+from repro.model.history import History
+from repro.model.operations import Write, WriteId
+
+
+def concurrent_write_pairs(history: History) -> int:
+    """Number of unordered pairs ``{w, w'}`` with ``w ||co w'``."""
+    writes = list(history.writes())
+    if len(writes) < 2:
+        return 0
+    matrix = history.causal_order.precedes_matrix(writes)
+    k = len(writes)
+    ordered = int(matrix.sum())  # each ordered pair counted once (i->j)
+    total_pairs = k * (k - 1) // 2
+    return total_pairs - ordered
+
+
+def max_concurrent_writes(history: History) -> int:
+    """Width of the write poset: the largest set of mutually
+    ``->co``-concurrent writes (Dilworth via bipartite matching)."""
+    writes = list(history.writes())
+    w = len(writes)
+    if w <= 1:
+        return w
+    matrix = history.causal_order.precedes_matrix(writes)
+    # bipartite graph: left copy L_i -- right copy R_j iff w_i ->co w_j
+    g = nx.Graph()
+    left = [("L", i) for i in range(w)]
+    right = [("R", j) for j in range(w)]
+    g.add_nodes_from(left, bipartite=0)
+    g.add_nodes_from(right, bipartite=1)
+    for i in range(w):
+        for j in range(w):
+            if matrix[i, j]:
+                g.add_edge(("L", i), ("R", j))
+    matching = nx.bipartite.maximum_matching(g, top_nodes=left)
+    matched_edges = sum(1 for node in matching if node[0] == "L")
+    # min chain cover = W - |matching|; Dilworth: width = min chain cover
+    return w - matched_edges
+
+
+def chain_decomposition_depth(history: History) -> int:
+    """Height of the write poset: writes on the longest ``->co`` chain."""
+    from repro.model.causality_graph import WriteCausalityGraph
+
+    writes = list(history.writes())
+    if not writes:
+        return 0
+    g = WriteCausalityGraph.from_history(history)
+    return g.longest_chain_length() + 1
+
+
+def concurrency_profile(history: History) -> Tuple[int, int, int]:
+    """``(concurrent pairs, width, height)`` in one call."""
+    return (
+        concurrent_write_pairs(history),
+        max_concurrent_writes(history),
+        chain_decomposition_depth(history),
+    )

@@ -1,0 +1,178 @@
+"""Consistent cuts of a run and the causal-closure property.
+
+A *cut* of a distributed computation assigns each process a prefix of
+its event sequence ``E_i``; it is *consistent* when it is left-closed
+under the happened-before relation -- operationally: no receipt without
+its send (Mattern).  Consistent cuts are the "instants" at which global
+state is meaningful.
+
+The payoff for this repository is the **causal-closure corollary** of
+safety (Theorem 3): at *every* consistent cut of a safe protocol's run,
+the set of writes applied at each process is left-closed under ``->co``
+-- you can stop the world at any consistent instant and no replica has
+ever applied a write whose causal predecessors it lacks.  (For the
+writing-semantics variants the same holds with skipped writes counted
+as applied.)  ``tests/analysis/test_cuts.py`` verifies it over random
+cuts of random runs; ANBKH satisfies it too (it is safe), which is a
+useful reminder that optimality, not safety, is what separates the
+protocols.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.model.history import History
+from repro.model.operations import WriteId
+from repro.sim.trace import EventKind, Trace, TraceEvent
+
+
+@dataclass(frozen=True)
+class Cut:
+    """A frontier: ``frontier[i]`` = number of ``E_i`` events included."""
+
+    frontier: Tuple[int, ...]
+
+    def includes(self, trace: Trace, event: TraceEvent) -> bool:
+        evs = trace.process_events(event.process)
+        idx = evs.index(event)
+        return idx < self.frontier[event.process]
+
+    def events(self, trace: Trace) -> List[TraceEvent]:
+        out = []
+        for p, count in enumerate(self.frontier):
+            out.extend(trace.process_events(p)[:count])
+        return out
+
+
+def full_cut(trace: Trace) -> Cut:
+    """The cut containing every event (always consistent at quiescence)."""
+    return Cut(tuple(len(trace.process_events(p))
+                     for p in range(trace.n_processes)))
+
+
+def cut_at_times(trace: Trace, times: List[float]) -> Cut:
+    """The frontier of events with ``time <= times[p]`` per process.
+
+    With skewed per-process times the result may be inconsistent --
+    repair it with :func:`make_consistent`.
+    """
+    if len(times) != trace.n_processes:
+        raise ValueError("need one time per process")
+    frontier = []
+    for p, t in enumerate(times):
+        evs = trace.process_events(p)
+        count = 0
+        for ev in evs:
+            if ev.time <= t:
+                count += 1
+            else:
+                break
+        frontier.append(count)
+    return Cut(tuple(frontier))
+
+
+def is_consistent(trace: Trace, cut: Cut) -> bool:
+    """No receipt (or remote apply) without its send in the cut."""
+    send_positions = _send_positions(trace)
+    for p, count in enumerate(cut.frontier):
+        for ev in trace.process_events(p)[:count]:
+            if ev.kind is EventKind.RECEIPT and ev.wid in send_positions:
+                sp, sidx = send_positions[ev.wid]
+                if sidx >= cut.frontier[sp]:
+                    return False
+    return True
+
+
+def make_consistent(trace: Trace, cut: Cut) -> Cut:
+    """The maximal consistent cut below ``cut`` (iterative shrinking)."""
+    send_positions = _send_positions(trace)
+    frontier = list(cut.frontier)
+    changed = True
+    while changed:
+        changed = False
+        for p in range(trace.n_processes):
+            evs = trace.process_events(p)
+            for idx in range(frontier[p]):
+                ev = evs[idx]
+                if ev.kind is EventKind.RECEIPT and ev.wid in send_positions:
+                    sp, sidx = send_positions[ev.wid]
+                    if sidx >= frontier[sp]:
+                        frontier[p] = idx  # drop this receipt (and after)
+                        changed = True
+                        break
+    return Cut(tuple(frontier))
+
+
+def applied_writes_at(trace: Trace, cut: Cut, process: int) -> FrozenSet[WriteId]:
+    """Writes applied at ``process`` within the cut (local WRITE applies
+    included; skipped writes are not -- see :func:`closure_violations`
+    for the skip-aware closure check)."""
+    out = set()
+    for ev in trace.process_events(process)[: cut.frontier[process]]:
+        if ev.kind is EventKind.APPLY or (
+            ev.kind is EventKind.WRITE
+            and trace.apply_event(process, ev.wid) is ev
+        ):
+            out.add(ev.wid)
+    return frozenset(out)
+
+
+def closure_violations(
+    trace: Trace,
+    history: History,
+    cut: Cut,
+    *,
+    count_skipped: bool = True,
+) -> List[str]:
+    """Causal-closure check at a cut.
+
+    For each process and each applied write ``w``, every write in
+    ``w``'s ``->co``-causal past must be applied there too (or, with
+    ``count_skipped``, discarded/skipped -- approximated by "discarded
+    within the cut" for WS runs).  Returns human-readable violations.
+    """
+    co = history.causal_order
+    violations = []
+    for p in range(trace.n_processes):
+        applied = applied_writes_at(trace, cut, p)
+        covered: Set[WriteId] = set(applied)
+        if count_skipped:
+            for ev in trace.process_events(p)[: cut.frontier[p]]:
+                if ev.kind is EventKind.DISCARD:
+                    covered.add(ev.wid)
+        for wid in applied:
+            if not history.has_write(wid):
+                continue
+            w = history.write_by_id(wid)
+            for w2 in co.write_causal_past(w):
+                if w2.wid not in covered:
+                    # WS skip bookkeeping may lack the DISCARD if the
+                    # stale message is still in flight at the cut; only
+                    # class-P runs make this an unconditional violation.
+                    violations.append(
+                        f"p{p}: applied {wid} but its causal predecessor "
+                        f"{w2.wid} is neither applied nor skipped in the cut"
+                    )
+    return violations
+
+
+def random_consistent_cut(trace: Trace, rng: random.Random) -> Cut:
+    """Sample a consistent cut: random per-process frontier, repaired."""
+    frontier = tuple(
+        rng.randint(0, len(trace.process_events(p)))
+        for p in range(trace.n_processes)
+    )
+    return make_consistent(trace, Cut(frontier))
+
+
+def _send_positions(trace: Trace) -> Dict[WriteId, Tuple[int, int]]:
+    """wid -> (process, index in E_process) of its SEND event."""
+    out: Dict[WriteId, Tuple[int, int]] = {}
+    for p in range(trace.n_processes):
+        for idx, ev in enumerate(trace.process_events(p)):
+            if ev.kind is EventKind.SEND and ev.wid is not None:
+                out[ev.wid] = (p, idx)
+    return out

@@ -1,0 +1,84 @@
+"""Export sweep results and run metrics to CSV / JSON.
+
+Downstream users plot the benchmark sweeps with their own tooling; the
+exporters keep the column set stable and documented so the harness's
+output is consumable without reading its source.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict
+from typing import Sequence
+
+from repro.analysis.metrics import RunMetrics
+from repro.paperfigs.comparison import SweepRow
+
+SWEEP_COLUMNS = [
+    "axis",
+    "value",
+    "protocol",
+    "mean_delays",
+    "mean_unnecessary",
+    "mean_skipped",
+    "mean_suppressed",
+    "mean_messages",
+    "seeds",
+]
+
+METRIC_COLUMNS = [
+    "protocol",
+    "n_processes",
+    "writes",
+    "reads",
+    "delays",
+    "unnecessary_delays",
+    "messages",
+    "bytes_estimate",
+    "remote_applies",
+    "discards",
+    "skipped",
+    "suppressed",
+    "duration",
+]
+
+
+def sweep_to_csv(rows: Sequence[SweepRow]) -> str:
+    """Serialize sweep rows as CSV text (header + one line per row)."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=SWEEP_COLUMNS)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({col: getattr(row, col) for col in SWEEP_COLUMNS})
+    return buf.getvalue()
+
+
+def sweep_to_json(rows: Sequence[SweepRow]) -> str:
+    """Serialize sweep rows as a JSON array of objects."""
+    return json.dumps([asdict(row) for row in rows], indent=2)
+
+
+def metrics_to_csv(metrics: Sequence[RunMetrics]) -> str:
+    """Serialize run metrics as CSV (delay-duration stats flattened)."""
+    buf = io.StringIO()
+    fieldnames = METRIC_COLUMNS + [
+        "delay_mean", "delay_p50", "delay_p95", "delay_max",
+    ]
+    writer = csv.DictWriter(buf, fieldnames=fieldnames)
+    writer.writeheader()
+    for m in metrics:
+        row = {col: getattr(m, col) for col in METRIC_COLUMNS}
+        row.update(
+            delay_mean=m.delay_stats.mean,
+            delay_p50=m.delay_stats.p50,
+            delay_p95=m.delay_stats.p95,
+            delay_max=m.delay_stats.max,
+        )
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def metrics_to_json(metrics: Sequence[RunMetrics]) -> str:
+    return json.dumps([asdict(m) for m in metrics], indent=2)

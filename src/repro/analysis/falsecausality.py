@@ -1,0 +1,79 @@
+"""False-causality analysis (footnote 7; Tarafdar-Garg [15]).
+
+A run contains a *false-causality opportunity* for a write pair
+``(w, w')`` when ``send(w) -> send(w')`` (happened-before) holds but
+``w ||co w'`` -- the situation where a happened-before-based protocol
+like ANBKH *may* delay ``w'`` waiting for ``w`` although no cause-effect
+relation exists.  This module counts those pairs per run and relates
+them to the delays the protocols actually executed: the opportunities
+are a property of the *workload + message schedule*, the unnecessary
+delays are the share a given protocol converts into real waste.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.hb import HappenedBefore
+from repro.model.operations import WriteId
+from repro.sim.result import RunResult
+
+
+@dataclass(frozen=True)
+class FalseCausalityReport:
+    """Per-run counts relating opportunities to realized waste."""
+
+    #: ordered write pairs (w, w') with send(w) -> send(w') and w ||co w'
+    opportunities: Tuple[Tuple[WriteId, WriteId], ...]
+    #: ordered write pairs with a genuine ->co relation
+    genuine_pairs: int
+    #: total ordered send-hb pairs (genuine + false)
+    hb_pairs: int
+
+    @property
+    def n_opportunities(self) -> int:
+        return len(self.opportunities)
+
+    @property
+    def false_share(self) -> float:
+        """Fraction of happened-before write pairs that are false."""
+        if self.hb_pairs == 0:
+            return 0.0
+        return self.n_opportunities / self.hb_pairs
+
+
+def analyze_false_causality(result: RunResult) -> FalseCausalityReport:
+    """Count false-causality opportunities in a run.
+
+    O(W^2) over the run's writes -- fine at benchmark scale (hundreds
+    of writes); the hot part (reachability) is the shared bitset
+    closure of :class:`HappenedBefore`.
+    """
+    history = result.history
+    co = history.causal_order
+    hb = HappenedBefore(result.trace)
+    writes = list(history.writes())
+    opportunities: List[Tuple[WriteId, WriteId]] = []
+    genuine = 0
+    hb_pairs = 0
+    for w1 in writes:
+        for w2 in writes:
+            if w1.wid == w2.wid:
+                continue
+            if not hb.sends_hb(w1.wid, w2.wid):
+                continue
+            hb_pairs += 1
+            if co.precedes(w1, w2):
+                genuine += 1
+            else:
+                # send-hb without ->co: by definition w1 ||co w2 here
+                # (->co against the hb direction is impossible: the
+                # paper's protocols only ever create ->co along message
+                # flow, and ->co on writes implies send-hb).
+                opportunities.append((w1.wid, w2.wid))
+    return FalseCausalityReport(
+        opportunities=tuple(opportunities),
+        genuine_pairs=genuine,
+        hb_pairs=hb_pairs,
+    )

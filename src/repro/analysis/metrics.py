@@ -1,0 +1,148 @@
+"""Run metrics and cross-protocol comparison tables.
+
+The paper's comparison criterion is the *number of write delays*
+(Section 3.5); the benchmark harness reports it alongside the
+supporting quantities that explain it: delay durations, unnecessary
+(false-causality) delays, traffic and metadata overhead, and the
+writing-semantics loss counters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.checker import CheckReport, check_run
+from repro.sim.result import RunResult
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted data (0 <= q <= 100)."""
+    if not sorted_values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    idx = max(0, math.ceil(q / 100 * len(sorted_values)) - 1)
+    return sorted_values[idx]
+
+
+@dataclass(frozen=True)
+class DelayStats:
+    """Distributional summary of write-delay durations."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    max: float
+
+    @classmethod
+    def of(cls, durations: Iterable[float]) -> "DelayStats":
+        vals = sorted(durations)
+        if not vals:
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, max=0.0)
+        return cls(
+            count=len(vals),
+            mean=sum(vals) / len(vals),
+            p50=percentile(vals, 50),
+            p95=percentile(vals, 95),
+            max=vals[-1],
+        )
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """All headline numbers for one run."""
+
+    protocol: str
+    n_processes: int
+    writes: int
+    reads: int
+    delays: int
+    unnecessary_delays: int
+    delay_stats: DelayStats
+    messages: int
+    bytes_estimate: int
+    remote_applies: int
+    discards: int
+    skipped: int
+    suppressed: int
+    duration: float
+
+    @classmethod
+    def of(cls, result: RunResult, report: Optional[CheckReport] = None) -> "RunMetrics":
+        if report is None:
+            report = check_run(result)
+        from repro.sim.trace import EventKind
+
+        reads = sum(1 for _ in result.trace.of_kind(EventKind.RETURN))
+        return cls(
+            protocol=result.protocol_name,
+            n_processes=result.n_processes,
+            writes=result.writes_issued,
+            reads=reads,
+            delays=report.total_delays,
+            unnecessary_delays=len(report.unnecessary_delays),
+            delay_stats=DelayStats.of(result.delay_durations()),
+            messages=result.messages_sent,
+            bytes_estimate=result.bytes_estimate,
+            remote_applies=result.remote_applies,
+            discards=result.discards,
+            skipped=result.stat_total("skipped"),
+            suppressed=result.stat_total("suppressed"),
+            duration=result.duration,
+        )
+
+
+_COLUMNS = [
+    ("protocol", "{:<14}"),
+    ("delays", "{:>7}"),
+    ("unnec", "{:>6}"),
+    ("mean-dur", "{:>9}"),
+    ("p95-dur", "{:>8}"),
+    ("msgs", "{:>6}"),
+    ("kbytes", "{:>7}"),
+    ("skip", "{:>5}"),
+    ("suppr", "{:>6}"),
+]
+
+
+def comparison_table(metrics: Sequence[RunMetrics], *, title: str = "") -> str:
+    """A fixed-width text table comparing runs (one row per protocol)."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = " ".join(fmt.format(name) for name, fmt in _COLUMNS)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for m in metrics:
+        row = [
+            m.protocol,
+            m.delays,
+            m.unnecessary_delays,
+            f"{m.delay_stats.mean:.3f}",
+            f"{m.delay_stats.p95:.3f}",
+            m.messages,
+            f"{m.bytes_estimate / 1024:.1f}",
+            m.skipped,
+            m.suppressed,
+        ]
+        lines.append(
+            " ".join(fmt.format(val) for (_, fmt), val in zip(_COLUMNS, row))
+        )
+    return "\n".join(lines)
+
+
+def aggregate_delays(metrics: Sequence[RunMetrics]) -> Dict[str, float]:
+    """Mean delays / unnecessary-delays per protocol over repeated runs."""
+    by_protocol: Dict[str, List[RunMetrics]] = {}
+    for m in metrics:
+        by_protocol.setdefault(m.protocol, []).append(m)
+    out = {}
+    for proto, ms in by_protocol.items():
+        out[proto] = sum(m.delays for m in ms) / len(ms)
+        out[f"{proto}/unnecessary"] = sum(
+            m.unnecessary_delays for m in ms
+        ) / len(ms)
+    return out

@@ -1,0 +1,130 @@
+"""Session guarantees checked on run histories.
+
+Causal consistency is folklore-equivalent to the conjunction of the four
+session guarantees of Terry et al. (PDIS 1994) plus eventual visibility;
+this module checks each guarantee *independently* on an observed
+history, which makes failures diagnosable (a protocol bug usually
+breaks one specific guarantee first) and documents precisely what the
+DSM gives application programmers:
+
+- **Read Your Writes (RYW)**: a read never returns a value *causally
+  older* than a write the same process previously issued to that
+  variable (it may return a ``->co``-concurrent write -- under causal
+  memory a concurrent remote write can legitimately overwrite yours);
+- **Monotonic Reads (MR)**: successive reads of a variable by one
+  process never go causally backwards;
+- **Monotonic Writes (MW)**: writes by one process are ordered (w.r.t.
+  ``->co``) for everyone -- per-process writes are never reordered;
+- **Writes Follow Reads (WFR)**: a write issued after reading a value
+  is causally ordered after that value's write, for everyone.
+
+All four are evaluated against the history's ``->co`` (so they hold or
+fail *globally*, not just at one replica).  Every protocol in this
+repository satisfies all four on every run -- enforced by
+``tests/analysis/test_sessions.py`` including the hypothesis suites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.model.history import History
+from repro.model.operations import Read, Write
+
+
+@dataclass(frozen=True)
+class SessionReport:
+    """Violations per guarantee (all empty = fully causal session
+    semantics)."""
+
+    ryw: List[str] = field(default_factory=list)
+    monotonic_reads: List[str] = field(default_factory=list)
+    monotonic_writes: List[str] = field(default_factory=list)
+    wfr: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.ryw or self.monotonic_reads
+                    or self.monotonic_writes or self.wfr)
+
+    def summary(self) -> str:
+        if self.ok:
+            return "all session guarantees hold (RYW, MR, MW, WFR)"
+        parts = []
+        for name, items in [("RYW", self.ryw), ("MR", self.monotonic_reads),
+                            ("MW", self.monotonic_writes), ("WFR", self.wfr)]:
+            if items:
+                parts.append(f"{name}: {len(items)} violation(s)")
+        return "; ".join(parts)
+
+
+def check_sessions(history: History) -> SessionReport:
+    """Evaluate the four session guarantees on a history."""
+    co = history.causal_order
+    ryw: List[str] = []
+    mr: List[str] = []
+    mw: List[str] = []
+    wfr: List[str] = []
+
+    for i in range(history.n_processes):
+        ops = history.local(i).operations
+        # RYW: after my own write w(x), a read of x must never return a
+        # write causally OLDER than w (concurrent is fine: a concurrent
+        # remote write may have overwritten mine).
+        for a_idx, a in enumerate(ops):
+            if not isinstance(a, Write):
+                continue
+            for b in ops[a_idx + 1:]:
+                if isinstance(b, Read) and b.variable == a.variable:
+                    if b.read_from is None:
+                        ryw.append(f"p{i}: {b} returned BOTTOM after own {a}")
+                        continue
+                    writer = history.write_by_id(b.read_from)
+                    if writer.wid != a.wid and co.precedes(writer, a):
+                        ryw.append(
+                            f"p{i}: {b} returned {writer.wid}, causally "
+                            f"older than own {a}"
+                        )
+        # MR: successive reads of x never go causally backwards.
+        for a_idx, a in enumerate(ops):
+            if not isinstance(a, Read) or a.read_from is None:
+                continue
+            wa = history.write_by_id(a.read_from)
+            for b in ops[a_idx + 1:]:
+                if (isinstance(b, Read) and b.variable == a.variable):
+                    if b.read_from is None:
+                        mr.append(f"p{i}: {b} regressed to BOTTOM after {a}")
+                        continue
+                    wb = history.write_by_id(b.read_from)
+                    if wb.wid != wa.wid and co.precedes(wb, wa):
+                        mr.append(
+                            f"p{i}: {b} read {wb.wid}, causally older than "
+                            f"{wa.wid} read earlier"
+                        )
+
+    # MW: per-process write order embeds into ->co (trivially true by
+    # construction of ->po, but protocols that lose/reorder writes
+    # would surface here through the trace-extracted history).
+    for i in range(history.n_processes):
+        writes = history.local(i).writes
+        for a_idx, a in enumerate(writes):
+            for b in writes[a_idx + 1:]:
+                if not co.precedes(a, b):
+                    mw.append(f"p{i}: {a} not ->co-before own later {b}")
+
+    # WFR: read r(x)v then write w' => writer(v) ->co w'.
+    for i in range(history.n_processes):
+        ops = history.local(i).operations
+        for a_idx, a in enumerate(ops):
+            if not isinstance(a, Read) or a.read_from is None:
+                continue
+            wa = history.write_by_id(a.read_from)
+            for b in ops[a_idx + 1:]:
+                if isinstance(b, Write) and not co.precedes(wa, b):
+                    wfr.append(
+                        f"p{i}: {b} not ->co-after {wa.wid} read earlier"
+                    )
+
+    return SessionReport(ryw=ryw, monotonic_reads=mr,
+                         monotonic_writes=mw, wfr=wfr)

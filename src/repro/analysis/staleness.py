@@ -1,0 +1,86 @@
+"""Visibility latency (staleness) metrics.
+
+Write delays (Definition 3) count *buffering decisions*; visibility
+latency measures what applications feel: the time from a write's issue
+to its apply at each other replica.  It decomposes as::
+
+    visibility = transit (network)  +  buffering (protocol)
+
+so comparing protocols on identical message schedules isolates the
+protocol's buffering contribution -- OptP's optimality theorem is
+precisely the statement that its buffering term is the minimum any safe
+protocol can achieve.
+
+For propagation-restructuring protocols (token rounds, gossip) the
+transit term itself changes; the visibility distribution is then the
+honest end-to-end comparison (`benchmarks/test_bench_staleness.py`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import DelayStats
+from repro.sim.result import RunResult
+from repro.sim.trace import EventKind
+
+
+@dataclass(frozen=True)
+class VisibilityReport:
+    """Distributional view of write visibility for one run."""
+
+    #: issue -> apply latency over all (write, remote replica) pairs
+    visibility: DelayStats
+    #: receipt -> apply (buffering) component, same pairs
+    buffering: DelayStats
+    #: issue -> receipt (transit) component, same pairs
+    transit: DelayStats
+    #: (write, replica) pairs never applied (WS skips / partial repl.)
+    never_applied: int
+
+    def summary(self) -> str:
+        return (
+            f"visibility mean={self.visibility.mean:.3f} "
+            f"p95={self.visibility.p95:.3f} "
+            f"(transit {self.transit.mean:.3f} + "
+            f"buffering {self.buffering.mean:.3f}); "
+            f"never applied: {self.never_applied}"
+        )
+
+
+def visibility_report(result: RunResult) -> VisibilityReport:
+    """Compute the visibility decomposition from a run trace.
+
+    Pairs where the write was propagated without a traced RECEIPT
+    (token batches arrive inside control messages) contribute to
+    ``visibility`` but not to the transit/buffering split.
+    """
+    trace = result.trace
+    issue_time: Dict = {}
+    for ev in trace.of_kind(EventKind.WRITE):
+        issue_time[ev.wid] = ev.time
+
+    vis: List[float] = []
+    buf: List[float] = []
+    trans: List[float] = []
+    never = 0
+    for wid, issued in issue_time.items():
+        for k in range(result.n_processes):
+            if k == wid.process:
+                continue
+            applied = trace.apply_event(k, wid)
+            if applied is None:
+                never += 1
+                continue
+            vis.append(applied.time - issued)
+            receipt = trace.receipt_event(k, wid)
+            if receipt is not None:
+                trans.append(receipt.time - issued)
+                buf.append(applied.time - receipt.time)
+    return VisibilityReport(
+        visibility=DelayStats.of(vis),
+        buffering=DelayStats.of(buf),
+        transit=DelayStats.of(trans),
+        never_applied=never,
+    )

@@ -1,0 +1,301 @@
+"""Command-line interface: ``repro-dsm``.
+
+Subcommands:
+
+- ``artifacts [name ...]``  print regenerated paper tables/figures;
+- ``run``                   run one protocol on a random workload,
+  verify it, and print metrics (+ optional space-time diagram);
+- ``compare``               all protocols on one identical schedule;
+- ``sweep AXIS``            delay sweeps (Q1a-Q1c, Q3);
+- ``scenario NAME``         run an H1 figure scenario and show the
+  sequence at p3 plus the delay audit.
+
+Examples::
+
+    repro-dsm artifacts table2 fig3
+    repro-dsm run -p optp -n 5 --ops 20 --seed 3 --diagram
+    repro-dsm compare -n 6 --seeds 0 1 2
+    repro-dsm sweep processes
+    repro-dsm scenario fig3 -p anbkh
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import check_run
+from repro.analysis.metrics import RunMetrics, comparison_table
+from repro.paperfigs import (
+    ARTIFACTS,
+    compare_on_schedule,
+    render_sweep,
+    sweep_latency_spread,
+    sweep_processes,
+    sweep_write_fraction,
+    sweep_zipf,
+)
+from repro.paperfigs.render import sequence_at
+from repro.paperfigs.spacetime import render_spacetime
+from repro.protocols import PROTOCOLS
+from repro.sim import SeededLatency, run_schedule
+from repro.workloads import ALL_SCENARIOS, WorkloadConfig, random_schedule
+
+SWEEPS = {
+    "processes": sweep_processes,
+    "write-fraction": sweep_write_fraction,
+    "latency": sweep_latency_spread,
+    "zipf": sweep_zipf,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dsm",
+        description="Causally consistent DSM reproduction "
+        "(Baldoni-Milani-Tucci, IPPS 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_art = sub.add_parser("artifacts", help="print paper tables/figures")
+    p_art.add_argument("names", nargs="*", metavar="NAME",
+                       help=f"subset of {list(ARTIFACTS)} (default: all)")
+
+    p_run = sub.add_parser("run", help="run + verify one protocol")
+    p_run.add_argument("-p", "--protocol", default="optp",
+                       choices=sorted(PROTOCOLS))
+    p_run.add_argument("-n", "--processes", type=int, default=4)
+    p_run.add_argument("--ops", type=int, default=15,
+                       help="operations per process")
+    p_run.add_argument("--variables", type=int, default=4)
+    p_run.add_argument("--write-fraction", type=float, default=0.6)
+    p_run.add_argument("--zipf", type=float, default=0.0)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--latency-mean", type=float, default=2.0,
+                       help="exponential latency mean")
+    p_run.add_argument("--fifo", action="store_true",
+                       help="FIFO channels (default: non-FIFO)")
+    p_run.add_argument("--diagram", action="store_true",
+                       help="print the space-time diagram")
+    p_run.add_argument("--dump-trace", metavar="PATH",
+                       help="write the run's trace as JSON-lines to PATH")
+
+    p_cmp = sub.add_parser("compare", help="all protocols, one schedule")
+    p_cmp.add_argument("-n", "--processes", type=int, default=5)
+    p_cmp.add_argument("--ops", type=int, default=15)
+    p_cmp.add_argument("--write-fraction", type=float, default=0.6)
+    p_cmp.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    p_cmp.add_argument("--protocols", nargs="+",
+                       default=sorted(PROTOCOLS), choices=sorted(PROTOCOLS))
+
+    p_sweep = sub.add_parser("sweep", help="delay sweeps (Q1/Q3)")
+    p_sweep.add_argument("axis", choices=sorted(SWEEPS))
+    p_sweep.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    p_sweep.add_argument("--format", choices=["table", "csv", "json"],
+                         default="table")
+
+    p_replay = sub.add_parser(
+        "replay", help="re-audit an archived trace (JSON-lines dump)"
+    )
+    p_replay.add_argument("path", help="trace file from run --dump-trace")
+    p_replay.add_argument("--diagram", action="store_true")
+
+    p_rep = sub.add_parser("report", help="full reproduction report (markdown)")
+    p_rep.add_argument("--out", metavar="PATH",
+                       help="write to PATH instead of stdout")
+    p_rep.add_argument("--quick", action="store_true",
+                       help="smaller sweeps (fast sanity run)")
+
+    p_scen = sub.add_parser("scenario", help="run an H1 figure scenario")
+    p_scen.add_argument("name", choices=sorted(ALL_SCENARIOS))
+    p_scen.add_argument("-p", "--protocol", default="optp",
+                        choices=sorted(PROTOCOLS))
+    p_scen.add_argument("--diagram", action="store_true")
+
+    return parser
+
+
+def cmd_artifacts(args: argparse.Namespace) -> int:
+    names = args.names or list(ARTIFACTS)
+    unknown = [n for n in names if n not in ARTIFACTS]
+    if unknown:
+        print(f"unknown artifacts {unknown}; known: {list(ARTIFACTS)}",
+              file=sys.stderr)
+        return 2
+    for name in names:
+        print("=" * 72)
+        print(ARTIFACTS[name]())
+        print()
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cfg = WorkloadConfig(
+        n_processes=args.processes,
+        ops_per_process=args.ops,
+        n_variables=args.variables,
+        write_fraction=args.write_fraction,
+        zipf_s=args.zipf,
+        seed=args.seed,
+    )
+    result = run_schedule(
+        args.protocol,
+        args.processes,
+        random_schedule(cfg),
+        latency=SeededLatency(args.seed, dist="exponential",
+                              mean=args.latency_mean),
+        fifo=args.fifo,
+        record_state=True,
+    )
+    report = check_run(result)
+    print(report.summary())
+    metrics = RunMetrics.of(result, report)
+    print(comparison_table([metrics]))
+    if args.diagram:
+        print()
+        print(render_spacetime(result.trace, result.history))
+    if args.dump_trace:
+        from pathlib import Path
+
+        from repro.sim.serialize import trace_to_jsonl
+
+        Path(args.dump_trace).write_text(trace_to_jsonl(result.trace))
+        print(f"trace written to {args.dump_trace}")
+    return 0 if report.ok else 1
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    all_metrics = []
+    for seed in args.seeds:
+        cfg = WorkloadConfig(
+            n_processes=args.processes,
+            ops_per_process=args.ops,
+            write_fraction=args.write_fraction,
+            seed=seed,
+        )
+        all_metrics += compare_on_schedule(
+            random_schedule(cfg),
+            args.processes,
+            protocols=args.protocols,
+            latency_seed=seed,
+        )
+    print(comparison_table(
+        all_metrics,
+        title=f"n={args.processes} ops={args.ops} seeds={args.seeds}",
+    ))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    rows = SWEEPS[args.axis](seeds=tuple(args.seeds))
+    if args.format == "csv":
+        from repro.analysis.export import sweep_to_csv
+
+        print(sweep_to_csv(rows), end="")
+    elif args.format == "json":
+        from repro.analysis.export import sweep_to_json
+
+        print(sweep_to_json(rows))
+    else:
+        print(render_sweep(rows, title=f"sweep: {args.axis}"))
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    scen = ALL_SCENARIOS[args.name]()
+    result = run_schedule(args.protocol, 3, scen.schedule,
+                          latency=scen.latency, record_state=True)
+    report = check_run(result)
+    print(f"{scen.name}: {scen.description}")
+    print(f"protocol: {args.protocol}")
+    print()
+    print("sequence at p3:")
+    print("  " + sequence_at(result.trace, result.history, 2))
+    print()
+    print(report.summary())
+    for audit in report.unnecessary_delays:
+        print(f"  UNNECESSARY delay of {audit.wid} at p{audit.process + 1}")
+    if args.diagram:
+        print()
+        print(render_spacetime(result.trace, result.history))
+    return 0 if report.ok else 1
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Re-run the stats-independent checkers on an archived trace:
+    legality, safety, the delay audit, session guarantees, and causal
+    closure at the full cut."""
+    from pathlib import Path
+
+    from repro.analysis.checker import audit_delays, check_safety
+    from repro.analysis.cuts import closure_violations, full_cut
+    from repro.analysis.sessions import check_sessions
+    from repro.model.legality import check_causal_consistency
+    from repro.sim.result import RunResult
+    from repro.sim.serialize import trace_from_jsonl
+
+    trace = trace_from_jsonl(Path(args.path).read_text())
+    result = RunResult(
+        protocol_name=f"replay:{args.path}",
+        n_processes=trace.n_processes,
+        trace=trace,
+        duration=trace.events[-1].time if len(trace) else 0.0,
+        messages_sent=0,
+        bytes_estimate=0,
+        stores=[{} for _ in range(trace.n_processes)],
+        protocol_stats=[{} for _ in range(trace.n_processes)],
+    )
+    history = result.history
+    legality = check_causal_consistency(history)
+    safety = check_safety(result)
+    audits = audit_delays(result)
+    unnecessary = [a for a in audits if not a.necessary]
+    sessions = check_sessions(history)
+    closure = closure_violations(trace, history, full_cut(trace))
+    print(f"events: {len(trace)}  processes: {trace.n_processes}  "
+          f"writes: {result.writes_issued}")
+    print(f"legality: {legality.summary()}")
+    print(f"safety:   {'ok' if not safety else safety}")
+    print(f"delays:   {len(audits)} (unnecessary: {len(unnecessary)})")
+    print(f"sessions: {sessions.summary()}")
+    print(f"closure:  {'ok' if not closure else closure}")
+    if args.diagram:
+        print()
+        print(render_spacetime(trace, history))
+    ok = bool(legality) and not safety and not closure and sessions.ok
+    return 0 if ok else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.paperfigs.report import build_report
+
+    text = build_report(quick=args.quick)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+COMMANDS = {
+    "artifacts": cmd_artifacts,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "replay": cmd_replay,
+    "report": cmd_report,
+    "sweep": cmd_sweep,
+    "scenario": cmd_scenario,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

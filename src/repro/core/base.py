@@ -1,0 +1,283 @@
+"""The protocol class 𝒫 of the paper (Section 3.2), as a Python ABC.
+
+Every protocol ``P ∈ 𝒫`` reacts to three stimuli:
+
+- a local **write** ``w_i(x)v``: applied locally, and propagated to the
+  other processes (the ``send`` event) so that each ``p_k`` eventually
+  produces ``apply_k(w)``;
+- a local **read** ``r_i(x)``: wait-free, returns the locally visible
+  value (the ``return`` event);
+- a **receipt** of an update message: the protocol classifies it as
+  immediately applicable, to be buffered (a *write delay*,
+  Definition 3), or -- for the writing-semantics variants, which leave
+  𝒫 -- to be discarded as overwritten.
+
+The hosting substrate (:mod:`repro.sim` or :mod:`repro.runtime`) owns
+the pending buffer, re-classifies buffered messages after every apply,
+and records the trace events (`send`, `receipt`, `apply`, `return`,
+plus `buffer`/`discard`/`suppress` bookkeeping events) that the
+analyzers consume.
+
+Protocols that need non-write-triggered communication (the token of the
+Jimenez et al. variant) emit :class:`ControlMessage` values, which the
+substrate routes to :meth:`Protocol.on_control` immediately on receipt,
+bypassing the buffer.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.model.operations import BOTTOM, WriteId
+
+#: Destination sentinel: deliver to every other process.
+BROADCAST = -1
+
+
+@dataclass(frozen=True)
+class UpdateMessage:
+    """Propagation of one write operation (the paper's ``m(x_h, v, ...)``).
+
+    ``payload`` carries the protocol-specific control data -- e.g. OptP
+    piggybacks the write's ``Write_co`` vector (Figure 4, line 2),
+    ANBKH a Fidge-Mattern vector.  Payload values must be immutable
+    (tuples, not lists): messages are shared between the sender's trace
+    and every receiver.
+    """
+
+    sender: int
+    wid: WriteId
+    variable: Hashable
+    value: Any
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"m({self.variable}={self.value!r} from {self.wid})"
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """Non-update protocol traffic (e.g. the Jimenez token)."""
+
+    sender: int
+    kind: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"ctrl({self.kind} from p{self.sender})"
+
+
+Message = Union[UpdateMessage, ControlMessage]
+
+
+@dataclass(frozen=True)
+class Outgoing:
+    """A message and its destination (``BROADCAST`` or a process id)."""
+
+    message: Message
+    dest: int = BROADCAST
+
+
+class Disposition(enum.Enum):
+    """Receiver-side classification of an update message."""
+
+    #: All enabling events have occurred: apply now.
+    APPLY = "apply"
+    #: Some enabling event is missing: buffer (this is a write delay).
+    BUFFER = "buffer"
+    #: Writing semantics: the write is overwritten; never apply it.
+    DISCARD = "discard"
+
+
+@dataclass(frozen=True)
+class WriteOutcome:
+    """Result of a local write: its identity and the traffic it generates.
+
+    ``local_apply`` is True for the paper's class-𝒫 protocols (the
+    write procedure applies to the local copy immediately, Figure 4
+    line 3).  Protocols that defer their own apply to an ordering
+    mechanism (e.g. the totally-ordered sequencer baseline waits for
+    its stamped copy to come back) set it False; the substrate then
+    records the local apply when the protocol reports it via
+    :meth:`Protocol.record_apply`.
+    """
+
+    wid: WriteId
+    outgoing: Tuple[Outgoing, ...] = ()
+    local_apply: bool = True
+
+
+@dataclass(frozen=True)
+class ReadOutcome:
+    """Result of a local read: the value and the write it came from.
+
+    ``read_from is None`` means the location still held ``BOTTOM``.
+    """
+
+    value: Any
+    read_from: Optional[WriteId]
+
+
+class Protocol(abc.ABC):
+    """Abstract base for every protocol in (or compared against) 𝒫.
+
+    Subclasses implement the five hooks below.  A protocol instance is
+    owned by exactly one process and must never be shared.
+
+    Attributes
+    ----------
+    process_id:
+        0-based id of the owning process ``p_i``.
+    n_processes:
+        Total process count ``n``.
+    """
+
+    #: Short human-readable protocol name (used in reports and benches).
+    name: ClassVar[str] = "abstract"
+
+    #: Whether the protocol guarantees every write is applied at every
+    #: process (i.e. belongs to class 𝒫).  The writing-semantics
+    #: variants set this False -- the liveness checker then accounts
+    #: for discarded/suppressed writes instead of failing.
+    in_class_p: ClassVar[bool] = True
+
+    #: When set, the substrate fires :meth:`on_timer` every
+    #: ``timer_interval`` simulated time units (anti-entropy rounds,
+    #: retransmission, ...).  ``None`` = no timer.
+    timer_interval: ClassVar[Optional[float]] = None
+
+    def __init__(self, process_id: int, n_processes: int):
+        if not 0 <= process_id < n_processes:
+            raise ValueError(
+                f"process_id {process_id} out of range [0, {n_processes})"
+            )
+        self.process_id = process_id
+        self.n_processes = n_processes
+        self._store: Dict[Hashable, Tuple[Any, Optional[WriteId]]] = {}
+        self._write_seq = 0
+        self._apply_recorder: Optional[Any] = None
+
+    # -- local replica ------------------------------------------------------
+
+    def store_get(self, variable: Hashable) -> Tuple[Any, Optional[WriteId]]:
+        """Current locally visible ``(value, writer)`` for ``variable``.
+
+        Returns ``(BOTTOM, None)`` for never-written locations.
+        """
+        return self._store.get(variable, (BOTTOM, None))
+
+    def store_put(self, variable: Hashable, value: Any, wid: WriteId) -> None:
+        """Overwrite the local replica of ``variable``."""
+        self._store[variable] = (value, wid)
+
+    def store_snapshot(self) -> Dict[Hashable, Tuple[Any, Optional[WriteId]]]:
+        """A copy of the whole local replica (for final-state checks)."""
+        return dict(self._store)
+
+    def next_wid(self) -> WriteId:
+        """Allocate the next :class:`WriteId` for a local write."""
+        self._write_seq += 1
+        return WriteId(self.process_id, self._write_seq)
+
+    @property
+    def writes_issued(self) -> int:
+        return self._write_seq
+
+    # -- protocol hooks ------------------------------------------------------
+
+    @abc.abstractmethod
+    def write(self, variable: Hashable, value: Any) -> WriteOutcome:
+        """Perform a local write; return its id and outgoing messages."""
+
+    @abc.abstractmethod
+    def read(self, variable: Hashable) -> ReadOutcome:
+        """Perform a wait-free local read."""
+
+    @abc.abstractmethod
+    def classify(self, msg: UpdateMessage) -> Disposition:
+        """Decide the fate of a (newly arrived or buffered) update.
+
+        Must be side-effect free: the substrate calls it repeatedly on
+        buffered messages.
+        """
+
+    @abc.abstractmethod
+    def apply_update(self, msg: UpdateMessage) -> None:
+        """Apply an update previously classified ``APPLY``."""
+
+    def discard_update(self, msg: UpdateMessage) -> None:
+        """Account for an update classified ``DISCARD`` (WS variants)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} never discards updates"
+        )
+
+    def on_control(self, msg: ControlMessage) -> Sequence[Outgoing]:
+        """Handle a control message; return follow-up traffic."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not use control messages"
+        )
+
+    def bootstrap(self) -> Sequence[Outgoing]:
+        """Traffic to emit at start-up (e.g. injecting the first token).
+
+        Called once per process by the substrate before any operation
+        runs.  Default: nothing.
+        """
+        return ()
+
+    def on_timer(self) -> Sequence[Outgoing]:
+        """Periodic hook (every :attr:`timer_interval`); returns traffic.
+
+        Only called when :attr:`timer_interval` is set.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares no timer_interval"
+        )
+
+    # -- substrate callbacks ----------------------------------------------------
+
+    def bind_recorder(self, recorder: Any) -> None:
+        """Install the substrate's apply recorder.
+
+        Most protocols never need it: the substrate records the apply
+        event itself when :meth:`apply_update` returns.  Protocols that
+        apply writes outside the update-message flow (e.g. the batched
+        applies of the token protocol, delivered via control messages)
+        call :meth:`record_apply` for each write so the trace stays
+        complete.
+        """
+        self._apply_recorder = recorder
+
+    def record_apply(self, wid: WriteId, variable: Hashable, value: Any) -> None:
+        """Report an out-of-band apply event to the substrate's trace."""
+        if self._apply_recorder is not None:
+            self._apply_recorder(wid, variable, value)
+
+    # -- introspection --------------------------------------------------------
+
+    def debug_state(self) -> Dict[str, Any]:
+        """Protocol-internal state for tracing/diagnostics (e.g. the
+        ``Write_co`` evolution shown in Figure 6).  Values must be
+        snapshots, not live references."""
+        return {}
+
+    def stats(self) -> Dict[str, int]:
+        """Protocol-specific counters (suppressed writes, discards, ...)."""
+        return {}
+
+    def missing_applies(self) -> int:
+        """Apply events this process is responsible for *never* producing.
+
+        Class-𝒫 protocols return 0 (every write is applied everywhere,
+        Theorem 5).  Writing-semantics variants report how many applies
+        they legitimately skipped: the receiver-side variant counts the
+        writes it overwrote locally; the token variant counts
+        ``suppressed * (n - 1)`` at the sender, since a suppressed write
+        is never propagated to the other ``n - 1`` processes.  The
+        simulation substrate uses the sum of these to know when a run
+        has quiesced.
+        """
+        return 0

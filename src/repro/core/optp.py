@@ -1,0 +1,161 @@
+"""OptP -- the write-delay-optimal protocol (paper, Section 4).
+
+Data structures per process ``p_i`` (Section 4.1)::
+
+    Apply[1..n]        Apply[j] = number of writes issued by p_j and
+                       applied at p_i
+    Write_co[1..n]     Write_co[j] = k means the k-th write issued by
+                       p_j precedes the *next* local write w.r.t. ->co
+    LastWriteOn[1..m]  LastWriteOn[h] = Write_co value of the last
+                       write applied to x_h at p_i
+
+Procedures (Figures 4-5), ported line-for-line:
+
+``WRITE(x_h, v)``::
+
+    1  Write_co[i] := Write_co[i] + 1          % tracking ->po
+    2  send m(x_h, v, Write_co) to Π - p_i     % send event
+    3  apply(v, x_h)                           % apply event
+    4  Apply[i] := Apply[i] + 1
+    5  LastWriteOn[h] := Write_co
+
+``READ(x_h)``::
+
+    1  Write_co := max(Write_co, LastWriteOn[h])
+    2  return x_h
+
+synchronization thread for message ``m(x_h, v, W_co)`` from ``p_u``::
+
+    2  wait until ( for all t != u: W_co[t] <= Apply[t]
+                    and Apply[u] = W_co[u] - 1 )
+    3  apply(v, x_h)
+    4  Apply[u] := Apply[u] + 1
+    5  LastWriteOn[h] := W_co
+
+The activation predicate at line 2 is exactly "every write in the
+incoming write's ->co-causal past has been applied here" -- which by
+Definition 4 makes :math:`\\mathcal{X}_{OptP}(e) =
+\\mathcal{X}_{co\\text{-}safe}(e)` and hence OptP write-delay optimal
+(Theorem 4).  Note the contrast with ANBKH
+(:class:`repro.protocols.anbkh.ANBKHProtocol`), whose predicate quotes
+the Fidge-Mattern vector of the *send* event and therefore also waits
+for writes that merely happened-before the send without causally
+affecting it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Tuple
+
+from repro.model.operations import WriteId
+from repro.core.base import (
+    BROADCAST,
+    Disposition,
+    Outgoing,
+    Protocol,
+    ReadOutcome,
+    UpdateMessage,
+    WriteOutcome,
+)
+
+#: Payload key under which OptP piggybacks the write's Write_co vector.
+WRITE_CO_KEY = "write_co"
+
+
+class OptPProtocol(Protocol):
+    """The paper's OptP protocol (safe, live, and write-delay optimal)."""
+
+    name = "optp"
+    in_class_p = True
+
+    def __init__(self, process_id: int, n_processes: int):
+        super().__init__(process_id, n_processes)
+        n = n_processes
+        self.apply_vec: List[int] = [0] * n
+        self.write_co: List[int] = [0] * n
+        # LastWriteOn is keyed by variable name; absent key = [0]*n
+        # (every component initialized to zero, Section 4.1).
+        self.last_write_on: Dict[Hashable, Tuple[int, ...]] = {}
+
+    # -- operations -----------------------------------------------------------
+
+    def write(self, variable: Hashable, value: Any) -> WriteOutcome:
+        """Figure 4, lines 1-5."""
+        i = self.process_id
+        self.write_co[i] += 1                      # line 1: tracking ->po
+        wid = self.next_wid()
+        assert wid.seq == self.write_co[i], "Observation 2 invariant"
+        vec = tuple(self.write_co)
+        msg = UpdateMessage(
+            sender=i,
+            wid=wid,
+            variable=variable,
+            value=value,
+            payload={WRITE_CO_KEY: vec},
+        )                                           # line 2: send event
+        self.store_put(variable, value, wid)        # line 3: apply event
+        self.apply_vec[i] += 1                      # line 4
+        self.last_write_on[variable] = vec          # line 5
+        return WriteOutcome(wid=wid, outgoing=(Outgoing(msg, BROADCAST),))
+
+    def read(self, variable: Hashable) -> ReadOutcome:
+        """Figure 5 (read procedure), lines 1-2.
+
+        Line 1 merges the causal relations of the last write applied to
+        the variable into the local ``Write_co``: this is what makes a
+        *read-from* edge count towards the causal past of subsequent
+        local writes -- and nothing else, which is exactly why
+        ``w_2(x_2)b.Write_co`` in Figure 6 does *not* track
+        ``w_1(x_1)c`` even though c was already applied at p_2: p_2
+        never read it.
+        """
+        lwo = self.last_write_on.get(variable)
+        if lwo is not None:
+            for t, v in enumerate(lwo):             # line 1: componentwise max
+                if v > self.write_co[t]:
+                    self.write_co[t] = v
+        value, wid = self.store_get(variable)
+        return ReadOutcome(value=value, read_from=wid)
+
+    # -- message handling -------------------------------------------------------
+
+    def classify(self, msg: UpdateMessage) -> Disposition:
+        """Figure 5 (synchronization thread), line 2 -- the wait predicate.
+
+        Deliverable iff the message's ``Write_co`` brings no causal
+        relationship unknown to this process except the write itself:
+        ``forall t != u: W_co[t] <= Apply[t]`` and
+        ``Apply[u] = W_co[u] - 1``.
+        """
+        u = msg.sender
+        w_co = msg.payload[WRITE_CO_KEY]
+        if self.apply_vec[u] != w_co[u] - 1:
+            return Disposition.BUFFER
+        for t in range(self.n_processes):
+            if t != u and w_co[t] > self.apply_vec[t]:
+                return Disposition.BUFFER
+        return Disposition.APPLY
+
+    def apply_update(self, msg: UpdateMessage) -> None:
+        """Figure 5 (synchronization thread), lines 3-5."""
+        u = msg.sender
+        w_co = msg.payload[WRITE_CO_KEY]
+        self.store_put(msg.variable, msg.value, msg.wid)   # line 3
+        self.apply_vec[u] += 1                             # line 4
+        self.last_write_on[msg.variable] = tuple(w_co)     # line 5
+
+    # -- introspection ------------------------------------------------------------
+
+    def debug_state(self) -> Dict[str, Any]:
+        return {
+            "write_co": tuple(self.write_co),
+            "apply": tuple(self.apply_vec),
+            "last_write_on": {
+                var: tuple(vec) for var, vec in self.last_write_on.items()
+            },
+        }
+
+
+def write_co_of(msg: UpdateMessage) -> Tuple[int, ...]:
+    """The ``Write_co`` vector piggybacked on an OptP update message."""
+    return msg.payload[WRITE_CO_KEY]

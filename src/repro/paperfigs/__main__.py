@@ -1,0 +1,67 @@
+"""Print every regenerated paper artifact: ``python -m repro.paperfigs``.
+
+Pass artifact names to restrict, e.g. ``python -m repro.paperfigs
+table2 fig3``; pass ``sweeps`` to also run the (slower) quantitative
+comparison sweeps; pass ``--out DIR`` to additionally write each
+artifact to ``DIR/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.paperfigs import (
+    ARTIFACTS,
+    render_sweep,
+    sweep_latency_spread,
+    sweep_processes,
+    sweep_write_fraction,
+    sweep_zipf,
+)
+
+SEPARATOR = "=" * 72
+
+
+def _emit(name: str, text: str, out_dir: Optional[Path]) -> None:
+    print(SEPARATOR)
+    print(text)
+    print()
+    if out_dir is not None:
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def main(argv: list[str]) -> int:
+    out_dir: Optional[Path] = None
+    if "--out" in argv:
+        idx = argv.index("--out")
+        try:
+            out_dir = Path(argv[idx + 1])
+        except IndexError:
+            print("--out requires a directory argument")
+            return 2
+        argv = argv[:idx] + argv[idx + 2:]
+        out_dir.mkdir(parents=True, exist_ok=True)
+    wanted = argv or list(ARTIFACTS)
+    run_sweeps = "sweeps" in wanted
+    wanted = [w for w in wanted if w != "sweeps"]
+    unknown = [w for w in wanted if w not in ARTIFACTS]
+    if unknown:
+        print(f"unknown artifacts: {unknown}; known: {list(ARTIFACTS)} + sweeps")
+        return 2
+    for name in wanted:
+        _emit(name, ARTIFACTS[name](), out_dir)
+    if run_sweeps:
+        for name, title, rows in [
+            ("sweep_q1a", "Q1a: delays vs process count", sweep_processes()),
+            ("sweep_q1b", "Q1b: delays vs write fraction", sweep_write_fraction()),
+            ("sweep_q1c", "Q1c: delays vs latency spread", sweep_latency_spread()),
+            ("sweep_q3", "Q3: writing semantics vs variable skew", sweep_zipf()),
+        ]:
+            _emit(name, render_sweep(rows, title=title), out_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

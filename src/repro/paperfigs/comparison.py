@@ -1,0 +1,262 @@
+"""Quantitative comparison harness (experiments Q1-Q3 of DESIGN.md).
+
+The paper proves OptP optimal but reports no measurements; this module
+turns its comparison criterion -- the number of write delays (Section
+3.5) -- into sweeps:
+
+- :func:`compare_on_schedule`: all protocols on one identical message
+  schedule (Q1's primitive);
+- :func:`sweep`: delays vs. a swept workload axis (process count,
+  write fraction, latency spread, zipf skew), averaged over seeds;
+- :func:`render_sweep`: fixed-width report of a sweep.
+
+Every sweep uses open-loop schedules + :class:`SeededLatency`, so all
+protocols see byte-identical message arrival times and the measured
+gaps are attributable to protocol buffering alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.checker import check_run
+from repro.analysis.metrics import RunMetrics
+from repro.sim import SeededLatency, run_schedule
+from repro.sim.latency import LatencyModel
+from repro.workloads.generators import WorkloadConfig, random_schedule
+from repro.workloads.ops import Schedule
+
+DEFAULT_PROTOCOLS = ("optp", "anbkh", "ws-receiver", "jimenez-token")
+
+
+def compare_on_schedule(
+    schedule: Schedule,
+    n_processes: int,
+    *,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    latency: Optional[LatencyModel] = None,
+    latency_seed: int = 0,
+    verify: bool = True,
+) -> List[RunMetrics]:
+    """Run every protocol on one schedule; return per-protocol metrics.
+
+    With ``verify=True`` (default) each run is pushed through the full
+    checker and a failure raises -- benchmarks measure *verified* runs.
+    """
+    latency = latency or SeededLatency(latency_seed, dist="exponential", mean=2.0)
+    out = []
+    for proto in protocols:
+        result = run_schedule(proto, n_processes, schedule, latency=latency)
+        report = check_run(result) if verify else None
+        if report is not None and not report.ok:
+            raise AssertionError(
+                f"{proto} failed verification: {report.summary()}"
+            )
+        out.append(RunMetrics.of(result, report))
+    return out
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One (axis value, protocol) cell of a sweep, averaged over seeds."""
+
+    axis: str
+    value: float
+    protocol: str
+    mean_delays: float
+    mean_unnecessary: float
+    mean_skipped: float
+    mean_suppressed: float
+    mean_messages: float
+    seeds: int
+
+
+def sweep(
+    axis: str,
+    values: Sequence[float],
+    *,
+    make_config: Callable[[float, int], WorkloadConfig],
+    n_for: Callable[[float], int],
+    seeds: Sequence[int] = (0, 1, 2),
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    latency_for: Optional[Callable[[float, int], LatencyModel]] = None,
+) -> List[SweepRow]:
+    """Generic sweep driver.
+
+    For each axis value and seed, builds a workload via ``make_config``,
+    runs every protocol on the identical schedule, and averages the
+    metrics per (value, protocol).
+    """
+    rows: List[SweepRow] = []
+    for value in values:
+        per_proto: Dict[str, List[RunMetrics]] = {p: [] for p in protocols}
+        for seed in seeds:
+            cfg = make_config(value, seed)
+            schedule = random_schedule(cfg)
+            n = n_for(value)
+            latency = (
+                latency_for(value, seed)
+                if latency_for is not None
+                else SeededLatency(seed, dist="exponential", mean=2.0)
+            )
+            for m in compare_on_schedule(
+                schedule, n, protocols=protocols, latency=latency
+            ):
+                per_proto[m.protocol].append(m)
+        for proto, ms in per_proto.items():
+            k = len(ms)
+            rows.append(
+                SweepRow(
+                    axis=axis,
+                    value=value,
+                    protocol=proto,
+                    mean_delays=sum(m.delays for m in ms) / k,
+                    mean_unnecessary=sum(m.unnecessary_delays for m in ms) / k,
+                    mean_skipped=sum(m.skipped for m in ms) / k,
+                    mean_suppressed=sum(m.suppressed for m in ms) / k,
+                    mean_messages=sum(m.messages for m in ms) / k,
+                    seeds=k,
+                )
+            )
+    return rows
+
+
+# -- canonical sweeps ---------------------------------------------------------
+
+
+def sweep_processes(
+    n_values: Sequence[int] = (3, 5, 8, 12),
+    *,
+    ops_per_process: int = 15,
+    seeds: Sequence[int] = (0, 1, 2),
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+) -> List[SweepRow]:
+    """Delays vs. process count (Q1's main axis: false-causality
+    opportunities grow with n)."""
+    return sweep(
+        "n_processes",
+        list(n_values),
+        make_config=lambda n, seed: WorkloadConfig(
+            n_processes=int(n),
+            ops_per_process=ops_per_process,
+            n_variables=max(2, int(n) // 2),
+            write_fraction=0.6,
+            seed=seed,
+        ),
+        n_for=lambda n: int(n),
+        seeds=seeds,
+        protocols=protocols,
+    )
+
+
+def sweep_write_fraction(
+    fractions: Sequence[float] = (0.2, 0.5, 0.8, 1.0),
+    *,
+    n_processes: int = 5,
+    ops_per_process: int = 15,
+    seeds: Sequence[int] = (0, 1, 2),
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+) -> List[SweepRow]:
+    """Delays vs. write intensity.
+
+    More writes -> more messages in flight -> more reordering exposure,
+    but also *fewer read-from edges*, so more pairs of writes are
+    concurrent w.r.t. ->co and ANBKH's happened-before over-approximation
+    gets worse.
+    """
+    return sweep(
+        "write_fraction",
+        list(fractions),
+        make_config=lambda f, seed: WorkloadConfig(
+            n_processes=n_processes,
+            ops_per_process=ops_per_process,
+            n_variables=4,
+            write_fraction=float(f),
+            seed=seed,
+        ),
+        n_for=lambda f: n_processes,
+        seeds=seeds,
+        protocols=protocols,
+    )
+
+
+def sweep_latency_spread(
+    means: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    *,
+    n_processes: int = 5,
+    ops_per_process: int = 15,
+    seeds: Sequence[int] = (0, 1, 2),
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+) -> List[SweepRow]:
+    """Delays vs. latency variance (exponential mean).
+
+    Larger spread -> more message reordering -> more delays for every
+    protocol, with ANBKH's unnecessary share growing fastest.
+    """
+    return sweep(
+        "latency_mean",
+        list(means),
+        make_config=lambda m, seed: WorkloadConfig(
+            n_processes=n_processes,
+            ops_per_process=ops_per_process,
+            n_variables=4,
+            write_fraction=0.6,
+            seed=seed,
+        ),
+        n_for=lambda m: n_processes,
+        seeds=seeds,
+        protocols=protocols,
+        latency_for=lambda m, seed: SeededLatency(
+            seed, dist="exponential", mean=float(m)
+        ),
+    )
+
+
+def sweep_zipf(
+    skews: Sequence[float] = (0.0, 1.0, 2.0),
+    *,
+    n_processes: int = 5,
+    ops_per_process: int = 15,
+    seeds: Sequence[int] = (0, 1, 2),
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+) -> List[SweepRow]:
+    """Delays/skips vs. variable-popularity skew (Q3's axis: hot
+    variables create same-variable chains that writing semantics can
+    overwrite)."""
+    return sweep(
+        "zipf_s",
+        list(skews),
+        make_config=lambda s, seed: WorkloadConfig(
+            n_processes=n_processes,
+            ops_per_process=ops_per_process,
+            n_variables=6,
+            write_fraction=0.8,
+            zipf_s=float(s),
+            seed=seed,
+        ),
+        n_for=lambda s: n_processes,
+        seeds=seeds,
+        protocols=protocols,
+    )
+
+
+def render_sweep(rows: Sequence[SweepRow], *, title: str = "") -> str:
+    """Fixed-width report: one line per (axis value, protocol)."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'axis':<16} {'value':>7} {'protocol':<14} {'delays':>8} "
+        f"{'unnec':>7} {'skip':>6} {'suppr':>6} {'msgs':>8}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        lines.append(
+            f"{r.axis:<16} {r.value:>7.2f} {r.protocol:<14} "
+            f"{r.mean_delays:>8.2f} {r.mean_unnecessary:>7.2f} "
+            f"{r.mean_skipped:>6.1f} {r.mean_suppressed:>6.1f} "
+            f"{r.mean_messages:>8.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Figure 3: the ANBKH run exhibiting false causality, side by side
+with the OptP run of the same scenario.
+
+The scenario: p1 writes a then c; p2 applies both but *reads only a*
+before writing b (so ``b ||co c``); c's message reaches p3 after b's.
+ANBKH delays b at p3 until c (``send(c) -> send(b)`` happened-before,
+footnote 7's false causality); OptP applies b on arrival.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.analysis import check_run
+from repro.paperfigs.render import sequence_at
+from repro.sim import RunResult, run_schedule
+from repro.workloads.patterns import fig3 as fig3_scenario
+
+
+def runs() -> Tuple[RunResult, RunResult]:
+    scen = fig3_scenario()
+    r_anbkh = run_schedule("anbkh", 3, scen.schedule, latency=scen.latency)
+    r_optp = run_schedule("optp", 3, scen.schedule, latency=scen.latency)
+    return r_anbkh, r_optp
+
+
+def generate() -> str:
+    r_anbkh, r_optp = runs()
+    rep_a, rep_o = check_run(r_anbkh), check_run(r_optp)
+    lines = [
+        "Figure 3. A run of ANBKH compliant with H1 (false causality).",
+        "",
+        "ANBKH at p3:",
+        "  " + sequence_at(r_anbkh.trace, r_anbkh.history, 2),
+        f"  delays: {rep_a.total_delays} "
+        f"(unnecessary: {len(rep_a.unnecessary_delays)})",
+        "",
+        "The same message schedule under OptP at p3:",
+        "  " + sequence_at(r_optp.trace, r_optp.history, 2),
+        f"  delays: {rep_o.total_delays} "
+        f"(unnecessary: {len(rep_o.unnecessary_delays)})",
+        "",
+        "ANBKH delays w2(x2)b until apply_3(w1(x1)c) although "
+        "w2(x2)b ||co w1(x1)c: send_1(w1(x1)c) -> send_2(w2(x2)b) in the "
+        "run, but no cause-effect relation exists w.r.t. ->co.",
+    ]
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(generate())

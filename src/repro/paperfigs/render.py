@@ -1,0 +1,64 @@
+"""Rendering helpers shared by the table/figure generators.
+
+The paper uses 1-based process names (p1..p3) and labels writes
+``w1(x1)a``; this module converts our 0-based traces into that
+notation so the regenerated artifacts read like the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.model.history import History
+from repro.model.operations import BOTTOM, WriteId
+from repro.sim.trace import EventKind, Trace, TraceEvent
+
+
+def paper_write_label(history: History, wid: WriteId) -> str:
+    """``w1(x1)a``-style label for a write (1-based process index)."""
+    w = history.write_by_id(wid)
+    return f"w{w.process + 1}({w.variable}){w.value}"
+
+
+def paper_event_label(history: History, ev: TraceEvent) -> Optional[str]:
+    """The paper's notation for one trace event at process ``k``
+    (1-based): ``receipt_3(w1(x1)a)``, ``apply_3(...)``,
+    ``return_3(x2, b)``; bookkeeping events render as annotations."""
+    k = ev.process + 1
+    if ev.kind in (EventKind.APPLY, EventKind.WRITE):
+        return f"apply_{k}({paper_write_label(history, ev.wid)})"
+    if ev.kind is EventKind.RECEIPT:
+        return f"receipt_{k}({paper_write_label(history, ev.wid)})"
+    if ev.kind is EventKind.SEND:
+        return f"send_{k}({paper_write_label(history, ev.wid)})"
+    if ev.kind is EventKind.RETURN:
+        value = "⊥" if isinstance(ev.value, type(BOTTOM)) else ev.value
+        return f"return_{k}({ev.variable}, {value})"
+    if ev.kind is EventKind.BUFFER:
+        return f"[{paper_write_label(history, ev.wid)} BUFFERED at p{k}]"
+    if ev.kind is EventKind.DISCARD:
+        return f"[{paper_write_label(history, ev.wid)} DISCARDED at p{k}]"
+    return None
+
+
+def sequence_at(
+    trace: Trace,
+    history: History,
+    process: int,
+    *,
+    skip_sends: bool = True,
+) -> str:
+    """The event sequence ``E_k`` in paper notation, joined by ``<_k``
+    (how Figures 1 and 2 print runs)."""
+    parts: List[str] = []
+    for ev in trace.process_events(process):
+        if skip_sends and ev.kind is EventKind.SEND:
+            continue
+        label = paper_event_label(history, ev)
+        if label is not None:
+            parts.append(label)
+    return f" <_{process + 1} ".join(parts)
+
+
+def vector_str(vec) -> str:
+    return "[" + ",".join(str(v) for v in vec) + "]"

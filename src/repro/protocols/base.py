@@ -1,0 +1,28 @@
+"""Compatibility re-export: the class-𝒫 framework lives in
+:mod:`repro.core.base` (it is part of the paper's formalism, and keeping
+it inside :mod:`repro.core` avoids a package-import cycle with the
+protocol implementations)."""
+
+from repro.core.base import (
+    BROADCAST,
+    ControlMessage,
+    Disposition,
+    Message,
+    Outgoing,
+    Protocol,
+    ReadOutcome,
+    UpdateMessage,
+    WriteOutcome,
+)
+
+__all__ = [
+    "BROADCAST",
+    "ControlMessage",
+    "Disposition",
+    "Message",
+    "Outgoing",
+    "Protocol",
+    "ReadOutcome",
+    "UpdateMessage",
+    "WriteOutcome",
+]

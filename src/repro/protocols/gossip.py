@@ -1,0 +1,212 @@
+"""OptP over anti-entropy (gossip) propagation.
+
+Footnote 5 of the paper: "Note that the communication mechanism used
+to propagate the operation from one process to another one (e.g.
+broadcast, multicast, point-to-point) does not matter at this
+abstraction level."  This protocol takes the claim seriously: the exact
+``Write_co`` machinery and activation predicate of OptP, but writes are
+not broadcast at all -- they propagate by periodic **pull-style
+anti-entropy**:
+
+- every ``timer_interval`` simulated units a process sends a *digest*
+  (its ``Apply`` vector -- a complete description of the per-sender
+  write prefixes it holds) to the next peer on a deterministic
+  round-robin ring;
+- the digest's receiver answers with exactly the logged writes the
+  requester is missing, each as a normal OptP update message (original
+  writer in the ``sender`` field, the write's ``Write_co`` attached);
+- receivers run OptP's unchanged classify/apply; duplicates (a write
+  already applied, obtained from another peer meanwhile) are discarded.
+
+Safety/optimality carry over verbatim (the predicate never sees
+*where* a message came from); liveness holds because the ring visits
+every pair-direction within ``n - 1`` rounds and digests describe
+complete prefixes.  The log is garbage-collected against a **stability
+vector** (the componentwise minimum of the freshest Apply vector heard
+from every process): a write every replica is known to hold can never
+be requested again, so dropping it is safe -- and because digest
+vectors are monotone, even digests that arrive out of order can only
+under-request, never ask for a collected entry.  What changes is the
+*performance envelope*:
+propagation latency is governed by gossip rounds instead of one hop,
+and traffic trades per-write fanout for periodic digests --
+``benchmarks/test_bench_gossip.py`` measures both against broadcast
+OptP.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Sequence, Tuple
+
+from repro.core.base import (
+    ControlMessage,
+    Disposition,
+    Outgoing,
+    Protocol,
+    ReadOutcome,
+    UpdateMessage,
+    WriteOutcome,
+)
+from repro.core.optp import WRITE_CO_KEY
+from repro.model.operations import WriteId
+
+DIGEST_KIND = "digest"
+
+
+class GossipOptPProtocol(Protocol):
+    """OptP semantics, anti-entropy propagation (extension, footnote 5)."""
+
+    name = "gossip-optp"
+    in_class_p = True
+    timer_interval = 1.0
+
+    def __init__(self, process_id: int, n_processes: int):
+        super().__init__(process_id, n_processes)
+        n = n_processes
+        self.apply_vec: List[int] = [0] * n
+        self.write_co: List[int] = [0] * n
+        self.last_write_on: Dict[Hashable, Tuple[int, ...]] = {}
+        #: writes applied locally and not yet stable, keyed by id --
+        #: the anti-entropy answer set
+        self.log: Dict[WriteId, Tuple[Hashable, Any, Tuple[int, ...]]] = {}
+        #: freshest Apply vector heard from each process (digests are
+        #: monotone, so componentwise max is safe); feeds the stability
+        #: vector that garbage-collects the log
+        self.known_apply: List[List[int]] = [[0] * n for _ in range(n)]
+        self.known_apply[process_id] = self.apply_vec  # alias: always fresh
+        self._round = 0
+        self.duplicates = 0
+        self.gc_dropped = 0
+
+    # -- operations (identical to OptP except: no broadcast) -------------------
+
+    def write(self, variable: Hashable, value: Any) -> WriteOutcome:
+        i = self.process_id
+        self.write_co[i] += 1
+        wid = self.next_wid()
+        vec = tuple(self.write_co)
+        self.store_put(variable, value, wid)
+        self.apply_vec[i] += 1
+        self.last_write_on[variable] = vec
+        self.log[wid] = (variable, value, vec)
+        return WriteOutcome(wid=wid, outgoing=())
+
+    def read(self, variable: Hashable) -> ReadOutcome:
+        lwo = self.last_write_on.get(variable)
+        if lwo is not None:
+            for t, v in enumerate(lwo):
+                if v > self.write_co[t]:
+                    self.write_co[t] = v
+        value, wid = self.store_get(variable)
+        return ReadOutcome(value=value, read_from=wid)
+
+    # -- anti-entropy ------------------------------------------------------------
+
+    def _next_peer(self) -> int:
+        """Deterministic round-robin over the other processes."""
+        offset = 1 + self._round % (self.n_processes - 1)
+        return (self.process_id + offset) % self.n_processes
+
+    def on_timer(self) -> Sequence[Outgoing]:
+        if self.n_processes == 1:
+            return ()
+        peer = self._next_peer()
+        self._round += 1
+        digest = ControlMessage(
+            sender=self.process_id,
+            kind=DIGEST_KIND,
+            payload={
+                "apply": tuple(self.apply_vec),
+                # stable per-message latency keying
+                "batch_seq": self._round,
+            },
+        )
+        return (Outgoing(digest, peer),)
+
+    def on_control(self, msg: ControlMessage) -> Sequence[Outgoing]:
+        if msg.kind != DIGEST_KIND:
+            raise ValueError(f"unknown control kind {msg.kind!r}")
+        requester = msg.sender
+        theirs = msg.payload["apply"]
+        self._note_peer_progress(requester, theirs)
+        out: List[Outgoing] = []
+        # everything we hold beyond the requester's per-writer prefixes
+        for wid, (variable, value, vec) in self.log.items():
+            if wid.seq > theirs[wid.process]:
+                update = UpdateMessage(
+                    sender=wid.process,  # the original writer
+                    wid=wid,
+                    variable=variable,
+                    value=value,
+                    payload={WRITE_CO_KEY: vec},
+                )
+                out.append(Outgoing(update, requester))
+        return out
+
+    def _note_peer_progress(self, peer: int, apply_vec) -> None:
+        """Fold a peer's digest into the stability computation and GC
+        log entries every replica is known to have applied.
+
+        A write ``wid`` is *stable* when ``wid.seq <= min over all
+        processes of known_apply[p][wid.process]`` -- then no digest
+        can ever again ask for it.  (A silent/crashed peer freezes its
+        row at the last heard value, so stability stalls rather than
+        over-collecting -- GC is safe, merely not live, under faults.)
+        """
+        row = self.known_apply[peer]
+        for t, v in enumerate(apply_vec):
+            if v > row[t]:
+                row[t] = v
+        stability = [
+            min(self.known_apply[p][t] for p in range(self.n_processes))
+            for t in range(self.n_processes)
+        ]
+        stale = [
+            wid for wid in self.log if wid.seq <= stability[wid.process]
+        ]
+        for wid in stale:
+            del self.log[wid]
+        self.gc_dropped += len(stale)
+
+    # -- message handling (OptP's predicate + duplicate discard) ------------------
+
+    def classify(self, msg: UpdateMessage) -> Disposition:
+        u = msg.sender
+        w_co = msg.payload[WRITE_CO_KEY]
+        if msg.wid.seq <= self.apply_vec[u]:
+            # already applied (another peer delivered it first)
+            return Disposition.DISCARD
+        if self.apply_vec[u] != w_co[u] - 1:
+            return Disposition.BUFFER
+        for t in range(self.n_processes):
+            if t != u and w_co[t] > self.apply_vec[t]:
+                return Disposition.BUFFER
+        return Disposition.APPLY
+
+    def apply_update(self, msg: UpdateMessage) -> None:
+        u = msg.sender
+        w_co = tuple(msg.payload[WRITE_CO_KEY])
+        self.store_put(msg.variable, msg.value, msg.wid)
+        self.apply_vec[u] += 1
+        self.last_write_on[msg.variable] = w_co
+        self.log[msg.wid] = (msg.variable, msg.value, w_co)
+
+    def discard_update(self, msg: UpdateMessage) -> None:
+        self.duplicates += 1
+
+    # -- introspection ---------------------------------------------------------------
+
+    def debug_state(self) -> Dict[str, Any]:
+        return {
+            "write_co": tuple(self.write_co),
+            "apply": tuple(self.apply_vec),
+            "log_size": len(self.log),
+        }
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "duplicates": self.duplicates,
+            "rounds": self._round,
+            "gc_dropped": self.gc_dropped,
+            "log_size": len(self.log),
+        }

@@ -1,0 +1,207 @@
+"""Sender-side writing semantics: the token protocol of Jimenez et al.
+
+Section 3.6 of the paper describes the protocol of [7] (Jimenez,
+Fernandez, Cholvi, *A parametrized algorithm that implements
+sequential, causal, and cache memory consistency*, 2001):
+
+    "The protocol proposed in [7] applies writing semantics at the
+    sender side.  This is done using a token system that allows a
+    process p_i to [...] send its set of updates only when t_i = i.
+    When a process p performs several write operations on the same
+    variable x and then t_i = i, it only sends the update message
+    corresponding to the last write operation on x it has executed.
+    This means that the other processes only see the last write of x
+    done by p, missing all previous p's writes on x."
+
+Rendition implemented here
+--------------------------
+
+- A single token circulates on the logical ring ``p_0 -> p_1 -> ... ->
+  p_{n-1} -> p_0`` (injected at ``p_0`` by :meth:`bootstrap`).
+- Writes apply locally at once (reads stay wait-free) and are parked in
+  a per-variable *pending* slot; a newer local write to the same
+  variable **suppresses** the parked one (the sender-side overwrite).
+- On token receipt the holder broadcasts its pending updates as one
+  atomic *batch* (a control message), stamped with a global batch
+  sequence number carried by the token, then forwards the token.
+- Receivers apply batches in batch-sequence order, buffering
+  out-of-order ones.  Token order totally orders batches, and a write
+  always rides a batch no earlier than every write it causally depends
+  on, so batch-order application is causally safe; applying each batch
+  atomically keeps mixed-variable dependencies (a suppressed ``w(x)``
+  causally before a sent ``w(y)``) invisible to readers.
+
+Bookkeeping differences from class 𝒫 (and hence from OptP/ANBKH):
+suppressed writes are **never propagated at all**, so liveness in the
+paper's sense fails by design (`in_class_p = False`); batch buffering
+is counted as a write delay for every write inside a delayed batch.
+Propagation latency is dominated by token rotation -- the comparison
+benchmark (`Q3`) shows the trade: near-zero receiver delays and reduced
+traffic vs. token-bound staleness and lost intermediate writes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.model.operations import WriteId
+from repro.core.base import (
+    BROADCAST,
+    ControlMessage,
+    Disposition,
+    Outgoing,
+    Protocol,
+    ReadOutcome,
+    UpdateMessage,
+    WriteOutcome,
+)
+
+TOKEN_KIND = "token"
+BATCH_KIND = "batch"
+
+
+class JimenezTokenProtocol(Protocol):
+    """Token-based causal DSM with sender-side writing semantics ([7])."""
+
+    name = "jimenez-token"
+    in_class_p = False
+
+    def __init__(self, process_id: int, n_processes: int):
+        super().__init__(process_id, n_processes)
+        #: last unpropagated local write per variable, in issue order of
+        #: the *surviving* write (dict insertion order, re-inserted on
+        #: overwrite so batch order respects ->po among survivors).
+        self.pending: Dict[Hashable, Tuple[WriteId, Any]] = {}
+        #: batches with seq > next expected, waiting for their turn.
+        self.batch_buffer: Dict[int, ControlMessage] = {}
+        self.next_batch = 0
+        self.suppressed = 0
+        self.batches_sent = 0
+        self.batch_delays = 0  # writes inside out-of-order (buffered) batches
+
+    # -- bootstrap ----------------------------------------------------------
+
+    def bootstrap(self) -> Sequence[Outgoing]:
+        """Process 0 starts holding the token: it immediately flushes
+        (trivially empty) and forwards the token to process 1.
+
+        With a single process there is nothing to propagate and no ring
+        to circulate on: the token machinery is disabled entirely.
+        """
+        if self.process_id == 0 and self.n_processes > 1:
+            return self._flush_and_forward(batch_seq=0)
+        return ()
+
+    # -- operations -----------------------------------------------------------
+
+    def write(self, variable: Hashable, value: Any) -> WriteOutcome:
+        wid = self.next_wid()
+        self.store_put(variable, value, wid)
+        if self.n_processes > 1:
+            if variable in self.pending:
+                self.suppressed += 1
+                del self.pending[variable]  # re-insert at the end (issue order)
+            self.pending[variable] = (wid, value)
+        return WriteOutcome(wid=wid, outgoing=())
+
+    def read(self, variable: Hashable) -> ReadOutcome:
+        value, wid = self.store_get(variable)
+        return ReadOutcome(value=value, read_from=wid)
+
+    # -- token / batch handling ----------------------------------------------
+
+    def on_control(self, msg: ControlMessage) -> Sequence[Outgoing]:
+        if msg.kind == TOKEN_KIND:
+            return self._flush_and_forward(batch_seq=msg.payload["batch_seq"])
+        if msg.kind == BATCH_KIND:
+            return self._accept_batch(msg)
+        raise ValueError(f"unknown control kind {msg.kind!r}")
+
+    def _flush_and_forward(self, batch_seq: int) -> Sequence[Outgoing]:
+        """Token arrived: broadcast pending writes as batch ``batch_seq``,
+        feed our own batch through the ordinary sequencing path (the
+        token can outrun earlier batch messages, so ``next_batch`` may
+        lag behind ``batch_seq``), then forward the token."""
+        writes = tuple(
+            (wid, var, value) for var, (wid, value) in self.pending.items()
+        )
+        self.pending.clear()
+        batch = ControlMessage(
+            sender=self.process_id,
+            kind=BATCH_KIND,
+            payload={"batch_seq": batch_seq, "writes": writes},
+        )
+        self.batches_sent += 1
+        followups: List[Outgoing] = [Outgoing(batch, BROADCAST)]
+        self._accept_batch(batch)
+        token = ControlMessage(
+            sender=self.process_id,
+            kind=TOKEN_KIND,
+            payload={"batch_seq": batch_seq + 1},
+        )
+        next_holder = (self.process_id + 1) % self.n_processes
+        followups.append(Outgoing(token, next_holder))
+        return followups
+
+    def _accept_batch(self, msg: ControlMessage) -> Sequence[Outgoing]:
+        seq = msg.payload["batch_seq"]
+        if seq < self.next_batch:
+            raise AssertionError(
+                f"duplicate batch {seq} (next expected {self.next_batch})"
+            )
+        if seq != self.next_batch:
+            self.batch_buffer[seq] = msg
+            if msg.sender != self.process_id:
+                self.batch_delays += len(msg.payload["writes"])
+            return ()
+        self._apply_batch(msg)
+        self._drain_buffered()
+        return ()
+
+    def _drain_buffered(self) -> None:
+        while self.next_batch in self.batch_buffer:
+            self._apply_batch(self.batch_buffer.pop(self.next_batch))
+
+    def _apply_batch(self, msg: ControlMessage) -> None:
+        """Apply all writes of a batch atomically, in batch order.
+
+        Our own batches advance the cursor without touching the store:
+        their writes were applied locally at write() time.
+        """
+        assert msg.payload["batch_seq"] == self.next_batch
+        if msg.sender != self.process_id:
+            for wid, variable, value in msg.payload["writes"]:
+                self.store_put(variable, value, wid)
+                self.record_apply(wid, variable, value)
+        self.next_batch += 1
+
+    # -- unused update-message hooks -------------------------------------------
+
+    def classify(self, msg: UpdateMessage) -> Disposition:  # pragma: no cover
+        raise NotImplementedError(
+            "JimenezTokenProtocol propagates writes via control batches"
+        )
+
+    def apply_update(self, msg: UpdateMessage) -> None:  # pragma: no cover
+        raise NotImplementedError(
+            "JimenezTokenProtocol propagates writes via control batches"
+        )
+
+    # -- introspection ------------------------------------------------------------
+
+    def debug_state(self) -> Dict[str, Any]:
+        return {
+            "pending": dict(self.pending),
+            "next_batch": self.next_batch,
+            "suppressed": self.suppressed,
+        }
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "suppressed": self.suppressed,
+            "batches_sent": self.batches_sent,
+            "batch_delays": self.batch_delays,
+        }
+
+    def missing_applies(self) -> int:
+        return self.suppressed * (self.n_processes - 1)

@@ -1,0 +1,230 @@
+"""Receiver-side writing semantics on top of OptP vectors.
+
+Section 3.6 of the paper discusses protocols [2, 14] (Baldoni et al.
+OPODIS 2002; Raynal-Singhal) that exploit the *writing semantics*
+notion of Raynal-Ahamad: a process may apply a write ``w(x)`` even
+though a causally earlier ``w'(x)`` has not been applied yet, provided
+no write ``w''(y)`` on a *different* variable sits causally between
+them -- ``w`` then *overwrites* ``w'``, whose message is discarded on
+(late) arrival.  Such protocols leave class 𝒫 (some writes are never
+applied at some processes) but can trade write delays for skipped
+applies.  Footnote 8 of the paper notes writing semantics is orthogonal
+to optimality and "could be applied also to the protocol presented in
+the next section" -- which is exactly what this module does: OptP's
+``Write_co`` machinery extended with per-variable causal-past counters.
+
+Mechanism
+---------
+
+Each update message for a write ``w`` on ``x`` piggybacks, in addition
+to ``W = w.Write_co``:
+
+- ``VP``: a map ``variable -> vector`` where ``VP[y][t]`` counts the
+  writes of ``p_t`` **on y** in ``w``'s causal past (own write
+  included for ``y = x, t = sender``).
+
+Because a process's writes are totally ordered by ``->po``, the writes
+of ``p_t`` inside any causal past form a *prefix* of ``p_t``'s write
+sequence; hence per-variable counts over prefixes merge exactly under
+componentwise max (the same argument as for ``Write_co`` itself), and
+``VP`` stays exact when merged on reads.
+
+The receiver keeps ``Apply[t]`` (writes of ``p_t`` applied *or
+skipped*) and ``ApplyOn[y][t]`` (ditto, restricted to writes on ``y``).
+An incoming ``w(x)`` with sender ``u`` is applicable-with-overwrite iff
+for every ``t`` the number of missing causal predecessors from ``p_t``
+equals the number of missing causal predecessors from ``p_t`` **on
+x**::
+
+    missing(t)   = W[t] - Apply[t]            (W[u]-1 for t = u)
+    missing_x(t) = VP[x][t] - ApplyOn[x][t]   (VP[x][u]-1 for t = u)
+
+    deliverable  iff  forall t:  missing(t) == missing_x(t) >= 0
+
+When all ``missing(t)`` are zero this degenerates to OptP's own
+activation predicate; when positive, every missing predecessor is a
+write on ``x`` overwritten by ``w``, so the receiver jumps its counters
+forward (marking them skipped) and applies ``w`` directly.  Messages
+arriving for already-skipped writes (``seq <= Apply[sender]``) are
+discarded.
+
+The equality check is sound: ``Apply``/``ApplyOn`` always describe an
+exact per-sender prefix, and the condition forces each missing write to
+be on ``x`` and in ``w``'s causal past, which (inductively) rules out
+any interposed write on a different variable -- the precise overwrite
+precondition of Raynal-Ahamad.  The price is the ``VP`` payload: one
+vector per variable written in the causal past (the overhead metric in
+``benchmarks/test_bench_writing_semantics.py`` makes this cost visible).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Mapping, Tuple
+
+from repro.model.operations import WriteId
+from repro.core.base import (
+    BROADCAST,
+    Disposition,
+    Outgoing,
+    Protocol,
+    ReadOutcome,
+    UpdateMessage,
+    WriteOutcome,
+)
+
+WRITE_CO_KEY = "write_co"
+VAR_PAST_KEY = "var_past"
+
+
+class WSReceiverProtocol(Protocol):
+    """OptP extended with receiver-side writing semantics ([2,14] style).
+
+    Not in class 𝒫: overwritten writes are *skipped* (never applied) at
+    some processes.  Counters: ``stats()['skipped']`` (writes logically
+    overwritten at this replica) and ``stats()['discarded']`` (messages
+    of already-skipped writes dropped on arrival).
+    """
+
+    name = "ws-receiver"
+    in_class_p = False
+
+    def __init__(self, process_id: int, n_processes: int):
+        super().__init__(process_id, n_processes)
+        n = n_processes
+        self.write_co: List[int] = [0] * n
+        self.apply_vec: List[int] = [0] * n           # applied-or-skipped
+        self.var_past: Dict[Hashable, List[int]] = {}  # my causal past, per var
+        self.apply_on: Dict[Hashable, List[int]] = {}  # applied-or-skipped per var
+        self.last_write_on: Dict[Hashable, Tuple[int, ...]] = {}
+        self.last_var_past_on: Dict[Hashable, Mapping[Hashable, Tuple[int, ...]]] = {}
+        self.skipped = 0
+        self.discarded = 0
+
+    # -- small helpers ---------------------------------------------------------
+
+    def _vp_row(self, table: Dict[Hashable, List[int]], var: Hashable) -> List[int]:
+        row = table.get(var)
+        if row is None:
+            row = [0] * self.n_processes
+            table[var] = row
+        return row
+
+    def _frozen_var_past(self) -> Dict[Hashable, Tuple[int, ...]]:
+        return {var: tuple(vec) for var, vec in self.var_past.items()}
+
+    # -- operations -----------------------------------------------------------
+
+    def write(self, variable: Hashable, value: Any) -> WriteOutcome:
+        i = self.process_id
+        self.write_co[i] += 1
+        self._vp_row(self.var_past, variable)[i] += 1
+        wid = self.next_wid()
+        assert wid.seq == self.write_co[i]
+        w_vec = tuple(self.write_co)
+        vp = self._frozen_var_past()
+        msg = UpdateMessage(
+            sender=i,
+            wid=wid,
+            variable=variable,
+            value=value,
+            payload={WRITE_CO_KEY: w_vec, VAR_PAST_KEY: vp},
+        )
+        self.store_put(variable, value, wid)
+        self.apply_vec[i] += 1
+        self._vp_row(self.apply_on, variable)[i] += 1
+        self.last_write_on[variable] = w_vec
+        self.last_var_past_on[variable] = vp
+        return WriteOutcome(wid=wid, outgoing=(Outgoing(msg, BROADCAST),))
+
+    def read(self, variable: Hashable) -> ReadOutcome:
+        lwo = self.last_write_on.get(variable)
+        if lwo is not None:
+            for t, v in enumerate(lwo):
+                if v > self.write_co[t]:
+                    self.write_co[t] = v
+            for var, vec in self.last_var_past_on[variable].items():
+                row = self._vp_row(self.var_past, var)
+                for t, v in enumerate(vec):
+                    if v > row[t]:
+                        row[t] = v
+        value, wid = self.store_get(variable)
+        return ReadOutcome(value=value, read_from=wid)
+
+    # -- message handling -------------------------------------------------------
+
+    def _missing_counts(self, msg: UpdateMessage) -> Tuple[List[int], List[int]]:
+        """Per-process (missing, missing-on-x) counts for ``msg``.
+
+        ``missing[t]`` is the number of writes of ``p_t`` in the
+        message's causal past not yet applied-or-skipped here; clamped
+        at zero when this replica is already *ahead* of the message's
+        past for ``p_t`` (writes concurrent with the message may have
+        been applied -- they impose no obligation).
+        """
+        u = msg.sender
+        w = msg.payload[WRITE_CO_KEY]
+        vp_x = msg.payload[VAR_PAST_KEY].get(msg.variable, (0,) * self.n_processes)
+        apply_x = self.apply_on.get(msg.variable, [0] * self.n_processes)
+        missing = []
+        missing_x = []
+        for t in range(self.n_processes):
+            past = w[t] - (1 if t == u else 0)
+            past_x = vp_x[t] - (1 if t == u else 0)
+            m = past - self.apply_vec[t]
+            if m <= 0:
+                missing.append(0)
+                missing_x.append(0)
+            else:
+                missing.append(m)
+                missing_x.append(past_x - apply_x[t])
+        return missing, missing_x
+
+    def classify(self, msg: UpdateMessage) -> Disposition:
+        u = msg.sender
+        if msg.wid.seq <= self.apply_vec[u]:
+            # The write was already skipped (overwritten) here.
+            return Disposition.DISCARD
+        missing, missing_x = self._missing_counts(msg)
+        if all(m == mx for m, mx in zip(missing, missing_x)):
+            return Disposition.APPLY
+        return Disposition.BUFFER
+
+    def apply_update(self, msg: UpdateMessage) -> None:
+        u = msg.sender
+        w = msg.payload[WRITE_CO_KEY]
+        vp_x = msg.payload[VAR_PAST_KEY].get(msg.variable, (0,) * self.n_processes)
+        missing, _ = self._missing_counts(msg)
+        self.skipped += sum(missing)
+
+        self.store_put(msg.variable, msg.value, msg.wid)
+        apply_x = self._vp_row(self.apply_on, msg.variable)
+        for t in range(self.n_processes):
+            # Jump Apply to cover the skipped prefix plus (for the
+            # sender) the applied write itself.
+            target = w[t]
+            target_x = vp_x[t]
+            if target > self.apply_vec[t]:
+                self.apply_vec[t] = target
+            if target_x > apply_x[t]:
+                apply_x[t] = target_x
+        self.last_write_on[msg.variable] = tuple(w)
+        self.last_var_past_on[msg.variable] = dict(msg.payload[VAR_PAST_KEY])
+
+    def discard_update(self, msg: UpdateMessage) -> None:
+        self.discarded += 1
+
+    # -- introspection ------------------------------------------------------------
+
+    def debug_state(self) -> Dict[str, Any]:
+        return {
+            "write_co": tuple(self.write_co),
+            "apply": tuple(self.apply_vec),
+            "skipped": self.skipped,
+            "discarded": self.discarded,
+        }
+
+    def stats(self) -> Dict[str, int]:
+        return {"skipped": self.skipped, "discarded": self.discarded}
+
+    def missing_applies(self) -> int:
+        return self.skipped

@@ -1,0 +1,14 @@
+"""Real-concurrency runtime: processes as asyncio tasks.
+
+The discrete-event simulator (:mod:`repro.sim`) gives deterministic,
+replayable runs; this package runs the *same* protocol and node objects
+under genuine asynchrony -- one asyncio task per process, per-message
+delivery tasks with real ``asyncio.sleep`` latencies -- as an
+end-to-end sanity check that nothing in the protocols depends on the
+simulator's determinism.
+"""
+
+from repro.runtime.cluster import AsyncCluster, run_programs_async
+from repro.runtime.interactive import CausalKV
+
+__all__ = ["AsyncCluster", "CausalKV", "run_programs_async"]

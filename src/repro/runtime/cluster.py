@@ -1,0 +1,236 @@
+"""asyncio-based cluster: the paper's system model on real concurrency.
+
+Each process is an asyncio task executing its
+:class:`~repro.workloads.ops.Program`; each message hop is a task that
+sleeps its (scaled) latency and then delivers into the destination
+node's synchronous ``receive``.  Because everything runs on one event
+loop thread, each protocol procedure executes atomically -- exactly the
+paper's atomicity assumption -- while message interleavings are
+genuinely nondeterministic.
+
+Simulation-time latencies are scaled by ``time_scale`` wall seconds per
+simulated unit (default 5 ms), so tests stay fast.  Trace timestamps
+are reported back in simulated units for comparability with
+:mod:`repro.sim` runs; exact values differ run to run (that is the
+point), so assertions should target *properties* (safety, legality,
+liveness), not timings -- which is what
+:func:`repro.analysis.checker.check_run` does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.core.base import BROADCAST, Message, Outgoing, Protocol
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.network import estimate_size
+from repro.sim.node import Node
+from repro.sim.result import RunResult
+from repro.sim.trace import Trace
+from repro.workloads.ops import (
+    Program,
+    ReadStep,
+    WaitReadStep,
+    WriteStep,
+)
+
+ProtocolFactory = Union[str, Callable[[int, int], Protocol]]
+
+
+class AsyncCluster:
+    """A single-use asyncio run of ``n`` processes under one protocol."""
+
+    def __init__(
+        self,
+        protocol: ProtocolFactory,
+        n_processes: int,
+        *,
+        latency: Optional[LatencyModel] = None,
+        time_scale: float = 0.005,
+        quiesce_timeout: float = 30.0,
+    ):
+        from repro.sim.cluster import _resolve_factory
+
+        if n_processes < 1:
+            raise ValueError("need at least one process")
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        factory = _resolve_factory(protocol)
+        self.n_processes = n_processes
+        self.latency_model = (latency or ConstantLatency(1.0)).fork()
+        self.time_scale = time_scale
+        self.quiesce_timeout = quiesce_timeout
+        self.trace = Trace(n_processes)
+        self._t0 = 0.0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._message_tasks: set = set()
+        self._writes_issued = 0
+        self._deferred_local_applies = 0
+        self._remote_applies = 0
+        self._in_flight_updates = 0
+        self.messages_sent = 0
+        self.bytes_estimate = 0
+        self._ran = False
+        self.nodes: List[Node] = [
+            Node(
+                factory(i, n_processes),
+                self.trace,
+                clock=self._now,
+                dispatch=self._dispatch,
+                on_remote_apply=self._count_apply,
+                on_write=self._count_write,
+            )
+            for i in range(n_processes)
+        ]
+        self.protocol_name = self.nodes[0].protocol.name
+
+    # -- clock / counters ---------------------------------------------------------
+
+    def _now(self) -> float:
+        if self._loop is None:
+            return 0.0
+        return (self._loop.time() - self._t0) / self.time_scale
+
+    def _count_apply(self) -> None:
+        self._remote_applies += 1
+
+    def _count_write(self, local_apply: bool) -> None:
+        self._writes_issued += 1
+        if not local_apply:
+            self._deferred_local_applies += 1
+
+    # -- messaging ----------------------------------------------------------------
+
+    def _dispatch(self, sender: int, outgoing: Sequence[Outgoing]) -> None:
+        for out in outgoing:
+            if out.dest == BROADCAST:
+                for dest in range(self.n_processes):
+                    if dest != sender:
+                        self._ship(sender, dest, out.message)
+            else:
+                self._ship(sender, out.dest, out.message)
+
+    def _ship(self, sender: int, dest: int, message: Message) -> None:
+        from repro.core.base import UpdateMessage
+
+        delay = self.latency_model.latency(sender, dest, message)
+        self.messages_sent += 1
+        self.bytes_estimate += estimate_size(message)
+        is_update = isinstance(message, UpdateMessage)
+        if is_update:
+            self._in_flight_updates += 1
+
+        async def hop() -> None:
+            await asyncio.sleep(delay * self.time_scale)
+            if is_update:
+                self._in_flight_updates -= 1
+            self.nodes[dest].receive(message)
+
+        task = asyncio.ensure_future(hop())
+        self._message_tasks.add(task)
+        task.add_done_callback(self._message_tasks.discard)
+
+    # -- program execution -----------------------------------------------------------
+
+    async def _run_program(self, process: int, program: Program) -> None:
+        node = self.nodes[process]
+        for step in program:
+            if step.delay:
+                await asyncio.sleep(step.delay * self.time_scale)
+            if isinstance(step, WriteStep):
+                node.do_write(step.variable, step.value)
+            elif isinstance(step, ReadStep):
+                node.do_read(step.variable)
+            elif isinstance(step, WaitReadStep):
+                for _ in range(step.max_polls):
+                    if step.matches(node.do_read(step.variable)):
+                        break
+                    await asyncio.sleep(step.poll * self.time_scale)
+                else:
+                    raise RuntimeError(
+                        f"p{process} gave up waiting for "
+                        f"{step.variable}={step.expect!r}"
+                    )
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown step {step!r}")
+
+    async def _timer_loop(self, node: Node) -> None:
+        """Fire the node's periodic protocol hook (anti-entropy etc.),
+        staggered like the simulator does."""
+        interval = node.protocol.timer_interval
+        assert interval is not None
+        await asyncio.sleep(
+            interval * (1.0 + node.process_id / self.n_processes)
+            * self.time_scale
+        )
+        while True:
+            node.fire_timer()
+            await asyncio.sleep(interval * self.time_scale)
+
+    def _quiescent(self) -> bool:
+        if self._in_flight_updates > 0:
+            return False
+        expected = (
+            self._writes_issued * (self.n_processes - 1)
+            + self._deferred_local_applies
+        )
+        missing = sum(node.protocol.missing_applies() for node in self.nodes)
+        return self._remote_applies + missing >= expected
+
+    async def run_programs(self, programs: Sequence[Program]) -> RunResult:
+        """Run one program per process; await quiescence; return the result."""
+        if len(programs) != self.n_processes:
+            raise ValueError(
+                f"need exactly {self.n_processes} programs, got {len(programs)}"
+            )
+        if self._ran:
+            raise RuntimeError("AsyncCluster instances are single-use")
+        self._ran = True
+        self._loop = asyncio.get_running_loop()
+        self._t0 = self._loop.time()
+        for node in self.nodes:
+            node.start()
+        timer_tasks = [
+            asyncio.ensure_future(self._timer_loop(node))
+            for node in self.nodes
+            if node.protocol.timer_interval is not None
+        ]
+        await asyncio.gather(
+            *(self._run_program(i, p) for i, p in enumerate(programs))
+        )
+        deadline = self._loop.time() + self.quiesce_timeout
+        while not self._quiescent():
+            if self._loop.time() > deadline:
+                raise TimeoutError(
+                    "cluster failed to quiesce within "
+                    f"{self.quiesce_timeout}s (liveness bug?)"
+                )
+            await asyncio.sleep(self.time_scale)
+        # Tear down whatever is still flying (token rounds, timers etc.).
+        for task in timer_tasks:
+            task.cancel()
+        for task in list(self._message_tasks):
+            task.cancel()
+        return RunResult(
+            protocol_name=self.protocol_name,
+            n_processes=self.n_processes,
+            trace=self.trace,
+            duration=self._now(),
+            messages_sent=self.messages_sent,
+            bytes_estimate=self.bytes_estimate,
+            stores=[node.protocol.store_snapshot() for node in self.nodes],
+            protocol_stats=[node.protocol.stats() for node in self.nodes],
+            in_class_p=type(self.nodes[0].protocol).in_class_p,
+        )
+
+
+def run_programs_async(
+    protocol: ProtocolFactory,
+    n_processes: int,
+    programs: Sequence[Program],
+    **kwargs,
+) -> RunResult:
+    """Synchronous convenience wrapper around :class:`AsyncCluster`."""
+    cluster = AsyncCluster(protocol, n_processes, **kwargs)
+    return asyncio.run(cluster.run_programs(programs))

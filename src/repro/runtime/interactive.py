@@ -1,0 +1,247 @@
+"""An embeddable, interactively driven causal KV store.
+
+The simulator and the batch asyncio cluster replay *pre-declared*
+workloads; this module exposes the same protocol stack as a live
+object: create a cluster of in-process replicas, ``put``/``get``
+against any replica from application code, and close it down with a
+verified trace.  This is the "adopt it in an afternoon" API::
+
+    async with CausalKV.open(3, protocol="optp") as kv:
+        await kv.put(0, "greeting", "hello")
+        await kv.wait_visible(1, "greeting")   # causal convergence
+        assert await kv.get(1, "greeting") == "hello"
+    report = kv.report()          # full checker verdict over the session
+
+Every operation is recorded in a normal :class:`~repro.sim.trace.Trace`,
+so a session can be audited (or archived via
+:mod:`repro.sim.serialize`) exactly like a benchmark run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Hashable, List, Optional, Sequence, Union
+
+from repro.analysis.checker import CheckReport, check_run
+from repro.core.base import BROADCAST, Message, Outgoing, Protocol
+from repro.model.operations import BOTTOM, WriteId
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.network import estimate_size
+from repro.sim.node import Node
+from repro.sim.result import RunResult
+from repro.sim.trace import Trace
+
+ProtocolFactory = Union[str, Callable[[int, int], Protocol]]
+
+
+class CausalKV:
+    """A live cluster of causally consistent in-process replicas."""
+
+    def __init__(
+        self,
+        protocol: ProtocolFactory,
+        n_replicas: int,
+        *,
+        latency: Optional[LatencyModel] = None,
+        time_scale: float = 0.002,
+        quiesce_timeout: float = 30.0,
+    ):
+        from repro.sim.cluster import _resolve_factory
+
+        if n_replicas < 1:
+            raise ValueError("need at least one replica")
+        factory = _resolve_factory(protocol)
+        self.n_replicas = n_replicas
+        self.latency_model = (latency or ConstantLatency(1.0)).fork()
+        self.time_scale = time_scale
+        self.quiesce_timeout = quiesce_timeout
+        self.trace = Trace(n_replicas)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._t0 = 0.0
+        self._tasks: set = set()
+        self._writes = 0
+        self._deferred = 0
+        self._applies = 0
+        self._in_flight = 0
+        self._open = False
+        self._result: Optional[RunResult] = None
+        self.messages_sent = 0
+        self.bytes_estimate = 0
+        self.nodes: List[Node] = [
+            Node(
+                factory(i, n_replicas),
+                self.trace,
+                clock=self._now,
+                dispatch=self._dispatch,
+                on_remote_apply=self._count_apply,
+                on_write=self._count_write,
+            )
+            for i in range(n_replicas)
+        ]
+        self.protocol_name = self.nodes[0].protocol.name
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @classmethod
+    def open(cls, n_replicas: int, *, protocol: ProtocolFactory = "optp",
+             **kwargs) -> "CausalKV":
+        """Construct a cluster ready for ``async with``."""
+        return cls(protocol, n_replicas, **kwargs)
+
+    async def __aenter__(self) -> "CausalKV":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def start(self) -> None:
+        if self._open:
+            raise RuntimeError("cluster already started")
+        self._open = True
+        self._loop = asyncio.get_running_loop()
+        self._t0 = self._loop.time()
+        for node in self.nodes:
+            node.start()
+        for node in self.nodes:
+            if node.protocol.timer_interval is not None:
+                self._spawn(self._timer_loop(node))
+
+    async def close(self) -> None:
+        """Wait for quiescence, tear down, and freeze the session result."""
+        if not self._open:
+            return
+        deadline = self._loop.time() + self.quiesce_timeout
+        while not self._quiescent():
+            if self._loop.time() > deadline:
+                raise TimeoutError("cluster failed to quiesce on close")
+            await asyncio.sleep(self.time_scale)
+        for task in list(self._tasks):
+            task.cancel()
+        self._open = False
+        self._result = RunResult(
+            protocol_name=self.protocol_name,
+            n_processes=self.n_replicas,
+            trace=self.trace,
+            duration=self._now(),
+            messages_sent=self.messages_sent,
+            bytes_estimate=self.bytes_estimate,
+            stores=[n.protocol.store_snapshot() for n in self.nodes],
+            protocol_stats=[n.protocol.stats() for n in self.nodes],
+            in_class_p=type(self.nodes[0].protocol).in_class_p,
+        )
+
+    # -- client API -----------------------------------------------------------
+
+    async def put(self, replica: int, key: Hashable, value: Any) -> WriteId:
+        """Write ``key`` at ``replica`` (wait-free; propagation is
+        asynchronous)."""
+        self._check_live(replica)
+        wid = self.nodes[replica].do_write(key, value)
+        await asyncio.sleep(0)  # let deliveries interleave
+        return wid
+
+    async def get(self, replica: int, key: Hashable) -> Any:
+        """Read ``key`` at ``replica`` (wait-free; returns BOTTOM if the
+        replica has not seen any write yet)."""
+        self._check_live(replica)
+        value = self.nodes[replica].do_read(key)
+        await asyncio.sleep(0)
+        return value
+
+    async def wait_visible(
+        self, replica: int, key: Hashable, *, timeout: float = 10.0
+    ) -> Any:
+        """Block until ``key`` holds a non-BOTTOM value at ``replica``;
+        returns it.  Each poll is a real read of the session history."""
+        self._check_live(replica)
+        deadline = self._loop.time() + timeout
+        while True:
+            value = self.nodes[replica].do_read(key)
+            if not isinstance(value, type(BOTTOM)):
+                return value
+            if self._loop.time() > deadline:
+                raise TimeoutError(
+                    f"{key!r} never became visible at replica {replica}"
+                )
+            await asyncio.sleep(self.time_scale)
+
+    def report(self) -> CheckReport:
+        """Full checker verdict over the closed session."""
+        if self._result is None:
+            raise RuntimeError("close() the cluster before asking for a report")
+        return check_run(self._result)
+
+    @property
+    def result(self) -> RunResult:
+        if self._result is None:
+            raise RuntimeError("close() the cluster first")
+        return self._result
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _check_live(self, replica: int) -> None:
+        if not self._open:
+            raise RuntimeError("cluster is not running")
+        if not 0 <= replica < self.n_replicas:
+            raise ValueError(f"replica {replica} out of range")
+
+    def _now(self) -> float:
+        if self._loop is None:
+            return 0.0
+        return (self._loop.time() - self._t0) / self.time_scale
+
+    def _count_apply(self) -> None:
+        self._applies += 1
+
+    def _count_write(self, local_apply: bool) -> None:
+        self._writes += 1
+        if not local_apply:
+            self._deferred += 1
+
+    def _quiescent(self) -> bool:
+        if self._in_flight > 0:
+            return False
+        expected = self._writes * (self.n_replicas - 1) + self._deferred
+        missing = sum(n.protocol.missing_applies() for n in self.nodes)
+        return self._applies + missing >= expected
+
+    def _spawn(self, coro) -> None:
+        task = asyncio.ensure_future(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _timer_loop(self, node: Node) -> None:
+        interval = node.protocol.timer_interval
+        await asyncio.sleep(interval * self.time_scale)
+        while True:
+            node.fire_timer()
+            await asyncio.sleep(interval * self.time_scale)
+
+    def _dispatch(self, sender: int, outgoing: Sequence[Outgoing]) -> None:
+        for out in outgoing:
+            dests = (
+                [d for d in range(self.n_replicas) if d != sender]
+                if out.dest == BROADCAST
+                else [out.dest]
+            )
+            for dest in dests:
+                self._ship(sender, dest, out.message)
+
+    def _ship(self, sender: int, dest: int, message: Message) -> None:
+        from repro.core.base import UpdateMessage
+
+        delay = self.latency_model.latency(sender, dest, message)
+        self.messages_sent += 1
+        self.bytes_estimate += estimate_size(message)
+        is_update = isinstance(message, UpdateMessage)
+        if is_update:
+            self._in_flight += 1
+
+        async def hop() -> None:
+            await asyncio.sleep(delay * self.time_scale)
+            if is_update:
+                self._in_flight -= 1
+            self.nodes[dest].receive(message)
+
+        self._spawn(hop())

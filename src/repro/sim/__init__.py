@@ -1,0 +1,57 @@
+"""Discrete-event simulation substrate (the paper's system model, §3.1).
+
+Asynchronous reliable message passing over a deterministic, seeded
+event loop: every run is exactly replayable and every event is traced
+for the analyzers.
+
+Quick use::
+
+    from repro.sim import SimCluster, run_schedule
+    from repro.sim.latency import SeededLatency
+    from repro.workloads.ops import Schedule, ScheduledOp, WriteOp
+
+    sched = Schedule.of([ScheduledOp(0.0, 0, WriteOp("x"))])
+    result = run_schedule("optp", 3, sched, latency=SeededLatency(7))
+    print(result.summary())
+"""
+
+from repro.sim.cluster import SimCluster, run_programs, run_schedule
+from repro.sim.engine import Engine, EngineLimitError
+from repro.sim.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    MatrixLatency,
+    ScriptedLatency,
+    SeededLatency,
+    UniformLatency,
+)
+from repro.sim.network import Network, estimate_size
+from repro.sim.node import Node
+from repro.sim.result import RunResult
+from repro.sim.serialize import trace_from_jsonl, trace_to_jsonl
+from repro.sim.trace import EventKind, Trace, TraceEvent
+
+__all__ = [
+    "ConstantLatency",
+    "Engine",
+    "EngineLimitError",
+    "EventKind",
+    "ExponentialLatency",
+    "LatencyModel",
+    "MatrixLatency",
+    "Network",
+    "Node",
+    "RunResult",
+    "ScriptedLatency",
+    "SeededLatency",
+    "SimCluster",
+    "Trace",
+    "TraceEvent",
+    "UniformLatency",
+    "estimate_size",
+    "run_programs",
+    "run_schedule",
+    "trace_from_jsonl",
+    "trace_to_jsonl",
+]

@@ -1,0 +1,116 @@
+"""Deterministic discrete-event engine.
+
+A minimal priority-queue event loop: callbacks are scheduled at
+absolute simulation times and executed in ``(time, insertion seq)``
+order, so ties break deterministically and every run is exactly
+replayable from its seed.
+
+The loop supports three stopping regimes, all used by the cluster:
+
+- natural exhaustion (the queue empties) -- the common case for
+  broadcast protocols;
+- a ``stop`` predicate checked after every event -- needed for the
+  token protocol, whose token would otherwise circulate forever;
+- ``max_events`` / ``max_time`` guards that turn liveness bugs into
+  loud :class:`EngineLimitError` failures instead of hangs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class EngineLimitError(RuntimeError):
+    """The engine hit ``max_events`` or ``max_time`` before finishing.
+
+    In this codebase that always signals a protocol liveness bug (or a
+    stop predicate that can never become true), so it is an error, not
+    a normal exit.
+    """
+
+
+@dataclass(order=True)
+class _Scheduled:
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Engine:
+    """The event loop.  ``now`` is the current simulation time."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[_Scheduled] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> _Scheduled:
+        """Schedule ``fn`` at absolute time ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now={self.now}"
+            )
+        item = _Scheduled(time=time, seq=next(self._seq), fn=fn)
+        heapq.heappush(self._queue, item)
+        return item
+
+    def schedule_after(self, delay: float, fn: Callable[[], None]) -> _Scheduled:
+        """Schedule ``fn`` after a relative ``delay`` (>= 0)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.schedule_at(self.now + delay, fn)
+
+    def cancel(self, item: _Scheduled) -> None:
+        """Cancel a scheduled callback (lazily removed from the heap)."""
+        item.cancelled = True
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled scheduled callbacks."""
+        return sum(1 for it in self._queue if not it.cancelled)
+
+    def run(
+        self,
+        *,
+        stop: Optional[Callable[[], bool]] = None,
+        max_events: int = 1_000_000,
+        max_time: float = float("inf"),
+    ) -> None:
+        """Process events until exhaustion, ``stop()`` truth, or a limit.
+
+        ``stop`` is evaluated before the first event and after each
+        one; when provided, hitting ``max_events``/``max_time`` raises
+        :class:`EngineLimitError` (the predicate should eventually hold).
+        Without ``stop``, exhausting the queue is the normal exit and
+        the limits still guard against runaway self-rescheduling.
+        """
+        if stop is not None and stop():
+            return
+        while self._queue:
+            item = heapq.heappop(self._queue)
+            if item.cancelled:
+                continue
+            if item.time > max_time:
+                raise EngineLimitError(
+                    f"exceeded max_time={max_time} (next event at {item.time})"
+                )
+            self.now = item.time
+            item.fn()
+            self.events_processed += 1
+            if self.events_processed >= max_events and self._queue:
+                raise EngineLimitError(
+                    f"exceeded max_events={max_events} with "
+                    f"{self.pending} events still pending"
+                )
+            if stop is not None and stop():
+                return
+        if stop is not None and not stop():
+            raise EngineLimitError(
+                "event queue exhausted but the stop condition never "
+                "became true (protocol liveness violation?)"
+            )

@@ -1,0 +1,193 @@
+"""Latency models for the reliable channels of Section 3.1.
+
+The paper's system model requires only that channels are reliable
+(every message is received exactly once, nothing spurious) and that
+there is no bound on relative speeds.  The latency model is therefore a
+free parameter; these implementations cover the benchmark sweeps:
+
+- :class:`ConstantLatency` -- fixed delay, the simplest regime;
+- :class:`UniformLatency` / :class:`ExponentialLatency` -- random
+  delays (per-message draws from the model's own seeded RNG);
+- :class:`MatrixLatency` -- per-(sender, receiver) constant delays,
+  modelling heterogeneous topologies (e.g. two nearby + one far site);
+- :class:`ScriptedLatency` -- explicit per-message delays, used by
+  :mod:`repro.paperfigs` to force the exact receipt interleavings of
+  Figures 1, 2, 3 and 6;
+- :class:`SeededLatency` -- delays drawn from a distribution but
+  derived deterministically from ``(seed, sender, dest, message key)``,
+  so two *different protocols* replaying the same workload see
+  *identical* per-write delays.  This is what makes the Q1/Q2 delay
+  comparisons apples-to-apples: the message schedule is pinned, only
+  the buffering decisions differ.
+
+All latencies are strictly positive; a zero or negative latency would
+let a message arrive at its own send instant, which breaks receipt
+ordering assumptions.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, Dict, Hashable, Optional, Sequence, Tuple
+
+from repro.core.base import ControlMessage, Message, UpdateMessage
+
+
+def message_key(message: Message) -> Hashable:
+    """A stable identity for a message, usable across protocol variants.
+
+    Updates are keyed by their :class:`WriteId`; control messages by
+    kind + their distinguishing payload fields (token/batch sequence
+    numbers), so replays with the same seed get the same delays.
+    """
+    if isinstance(message, UpdateMessage):
+        return ("update", message.wid)
+    payload = message.payload
+    marker = payload.get("batch_seq")
+    return ("control", message.kind, message.sender, marker)
+
+
+class LatencyModel(abc.ABC):
+    """Delay generator for one message hop."""
+
+    @abc.abstractmethod
+    def latency(self, sender: int, dest: int, message: Message) -> float:
+        """Delay (strictly positive) for ``message`` on ``sender->dest``."""
+
+    def fork(self) -> "LatencyModel":
+        """A fresh, independent copy with the model's initial state.
+
+        Clusters fork the model per run so repeated runs from the same
+        configuration are identical.
+        """
+        return self
+
+
+class ConstantLatency(LatencyModel):
+    """Every hop takes exactly ``delay``."""
+
+    def __init__(self, delay: float = 1.0):
+        if delay <= 0:
+            raise ValueError("latency must be strictly positive")
+        self.delay = delay
+
+    def latency(self, sender: int, dest: int, message: Message) -> float:
+        return self.delay
+
+
+class MatrixLatency(LatencyModel):
+    """Per-(sender, dest) constant delays from a full ``n x n`` matrix."""
+
+    def __init__(self, matrix: Sequence[Sequence[float]]):
+        self.matrix = [list(row) for row in matrix]
+        n = len(self.matrix)
+        for i, row in enumerate(self.matrix):
+            if len(row) != n:
+                raise ValueError("latency matrix must be square")
+            for j, d in enumerate(row):
+                if i != j and d <= 0:
+                    raise ValueError(f"latency[{i}][{j}] must be positive")
+
+    def latency(self, sender: int, dest: int, message: Message) -> float:
+        return self.matrix[sender][dest]
+
+
+class UniformLatency(LatencyModel):
+    """Delays uniform in ``[lo, hi]``, drawn from a seeded RNG."""
+
+    def __init__(self, lo: float, hi: float, seed: int = 0):
+        if lo <= 0 or hi < lo:
+            raise ValueError("need 0 < lo <= hi")
+        self.lo, self.hi, self.seed = lo, hi, seed
+        self._rng = random.Random(seed)
+
+    def latency(self, sender: int, dest: int, message: Message) -> float:
+        return self._rng.uniform(self.lo, self.hi)
+
+    def fork(self) -> "UniformLatency":
+        return UniformLatency(self.lo, self.hi, self.seed)
+
+
+class ExponentialLatency(LatencyModel):
+    """Delays ``min_delay + Exp(mean)`` -- heavy-ish tail, occasional
+    stragglers: the regime where message reordering (and hence write
+    delays) actually happens."""
+
+    def __init__(self, mean: float, min_delay: float = 0.01, seed: int = 0):
+        if mean <= 0 or min_delay <= 0:
+            raise ValueError("mean and min_delay must be positive")
+        self.mean, self.min_delay, self.seed = mean, min_delay, seed
+        self._rng = random.Random(seed)
+
+    def latency(self, sender: int, dest: int, message: Message) -> float:
+        return self.min_delay + self._rng.expovariate(1.0 / self.mean)
+
+    def fork(self) -> "ExponentialLatency":
+        return ExponentialLatency(self.mean, self.min_delay, self.seed)
+
+
+class ScriptedLatency(LatencyModel):
+    """Explicit per-message delays: ``script[(message key, dest)]``.
+
+    The key is :func:`message_key`'s value; missing entries fall back
+    to ``default``.  Used to force the exact arrival interleavings of
+    the paper's figures.
+    """
+
+    def __init__(
+        self,
+        script: Dict[Tuple[Hashable, int], float],
+        default: float = 1.0,
+    ):
+        if default <= 0:
+            raise ValueError("default latency must be positive")
+        for (key, dest), d in script.items():
+            if d <= 0:
+                raise ValueError(f"scripted latency for {key}->{dest} must be positive")
+        self.script = dict(script)
+        self.default = default
+
+    def latency(self, sender: int, dest: int, message: Message) -> float:
+        return self.script.get((message_key(message), dest), self.default)
+
+
+class SeededLatency(LatencyModel):
+    """Deterministic per-message delays, identical across protocols.
+
+    The delay for a hop is drawn from ``dist`` using an RNG seeded by
+    ``(seed, sender, dest, message key)``.  Two runs of *different*
+    protocols over the same open-loop workload therefore deliver each
+    write's message at exactly the same time -- the precondition for a
+    fair write-delay comparison (DESIGN.md, "Open-loop vs closed-loop").
+
+    ``dist``: ``"uniform"`` over ``[lo, hi]`` or ``"exponential"`` with
+    the given ``mean`` (plus ``min_delay``).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        dist: str = "uniform",
+        lo: float = 0.5,
+        hi: float = 5.0,
+        mean: float = 1.0,
+        min_delay: float = 0.01,
+    ):
+        if dist not in ("uniform", "exponential"):
+            raise ValueError(f"unknown dist {dist!r}")
+        if dist == "uniform" and (lo <= 0 or hi < lo):
+            raise ValueError("need 0 < lo <= hi")
+        if dist == "exponential" and (mean <= 0 or min_delay <= 0):
+            raise ValueError("mean and min_delay must be positive")
+        self.seed = seed
+        self.dist = dist
+        self.lo, self.hi = lo, hi
+        self.mean, self.min_delay = mean, min_delay
+
+    def latency(self, sender: int, dest: int, message: Message) -> float:
+        key = (self.seed, sender, dest, message_key(message))
+        rng = random.Random(repr(key))
+        if self.dist == "uniform":
+            return rng.uniform(self.lo, self.hi)
+        return self.min_delay + rng.expovariate(1.0 / self.mean)

@@ -1,0 +1,250 @@
+"""A simulated process: one protocol instance + buffering + tracing.
+
+The node implements the substrate side of the class-𝒫 contract
+(Section 3.2): it turns protocol decisions into trace events and owns
+the pending buffer -- the paper's "the thread is suspended till the
+condition becomes true" is realized by re-classifying every buffered
+message after each successful apply (see DESIGN.md, "Buffering
+strategy", and the ablation in ``benchmarks/test_bench_micro.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.core.base import (
+    ControlMessage,
+    Disposition,
+    Message,
+    Outgoing,
+    Protocol,
+    UpdateMessage,
+)
+from repro.model.operations import WriteId, fresh_value
+from repro.sim.trace import EventKind, Trace
+
+Dispatch = Callable[[int, Sequence[Outgoing]], None]
+Clock = Callable[[], float]
+
+
+class Node:
+    """Hosts one :class:`Protocol` instance inside the simulation."""
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        trace: Trace,
+        clock: Clock,
+        dispatch: Dispatch,
+        *,
+        record_state: bool = False,
+        on_remote_apply: Optional[Callable[[], None]] = None,
+        on_write: Optional[Callable[[], None]] = None,
+        dedup: bool = False,
+    ):
+        self.protocol = protocol
+        self.process_id = protocol.process_id
+        self.trace = trace
+        self.clock = clock
+        self.dispatch = dispatch
+        self.record_state = record_state
+        self.pending: List[UpdateMessage] = []
+        self._on_remote_apply = on_remote_apply
+        self._on_write = on_write
+        #: crash-stop flag (fault-injection extension; the paper's
+        #: model is failure-free).  A crashed node ignores all traffic
+        #: and refuses local operations.
+        self.crashed = False
+        #: at-least-once guard: remember seen update ids and drop
+        #: repeats before they reach the protocol.  The paper's model
+        #: assumes exactly-once channels; enable this when running over
+        #: a Network with duplicate_prob > 0.
+        self.dedup = dedup
+        self._seen_updates: set = set()
+        self.duplicates_dropped = 0
+        # Out-of-band applies (token batches) land here:
+        protocol.bind_recorder(self._record_oob_apply)
+
+    def crash(self) -> None:
+        """Crash-stop this node: drop its buffer, ignore everything."""
+        self.crashed = True
+        self.pending.clear()
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _state(self) -> Optional[Dict[str, Any]]:
+        return self.protocol.debug_state() if self.record_state else None
+
+    def start(self) -> None:
+        """Run the protocol's bootstrap traffic (token injection etc.)."""
+        outgoing = self.protocol.bootstrap()
+        if outgoing:
+            self.dispatch(self.process_id, outgoing)
+
+    # -- operations -----------------------------------------------------------
+
+    def do_write(self, variable: Hashable, value: Any = None) -> Optional[WriteId]:
+        """Issue a local write; ``value=None`` generates a fresh value.
+
+        Returns None (no-op) on a crashed node.
+        """
+        if self.crashed:
+            return None
+        if value is None:
+            value = fresh_value(
+                WriteId(self.process_id, self.protocol.writes_issued + 1)
+            )
+        outcome = self.protocol.write(variable, value)
+        now = self.clock()
+        self.trace.record(
+            now,
+            self.process_id,
+            EventKind.WRITE,
+            wid=outcome.wid,
+            variable=variable,
+            value=value,
+            state=self._state(),
+            registers_apply=outcome.local_apply,
+        )
+        if outcome.outgoing:
+            self.trace.record(
+                now,
+                self.process_id,
+                EventKind.SEND,
+                wid=outcome.wid,
+                variable=variable,
+                value=value,
+            )
+            self.dispatch(self.process_id, outcome.outgoing)
+        if self._on_write is not None:
+            self._on_write(outcome.local_apply)
+        return outcome.wid
+
+    def do_read(self, variable: Hashable) -> Any:
+        """Issue a local read; returns the value (None when crashed)."""
+        if self.crashed:
+            return None
+        outcome = self.protocol.read(variable)
+        self.trace.record(
+            self.clock(),
+            self.process_id,
+            EventKind.RETURN,
+            variable=variable,
+            value=outcome.value,
+            read_from=outcome.read_from,
+            state=self._state(),
+        )
+        return outcome.value
+
+    # -- message reception --------------------------------------------------------
+
+    def fire_timer(self) -> None:
+        """Run the protocol's periodic hook (crash-aware)."""
+        if self.crashed:
+            return
+        outgoing = self.protocol.on_timer()
+        if outgoing:
+            self.dispatch(self.process_id, outgoing)
+
+    def receive(self, message: Message) -> None:
+        """Entry point for the network's delivery callback."""
+        if self.crashed:
+            return
+        if isinstance(message, ControlMessage):
+            outgoing = self.protocol.on_control(message)
+            if outgoing:
+                self.dispatch(self.process_id, outgoing)
+            return
+        self._receive_update(message)
+
+    def _receive_update(self, msg: UpdateMessage) -> None:
+        if self.dedup:
+            if msg.wid in self._seen_updates:
+                self.duplicates_dropped += 1
+                return
+            self._seen_updates.add(msg.wid)
+        now = self.clock()
+        self.trace.record(
+            now,
+            self.process_id,
+            EventKind.RECEIPT,
+            wid=msg.wid,
+            variable=msg.variable,
+            value=msg.value,
+        )
+        disposition = self.protocol.classify(msg)
+        if disposition is Disposition.APPLY:
+            self._apply(msg)
+            self._drain()
+        elif disposition is Disposition.BUFFER:
+            # Definition 3: this write suffers a write delay here.
+            self.trace.record(
+                now,
+                self.process_id,
+                EventKind.BUFFER,
+                wid=msg.wid,
+                variable=msg.variable,
+            )
+            self.pending.append(msg)
+        else:
+            self._discard(msg)
+
+    def _apply(self, msg: UpdateMessage) -> None:
+        self.protocol.apply_update(msg)
+        self.trace.record(
+            self.clock(),
+            self.process_id,
+            EventKind.APPLY,
+            wid=msg.wid,
+            variable=msg.variable,
+            value=msg.value,
+            state=self._state(),
+        )
+        if self._on_remote_apply is not None:
+            self._on_remote_apply()
+
+    def _discard(self, msg: UpdateMessage) -> None:
+        self.protocol.discard_update(msg)
+        self.trace.record(
+            self.clock(),
+            self.process_id,
+            EventKind.DISCARD,
+            wid=msg.wid,
+            variable=msg.variable,
+        )
+
+    def _drain(self) -> None:
+        """Re-test buffered messages until a fixpoint (the woken
+        synchronization threads of Figure 5)."""
+        progress = True
+        while progress and self.pending:
+            progress = False
+            for msg in list(self.pending):
+                disposition = self.protocol.classify(msg)
+                if disposition is Disposition.APPLY:
+                    self.pending.remove(msg)
+                    self._apply(msg)
+                    progress = True
+                elif disposition is Disposition.DISCARD:
+                    self.pending.remove(msg)
+                    self._discard(msg)
+                    progress = True
+
+    def _record_oob_apply(self, wid: WriteId, variable: Hashable, value: Any) -> None:
+        """Recorder callback for protocols that apply writes outside the
+        update-message flow (token batches)."""
+        self.trace.record(
+            self.clock(),
+            self.process_id,
+            EventKind.APPLY,
+            wid=wid,
+            variable=variable,
+            value=value,
+            state=self._state(),
+        )
+        if self._on_remote_apply is not None:
+            self._on_remote_apply()
+
+    @property
+    def buffered_count(self) -> int:
+        return len(self.pending)

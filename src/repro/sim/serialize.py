@@ -1,0 +1,142 @@
+"""Trace (de)serialization: JSON-lines export for offline analysis.
+
+A dumped trace round-trips completely: per-process sequences, the
+apply/receipt indexes (including deferred local applies of the
+sequencer baseline), protocol state snapshots, and the BOTTOM sentinel.
+All the analyzers accept a reloaded trace, so runs can be archived and
+re-audited without re-simulating.
+
+Format: one JSON object per line, first line a header::
+
+    {"header": true, "n_processes": 3, "version": 1}
+    {"seq": 0, "time": 0.0, "process": 0, "kind": "write", ...}
+
+Operation *values* must be JSON-representable (the library's generated
+values are strings; non-JSON user values fail the dump loudly rather
+than corrupting silently).  Protocol *state snapshots* are best-effort:
+integer vectors round-trip exactly (that is what the characterization
+checker reads); exotic entries (e.g. the token protocol's pending map,
+which contains WriteIds) degrade to ``{"__repr__": ...}`` strings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.model.operations import BOTTOM, Bottom, WriteId
+from repro.sim.trace import EventKind, Trace
+
+FORMAT_VERSION = 1
+_BOTTOM_MARKER = {"__bottom__": True}
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, Bottom):
+        return _BOTTOM_MARKER
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and value.get("__bottom__"):
+        return BOTTOM
+    return value
+
+
+def _encode_wid(wid: Optional[WriteId]) -> Optional[list]:
+    return None if wid is None else [wid.process, wid.seq]
+
+
+def _decode_wid(data: Optional[list]) -> Optional[WriteId]:
+    return None if data is None else WriteId(data[0], data[1])
+
+
+def _jsonable(val: Any) -> Any:
+    """Best-effort JSON conversion for state entries (repr fallback)."""
+    if isinstance(val, tuple):
+        return [_jsonable(v) for v in val]
+    if isinstance(val, dict):
+        return {str(k): _jsonable(v) for k, v in val.items()}
+    if isinstance(val, (str, int, float, bool)) or val is None:
+        return val
+    return {"__repr__": repr(val)}
+
+
+def _encode_state(state: Optional[dict]) -> Optional[dict]:
+    if state is None:
+        return None
+    return {key: _jsonable(val) for key, val in state.items()}
+
+
+def _decode_state(state: Optional[dict]) -> Optional[dict]:
+    if state is None:
+        return None
+    out = {}
+    for key, val in state.items():
+        if isinstance(val, list):
+            val = tuple(val)
+        elif isinstance(val, dict):
+            val = {k: tuple(v) if isinstance(v, list) else v
+                   for k, v in val.items()}
+        out[key] = val
+    return out
+
+
+def trace_to_jsonl(trace: Trace) -> str:
+    """Serialize a trace to JSON-lines text."""
+    lines = [json.dumps({
+        "header": True,
+        "version": FORMAT_VERSION,
+        "n_processes": trace.n_processes,
+    })]
+    for ev in trace.events:
+        registers = None
+        if ev.kind is EventKind.WRITE:
+            registers = trace.apply_event(ev.process, ev.wid) is ev
+        lines.append(json.dumps({
+            "seq": ev.seq,
+            "time": ev.time,
+            "process": ev.process,
+            "kind": ev.kind.value,
+            "wid": _encode_wid(ev.wid),
+            "variable": ev.variable,
+            "value": _encode_value(ev.value),
+            "read_from": _encode_wid(ev.read_from),
+            "state": _encode_state(ev.state),
+            "registers_apply": registers,
+        }))
+    return "\n".join(lines) + "\n"
+
+
+def trace_from_jsonl(text: str) -> Trace:
+    """Rebuild a trace from JSON-lines text (strict: bad input raises)."""
+    lines = [l for l in text.splitlines() if l.strip()]
+    if not lines:
+        raise ValueError("empty trace dump")
+    header = json.loads(lines[0])
+    if not header.get("header"):
+        raise ValueError("first line must be the header object")
+    if header.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version {header.get('version')!r}"
+        )
+    trace = Trace(header["n_processes"])
+    for expected_seq, line in enumerate(lines[1:]):
+        data = json.loads(line)
+        if data["seq"] != expected_seq:
+            raise ValueError(
+                f"event seq {data['seq']} out of order (expected "
+                f"{expected_seq}) -- truncated or reordered dump?"
+            )
+        trace.record(
+            data["time"],
+            data["process"],
+            EventKind(data["kind"]),
+            wid=_decode_wid(data["wid"]),
+            variable=data["variable"],
+            value=_decode_value(data["value"]),
+            read_from=_decode_wid(data["read_from"]),
+            state=_decode_state(data["state"]),
+            registers_apply=data["registers_apply"],
+        )
+    return trace

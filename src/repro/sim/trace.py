@@ -1,0 +1,255 @@
+"""Run traces: the event sequences ``E_i`` of Section 3.1.
+
+A protocol run produces, at each process ``p_i``, a totally ordered
+sequence of events ``E_i`` (ordered by ``<_i``).  The paper's event
+vocabulary for a write ``w``:
+
+- ``send_i(w)``     -- the issuer starts propagating ``w``;
+- ``receipt_k(w)``  -- the message carrying ``w`` arrives at ``p_k``;
+- ``apply_k(w)``    -- ``p_k`` updates its copy;
+- ``return_i(x,v)`` -- a read by ``p_i`` returns ``v``.
+
+This module adds bookkeeping kinds the analyzers need:
+
+- ``WRITE``   -- the local issue of a write (its local apply; the
+  paired ``SEND`` event carries the same timestamp);
+- ``BUFFER``  -- the message was *not* applicable at receipt: by
+  Definition 3 this is exactly a **write delay**;
+- ``DISCARD`` -- a writing-semantics protocol dropped the message
+  (write overwritten; never applied here).
+
+The :class:`Trace` preserves one global, deterministic total order
+(``seq``) consistent with simulation time, plus per-process ``E_i``
+views and ``E_i|_e`` prefixes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
+
+from repro.model.history import History, LocalHistory
+from repro.model.operations import BOTTOM, Read, Write, WriteId
+
+
+class EventKind(enum.Enum):
+    SEND = "send"
+    RECEIPT = "receipt"
+    APPLY = "apply"
+    RETURN = "return"
+    WRITE = "write"      # local issue (includes the local apply)
+    BUFFER = "buffer"    # write delay (Definition 3)
+    DISCARD = "discard"  # writing semantics: overwritten, dropped
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One event of some ``E_i``.
+
+    ``seq`` is a run-global sequence number: events with equal
+    simulation ``time`` keep their execution order.
+    """
+
+    seq: int
+    time: float
+    process: int
+    kind: EventKind
+    wid: Optional[WriteId] = None
+    variable: Optional[Hashable] = None
+    value: Any = None
+    read_from: Optional[WriteId] = None
+    #: optional protocol debug-state snapshot (Figure 6 evolutions)
+    state: Optional[Dict[str, Any]] = None
+
+    def __str__(self) -> str:
+        core = f"t={self.time:.3f} p{self.process} {self.kind}"
+        if self.wid is not None:
+            core += f" {self.wid}"
+        if self.kind is EventKind.RETURN:
+            core += f" {self.variable}={self.value!r}"
+        return core
+
+
+class Trace:
+    """An append-only run trace with per-process and per-write indexes."""
+
+    def __init__(self, n_processes: int):
+        self.n_processes = n_processes
+        self._events: List[TraceEvent] = []
+        self._per_process: List[List[TraceEvent]] = [
+            [] for _ in range(n_processes)
+        ]
+        # (process, wid) -> apply event, for O(1) safety checks
+        self._apply_index: Dict[Tuple[int, WriteId], TraceEvent] = {}
+        self._receipt_index: Dict[Tuple[int, WriteId], TraceEvent] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def record(
+        self,
+        time: float,
+        process: int,
+        kind: EventKind,
+        *,
+        wid: Optional[WriteId] = None,
+        variable: Optional[Hashable] = None,
+        value: Any = None,
+        read_from: Optional[WriteId] = None,
+        state: Optional[Dict[str, Any]] = None,
+        registers_apply: Optional[bool] = None,
+    ) -> TraceEvent:
+        """Append an event.
+
+        ``registers_apply`` overrides whether the event enters the
+        apply index: a WRITE event normally doubles as the issuer's
+        local apply (Figure 4, line 3), but protocols that *defer*
+        their own apply (sequencer baseline) pass False and report the
+        real apply later as an APPLY event.
+        """
+        ev = TraceEvent(
+            seq=len(self._events),
+            time=time,
+            process=process,
+            kind=kind,
+            wid=wid,
+            variable=variable,
+            value=value,
+            read_from=read_from,
+            state=state,
+        )
+        self._events.append(ev)
+        self._per_process[process].append(ev)
+        if registers_apply is None:
+            registers_apply = kind in (EventKind.APPLY, EventKind.WRITE)
+        if registers_apply and wid is not None:
+            key = (process, wid)
+            if key in self._apply_index:
+                raise AssertionError(f"duplicate apply of {wid} at p{process}")
+            self._apply_index[key] = ev
+        if kind is EventKind.RECEIPT and wid is not None:
+            # keep the FIRST receipt: duplicates (gossip redundancy)
+            # arrive later and are not the paper's receipt_k(w) event
+            self._receipt_index.setdefault((process, wid), ev)
+        return ev
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return self._events
+
+    def process_events(self, process: int) -> List[TraceEvent]:
+        """``E_i``: the event sequence at ``process``."""
+        return self._per_process[process]
+
+    def prefix_before(self, process: int, event: TraceEvent) -> List[TraceEvent]:
+        """``E_i|_e``: the prefix of ``E_i`` strictly before ``event``."""
+        return [ev for ev in self._per_process[process] if ev.seq < event.seq]
+
+    def of_kind(self, kind: EventKind) -> Iterator[TraceEvent]:
+        return (ev for ev in self._events if ev.kind is kind)
+
+    # -- write-centric queries --------------------------------------------------
+
+    def apply_event(self, process: int, wid: WriteId) -> Optional[TraceEvent]:
+        """The apply of ``wid`` at ``process`` (the issuer's WRITE event
+        doubles as its local apply), or None if never applied."""
+        return self._apply_index.get((process, wid))
+
+    def receipt_event(self, process: int, wid: WriteId) -> Optional[TraceEvent]:
+        return self._receipt_index.get((process, wid))
+
+    def apply_order(self, process: int) -> List[WriteId]:
+        """WriteIds in the order they were applied at ``process``.
+
+        A WRITE event counts only when it actually registered as the
+        local apply (i.e. not deferred to a later APPLY event).
+        """
+        out = []
+        for ev in self._per_process[process]:
+            if ev.kind is EventKind.APPLY:
+                out.append(ev.wid)
+            elif ev.kind is EventKind.WRITE:
+                if self._apply_index.get((process, ev.wid)) is ev:
+                    out.append(ev.wid)
+        return out
+
+    def writes_issued(self) -> List[WriteId]:
+        return [ev.wid for ev in self.of_kind(EventKind.WRITE)]
+
+    def delayed(self, process: Optional[int] = None) -> List[TraceEvent]:
+        """BUFFER events (write delays, Definition 3), optionally at one
+        process."""
+        out = []
+        for ev in self.of_kind(EventKind.BUFFER):
+            if process is None or ev.process == process:
+                out.append(ev)
+        return out
+
+    def discarded(self, process: Optional[int] = None) -> List[TraceEvent]:
+        out = []
+        for ev in self.of_kind(EventKind.DISCARD):
+            if process is None or ev.process == process:
+                out.append(ev)
+        return out
+
+    def delay_durations(self) -> List[float]:
+        """For every delayed write that was eventually applied: the time
+        between its receipt and its apply."""
+        out = []
+        for ev in self.of_kind(EventKind.BUFFER):
+            applied = self.apply_event(ev.process, ev.wid)
+            if applied is not None:
+                out.append(applied.time - ev.time)
+        return out
+
+    # -- conversion ----------------------------------------------------------
+
+    def to_history(self) -> History:
+        """The observed global history: each process's own reads/writes.
+
+        This is the :math:`\\hat H` the run *realized*; feeding it to
+        :func:`repro.model.legality.check_causal_consistency` checks the
+        run end-to-end.
+        """
+        locals_: List[LocalHistory] = []
+        for i in range(self.n_processes):
+            ops = []
+            for ev in self._per_process[i]:
+                if ev.kind is EventKind.WRITE:
+                    ops.append(
+                        Write(
+                            process=i,
+                            index=len(ops),
+                            variable=ev.variable,
+                            value=ev.value,
+                            wid=ev.wid,
+                        )
+                    )
+                elif ev.kind is EventKind.RETURN:
+                    ops.append(
+                        Read(
+                            process=i,
+                            index=len(ops),
+                            variable=ev.variable,
+                            value=ev.value,
+                            read_from=ev.read_from,
+                        )
+                    )
+            locals_.append(LocalHistory(process=i, operations=tuple(ops)))
+        return History(locals_)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def render(self, *, kinds: Optional[set] = None) -> str:
+        """Human-readable dump (used by the paperfigs run renderers)."""
+        lines = []
+        for ev in self._events:
+            if kinds is None or ev.kind in kinds:
+                lines.append(str(ev))
+        return "\n".join(lines)

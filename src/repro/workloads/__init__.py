@@ -1,0 +1,57 @@
+"""Workloads: operation vocabulary, random generators, paper scenarios."""
+
+from repro.workloads.generators import (
+    WorkloadConfig,
+    chain_programs,
+    random_programs,
+    random_schedule,
+    write_burst_schedule,
+)
+from repro.workloads.ops import (
+    Op,
+    Program,
+    ReadOp,
+    ReadStep,
+    Schedule,
+    ScheduledOp,
+    Step,
+    WaitReadStep,
+    WriteOp,
+    WriteStep,
+)
+from repro.workloads.patterns import (
+    ALL_SCENARIOS,
+    H1Scenario,
+    example1_programs,
+    fig1_run1,
+    fig1_run2,
+    fig3,
+    fig6,
+    h1_schedule,
+)
+
+__all__ = [
+    "ALL_SCENARIOS",
+    "H1Scenario",
+    "Op",
+    "Program",
+    "ReadOp",
+    "ReadStep",
+    "Schedule",
+    "ScheduledOp",
+    "Step",
+    "WaitReadStep",
+    "WorkloadConfig",
+    "WriteOp",
+    "WriteStep",
+    "chain_programs",
+    "example1_programs",
+    "fig1_run1",
+    "fig1_run2",
+    "fig3",
+    "fig6",
+    "h1_schedule",
+    "random_programs",
+    "random_schedule",
+    "write_burst_schedule",
+]

@@ -1,0 +1,207 @@
+"""Seeded random workload generators for the benchmark sweeps.
+
+All generators are pure functions of their :class:`WorkloadConfig`:
+the same config (same seed) always yields the same workload, and the
+open-loop schedules they produce pin every operation to an absolute
+time -- so replaying one schedule under different protocols compares
+*protocols*, not workload noise (DESIGN.md, "Open-loop vs closed-loop").
+
+Variable popularity follows a (truncated) Zipf law: ``zipf_s = 0``
+gives uniform access, larger values concentrate traffic on hot
+variables -- which raises same-variable write chains and hence
+writing-semantics overwrite opportunities, one of the Q3 sweep axes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.workloads.ops import (
+    Program,
+    ReadOp,
+    ReadStep,
+    Schedule,
+    ScheduledOp,
+    WriteOp,
+    WriteStep,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of a random workload.
+
+    Attributes
+    ----------
+    n_processes:
+        Process count ``n``.
+    ops_per_process:
+        Operations each process issues.
+    n_variables:
+        Size ``m`` of the shared memory.
+    write_fraction:
+        Probability an operation is a write (the rest are reads).
+    mean_gap:
+        Mean spacing between one process's consecutive operations
+        (exponential think times), in simulated time units.
+    zipf_s:
+        Zipf exponent for variable choice (0 = uniform).
+    seed:
+        RNG seed; every derived quantity is deterministic in it.
+    """
+
+    n_processes: int = 3
+    ops_per_process: int = 20
+    n_variables: int = 4
+    write_fraction: float = 0.5
+    mean_gap: float = 1.0
+    zipf_s: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_processes < 1:
+            raise ValueError("n_processes must be >= 1")
+        if self.ops_per_process < 0:
+            raise ValueError("ops_per_process must be >= 0")
+        if self.n_variables < 1:
+            raise ValueError("n_variables must be >= 1")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if self.mean_gap <= 0:
+            raise ValueError("mean_gap must be positive")
+        if self.zipf_s < 0:
+            raise ValueError("zipf_s must be >= 0")
+
+
+def _zipf_weights(m: int, s: float) -> List[float]:
+    return [1.0 / (k + 1) ** s for k in range(m)]
+
+
+def _pick_variable(rng: random.Random, config: WorkloadConfig) -> str:
+    weights = _zipf_weights(config.n_variables, config.zipf_s)
+    (idx,) = rng.choices(range(config.n_variables), weights=weights)
+    return f"x{idx}"
+
+
+def random_schedule(config: WorkloadConfig) -> Schedule:
+    """An open-loop schedule: per-process Poisson-ish op streams.
+
+    Writes carry ``value=None`` so the substrate generates fresh unique
+    values (exact read-from extraction).
+    """
+    rng = random.Random(f"schedule-{config.seed}")
+    items: List[ScheduledOp] = []
+    for p in range(config.n_processes):
+        t = 0.0
+        for _ in range(config.ops_per_process):
+            t += rng.expovariate(1.0 / config.mean_gap)
+            var = _pick_variable(rng, config)
+            if rng.random() < config.write_fraction:
+                items.append(ScheduledOp(t, p, WriteOp(var)))
+            else:
+                items.append(ScheduledOp(t, p, ReadOp(var)))
+    return Schedule.of(items)
+
+
+def random_programs(config: WorkloadConfig) -> List[Program]:
+    """Closed-loop equivalent: one program per process with exponential
+    think times.  Histories become protocol-dependent (reads observe
+    protocol-visible values), so use these for realism, not comparison.
+    """
+    rng = random.Random(f"programs-{config.seed}")
+    programs: List[Program] = []
+    for p in range(config.n_processes):
+        steps = []
+        for _ in range(config.ops_per_process):
+            delay = rng.expovariate(1.0 / config.mean_gap)
+            var = _pick_variable(rng, config)
+            if rng.random() < config.write_fraction:
+                steps.append(WriteStep(var, None, delay=delay))
+            else:
+                steps.append(ReadStep(var, delay=delay))
+        programs.append(Program(steps=tuple(steps)))
+    return programs
+
+
+def write_burst_schedule(
+    n_processes: int,
+    bursts: int,
+    burst_size: int,
+    *,
+    variable_per_process: bool = True,
+    gap: float = 5.0,
+    spacing: float = 0.05,
+) -> Schedule:
+    """Bursty writers: each process emits ``bursts`` bursts of
+    ``burst_size`` back-to-back writes.
+
+    With ``variable_per_process=True`` each process hammers its own
+    variable (maximal same-variable chains -- the writing-semantics
+    sweet spot); otherwise everyone writes the same variable.
+    """
+    if bursts < 1 or burst_size < 1:
+        raise ValueError("bursts and burst_size must be >= 1")
+    items: List[ScheduledOp] = []
+    for p in range(n_processes):
+        for b in range(bursts):
+            t0 = b * gap + p * spacing
+            var = f"x{p}" if variable_per_process else "x"
+            for k in range(burst_size):
+                items.append(ScheduledOp(t0 + k * spacing, p, WriteOp(var)))
+    return Schedule.of(items)
+
+
+def random_partial_schedule(config: WorkloadConfig, replication) -> Schedule:
+    """Like :func:`random_schedule`, but every operation targets a
+    variable its issuing process actually replicates.
+
+    ``replication`` is a :class:`repro.protocols.partial.ReplicationMap`
+    whose variables must be named ``x0..x{m-1}`` (what the config's
+    generator produces).  Processes holding nothing are skipped.
+    """
+    rng = random.Random(f"partial-schedule-{config.seed}")
+    items: List[ScheduledOp] = []
+    for p in range(config.n_processes):
+        held = sorted(map(str, replication.held_by(p)))
+        if not held:
+            continue
+        t = 0.0
+        for _ in range(config.ops_per_process):
+            t += rng.expovariate(1.0 / config.mean_gap)
+            var = rng.choice(held)
+            if rng.random() < config.write_fraction:
+                items.append(ScheduledOp(t, p, WriteOp(var)))
+            else:
+                items.append(ScheduledOp(t, p, ReadOp(var)))
+    return Schedule.of(items)
+
+
+def chain_programs(n_processes: int, *, rounds: int = 1, poll: float = 0.2) -> List[Program]:
+    """A causal chain: p0 writes, p1 waits-for-and-relays, p2 relays, ...
+
+    Produces maximally deep write causality graphs (longest ``->co``
+    chains), stressing the activation predicates.
+    """
+    from repro.workloads.ops import WaitReadStep
+
+    if n_processes < 2:
+        raise ValueError("chain needs >= 2 processes")
+    programs: List[Program] = []
+    for p in range(n_processes):
+        steps = []
+        for r in range(rounds):
+            token_val = f"r{r}"
+            if p == 0:
+                if r > 0:
+                    # wait for the previous round to wrap around
+                    steps.append(
+                        WaitReadStep(f"c{n_processes - 1}", f"r{r - 1}", poll=poll)
+                    )
+                steps.append(WriteStep("c0", token_val))
+            else:
+                steps.append(WaitReadStep(f"c{p - 1}", token_val, poll=poll))
+                steps.append(WriteStep(f"c{p}", token_val))
+        programs.append(Program(steps=tuple(steps)))
+    return programs

@@ -1,0 +1,155 @@
+"""Workload vocabulary shared by the simulator and the asyncio runtime.
+
+Two workload styles (DESIGN.md, "Open-loop vs closed-loop"):
+
+- **open-loop**: a :class:`Schedule` of :class:`ScheduledOp` items,
+  each pinned to an absolute issue time.  Because issue times do not
+  depend on protocol behaviour, two protocols replaying the same
+  schedule generate *identical* send events -- the fair-comparison mode
+  used by the delay benchmarks.
+- **closed-loop**: one :class:`Program` (list of :class:`Step`) per
+  process, executed sequentially with think times; a
+  :class:`WaitReadStep` polls a variable until an expected value
+  appears, which is how read-from-dependent histories like the paper's
+  Example 1 arise naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, List, Optional, Sequence, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Open-loop
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """Write ``value`` to ``variable``; ``value=None`` means "generate a
+    fresh unique value" (recommended: keeps read-from extraction exact
+    even without inspecting WriteIds)."""
+
+    variable: Hashable
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """Read ``variable`` (wait-free, returns whatever is visible)."""
+
+    variable: Hashable
+
+
+Op = Union[WriteOp, ReadOp]
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """An operation pinned to an absolute simulation time."""
+
+    time: float
+    process: int
+    op: Op
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("issue time must be >= 0")
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An open-loop workload: time-pinned operations for all processes."""
+
+    ops: Tuple[ScheduledOp, ...]
+
+    @classmethod
+    def of(cls, items: Sequence[ScheduledOp]) -> "Schedule":
+        return cls(ops=tuple(sorted(items, key=lambda s: (s.time, s.process))))
+
+    def for_process(self, process: int) -> List[ScheduledOp]:
+        return [s for s in self.ops if s.process == process]
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.ops)
+
+    @property
+    def n_writes(self) -> int:
+        return sum(1 for s in self.ops if isinstance(s.op, WriteOp))
+
+    def max_process(self) -> int:
+        return max((s.process for s in self.ops), default=-1)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+
+# ---------------------------------------------------------------------------
+# Closed-loop
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WriteStep:
+    """Write after ``delay`` think time."""
+
+    variable: Hashable
+    value: Any = None
+    delay: float = 0.0
+
+
+@dataclass(frozen=True)
+class ReadStep:
+    """Read after ``delay`` think time (single read, any value)."""
+
+    variable: Hashable
+    delay: float = 0.0
+
+
+@dataclass(frozen=True)
+class WaitReadStep:
+    """Poll ``variable`` (a read every ``poll``) until it returns
+    ``expect``; every poll is a real read operation of the history.
+
+    ``accept`` optionally widens the wait to *any* of a set of values
+    -- needed under randomized latencies, where a newer write to the
+    same variable can land before a poll ever observes the older one
+    (e.g. waiting for H1's ``a`` when ``c`` may overwrite it first).
+
+    ``max_polls`` turns a would-be infinite wait (e.g. waiting for a
+    value a writing-semantics protocol overwrote) into a loud failure.
+    """
+
+    variable: Hashable
+    expect: Any
+    poll: float = 0.5
+    delay: float = 0.0
+    max_polls: int = 10_000
+    accept: Optional[Tuple[Any, ...]] = None
+
+    def matches(self, value: Any) -> bool:
+        if self.accept is not None:
+            return value in self.accept
+        return value == self.expect
+
+
+Step = Union[WriteStep, ReadStep, WaitReadStep]
+
+
+@dataclass(frozen=True)
+class Program:
+    """The step list one process executes sequentially."""
+
+    steps: Tuple[Step, ...]
+
+    @classmethod
+    def of(cls, *steps: Step) -> "Program":
+        return cls(steps=tuple(steps))
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)

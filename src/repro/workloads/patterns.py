@@ -1,0 +1,211 @@
+"""Canonical scenarios: the paper's Example 1 and its figure runs.
+
+The paper works one history throughout -- :math:`\\hat H_1` (Example 1):
+
+::
+
+    h1: w1(x1)a ; w1(x1)c
+    h2: r2(x1)a ; w2(x2)b
+    h3: r3(x2)b ; w3(x2)d
+
+(paper processes p1..p3 are our 0-based 0..2).  Figures 1, 2, 3 and 6
+are *runs* compliant with that history, distinguished only by message
+arrival orders at p3 (our process 2).  Each :class:`H1Scenario` pins
+the same open-loop schedule and forces one of those arrival orders via
+scripted latencies:
+
+========  =============================================  ======================
+scenario  arrival order at process 2                     paper artifact
+========  =============================================  ======================
+fig1_run1 a, b, c (fully causal order)                   Figure 1, run (1)
+fig1_run2 b, a, c (b must wait for a: necessary delay)   Figure 1, run (2)
+fig3      a, b, c-late (ANBKH delays b until c:          Figures 2-3, Table 2
+          FALSE causality; OptP applies b on arrival)
+fig6      b, a, then c much later (OptP's run shown       Figure 6
+          with its Write_co evolution)
+========  =============================================  ======================
+
+Schedule timing (shared by all scenarios)::
+
+    t=0.0  p0 writes x1=a          t=3.5  p1 writes x2=b
+    t=0.5  p0 writes x1=c          t=6.0  p2 reads x2  (returns b)
+    t=3.0  p1 reads x1 (returns a) t=6.5  p2 writes x2=d
+
+and c's message reaches p1 at t=3.3 -- *after* p1's read (so the read
+returns a) but *before* p1 writes b (so ANBKH's apply-counting vector
+for b picks c up: the root of the false causality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from repro.model.operations import WriteId
+from repro.sim.latency import ScriptedLatency
+from repro.workloads.ops import (
+    Program,
+    ReadOp,
+    Schedule,
+    ScheduledOp,
+    WaitReadStep,
+    WriteOp,
+    WriteStep,
+)
+
+#: WriteIds of the four writes of H1 (0-based processes).
+WID_A = WriteId(0, 1)
+WID_C = WriteId(0, 2)
+WID_B = WriteId(1, 1)
+WID_D = WriteId(2, 1)
+
+
+def h1_schedule() -> Schedule:
+    """The open-loop operation schedule shared by every H1 scenario."""
+    return Schedule.of(
+        [
+            ScheduledOp(0.0, 0, WriteOp("x1", "a")),
+            ScheduledOp(0.5, 0, WriteOp("x1", "c")),
+            ScheduledOp(3.0, 1, ReadOp("x1")),
+            ScheduledOp(3.5, 1, WriteOp("x2", "b")),
+            ScheduledOp(6.0, 2, ReadOp("x2")),
+            ScheduledOp(6.5, 2, WriteOp("x2", "d")),
+        ]
+    )
+
+
+def example1_programs() -> List[Program]:
+    """Closed-loop H1: read-from edges arise from value waits instead of
+    scripted latencies (works under any latency model)."""
+    return [
+        Program.of(WriteStep("x1", "a"), WriteStep("x1", "c", delay=0.5)),
+        Program.of(WaitReadStep("x1", "a", poll=0.3), WriteStep("x2", "b")),
+        Program.of(WaitReadStep("x2", "b", poll=0.3), WriteStep("x2", "d")),
+    ]
+
+
+def _script(arrivals: Dict[Tuple[WriteId, int], float]) -> ScriptedLatency:
+    """Build a ScriptedLatency from absolute *arrival* times.
+
+    Send times are fixed by :func:`h1_schedule` (a at 0.0, c at 0.5,
+    b at 3.5, d at 6.5), so arrival - send = latency.
+    """
+    send_time = {WID_A: 0.0, WID_C: 0.5, WID_B: 3.5, WID_D: 6.5}
+    script = {}
+    for (wid, dest), arrival in arrivals.items():
+        latency = arrival - send_time[wid]
+        if latency <= 0:
+            raise ValueError(f"arrival {arrival} precedes send of {wid}")
+        script[(("update", wid), dest)] = latency
+    return ScriptedLatency(script, default=1.0)
+
+
+@dataclass(frozen=True)
+class H1Scenario:
+    """One figure's run: schedule + forced arrival order + expectations."""
+
+    name: str
+    description: str
+    schedule: Schedule
+    latency: ScriptedLatency
+    #: write delays an OptP run of this scenario must exhibit, total
+    expected_optp_delays: int
+    #: write delays an ANBKH run must exhibit, total
+    expected_anbkh_delays: int
+
+
+def fig1_run1() -> H1Scenario:
+    """Figure 1, run (1): everything reaches p2 in causal order; OptP
+    executes zero write delays."""
+    return H1Scenario(
+        name="fig1-run1",
+        description="a, b, c arrive at p2 in causal order: no delays",
+        schedule=h1_schedule(),
+        latency=_script(
+            {
+                (WID_A, 1): 1.0,   # a -> p1 before the read at 3.0
+                (WID_C, 1): 3.3,   # c -> p1 between read (3.0) and b (3.5)
+                (WID_A, 2): 1.0,
+                (WID_B, 2): 4.5,
+                (WID_C, 2): 5.0,
+            }
+        ),
+        expected_optp_delays=0,
+        expected_anbkh_delays=1,  # ANBKH still waits for c before b
+    )
+
+
+def fig1_run2() -> H1Scenario:
+    """Figure 1, run (2): b overtakes a on the way to p2, so applying b
+    must wait for a -- one *necessary* delay (X_co-safe demands it)."""
+    return H1Scenario(
+        name="fig1-run2",
+        description="b arrives at p2 before a: one necessary delay",
+        schedule=h1_schedule(),
+        latency=_script(
+            {
+                (WID_A, 1): 1.0,
+                (WID_C, 1): 3.3,
+                (WID_A, 2): 4.4,   # a late...
+                (WID_B, 2): 4.0,   # ...b first
+                (WID_C, 2): 5.0,
+            }
+        ),
+        expected_optp_delays=1,
+        # still 1: the buffered b counts one delay, even though ANBKH
+        # waits for both a and c before releasing it
+        expected_anbkh_delays=1,
+    )
+
+
+def fig3() -> H1Scenario:
+    """Figures 2-3 / Table 2: c reaches p2 late; ANBKH delays b until c
+    (false causality -- b ||co c), OptP applies b on arrival."""
+    return H1Scenario(
+        name="fig3",
+        description="c late at p2: ANBKH false-causality delay on b",
+        schedule=h1_schedule(),
+        latency=_script(
+            {
+                (WID_A, 1): 1.0,
+                (WID_C, 1): 3.3,
+                (WID_A, 2): 1.0,
+                (WID_B, 2): 4.5,
+                (WID_C, 2): 5.5,   # after b, before p2's read at 6.0
+            }
+        ),
+        expected_optp_delays=0,
+        expected_anbkh_delays=1,
+    )
+
+
+def fig6() -> H1Scenario:
+    """Figure 6: OptP's run -- b arrives at p2 before a (one necessary
+    delay), and p2 applies b without ever waiting for the much-later c.
+
+    Note: under ANBKH this scenario produces a *different* observed
+    history -- b stays buffered until c lands at t=9.0, so p2's read at
+    t=6.0 returns the initial value, not b.  Only OptP realizes H1 here,
+    which is the point of Figure 6.
+    """
+    return H1Scenario(
+        name="fig6",
+        description="b before a at p2, c very late: OptP's Figure 6 run",
+        schedule=h1_schedule(),
+        latency=_script(
+            {
+                (WID_A, 1): 1.0,
+                (WID_C, 1): 3.3,
+                (WID_A, 2): 4.8,
+                (WID_B, 2): 4.0,
+                (WID_C, 2): 9.0,   # long after p2 read b and wrote d
+            }
+        ),
+        expected_optp_delays=1,
+        expected_anbkh_delays=1,
+    )
+
+
+ALL_SCENARIOS = {
+    s().name: s for s in (fig1_run1, fig1_run2, fig3, fig6)
+}

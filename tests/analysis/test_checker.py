@@ -1,0 +1,168 @@
+"""Tests for the run checkers (Theorems 1-5 as machine checks)."""
+
+import pytest
+
+from repro.analysis import (
+    assert_run_ok,
+    check_run,
+)
+from repro.analysis.checker import (
+    audit_delays,
+    check_characterization,
+    check_liveness,
+    check_safety,
+)
+from repro.sim import ConstantLatency, SeededLatency, run_schedule
+from repro.workloads import (
+    WorkloadConfig,
+    fig1_run2,
+    fig3,
+    random_schedule,
+)
+
+ALL_PROTOCOLS = ["optp", "anbkh", "ws-receiver", "jimenez-token"]
+
+
+def quick_run(proto, seed=0, **kw):
+    cfg = WorkloadConfig(n_processes=3, ops_per_process=10, seed=seed)
+    return run_schedule(proto, 3, random_schedule(cfg),
+                        latency=SeededLatency(seed), **kw)
+
+
+class TestCheckRun:
+    @pytest.mark.parametrize("proto", ALL_PROTOCOLS)
+    def test_all_protocols_pass(self, proto):
+        report = check_run(quick_run(proto))
+        assert report.ok, report.summary()
+
+    def test_optp_never_unnecessary(self):
+        for seed in range(4):
+            r = quick_run("optp", seed=seed)
+            report = check_run(r)
+            assert not report.unnecessary_delays, report.summary()
+
+    def test_anbkh_unnecessary_on_fig3(self):
+        scen = fig3()
+        r = run_schedule("anbkh", 3, scen.schedule, latency=scen.latency)
+        report = check_run(r)
+        assert report.ok  # safe, legal, live...
+        assert len(report.unnecessary_delays) == 1  # ...but not optimal
+
+    def test_summary_strings(self):
+        report = check_run(quick_run("optp", **{"record_state": True}))
+        s = report.summary()
+        assert "legal" in s and "safe" in s and "live" in s
+        assert "characterized" in s
+
+    def test_assert_run_ok_passes(self):
+        assert_run_ok(quick_run("optp"), expect_optimal=True)
+
+    def test_assert_run_ok_optimality_failure(self):
+        scen = fig3()
+        r = run_schedule("anbkh", 3, scen.schedule, latency=scen.latency)
+        with pytest.raises(AssertionError, match="unnecessary delay"):
+            assert_run_ok(r, expect_optimal=True)
+
+
+class TestSafetyChecker:
+    def test_detects_violation_in_doctored_trace(self):
+        """Manually build a trace where a process applies writes in the
+        wrong order: the checker must flag it."""
+        from repro.model.operations import WriteId
+        from repro.sim.result import RunResult
+        from repro.sim.trace import EventKind, Trace
+
+        t = Trace(2)
+        # p0 issues two causally ordered writes (same process => ->po)
+        t.record(0.0, 0, EventKind.WRITE, wid=WriteId(0, 1), variable="x", value=1)
+        t.record(0.0, 0, EventKind.SEND, wid=WriteId(0, 1))
+        t.record(1.0, 0, EventKind.WRITE, wid=WriteId(0, 2), variable="y", value=2)
+        t.record(1.0, 0, EventKind.SEND, wid=WriteId(0, 2))
+        # p1 applies them REVERSED: unsafe
+        t.record(2.0, 1, EventKind.APPLY, wid=WriteId(0, 2), variable="y", value=2)
+        t.record(3.0, 1, EventKind.APPLY, wid=WriteId(0, 1), variable="x", value=1)
+        result = RunResult(
+            protocol_name="doctored", n_processes=2, trace=t, duration=3.0,
+            messages_sent=2, bytes_estimate=0, stores=[{}, {}],
+            protocol_stats=[{}, {}],
+        )
+        violations = check_safety(result)
+        assert len(violations) == 1
+        assert "before its causal predecessor" in violations[0]
+
+    def test_clean_run_no_violations(self):
+        assert check_safety(quick_run("optp")) == []
+
+
+class TestLivenessChecker:
+    def test_class_p_missing_apply_detected(self):
+        from repro.model.operations import WriteId
+        from repro.sim.result import RunResult
+        from repro.sim.trace import EventKind, Trace
+
+        t = Trace(2)
+        t.record(0.0, 0, EventKind.WRITE, wid=WriteId(0, 1), variable="x", value=1)
+        result = RunResult(
+            protocol_name="doctored", n_processes=2, trace=t, duration=1.0,
+            messages_sent=0, bytes_estimate=0, stores=[{}, {}],
+            protocol_stats=[{}, {}], in_class_p=True,
+        )
+        violations = check_liveness(result)
+        assert violations == ["w[p0#1] never applied at p1"]
+
+    def test_ws_accounting_balances(self):
+        r = quick_run("ws-receiver")
+        assert check_liveness(r) == []
+
+    def test_ws_accounting_detects_imbalance(self):
+        r = quick_run("ws-receiver")
+        # doctor the stats: claim one fewer skip than actually happened
+        skipped = r.stat_total("skipped")
+        if skipped == 0:
+            pytest.skip("this seed produced no skips")
+        r.protocol_stats[0] = dict(r.protocol_stats[0])
+        r.protocol_stats[0]["skipped"] = r.protocol_stats[0].get("skipped", 0) + 1
+        assert check_liveness(r)
+
+    def test_jimenez_accounting(self):
+        r = quick_run("jimenez-token")
+        assert check_liveness(r) == []
+
+
+class TestDelayAudits:
+    def test_necessary_delay_has_witness(self):
+        scen = fig1_run2()
+        r = run_schedule("optp", 3, scen.schedule, latency=scen.latency)
+        audits = audit_delays(r)
+        assert len(audits) == 1
+        assert audits[0].necessary and audits[0].witness is not None
+
+    def test_unnecessary_delay_has_no_witness(self):
+        scen = fig3()
+        r = run_schedule("anbkh", 3, scen.schedule, latency=scen.latency)
+        audits = audit_delays(r)
+        unnecessary = [a for a in audits if not a.necessary]
+        assert len(unnecessary) == 1
+        assert unnecessary[0].witness is None
+
+
+class TestCharacterization:
+    def test_optp_vectors_characterize_co(self):
+        r = quick_run("optp", record_state=True)
+        ok, errors = check_characterization(r)
+        assert ok is True and errors == []
+
+    def test_skipped_without_state(self):
+        r = quick_run("optp")  # record_state defaults False
+        ok, errors = check_characterization(r)
+        assert ok is None
+
+    def test_anbkh_has_no_write_co(self):
+        r = quick_run("anbkh", record_state=True)
+        ok, _ = check_characterization(r)
+        assert ok is None  # FM vectors are not Write_co; not checked
+
+    def test_ws_receiver_vectors_also_characterize(self):
+        r = quick_run("ws-receiver", record_state=True)
+        ok, errors = check_characterization(r)
+        assert ok is True, errors

@@ -1,0 +1,117 @@
+"""Tests for the write-poset concurrency measures."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.concurrency import (
+    chain_decomposition_depth,
+    concurrency_profile,
+    concurrent_write_pairs,
+    max_concurrent_writes,
+)
+from repro.model.history import HistoryBuilder, example_h1
+
+
+class TestOnH1:
+    def test_profile(self):
+        h = example_h1()
+        # pairs: {c,b} and {c,d} are concurrent -> 2
+        assert concurrent_write_pairs(h) == 2
+        # width: {c, b} (or {c, d}) -> 2
+        assert max_concurrent_writes(h) == 2
+        # height: a -> b -> d -> 3 writes
+        assert chain_decomposition_depth(h) == 3
+        assert concurrency_profile(h) == (2, 2, 3)
+
+
+class TestExtremes:
+    def test_total_chain(self):
+        b = HistoryBuilder(1)
+        for k in range(5):
+            b.write(0, "x", k)
+        h = b.build()
+        assert concurrent_write_pairs(h) == 0
+        assert max_concurrent_writes(h) == 1
+        assert chain_decomposition_depth(h) == 5
+
+    def test_full_antichain(self):
+        b = HistoryBuilder(4)
+        for p in range(4):
+            b.write(p, f"x{p}", p)
+        h = b.build()
+        assert concurrent_write_pairs(h) == 6   # C(4,2)
+        assert max_concurrent_writes(h) == 4
+        assert chain_decomposition_depth(h) == 1
+
+    def test_empty_and_single(self):
+        assert max_concurrent_writes(HistoryBuilder(2).build()) == 0
+        b = HistoryBuilder(1)
+        b.write(0, "x", 1)
+        h = b.build()
+        assert max_concurrent_writes(h) == 1
+        assert concurrent_write_pairs(h) == 0
+        assert chain_decomposition_depth(h) == 1
+
+    def test_diamond(self):
+        """root -> {left, right} -> sink: width 2, height 3."""
+        b = HistoryBuilder(4)
+        root = b.write(0, "r", 0)
+        b.read(1, "r", root)
+        left = b.write(1, "l", 1)
+        b.read(2, "r", root)
+        right = b.write(2, "m", 2)
+        b.read(3, "l", left)
+        b.read(3, "m", right)
+        b.write(3, "s", 3)
+        h = b.build()
+        assert max_concurrent_writes(h) == 2
+        assert chain_decomposition_depth(h) == 3
+        assert concurrent_write_pairs(h) == 1  # only {left, right}
+
+
+class TestDilworthConsistency:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_width_bounds(self, seed):
+        """Width and height sandwich: width*height >= W (Mirsky/Dilworth
+        corollary), and width <= W, and width >= 1 for nonempty."""
+        from repro.sim import SeededLatency, run_schedule
+        from repro.workloads import WorkloadConfig, random_schedule
+
+        cfg = WorkloadConfig(n_processes=4, ops_per_process=6,
+                             write_fraction=0.7, seed=seed)
+        r = run_schedule("optp", 4, random_schedule(cfg),
+                         latency=SeededLatency(seed))
+        h = r.history
+        writes = len(list(h.writes()))
+        if writes == 0:
+            return
+        width = max_concurrent_writes(h)
+        height = chain_decomposition_depth(h)
+        assert 1 <= width <= writes
+        assert 1 <= height <= writes
+        assert width * height >= writes
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_width_is_a_real_antichain_bound(self, seed):
+        """No antichain found greedily can exceed the computed width."""
+        from repro.sim import SeededLatency, run_schedule
+        from repro.workloads import WorkloadConfig, random_schedule
+
+        cfg = WorkloadConfig(n_processes=3, ops_per_process=6,
+                             write_fraction=0.8, seed=seed)
+        r = run_schedule("optp", 3, random_schedule(cfg),
+                         latency=SeededLatency(seed))
+        h = r.history
+        co = h.causal_order
+        width = max_concurrent_writes(h)
+        # greedy antichain
+        antichain = []
+        for w in h.writes():
+            if all(co.concurrent(w, o) for o in antichain):
+                antichain.append(w)
+        assert len(antichain) <= width

@@ -1,0 +1,128 @@
+"""Tests for consistent cuts and the causal-closure corollary."""
+
+import random
+
+import pytest
+
+from repro.analysis.cuts import (
+    Cut,
+    applied_writes_at,
+    closure_violations,
+    cut_at_times,
+    full_cut,
+    is_consistent,
+    make_consistent,
+    random_consistent_cut,
+)
+from repro.sim import ConstantLatency, SeededLatency, run_schedule
+from repro.workloads import (
+    Schedule,
+    ScheduledOp,
+    WorkloadConfig,
+    WriteOp,
+    fig3,
+    random_schedule,
+)
+
+CLASS_P = ["optp", "anbkh", "sequencer", "gossip-optp"]
+
+
+@pytest.fixture(scope="module")
+def fig3_run():
+    scen = fig3()
+    return run_schedule("optp", 3, scen.schedule, latency=scen.latency)
+
+
+class TestCutBasics:
+    def test_full_cut_is_consistent(self, fig3_run):
+        assert is_consistent(fig3_run.trace, full_cut(fig3_run.trace))
+
+    def test_empty_cut_is_consistent(self, fig3_run):
+        cut = Cut((0, 0, 0))
+        assert is_consistent(fig3_run.trace, cut)
+        assert cut.events(fig3_run.trace) == []
+
+    def test_receipt_without_send_is_inconsistent(self, fig3_run):
+        """Include p2's receipt of a but exclude p0's send of a."""
+        trace = fig3_run.trace
+        # p0's send of a is its 2nd event (WRITE then SEND)
+        # find index of p2's first receipt
+        p2_events = trace.process_events(2)
+        first_receipt_idx = next(
+            i for i, ev in enumerate(p2_events) if ev.kind.value == "receipt"
+        )
+        cut = Cut((0, 0, first_receipt_idx + 1))
+        assert not is_consistent(trace, cut)
+
+    def test_make_consistent_repairs(self, fig3_run):
+        trace = fig3_run.trace
+        p2_events = trace.process_events(2)
+        bad = Cut((0, 0, len(p2_events)))
+        fixed = make_consistent(trace, bad)
+        assert is_consistent(trace, fixed)
+        assert fixed.frontier[2] < len(p2_events)
+
+    def test_cut_at_times(self, fig3_run):
+        trace = fig3_run.trace
+        cut = cut_at_times(trace, [2.0, 2.0, 2.0])
+        # simulated message delays are positive, so wall-clock cuts are
+        # automatically consistent
+        assert is_consistent(trace, cut)
+        with pytest.raises(ValueError):
+            cut_at_times(trace, [1.0])
+
+    def test_includes(self, fig3_run):
+        trace = fig3_run.trace
+        first = trace.process_events(0)[0]
+        assert Cut((1, 0, 0)).includes(trace, first)
+        assert not Cut((0, 0, 0)).includes(trace, first)
+
+
+class TestAppliedWrites:
+    def test_grows_with_frontier(self, fig3_run):
+        trace = fig3_run.trace
+        small = applied_writes_at(trace, cut_at_times(trace, [1.0] * 3), 1)
+        large = applied_writes_at(trace, full_cut(trace), 1)
+        assert small <= large
+        assert len(large) == 4  # all of H1's writes
+
+    def test_local_write_counts(self):
+        sched = Schedule.of([ScheduledOp(0.0, 0, WriteOp("x", 1))])
+        r = run_schedule("optp", 2, sched, latency=ConstantLatency(1.0))
+        cut = cut_at_times(r.trace, [0.5, 0.5])
+        applied = applied_writes_at(r.trace, cut, 0)
+        assert len(applied) == 1
+
+
+class TestCausalClosure:
+    @pytest.mark.parametrize("proto", CLASS_P)
+    def test_closure_at_random_cuts(self, proto):
+        """The causal-closure corollary of Theorem 3, at 20 random
+        consistent cuts of each verified run."""
+        cfg = WorkloadConfig(n_processes=4, ops_per_process=10,
+                             write_fraction=0.7, seed=3)
+        r = run_schedule(proto, 4, random_schedule(cfg),
+                         latency=SeededLatency(3, dist="exponential",
+                                               mean=1.0))
+        rng = random.Random(99)
+        for _ in range(20):
+            cut = random_consistent_cut(r.trace, rng)
+            assert closure_violations(r.trace, r.history, cut) == [], proto
+
+    def test_closure_detects_doctored_trace(self):
+        """A trace applying a write before its causal predecessor fails
+        closure at the full cut."""
+        from repro.model.operations import WriteId
+        from repro.sim.trace import EventKind, Trace
+
+        t = Trace(2)
+        t.record(0.0, 0, EventKind.WRITE, wid=WriteId(0, 1), variable="x", value=1)
+        t.record(0.0, 0, EventKind.SEND, wid=WriteId(0, 1))
+        t.record(1.0, 0, EventKind.WRITE, wid=WriteId(0, 2), variable="y", value=2)
+        t.record(1.0, 0, EventKind.SEND, wid=WriteId(0, 2))
+        # p1 applies ONLY the second write: not causally closed
+        t.record(2.0, 1, EventKind.RECEIPT, wid=WriteId(0, 2))
+        t.record(2.0, 1, EventKind.APPLY, wid=WriteId(0, 2), variable="y", value=2)
+        history = t.to_history()
+        violations = closure_violations(t, history, full_cut(t))
+        assert violations and "causal predecessor" in violations[0]

@@ -1,0 +1,110 @@
+"""Tests for enabling-set computation: Tables 1 and 2 of the paper."""
+
+import pytest
+
+from repro.analysis.enabling import (
+    enabling_table,
+    render_table,
+    superset_rows,
+    x_anbkh,
+    x_co_safe,
+)
+from repro.model.history import example_h1
+from repro.model.operations import WriteId
+from repro.sim import run_schedule
+from repro.workloads import fig3
+from repro.workloads.patterns import WID_A, WID_B, WID_C, WID_D
+
+
+@pytest.fixture
+def h1():
+    return example_h1()
+
+
+@pytest.fixture(scope="module")
+def fig3_run():
+    scen = fig3()
+    return run_schedule("anbkh", 3, scen.schedule, latency=scen.latency)
+
+
+class TestTable1:
+    """X_co-safe for H1 -- must equal the paper's Table 1 rows."""
+
+    def test_root_writes_have_empty_sets(self, h1):
+        for k in range(3):
+            assert x_co_safe(h1, k, WID_A) == frozenset()
+
+    def test_c_waits_only_for_a(self, h1):
+        for k in range(3):
+            assert x_co_safe(h1, k, WID_C) == {WID_A}
+
+    def test_b_waits_only_for_a(self, h1):
+        for k in range(3):
+            assert x_co_safe(h1, k, WID_B) == {WID_A}
+
+    def test_d_waits_for_a_and_b(self, h1):
+        for k in range(3):
+            assert x_co_safe(h1, k, WID_D) == {WID_A, WID_B}
+
+    def test_full_table_has_12_rows(self, h1):
+        rows = enabling_table(h1, family="co-safe")
+        assert len(rows) == 12  # 4 writes x 3 processes
+
+    def test_process_out_of_range(self, h1):
+        with pytest.raises(ValueError):
+            x_co_safe(h1, 7, WID_A)
+
+    def test_render_matches_paper_layout(self, h1):
+        text = render_table(enabling_table(h1, family="co-safe"), h1)
+        assert "apply_1(w1(x1)a): ∅" in text
+        assert "apply_3(w3(x2)d): {apply_3(w1(x1)a), apply_3(w2(x2)b)}" in text
+
+
+class TestTable2:
+    """X_ANBKH for the Figure 3 run -- must equal the paper's Table 2."""
+
+    def test_b_additionally_waits_for_c(self, fig3_run):
+        h = fig3_run.history
+        for k in range(3):
+            assert x_anbkh(fig3_run.trace, h, k, WID_B) == {WID_A, WID_C}
+
+    def test_d_waits_for_a_c_b(self, fig3_run):
+        h = fig3_run.history
+        for k in range(3):
+            assert x_anbkh(fig3_run.trace, h, k, WID_D) == {WID_A, WID_C, WID_B}
+
+    def test_a_and_c_rows_match_table1(self, fig3_run):
+        h = fig3_run.history
+        for k in range(3):
+            assert x_anbkh(fig3_run.trace, h, k, WID_A) == frozenset()
+            assert x_anbkh(fig3_run.trace, h, k, WID_C) == {WID_A}
+
+    def test_superset_rows_are_b_and_d(self, fig3_run):
+        """The paper's non-optimality witnesses: the 6 rows (b and d at
+        each process) where X_ANBKH strictly contains X_co-safe, each
+        exceeding by exactly {c}."""
+        h = fig3_run.history
+        rows = superset_rows(h, fig3_run.trace)
+        assert len(rows) == 6
+        assert {r.wid for r, _ in rows} == {WID_B, WID_D}
+        for _, excess in rows:
+            assert excess == {WID_C}
+
+    def test_anbkh_table_requires_trace(self, fig3_run):
+        with pytest.raises(ValueError, match="requires the run trace"):
+            enabling_table(fig3_run.history, family="anbkh")
+
+    def test_unknown_family(self, h1):
+        with pytest.raises(ValueError, match="unknown family"):
+            enabling_table(h1, family="bogus")
+
+
+class TestXAnbkhVsXCoSafe:
+    def test_anbkh_always_superset(self, fig3_run):
+        """X_co-safe ⊆ X_ANBKH for every event (ANBKH is safe)."""
+        h = fig3_run.history
+        for w in h.writes():
+            for k in range(3):
+                safe = x_co_safe(h, k, w.wid)
+                anbkh = x_anbkh(fig3_run.trace, h, k, w.wid)
+                assert safe <= anbkh, (w.wid, k)

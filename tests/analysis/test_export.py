@@ -1,0 +1,80 @@
+"""Tests for the CSV/JSON exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    metrics_to_csv,
+    metrics_to_json,
+    sweep_to_csv,
+    sweep_to_json,
+)
+from repro.analysis.metrics import RunMetrics
+from repro.paperfigs.comparison import sweep_zipf
+from repro.sim import SeededLatency, run_schedule
+from repro.workloads import WorkloadConfig, random_schedule
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return sweep_zipf(skews=(0.0,), ops_per_process=6, seeds=(0,),
+                      protocols=("optp", "anbkh"))
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    cfg = WorkloadConfig(n_processes=3, ops_per_process=8, seed=1)
+    r = run_schedule("optp", 3, random_schedule(cfg), latency=SeededLatency(1))
+    return [RunMetrics.of(r)]
+
+
+class TestSweepExport:
+    def test_csv_roundtrip(self, rows):
+        text = sweep_to_csv(rows)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == len(rows)
+        assert parsed[0]["protocol"] in ("optp", "anbkh")
+        assert float(parsed[0]["mean_delays"]) >= 0
+
+    def test_json_roundtrip(self, rows):
+        data = json.loads(sweep_to_json(rows))
+        assert len(data) == len(rows)
+        assert data[0]["axis"] == "zipf_s"
+        assert set(data[0]) >= {"protocol", "mean_delays", "seeds"}
+
+    def test_empty(self):
+        assert json.loads(sweep_to_json([])) == []
+        assert list(csv.DictReader(io.StringIO(sweep_to_csv([])))) == []
+
+
+class TestMetricsExport:
+    def test_csv_includes_delay_stats(self, metrics):
+        text = metrics_to_csv(metrics)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 1
+        row = parsed[0]
+        assert row["protocol"] == "optp"
+        assert "delay_p95" in row
+
+    def test_json_nests_delay_stats(self, metrics):
+        data = json.loads(metrics_to_json(metrics))
+        assert data[0]["delay_stats"]["count"] == metrics[0].delay_stats.count
+
+
+class TestCLISweepFormats:
+    def test_csv_format(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "zipf", "--seeds", "0", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("axis,value,protocol")
+
+    def test_json_format(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "zipf", "--seeds", "0", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert isinstance(data, list) and data

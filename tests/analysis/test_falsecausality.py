@@ -1,0 +1,73 @@
+"""Tests for false-causality opportunity analysis."""
+
+import pytest
+
+from repro.analysis import analyze_false_causality, check_run
+from repro.sim import SeededLatency, run_schedule
+from repro.workloads import WorkloadConfig, fig3, random_schedule
+from repro.workloads.patterns import WID_B, WID_C, WID_D
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def report(self):
+        scen = fig3()
+        r = run_schedule("anbkh", 3, scen.schedule, latency=scen.latency)
+        return analyze_false_causality(r)
+
+    def test_opportunities_are_c_before_b_and_d(self, report):
+        """send(c) precedes send(b) and send(d) in the run, but c is
+        concurrent with both -- the exact pairs footnote 7 points at."""
+        assert set(report.opportunities) == {(WID_C, WID_B), (WID_C, WID_D)}
+
+    def test_counts(self, report):
+        # hb pairs among the 4 writes: a<c, a<b, a<d, c<b, c<d, b<d = 6
+        assert report.hb_pairs == 6
+        assert report.genuine_pairs == 4
+        assert report.n_opportunities == 2
+        assert report.false_share == pytest.approx(2 / 6)
+
+
+class TestRelationToDelays:
+    def test_no_opportunities_no_unnecessary_delays(self):
+        """A workload whose sends are never hb-related across concurrent
+        writes gives ANBKH nothing to get wrong."""
+        from repro.workloads import Schedule, ScheduledOp, WriteOp
+
+        # fully independent writers, one write each
+        sched = Schedule.of(
+            [ScheduledOp(0.0, p, WriteOp(f"x{p}", p)) for p in range(3)]
+        )
+        r = run_schedule("anbkh", 3, sched, latency=SeededLatency(1))
+        rep = analyze_false_causality(r)
+        assert rep.n_opportunities == 0
+        assert not check_run(r).unnecessary_delays
+
+    def test_opportunities_bound_direct_unnecessary_delays(self):
+        """Each unnecessary ANBKH delay needs a false pair behind it:
+        per process, unnecessary delays <= opportunities."""
+        for seed in range(3):
+            cfg = WorkloadConfig(n_processes=4, ops_per_process=12,
+                                 write_fraction=0.7, seed=seed)
+            r = run_schedule("anbkh", 4, random_schedule(cfg),
+                             latency=SeededLatency(seed, dist="exponential",
+                                                   mean=2.0))
+            rep = analyze_false_causality(r)
+            report = check_run(r)
+            # n-1 receivers can each realize an opportunity at most once
+            assert len(report.unnecessary_delays) <= rep.n_opportunities * 3
+
+    def test_share_in_unit_interval(self):
+        cfg = WorkloadConfig(n_processes=3, ops_per_process=10, seed=4)
+        r = run_schedule("optp", 3, random_schedule(cfg),
+                         latency=SeededLatency(4))
+        rep = analyze_false_causality(r)
+        assert 0.0 <= rep.false_share <= 1.0
+        assert rep.genuine_pairs + rep.n_opportunities == rep.hb_pairs
+
+    def test_empty_run(self):
+        from repro.workloads import Schedule
+
+        r = run_schedule("optp", 2, Schedule.of([]))
+        rep = analyze_false_causality(r)
+        assert rep.hb_pairs == 0 and rep.false_share == 0.0

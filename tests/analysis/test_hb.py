@@ -1,0 +1,67 @@
+"""Tests for the happened-before relation over traces."""
+
+import pytest
+
+from repro.analysis.hb import HappenedBefore
+from repro.model.operations import WriteId
+from repro.sim import run_schedule
+from repro.sim.trace import EventKind, Trace
+from repro.workloads import fig3
+from repro.workloads.patterns import WID_A, WID_B, WID_C, WID_D
+
+
+@pytest.fixture(scope="module")
+def fig3_run():
+    scen = fig3()
+    return run_schedule("anbkh", 3, scen.schedule, latency=scen.latency)
+
+
+class TestHappenedBefore:
+    def test_process_order(self, fig3_run):
+        hb = HappenedBefore(fig3_run.trace)
+        evs = fig3_run.trace.process_events(0)
+        assert hb.hb(evs[0], evs[-1])
+        assert not hb.hb(evs[-1], evs[0])
+
+    def test_message_edge(self, fig3_run):
+        hb = HappenedBefore(fig3_run.trace)
+        send_a = hb.send_event(WID_A)
+        receipt = fig3_run.trace.receipt_event(1, WID_A)
+        assert hb.hb(send_a, receipt)
+
+    def test_transitivity_across_processes(self, fig3_run):
+        """send(a) -> receipt_1(a) -> ... -> send(b)."""
+        hb = HappenedBefore(fig3_run.trace)
+        assert hb.sends_hb(WID_A, WID_B)
+
+    def test_false_causality_pair(self, fig3_run):
+        """send(c) -> send(b) holds in the run even though b ||co c --
+        the definitional gap the paper exploits."""
+        hb = HappenedBefore(fig3_run.trace)
+        assert hb.sends_hb(WID_C, WID_B)
+        co = fig3_run.history.causal_order
+        b = fig3_run.history.write_by_id(WID_B)
+        c = fig3_run.history.write_by_id(WID_C)
+        assert co.concurrent(b, c)
+
+    def test_concurrent_events(self, fig3_run):
+        hb = HappenedBefore(fig3_run.trace)
+        send_a = hb.send_event(WID_A)
+        assert not hb.concurrent(send_a, send_a)
+        # d's send is causally after everything a started
+        assert hb.sends_hb(WID_A, WID_D)
+        assert not hb.sends_hb(WID_D, WID_A)
+
+    def test_missing_send_raises(self, fig3_run):
+        hb = HappenedBefore(fig3_run.trace)
+        with pytest.raises(KeyError):
+            hb.sends_hb(WID_A, WriteId(2, 9))
+
+    def test_write_event_fallback_for_sendless_protocols(self):
+        """Token-protocol writes never emit SEND events; the WRITE event
+        stands in."""
+        t = Trace(2)
+        t.record(0.0, 0, EventKind.WRITE, wid=WriteId(0, 1), variable="x", value=1)
+        t.record(1.0, 0, EventKind.WRITE, wid=WriteId(0, 2), variable="y", value=2)
+        hb = HappenedBefore(t)
+        assert hb.sends_hb(WriteId(0, 1), WriteId(0, 2))

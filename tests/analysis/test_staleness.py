@@ -1,0 +1,98 @@
+"""Tests for visibility-latency metrics."""
+
+import pytest
+
+from repro.analysis.staleness import visibility_report
+from repro.sim import ConstantLatency, SeededLatency, run_schedule
+from repro.workloads import (
+    Schedule,
+    ScheduledOp,
+    WorkloadConfig,
+    WriteOp,
+    fig3,
+    random_schedule,
+)
+
+
+class TestDecomposition:
+    def test_constant_latency_single_write(self):
+        sched = Schedule.of([ScheduledOp(0.0, 0, WriteOp("x", 1))])
+        r = run_schedule("optp", 3, sched, latency=ConstantLatency(2.0))
+        rep = visibility_report(r)
+        assert rep.visibility.count == 2          # two remote replicas
+        assert rep.visibility.mean == pytest.approx(2.0)
+        assert rep.transit.mean == pytest.approx(2.0)
+        assert rep.buffering.mean == pytest.approx(0.0)
+        assert rep.never_applied == 0
+
+    def test_buffered_write_shows_in_buffering(self):
+        scen = fig3()
+        r = run_schedule("anbkh", 3, scen.schedule, latency=scen.latency)
+        rep = visibility_report(r)
+        # b is buffered at p2 from 4.5 to 5.5: one second of buffering
+        assert rep.buffering.max == pytest.approx(1.0)
+        assert rep.visibility.max >= rep.transit.max
+
+    def test_optp_buffering_leq_anbkh(self):
+        """The optimality theorem, read as a staleness statement."""
+        for seed in range(3):
+            cfg = WorkloadConfig(n_processes=5, ops_per_process=12,
+                                 write_fraction=0.7, seed=seed)
+            sched = random_schedule(cfg)
+            lat = SeededLatency(seed, dist="exponential", mean=2.0)
+            b_optp = visibility_report(
+                run_schedule("optp", 5, sched, latency=lat)).buffering
+            b_anbkh = visibility_report(
+                run_schedule("anbkh", 5, sched, latency=lat)).buffering
+            total_optp = b_optp.mean * b_optp.count
+            total_anbkh = b_anbkh.mean * b_anbkh.count
+            assert total_optp <= total_anbkh + 1e-9
+
+    def test_identical_transit_across_protocols(self):
+        """Same schedule + SeededLatency: the transit term is protocol
+        independent, only buffering differs."""
+        cfg = WorkloadConfig(n_processes=4, ops_per_process=10,
+                             write_fraction=0.8, seed=2)
+        sched = random_schedule(cfg)
+        lat = SeededLatency(2, dist="exponential", mean=2.0)
+        t_optp = visibility_report(
+            run_schedule("optp", 4, sched, latency=lat)).transit
+        t_anbkh = visibility_report(
+            run_schedule("anbkh", 4, sched, latency=lat)).transit
+        assert t_optp.mean == pytest.approx(t_anbkh.mean)
+        assert t_optp.count == t_anbkh.count
+
+    def test_never_applied_counts_ws_skips(self):
+        from repro.sim import ScriptedLatency
+        from repro.model.operations import WriteId
+
+        script = ScriptedLatency(
+            {
+                (("update", WriteId(0, 1)), 1): 30.0,
+                (("update", WriteId(0, 2)), 1): 1.0,
+            },
+            default=1.0,
+        )
+        sched = Schedule.of([
+            ScheduledOp(0.0, 0, WriteOp("x", 1)),
+            ScheduledOp(0.5, 0, WriteOp("x", 2)),
+        ])
+        r = run_schedule("ws-receiver", 2, sched, latency=script)
+        rep = visibility_report(r)
+        assert rep.never_applied == 1  # the overwritten first write
+
+    def test_token_protocol_visibility_without_receipts(self):
+        """Token batches have no RECEIPT events; visibility still
+        computed, split unavailable for those pairs."""
+        sched = Schedule.of([ScheduledOp(0.0, 1, WriteOp("x", 1))])
+        r = run_schedule("jimenez-token", 3, sched,
+                         latency=ConstantLatency(1.0))
+        rep = visibility_report(r)
+        assert rep.visibility.count == 2
+        assert rep.transit.count == 0
+        assert "visibility mean" in rep.summary()
+
+    def test_empty_run(self):
+        r = run_schedule("optp", 2, Schedule.of([]))
+        rep = visibility_report(r)
+        assert rep.visibility.count == 0 and rep.never_applied == 0

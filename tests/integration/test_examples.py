@@ -1,0 +1,41 @@
+"""Smoke tests: every shipped example must run green end to end.
+
+Each example self-verifies (asserts on its own run), so executing it is
+a real integration test, not just an import check.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = [
+    ("quickstart.py", []),
+    ("collaborative_editing.py", ["3"]),
+    ("social_feed.py", []),
+    ("bank_accounts.py", []),
+    ("edge_replication.py", []),
+    ("kv_store.py", []),
+    ("asyncio_cluster.py", ["2"]),
+    ("protocol_comparison.py", ["--quick"]),
+]
+
+
+@pytest.mark.parametrize("script,args", EXAMPLES,
+                         ids=[e[0] for e in EXAMPLES])
+def test_example_runs_clean(script, args):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed:\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{script} produced no output"

@@ -1,0 +1,224 @@
+"""Property-based integration tests: the paper's theorems over random
+runs.
+
+hypothesis generates workload shapes, latency regimes and seeds; every
+generated run is pushed through the full checker.  These are the
+machine-checked counterparts of the paper's proofs:
+
+- Theorems 1-2 (characterization) -- `test_write_co_characterizes_co`
+- Theorem 3 (safety)              -- inside `check_run` for every run
+- Theorem 4 (optimality)          -- `test_optp_delays_all_necessary`,
+                                     `test_optp_never_more_delays_than_anbkh`
+- Theorem 5 (liveness)            -- inside `check_run` for every run
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import check_run
+from repro.sim import (
+    ConstantLatency,
+    ExponentialLatency,
+    SeededLatency,
+    run_schedule,
+)
+from repro.workloads import WorkloadConfig, random_schedule
+
+# Run-generating tests are expensive; keep example counts modest but
+# meaningful, and disable the too-slow health check.
+RUN_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+configs = st.builds(
+    WorkloadConfig,
+    n_processes=st.integers(min_value=2, max_value=6),
+    ops_per_process=st.integers(min_value=2, max_value=15),
+    n_variables=st.integers(min_value=1, max_value=5),
+    write_fraction=st.floats(min_value=0.2, max_value=1.0),
+    zipf_s=st.floats(min_value=0.0, max_value=2.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+latency_seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def make_latency(kind: str, seed: int):
+    if kind == "constant":
+        return ConstantLatency(1.0)
+    if kind == "uniform":
+        return SeededLatency(seed, dist="uniform", lo=0.2, hi=4.0)
+    return SeededLatency(seed, dist="exponential", mean=1.5)
+
+
+latency_kinds = st.sampled_from(["constant", "uniform", "exponential"])
+
+
+class TestClassPProtocols:
+    @RUN_SETTINGS
+    @given(cfg=configs, lk=latency_kinds, lseed=latency_seeds)
+    def test_optp_runs_are_correct_and_optimal(self, cfg, lk, lseed):
+        sched = random_schedule(cfg)
+        r = run_schedule("optp", cfg.n_processes, sched,
+                         latency=make_latency(lk, lseed), record_state=True)
+        report = check_run(r)
+        assert report.ok, report.summary()
+        # Theorem 4: every delay necessary, on every run.
+        assert not report.unnecessary_delays, report.summary()
+        # Theorems 1-2: Write_co characterizes ->co (vacuous when the
+        # generated workload happened to contain no writes).
+        if r.writes_issued:
+            assert report.characterization_ok is True
+
+    @RUN_SETTINGS
+    @given(cfg=configs, lk=latency_kinds, lseed=latency_seeds)
+    def test_anbkh_runs_are_correct(self, cfg, lk, lseed):
+        sched = random_schedule(cfg)
+        r = run_schedule("anbkh", cfg.n_processes, sched,
+                         latency=make_latency(lk, lseed))
+        report = check_run(r)
+        assert report.ok, report.summary()
+
+    @RUN_SETTINGS
+    @given(cfg=configs, lseed=latency_seeds)
+    def test_optp_never_more_delays_than_anbkh(self, cfg, lseed):
+        """On identical message schedules (SeededLatency keys by write
+        identity), OptP's enabling sets are subsets of ANBKH's, so its
+        delay count can never exceed ANBKH's."""
+        sched = random_schedule(cfg)
+        latency = SeededLatency(lseed, dist="uniform", lo=0.2, hi=4.0)
+        r_optp = run_schedule("optp", cfg.n_processes, sched, latency=latency)
+        r_anbkh = run_schedule("anbkh", cfg.n_processes, sched, latency=latency)
+        assert r_optp.write_delays <= r_anbkh.write_delays
+
+    @RUN_SETTINGS
+    @given(cfg=configs, lseed=latency_seeds)
+    def test_anbkh_unnecessary_delays_are_exactly_the_gap_witnesses(
+        self, cfg, lseed
+    ):
+        """Every ANBKH delay the audit calls unnecessary is a real
+        false-causality event: the delayed write's causal past was fully
+        applied at receipt."""
+        sched = random_schedule(cfg)
+        latency = SeededLatency(lseed, dist="exponential", mean=2.0)
+        r = run_schedule("anbkh", cfg.n_processes, sched, latency=latency)
+        report = check_run(r)
+        assert report.ok
+        for audit in report.unnecessary_delays:
+            assert audit.witness is None
+
+
+class TestWritingSemanticsProtocols:
+    @RUN_SETTINGS
+    @given(cfg=configs, lk=latency_kinds, lseed=latency_seeds)
+    def test_ws_receiver_runs_are_correct(self, cfg, lk, lseed):
+        sched = random_schedule(cfg)
+        r = run_schedule("ws-receiver", cfg.n_processes, sched,
+                         latency=make_latency(lk, lseed), record_state=True)
+        report = check_run(r)
+        assert report.ok, report.summary()
+        # the OptP-style vectors still characterize ->co
+        if r.writes_issued:
+            assert report.characterization_ok is True
+
+    @RUN_SETTINGS
+    @given(cfg=configs, lseed=latency_seeds)
+    def test_ws_receiver_never_more_delays_than_optp(self, cfg, lseed):
+        """Overwriting can only remove enabling obligations, never add:
+        the WS variant's delays are bounded by OptP's on the same
+        schedule."""
+        sched = random_schedule(cfg)
+        latency = SeededLatency(lseed, dist="exponential", mean=2.0)
+        r_ws = run_schedule("ws-receiver", cfg.n_processes, sched, latency=latency)
+        r_optp = run_schedule("optp", cfg.n_processes, sched, latency=latency)
+        assert r_ws.write_delays <= r_optp.write_delays
+
+    @RUN_SETTINGS
+    @given(cfg=configs, lk=latency_kinds, lseed=latency_seeds)
+    def test_jimenez_runs_are_correct(self, cfg, lk, lseed):
+        sched = random_schedule(cfg)
+        r = run_schedule("jimenez-token", cfg.n_processes, sched,
+                         latency=make_latency(lk, lseed))
+        report = check_run(r)
+        assert report.ok, report.summary()
+
+    @RUN_SETTINGS
+    @given(cfg=configs, lseed=latency_seeds)
+    def test_ws_skip_plus_discard_accounting(self, cfg, lseed):
+        """Every skip eventually produces exactly one discarded message
+        (channels are reliable), so at quiescence skips == discards."""
+        sched = random_schedule(cfg)
+        r = run_schedule("ws-receiver", cfg.n_processes, sched,
+                         latency=SeededLatency(lseed, dist="exponential", mean=2.0))
+        assert r.stat_total("skipped") == r.discards
+
+
+class TestExtensionProtocols:
+    @RUN_SETTINGS
+    @given(cfg=configs, lseed=latency_seeds)
+    def test_sequencer_runs_are_correct(self, cfg, lseed):
+        sched = random_schedule(cfg)
+        r = run_schedule("sequencer", cfg.n_processes, sched,
+                         latency=make_latency("uniform", lseed))
+        report = check_run(r)
+        assert report.ok, report.summary()
+
+    @RUN_SETTINGS
+    @given(cfg=configs, lseed=latency_seeds)
+    def test_gossip_runs_are_correct_and_optimal(self, cfg, lseed):
+        sched = random_schedule(cfg)
+        r = run_schedule("gossip-optp", cfg.n_processes, sched,
+                         latency=make_latency("exponential", lseed))
+        report = check_run(r)
+        assert report.ok, report.summary()
+        # footnote 5: optimality is propagation-independent
+        assert not report.unnecessary_delays, report.summary()
+
+    @RUN_SETTINGS
+    @given(cfg=configs, lseed=latency_seeds,
+           k=st.integers(min_value=1, max_value=3))
+    def test_partial_runs_are_correct(self, cfg, lseed, k):
+        from repro.protocols.partial import ReplicationMap, partial_factory
+        from repro.workloads.generators import random_partial_schedule
+
+        k = min(k, cfg.n_processes)
+        variables = [f"x{i}" for i in range(cfg.n_variables)]
+        rmap = ReplicationMap.round_robin(variables, cfg.n_processes, k)
+        sched = random_partial_schedule(cfg, rmap)
+        r = run_schedule(partial_factory(rmap), cfg.n_processes, sched,
+                         latency=make_latency("exponential", lseed))
+        report = check_run(r)
+        assert report.ok, report.summary()
+        assert not report.unnecessary_delays, report.summary()
+
+
+class TestConvergence:
+    @RUN_SETTINGS
+    @given(cfg=configs, lseed=latency_seeds)
+    def test_replicas_agree_on_causally_final_writes(self, cfg, lseed):
+        """For every variable whose writes are totally ordered by ->co,
+        all replicas must end with the ->co-maximal write's value."""
+        sched = random_schedule(cfg)
+        r = run_schedule("optp", cfg.n_processes, sched,
+                         latency=SeededLatency(lseed))
+        co = r.history.causal_order
+        by_var = {}
+        for w in r.history.writes():
+            by_var.setdefault(w.variable, []).append(w)
+        for var, writes in by_var.items():
+            # totally ordered?
+            chain = all(
+                co.precedes(a, b) or co.precedes(b, a)
+                for i, a in enumerate(writes)
+                for b in writes[i + 1:]
+            )
+            if not chain:
+                continue
+            final = max(
+                writes, key=lambda w: sum(co.precedes(o, w) for o in writes)
+            )
+            for store in r.stores:
+                assert store[var][1] == final.wid

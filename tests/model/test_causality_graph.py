@@ -1,0 +1,131 @@
+"""Unit tests for the write causality graph (Section 4.3, Figure 7)."""
+
+import pytest
+
+from repro.model.causality_graph import WriteCausalityGraph, immediate_predecessors
+from repro.model.history import (
+    History,
+    HistoryBuilder,
+    LocalHistory,
+    example_h1,
+)
+from repro.model.operations import Read, Write, WriteId
+
+
+@pytest.fixture
+def h1():
+    return example_h1()
+
+
+@pytest.fixture
+def g1(h1):
+    return WriteCausalityGraph.from_history(h1)
+
+
+class TestFigure7:
+    """The exact graph drawn in Figure 7 of the paper."""
+
+    def test_edges(self, g1):
+        wa, wc = WriteId(0, 1), WriteId(0, 2)
+        wb, wd = WriteId(1, 1), WriteId(2, 1)
+        assert set(g1.edge_list()) == {(wa, wc), (wa, wb), (wb, wd)}
+
+    def test_immediate_predecessors_match_paper(self, h1, g1):
+        # "w1(x1)c is a w3(x2)d's immediate predecessor" -- wait, the paper
+        # text says w2(x2)b is the immediate predecessor of w3(x2)d, and
+        # w1(x1)a of both w1(x1)c and w2(x2)b.
+        wa, wc = WriteId(0, 1), WriteId(0, 2)
+        wb, wd = WriteId(1, 1), WriteId(2, 1)
+        assert g1.predecessors(wa) == []
+        assert g1.predecessors(wc) == [wa]
+        assert g1.predecessors(wb) == [wa]
+        assert g1.predecessors(wd) == [wb]
+
+    def test_roots(self, g1):
+        assert g1.roots() == [WriteId(0, 1)]
+
+    def test_validate_passes(self, g1):
+        g1.validate()
+
+    def test_transitive_edge_absent(self, g1):
+        """a ->co d holds but a -> d is not an edge (transitive reduction)."""
+        assert (WriteId(0, 1), WriteId(2, 1)) not in set(g1.edge_list())
+
+    def test_ascii_rendering(self, g1):
+        art = g1.to_ascii()
+        assert "w0(x1)'a'" in art
+        assert art.index("w0(x1)'a'") < art.index("w2(x2)'d'")
+
+
+class TestImmediatePredecessorsFunction:
+    def test_agrees_with_graph(self, h1, g1):
+        for w in h1.writes():
+            direct = {p.wid for p in immediate_predecessors(h1, w)}
+            assert direct == set(g1.predecessors(w.wid))
+
+    def test_chain_collapses_to_single_predecessor(self):
+        b = HistoryBuilder(1)
+        b.write(0, "x", 1)
+        b.write(0, "x", 2)
+        w3 = b.write(0, "x", 3)
+        h = b.build()
+        preds = immediate_predecessors(h, h.write_by_id(w3))
+        assert [p.wid for p in preds] == [WriteId(0, 2)]
+
+
+class TestGraphProperties:
+    def test_at_most_one_immediate_predecessor_per_process(self):
+        """Section 4.3: each write has at most n immediate predecessors,
+        one per process."""
+        b = HistoryBuilder(4)
+        ws = [b.write(p, f"x{p}", p) for p in range(3)]
+        for p, w in enumerate(ws):
+            b.read(3, f"x{p}", w)
+        wid = b.write(3, "y", "sink")
+        h = b.build()
+        g = WriteCausalityGraph.from_history(h)
+        g.validate()
+        assert len(g.predecessors(wid)) == 3
+
+    def test_longest_chain(self, g1):
+        assert g1.longest_chain_length() == 2  # a -> b -> d
+
+    def test_empty_graph(self):
+        h = HistoryBuilder(2).build()
+        g = WriteCausalityGraph.from_history(h)
+        assert g.longest_chain_length() == 0
+        assert g.roots() == []
+        g.validate()
+
+    def test_chains_between(self, g1):
+        chains = list(g1.chains_between(WriteId(0, 1), WriteId(2, 1)))
+        assert chains == [[WriteId(0, 1), WriteId(1, 1), WriteId(2, 1)]]
+
+    def test_successors(self, g1):
+        assert g1.successors(WriteId(0, 1)) == [WriteId(0, 2), WriteId(1, 1)]
+
+    def test_cyclic_history_rejected(self):
+        wx = Write(process=1, index=1, variable="x", value="v", wid=WriteId(1, 1))
+        wy = Write(process=0, index=1, variable="y", value="u", wid=WriteId(0, 1))
+        rx = Read(process=0, index=0, variable="x", value="v", read_from=WriteId(1, 1))
+        ry = Read(process=1, index=0, variable="y", value="u", read_from=WriteId(0, 1))
+        h = History([LocalHistory(0, (rx, wy)), LocalHistory(1, (ry, wx))])
+        with pytest.raises(ValueError):
+            WriteCausalityGraph.from_history(h)
+
+    def test_diamond(self):
+        """w_root -> {w_left, w_right} -> w_sink keeps both middle edges."""
+        b = HistoryBuilder(4)
+        root = b.write(0, "r", 0)
+        b.read(1, "r", root)
+        left = b.write(1, "l", 1)
+        b.read(2, "r", root)
+        right = b.write(2, "m", 2)
+        b.read(3, "l", left)
+        b.read(3, "m", right)
+        sink = b.write(3, "s", 3)
+        h = b.build()
+        g = WriteCausalityGraph.from_history(h)
+        g.validate()
+        assert set(g.predecessors(sink)) == {left, right}
+        assert g.longest_chain_length() == 2

@@ -1,0 +1,139 @@
+"""Property tests over *arbitrary* (including inconsistent) histories.
+
+Protocol runs only ever produce well-behaved histories; these tests
+drive the theory layer -- causal order, legality, causality graph,
+serialization -- with adversarial inputs generated directly by
+hypothesis: random interleavings of writes and reads where each read
+picks an arbitrary same-variable write (or BOTTOM) to read from.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.model.causality_graph import WriteCausalityGraph
+from repro.model.history import History, HistoryBuilder
+from repro.model.legality import check_causal_consistency
+from repro.model.operations import Read, Write
+from repro.model.serialization import is_causal_ahamad
+
+SETTINGS = settings(max_examples=60, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def histories(draw, max_processes=4, max_ops=12, max_vars=3):
+    """A random history: reads read-from any *earlier-generated* write
+    on the same variable (or BOTTOM), so ->co stays acyclic but
+    legality is arbitrary."""
+    n = draw(st.integers(min_value=1, max_value=max_processes))
+    n_ops = draw(st.integers(min_value=0, max_value=max_ops))
+    b = HistoryBuilder(n)
+    wids_by_var = {}
+    for _ in range(n_ops):
+        p = draw(st.integers(min_value=0, max_value=n - 1))
+        var = f"x{draw(st.integers(min_value=0, max_value=max_vars - 1))}"
+        if draw(st.booleans()):
+            wid = b.write(p, var)
+            wids_by_var.setdefault(var, []).append(wid)
+        else:
+            pool = wids_by_var.get(var, [])
+            choice = draw(st.integers(min_value=-1, max_value=len(pool) - 1))
+            b.read(p, var, None if choice < 0 else pool[choice])
+    return b.build()
+
+
+class TestCausalOrderInvariants:
+    @SETTINGS
+    @given(histories())
+    def test_acyclic(self, h):
+        # reads only reference already-created writes -> no cycles
+        assert not h.causal_order.has_cycle
+
+    @SETTINGS
+    @given(histories())
+    def test_transitivity(self, h):
+        co = h.causal_order
+        ops = list(h.operations())
+        for a in ops:
+            for b in ops:
+                if a.key == b.key or not co.precedes(a, b):
+                    continue
+                for c in ops:
+                    if c.key != b.key and co.precedes(b, c):
+                        assert co.precedes(a, c)
+
+    @SETTINGS
+    @given(histories())
+    def test_antisymmetry_and_concurrency_partition(self, h):
+        co = h.causal_order
+        ops = list(h.operations())
+        for a in ops:
+            for b in ops:
+                if a.key == b.key:
+                    continue
+                rel = (co.precedes(a, b), co.precedes(b, a), co.concurrent(a, b))
+                assert sum(rel) == 1, (a, b, rel)
+
+    @SETTINGS
+    @given(histories())
+    def test_process_order_embedded(self, h):
+        co = h.causal_order
+        for lh in h.locals:
+            for i, a in enumerate(lh.operations):
+                for b in lh.operations[i + 1:]:
+                    assert co.precedes(a, b)
+
+    @SETTINGS
+    @given(histories())
+    def test_causal_past_future_duality(self, h):
+        co = h.causal_order
+        ops = list(h.operations())
+        for a in ops:
+            past = {o.key for o in co.causal_past(a)}
+            for b in ops:
+                if b.key == a.key:
+                    continue
+                assert (b.key in past) == co.precedes(b, a)
+
+
+class TestCausalityGraphInvariants:
+    @SETTINGS
+    @given(histories())
+    def test_structural_validation(self, h):
+        g = WriteCausalityGraph.from_history(h)
+        g.validate()
+
+    @SETTINGS
+    @given(histories())
+    def test_reduction_reaches_exactly_co(self, h):
+        """Reachability in the reduced graph == ->co on writes."""
+        import networkx as nx
+
+        g = WriteCausalityGraph.from_history(h)
+        co = h.causal_order
+        writes = list(h.writes())
+        for w1 in writes:
+            reachable = nx.descendants(g.graph, w1.wid)
+            for w2 in writes:
+                if w1.wid == w2.wid:
+                    continue
+                assert (w2.wid in reachable) == co.precedes(w1, w2)
+
+
+class TestDefinitionRelations:
+    @SETTINGS
+    @given(histories(max_processes=3, max_ops=8))
+    def test_serializable_implies_legal(self, h):
+        """Ahamad-causal (serializations exist) implies Definition 1-2
+        legality -- the strict-implication direction of the documented
+        definition gap."""
+        if is_causal_ahamad(h, max_steps=50_000):
+            assert check_causal_consistency(h).consistent
+
+    @SETTINGS
+    @given(histories(max_processes=3, max_ops=8))
+    def test_illegal_implies_not_serializable(self, h):
+        rep = check_causal_consistency(h)
+        if not rep.consistent:
+            assert not is_causal_ahamad(h, max_steps=50_000)

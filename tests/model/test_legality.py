@@ -1,0 +1,184 @@
+"""Unit tests for Definitions 1-2 (legal reads, causal consistency)."""
+
+import pytest
+
+from repro.model.history import History, HistoryBuilder, LocalHistory, example_h1
+from repro.model.legality import (
+    check_causal_consistency,
+    is_causally_consistent,
+    is_legal_read,
+)
+from repro.model.operations import Read, Write, WriteId
+
+
+class TestPaperExamples:
+    def test_h1_is_causally_consistent(self):
+        # Example 1 of the paper.
+        assert is_causally_consistent(example_h1())
+
+    def test_h1_report(self):
+        rep = check_causal_consistency(example_h1())
+        assert rep.consistent
+        assert not rep.violations
+        assert not rep.cyclic
+        assert bool(rep) is True
+        assert rep.summary() == "causally consistent"
+
+
+class TestLegalReads:
+    def test_read_of_latest_causal_write_is_legal(self):
+        b = HistoryBuilder(2)
+        w1 = b.write(0, "x", "old")
+        w2 = b.write(0, "x", "new")
+        b.read(1, "x", w2)
+        h = b.build()
+        assert is_causally_consistent(h)
+
+    def test_read_of_overwritten_value_is_illegal(self):
+        """w(x)old ->co w(x)new ->co r(x)old violates Definition 1."""
+        b = HistoryBuilder(2)
+        w_old = b.write(0, "x", "old")
+        w_new = b.write(0, "x", "new")
+        # p1 reads new first (establishing new ->co the later read), then old
+        b.read(1, "x", w_new)
+        r = b.read(1, "x", w_old)
+        h = b.build()
+        rep = check_causal_consistency(h)
+        assert not rep.consistent
+        assert len(rep.violations) == 1
+        v = rep.violations[0]
+        assert v.read.value == "old"
+        assert v.interposed is not None and v.interposed.value == "new"
+
+    def test_stale_read_of_concurrent_write_is_legal(self):
+        """Two concurrent writes to x: either may be read (causal memory
+        allows different processes to see concurrent writes in different
+        orders)."""
+        b = HistoryBuilder(3)
+        w1 = b.write(0, "x", "v0")
+        w2 = b.write(1, "x", "v1")
+        b.read(2, "x", w1)
+        h = b.build()
+        assert is_causally_consistent(h)
+
+    def test_bottom_read_before_any_write_is_legal(self):
+        b = HistoryBuilder(2)
+        b.read(0, "x", None)
+        b.write(1, "x", "v")
+        h = b.build()
+        assert is_causally_consistent(h)
+
+    def test_bottom_read_after_causally_seen_write_is_illegal(self):
+        b = HistoryBuilder(2)
+        w = b.write(0, "x", "v")
+        b.read(1, "x", w)      # p1 causally saw w
+        b.read(1, "x", None)   # ...then reads BOTTOM: illegal
+        h = b.build()
+        rep = check_causal_consistency(h)
+        assert not rep.consistent
+        assert "BOTTOM" in rep.violations[0].reason
+
+    def test_bottom_read_with_only_concurrent_writes_is_legal(self):
+        b = HistoryBuilder(2)
+        b.read(0, "x", None)
+        b.write(1, "x", "v")
+        h = b.build()
+        r = next(iter(h.reads()))
+        assert is_legal_read(h, r) is None
+
+    def test_read_from_own_overwritten_write_is_illegal(self):
+        b = HistoryBuilder(1)
+        w1 = b.write(0, "x", "first")
+        w2 = b.write(0, "x", "second")
+        b.read(0, "x", w1)  # reads own older write after writing newer
+        h = b.build()
+        assert not is_causally_consistent(h)
+
+    def test_interposition_requires_same_variable(self):
+        """A causally newer write to a *different* variable does not
+        invalidate a read (Definition 1 quantifies over writes on x)."""
+        b = HistoryBuilder(2)
+        wx = b.write(0, "x", "vx")
+        wy = b.write(0, "y", "vy")
+        b.read(1, "y", wy)   # pulls wy (and wx) into causal past
+        b.read(1, "x", wx)   # still legal: nothing newer on x
+        h = b.build()
+        assert is_causally_consistent(h)
+
+    def test_violation_str_mentions_read(self):
+        b = HistoryBuilder(2)
+        w_old = b.write(0, "x", "old")
+        w_new = b.write(0, "x", "new")
+        b.read(1, "x", w_new)
+        b.read(1, "x", w_old)
+        rep = check_causal_consistency(b.build())
+        s = str(rep.violations[0])
+        assert "illegal read" in s
+        assert "interposed" in s
+        assert "INCONSISTENT" in rep.summary()
+
+
+class TestReadFromNotInPast:
+    def test_read_from_future_write_creates_cycle(self):
+        """A read that claims to read-from a *later* write of the same
+        process makes ->co cyclic (the ->ro edge points backwards), and
+        the checker reports the cycle rather than an illegal read."""
+        w = Write(process=0, index=1, variable="x", value="v", wid=WriteId(0, 1))
+        r = Read(process=0, index=0, variable="x", value="v", read_from=WriteId(0, 1))
+        h = History([LocalHistory(0, (r, w))])
+        rep = check_causal_consistency(h)
+        assert not rep.consistent
+        assert rep.cyclic
+
+
+class TestCyclicHistories:
+    def test_cyclic_history_is_inconsistent(self):
+        wx = Write(process=1, index=1, variable="x", value="v", wid=WriteId(1, 1))
+        wy = Write(process=0, index=1, variable="y", value="u", wid=WriteId(0, 1))
+        rx = Read(process=0, index=0, variable="x", value="v", read_from=WriteId(1, 1))
+        ry = Read(process=1, index=0, variable="y", value="u", read_from=WriteId(0, 1))
+        h = History([LocalHistory(0, (rx, wy)), LocalHistory(1, (ry, wx))])
+        rep = check_causal_consistency(h)
+        assert not rep.consistent
+        assert rep.cyclic
+        assert "cycle" in rep.summary()
+
+
+class TestMixedScenarios:
+    def test_concurrent_writes_seen_in_different_orders(self):
+        """The hallmark of causal (vs sequential) consistency: two readers
+        order two concurrent writes differently, and that's fine."""
+        b = HistoryBuilder(4)
+        w1 = b.write(0, "x", "v0")
+        w2 = b.write(1, "x", "v1")
+        # reader 2 sees v0 then v1; reader 3 sees v1 then v0
+        b.read(2, "x", w1)
+        b.read(2, "x", w2)
+        b.read(3, "x", w2)
+        b.read(3, "x", w1)
+        h = b.build()
+        assert is_causally_consistent(h)
+
+    def test_once_ordered_cannot_flip(self):
+        """If a reader's own read makes w1 ->co w2, a later read of w1 by a
+        process that saw w2 is illegal."""
+        b = HistoryBuilder(3)
+        w1 = b.write(0, "x", "v0")
+        b.read(1, "x", w1)
+        w2 = b.write(1, "x", "v1")   # now w1 ->co w2
+        b.read(2, "x", w2)
+        b.read(2, "x", w1)           # illegal: w1 overwritten by w2
+        h = b.build()
+        assert not is_causally_consistent(h)
+
+    def test_larger_consistent_history(self):
+        b = HistoryBuilder(3)
+        a = b.write(0, "x", "a")
+        b.read(1, "x", a)
+        bb = b.write(1, "y", "b")
+        b.read(2, "y", bb)
+        d = b.write(2, "y", "d")
+        b.read(0, "y", d)
+        b.write(0, "z", "e")
+        h = b.build()
+        assert is_causally_consistent(h)

@@ -1,0 +1,111 @@
+"""Unit tests for repro.model.operations."""
+
+import pickle
+
+import pytest
+
+from repro.model.operations import (
+    BOTTOM,
+    Bottom,
+    OpKind,
+    Read,
+    Write,
+    WriteId,
+    fresh_value,
+)
+
+
+class TestBottom:
+    def test_singleton(self):
+        assert Bottom() is BOTTOM
+        assert Bottom() is Bottom()
+
+    def test_repr(self):
+        assert repr(BOTTOM) == "BOTTOM"
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(BOTTOM)) is BOTTOM
+
+    def test_equality_only_with_itself(self):
+        assert BOTTOM == BOTTOM
+        assert BOTTOM != 0
+        assert BOTTOM != None  # noqa: E711 - deliberate
+        assert BOTTOM != "BOTTOM"
+
+
+class TestWriteId:
+    def test_fields(self):
+        wid = WriteId(2, 5)
+        assert wid.process == 2
+        assert wid.seq == 5
+
+    def test_is_hashable_and_frozen(self):
+        wid = WriteId(0, 1)
+        assert hash(wid) == hash(WriteId(0, 1))
+        with pytest.raises(AttributeError):
+            wid.seq = 3  # type: ignore[misc]
+
+    def test_ordering_is_lexicographic(self):
+        assert WriteId(0, 2) < WriteId(1, 1)
+        assert WriteId(1, 1) < WriteId(1, 2)
+
+    def test_negative_process_rejected(self):
+        with pytest.raises(ValueError):
+            WriteId(-1, 1)
+
+    def test_seq_is_one_based(self):
+        with pytest.raises(ValueError):
+            WriteId(0, 0)
+
+    def test_str(self):
+        assert str(WriteId(1, 3)) == "w[p1#3]"
+
+
+class TestWrite:
+    def test_construction(self):
+        w = Write(process=1, index=0, variable="x", value=42, wid=WriteId(1, 1))
+        assert w.kind is OpKind.WRITE
+        assert w.key == (1, 0)
+        assert w.variable == "x"
+        assert w.value == 42
+
+    def test_wid_process_must_match(self):
+        with pytest.raises(ValueError):
+            Write(process=1, index=0, variable="x", value=1, wid=WriteId(2, 1))
+
+    def test_wid_required(self):
+        with pytest.raises(ValueError):
+            Write(process=0, index=0, variable="x", value=1, wid=None)
+
+    def test_str(self):
+        w = Write(process=0, index=0, variable="x1", value="a", wid=WriteId(0, 1))
+        assert str(w) == "w0(x1)'a'"
+
+
+class TestRead:
+    def test_read_from_write(self):
+        r = Read(process=0, index=1, variable="x", value="a", read_from=WriteId(1, 1))
+        assert r.kind is OpKind.READ
+        assert r.read_from == WriteId(1, 1)
+
+    def test_bottom_read(self):
+        r = Read(process=0, index=0, variable="x", value=BOTTOM, read_from=None)
+        assert isinstance(r.value, Bottom)
+
+    def test_non_bottom_read_without_writer_rejected(self):
+        # Section 2: a read with no write must read the initial value.
+        with pytest.raises(ValueError):
+            Read(process=0, index=0, variable="x", value="a", read_from=None)
+
+    def test_str(self):
+        r = Read(process=2, index=0, variable="x2", value="b", read_from=WriteId(1, 1))
+        assert str(r) == "r2(x2)'b'"
+
+
+class TestFreshValue:
+    def test_unique_per_wid(self):
+        vals = {fresh_value(WriteId(p, s)) for p in range(3) for s in range(1, 10)}
+        assert len(vals) == 27
+
+    def test_readable(self):
+        assert fresh_value(WriteId(2, 5)) == "v[p2#5]"

@@ -1,0 +1,51 @@
+"""Tests for the batch ->co matrix (CausalOrder.precedes_matrix)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.model.history import example_h1
+
+
+class TestPrecedesMatrix:
+    def test_matches_scalar_on_h1(self):
+        h = example_h1()
+        co = h.causal_order
+        ops = list(h.operations())
+        m = co.precedes_matrix(ops)
+        for i, a in enumerate(ops):
+            for j, b in enumerate(ops):
+                assert m[i, j] == (a.key != b.key and co.precedes(a, b)) \
+                    or (a.key == b.key and not m[i, j])
+
+    def test_subset_of_ops(self):
+        h = example_h1()
+        co = h.causal_order
+        writes = list(h.writes())
+        m = co.precedes_matrix(writes)
+        assert m.shape == (4, 4)
+        assert m.sum() == 4  # a<c, a<b, a<d, b<d
+
+    def test_empty(self):
+        h = example_h1()
+        m = h.causal_order.precedes_matrix([])
+        assert m.shape == (0, 0)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_matches_scalar_on_runs(self, seed):
+        from repro.sim import SeededLatency, run_schedule
+        from repro.workloads import WorkloadConfig, random_schedule
+
+        cfg = WorkloadConfig(n_processes=3, ops_per_process=8, seed=seed)
+        r = run_schedule("optp", 3, random_schedule(cfg),
+                         latency=SeededLatency(seed))
+        co = r.history.causal_order
+        ops = list(r.history.operations())
+        m = co.precedes_matrix(ops)
+        for i, a in enumerate(ops):
+            for j, b in enumerate(ops):
+                if a.key != b.key:
+                    assert m[i, j] == co.precedes(a, b)

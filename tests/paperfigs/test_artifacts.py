@@ -1,0 +1,118 @@
+"""Golden tests: the regenerated artifacts must state the paper's facts."""
+
+import pytest
+
+from repro.paperfigs import ARTIFACTS, fig1, fig2, fig3, fig6, fig7, table1, table2
+from repro.workloads.patterns import WID_A, WID_B, WID_C, WID_D
+
+
+class TestTable1:
+    def test_exact_rows(self):
+        d = table1.as_dict()
+        for k in range(3):
+            assert d[(k, WID_A)] == frozenset()
+            assert d[(k, WID_C)] == {WID_A}
+            assert d[(k, WID_B)] == {WID_A}
+            assert d[(k, WID_D)] == {WID_A, WID_B}
+
+    def test_generate_layout(self):
+        text = table1.generate()
+        assert "Table 1" in text
+        assert text.count("apply_") >= 12
+        assert "apply_3(w3(x2)d): {apply_3(w1(x1)a), apply_3(w2(x2)b)}" in text
+
+
+class TestTable2:
+    def test_exact_rows(self):
+        d = table2.as_dict()
+        for k in range(3):
+            assert d[(k, WID_A)] == frozenset()
+            assert d[(k, WID_C)] == {WID_A}
+            assert d[(k, WID_B)] == {WID_A, WID_C}
+            assert d[(k, WID_D)] == {WID_A, WID_C, WID_B}
+
+    def test_generate_reports_six_excess_rows(self):
+        text = table2.generate()
+        assert "Table 2" in text
+        assert "rows where X_ANBKH ⊃ X_co-safe: 6" in text
+        assert text.count("needlessly waits for: w1(x1)c") == 6
+
+
+class TestFigure1:
+    def test_run1_no_delay_run2_one_delay(self):
+        r1, r2 = fig1.runs()
+        assert len(r1.trace.delayed(2)) == 0
+        assert len(r2.trace.delayed(2)) == 1
+
+    def test_generate_shows_buffering_only_in_run2(self):
+        text = fig1.generate()
+        first, second = text.split("(2)")
+        assert "BUFFERED" not in first
+        assert "BUFFERED" in second
+
+
+class TestFigure2:
+    def test_nonnecessary_delay_reported(self):
+        text = fig2.generate()
+        assert "NON-NECESSARY delay" in text
+        assert "apply_3(w2(x2)b)" in text
+
+
+class TestFigure3:
+    def test_anbkh_delays_optp_does_not(self):
+        r_anbkh, r_optp = fig3.runs()
+        assert r_anbkh.write_delays == 1
+        assert r_optp.write_delays == 0
+
+    def test_generate_mentions_false_causality(self):
+        text = fig3.generate()
+        assert "w2(x2)b ||co w1(x1)c" in text
+        assert "delays: 1 (unnecessary: 1)" in text
+        assert "delays: 0 (unnecessary: 0)" in text
+
+
+class TestFigure6:
+    def test_vector_evolution_matches_paper(self):
+        """The two facts Figure 6 calls out: b's vector is [1,1,0]
+        (no trace of the applied-but-unread c), and p3 applies b
+        before c."""
+        r = fig6.run()
+        write_b = r.trace.apply_event(1, WID_B)
+        assert write_b.state["write_co"] == (1, 1, 0)
+        apply_b_p3 = r.trace.apply_event(2, WID_B)
+        apply_c_p3 = r.trace.apply_event(2, WID_C)
+        assert apply_b_p3.seq < apply_c_p3.seq
+
+    def test_generate(self):
+        text = fig6.generate()
+        assert "Write_co=[1,1,0]" in text
+        assert "all necessary: True" in text
+
+
+class TestFigure7:
+    def test_graph_edges(self):
+        g = fig7.graph()
+        assert set(g.edge_list()) == {
+            (WID_A, WID_C),
+            (WID_A, WID_B),
+            (WID_B, WID_D),
+        }
+
+    def test_generate(self):
+        text = fig7.generate()
+        assert "w1(x1)a -> w1(x1)c" in text
+        assert "w1(x1)a -> w2(x2)b" in text
+        assert "w2(x2)b -> w3(x2)d" in text
+
+
+class TestRegistry:
+    def test_all_artifacts_generate(self):
+        for name, gen in ARTIFACTS.items():
+            text = gen()
+            assert isinstance(text, str) and len(text) > 50, name
+
+    def test_main_module(self):
+        from repro.paperfigs.__main__ import main
+
+        assert main(["table1"]) == 0
+        assert main(["bogus"]) == 2

@@ -1,0 +1,26 @@
+"""The checked-in artifacts/ directory must stay in sync with the
+regenerators: stale committed artifacts would misrepresent the
+reproduction."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.paperfigs import ARTIFACTS
+
+ARTIFACTS_DIR = Path(__file__).resolve().parents[2] / "artifacts"
+
+
+@pytest.mark.parametrize("name", sorted(ARTIFACTS))
+def test_committed_artifact_is_current(name):
+    path = ARTIFACTS_DIR / f"{name}.txt"
+    assert path.exists(), (
+        f"missing {path}; regenerate with "
+        "`python -m repro.paperfigs --out artifacts`"
+    )
+    committed = path.read_text()
+    fresh = ARTIFACTS[name]() + "\n"
+    assert committed == fresh, (
+        f"{path} is stale; regenerate with "
+        "`python -m repro.paperfigs --out artifacts`"
+    )

@@ -1,0 +1,89 @@
+"""Tests for the quantitative comparison harness (Q1-Q3)."""
+
+import pytest
+
+from repro.paperfigs.comparison import (
+    SweepRow,
+    compare_on_schedule,
+    render_sweep,
+    sweep_processes,
+    sweep_write_fraction,
+    sweep_zipf,
+)
+from repro.workloads import WorkloadConfig, random_schedule
+
+SMALL = dict(seeds=(0, 1), protocols=("optp", "anbkh"))
+
+
+def metrics_by_protocol(ms):
+    return {m.protocol: m for m in ms}
+
+
+class TestCompareOnSchedule:
+    def test_all_protocols_verified(self):
+        cfg = WorkloadConfig(n_processes=4, ops_per_process=10, seed=2)
+        ms = compare_on_schedule(random_schedule(cfg), 4)
+        assert {m.protocol for m in ms} == {
+            "optp", "anbkh", "ws-receiver", "jimenez-token"
+        }
+
+    def test_headline_inequality(self):
+        """Q1: OptP <= ANBKH delays, OptP has zero unnecessary."""
+        for seed in range(4):
+            cfg = WorkloadConfig(
+                n_processes=5, ops_per_process=12, write_fraction=0.7, seed=seed
+            )
+            by = metrics_by_protocol(
+                compare_on_schedule(
+                    random_schedule(cfg), 5,
+                    protocols=("optp", "anbkh"), latency_seed=seed,
+                )
+            )
+            assert by["optp"].delays <= by["anbkh"].delays
+            assert by["optp"].unnecessary_delays == 0
+
+    def test_verification_can_be_disabled(self):
+        cfg = WorkloadConfig(n_processes=3, ops_per_process=5, seed=0)
+        ms = compare_on_schedule(
+            random_schedule(cfg), 3, protocols=("optp",), verify=False
+        )
+        assert ms[0].protocol == "optp"
+
+
+class TestSweeps:
+    def test_process_sweep_shape(self):
+        rows = sweep_processes(n_values=(3, 5), ops_per_process=8, **SMALL)
+        assert len(rows) == 4  # 2 values x 2 protocols
+        assert all(isinstance(r, SweepRow) for r in rows)
+        # Q2: OptP's unnecessary delays are zero at every point
+        for r in rows:
+            if r.protocol == "optp":
+                assert r.mean_unnecessary == 0.0
+
+    def test_optp_wins_or_ties_every_point(self):
+        rows = sweep_processes(n_values=(4, 8), ops_per_process=10, **SMALL)
+        by_value = {}
+        for r in rows:
+            by_value.setdefault(r.value, {})[r.protocol] = r
+        for value, protos in by_value.items():
+            assert protos["optp"].mean_delays <= protos["anbkh"].mean_delays
+
+    def test_write_fraction_sweep(self):
+        rows = sweep_write_fraction(fractions=(0.3, 0.9), ops_per_process=8, **SMALL)
+        assert {r.value for r in rows} == {0.3, 0.9}
+
+    def test_zipf_sweep_produces_skips(self):
+        """Q3: with heavy skew the WS-receiver protocol skips writes."""
+        rows = sweep_zipf(
+            skews=(2.0,), ops_per_process=15,
+            seeds=(0, 1), protocols=("ws-receiver", "jimenez-token"),
+        )
+        ws = [r for r in rows if r.protocol == "ws-receiver"]
+        tok = [r for r in rows if r.protocol == "jimenez-token"]
+        assert ws[0].mean_skipped > 0
+        assert tok[0].mean_suppressed > 0
+
+    def test_render(self):
+        rows = sweep_processes(n_values=(3,), ops_per_process=5, **SMALL)
+        text = render_sweep(rows, title="T")
+        assert "T" in text and "optp" in text and "n_processes" in text

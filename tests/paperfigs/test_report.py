@@ -1,0 +1,39 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.paperfigs.report import build_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return build_report(quick=True, protocols=("optp", "anbkh"))
+
+
+class TestReport:
+    def test_structure(self, report_text):
+        for heading in ("# Reproduction report", "## Verification sweep",
+                        "## Paper artifacts", "## Quantitative sweeps"):
+            assert heading in report_text
+
+    def test_all_artifacts_included(self, report_text):
+        from repro.paperfigs import ARTIFACTS
+
+        for name in ARTIFACTS:
+            assert f"### {name}" in report_text
+
+    def test_verification_verdicts(self, report_text):
+        assert "`optp`: verified" in report_text
+        assert "unnecessary=0" in report_text
+        assert "FAILED" not in report_text
+
+    def test_sweeps_present(self, report_text):
+        assert "Q1a: delays vs process count" in report_text
+        assert "Q3: writing semantics" in report_text
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        assert main(["report", "--quick", "--out", str(out)]) == 0
+        assert out.read_text().startswith("# Reproduction report")

@@ -1,0 +1,69 @@
+"""Tests for the ASCII space-time diagram renderer."""
+
+import pytest
+
+from repro.paperfigs import spacetime
+from repro.paperfigs.spacetime import render_spacetime
+from repro.sim import run_schedule
+from repro.sim.trace import EventKind, Trace
+from repro.workloads import Schedule, fig3
+
+
+class TestRenderer:
+    @pytest.fixture(scope="class")
+    def fig3_runs(self):
+        scen = fig3()
+        r_anbkh = run_schedule("anbkh", 3, scen.schedule, latency=scen.latency)
+        r_optp = run_schedule("optp", 3, scen.schedule, latency=scen.latency)
+        return r_anbkh, r_optp
+
+    def test_buffer_glyph_only_under_anbkh(self, fig3_runs):
+        r_anbkh, r_optp = fig3_runs
+        text_a = render_spacetime(r_anbkh.trace, r_anbkh.history)
+        text_o = render_spacetime(r_optp.trace, r_optp.history)
+        assert "BF:b" in text_a
+        assert "BF" not in text_o.replace("BF=buffered", "")
+
+    def test_one_row_per_process(self, fig3_runs):
+        r, _ = fig3_runs
+        text = render_spacetime(r.trace, r.history)
+        for label in ("p1", "p2", "p3"):
+            assert any(line.startswith(label) for line in text.splitlines())
+
+    def test_columns_aligned(self, fig3_runs):
+        """Every row must have a cell in every column (grid integrity)."""
+        r, _ = fig3_runs
+        lines = render_spacetime(r.trace, r.history).splitlines()
+        t_row = lines[0].split()
+        for row in lines[1:4]:
+            assert len(row.split()) == len(t_row)
+
+    def test_empty_trace(self):
+        r = run_schedule("optp", 2, Schedule.of([]))
+        assert render_spacetime(r.trace) == "(empty trace)"
+
+    def test_truncation(self, fig3_runs):
+        r, _ = fig3_runs
+        text = render_spacetime(r.trace, r.history, max_events=3)
+        assert "truncated at 3 events" in text
+
+    def test_kind_filter(self, fig3_runs):
+        r, _ = fig3_runs
+        text = render_spacetime(r.trace, r.history,
+                                kinds={EventKind.APPLY, EventKind.WRITE})
+        assert "rc:" not in text
+
+    def test_unknown_wid_fallback(self):
+        """Applies for writes missing from the history (e.g. filtered
+        traces) render with a process#seq fallback label."""
+        from repro.model.operations import WriteId
+
+        t = Trace(2)
+        t.record(0.0, 1, EventKind.APPLY, wid=WriteId(0, 1), variable="x", value=1)
+        text = render_spacetime(t, history=None)
+        assert "ap:0#1" in text
+
+    def test_generate_artifact(self):
+        text = spacetime.generate()
+        assert "BF:b" in text
+        assert "Same message schedule under OptP" in text

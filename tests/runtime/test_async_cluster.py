@@ -1,0 +1,84 @@
+"""Integration tests for the asyncio runtime.
+
+Timings here are real (scaled) wall-clock, so every assertion targets
+run *properties* -- legality, safety, liveness -- never exact times.
+"""
+
+import pytest
+
+from repro.model.legality import is_causally_consistent
+from repro.runtime import AsyncCluster, run_programs_async
+from repro.sim.latency import ConstantLatency, UniformLatency
+from repro.workloads.ops import Program, ReadStep, WaitReadStep, WriteStep
+
+ALL_PROTOCOLS = ["optp", "anbkh", "ws-receiver", "jimenez-token",
+                 "sequencer", "gossip-optp"]
+FAST = dict(time_scale=0.002, quiesce_timeout=20.0)
+
+
+def h1_programs():
+    # c trails a by 8 simulated units (>> the 0.3-unit poll) so p1's
+    # wait reliably observes a before c overwrites it, even under real
+    # event-loop jitter.
+    return [
+        Program.of(WriteStep("x1", "a"), WriteStep("x1", "c", delay=8.0)),
+        Program.of(WaitReadStep("x1", "a", poll=0.3), WriteStep("x2", "b")),
+        Program.of(WaitReadStep("x2", "b", poll=0.3), WriteStep("x2", "d")),
+    ]
+
+
+class TestAsyncRuns:
+    @pytest.mark.parametrize("proto", ["optp", "anbkh"])
+    def test_h1_on_real_concurrency(self, proto):
+        r = run_programs_async(proto, 3, h1_programs(),
+                               latency=ConstantLatency(1.0), **FAST)
+        assert is_causally_consistent(r.history)
+        assert r.writes_issued == 4
+        for wid in r.trace.writes_issued():
+            for k in range(3):
+                assert r.trace.apply_event(k, wid) is not None
+
+    @pytest.mark.parametrize("proto", ALL_PROTOCOLS)
+    def test_random_latency_consistent(self, proto):
+        programs = [
+            Program.of(WriteStep("a", 1), WriteStep("b", 2, delay=0.2),
+                       ReadStep("c", delay=0.2)),
+            Program.of(ReadStep("a"), WriteStep("c", 3, delay=0.3)),
+            Program.of(WriteStep("a", 4, delay=0.1), ReadStep("b", delay=0.5)),
+        ]
+        r = run_programs_async(proto, 3, programs,
+                               latency=UniformLatency(0.2, 2.0, seed=11), **FAST)
+        assert is_causally_consistent(r.history)
+
+    def test_wait_read_gives_up(self):
+        programs = [
+            Program.of(WaitReadStep("never", 1, poll=0.05, max_polls=3)),
+            Program.of(),
+        ]
+        with pytest.raises(RuntimeError, match="gave up"):
+            run_programs_async("optp", 2, programs, **FAST)
+
+    def test_program_count_checked(self):
+        with pytest.raises(ValueError, match="programs"):
+            run_programs_async("optp", 3, [Program.of()], **FAST)
+
+    def test_single_use(self):
+        import asyncio
+
+        cluster = AsyncCluster("optp", 1, **FAST)
+        asyncio.run(cluster.run_programs([Program.of(WriteStep("x", 1))]))
+        with pytest.raises(RuntimeError, match="single-use"):
+            asyncio.run(cluster.run_programs([Program.of()]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsyncCluster("optp", 0)
+        with pytest.raises(ValueError):
+            AsyncCluster("optp", 2, time_scale=0)
+
+    def test_duration_reported_in_sim_units(self):
+        r = run_programs_async("optp", 2,
+                               [Program.of(WriteStep("x", 1)), Program.of()],
+                               latency=ConstantLatency(1.0), **FAST)
+        # at least one message hop of simulated length 1.0 must have elapsed
+        assert r.duration >= 0.9

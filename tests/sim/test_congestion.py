@@ -1,0 +1,61 @@
+"""Tests for the load-dependent (congestion) latency option."""
+
+import pytest
+
+from repro.analysis import check_run
+from repro.sim import ConstantLatency, SimCluster
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.core.base import UpdateMessage
+from repro.model.operations import WriteId
+from repro.workloads import write_burst_schedule
+
+
+def msg(seq):
+    return UpdateMessage(sender=0, wid=WriteId(0, seq), variable="x", value=seq)
+
+
+class TestNetworkCongestion:
+    def test_validation(self):
+        e = Engine()
+        with pytest.raises(ValueError):
+            Network(e, ConstantLatency(1.0), lambda d, m: None,
+                    congestion_factor=-0.1)
+
+    def test_later_sends_slowed_by_in_flight(self):
+        e = Engine()
+        net = Network(e, ConstantLatency(1.0), lambda d, m: None,
+                      congestion_factor=0.5)
+        a1 = net.send(0, 1, msg(1))   # 0 in flight -> delay 1.0
+        a2 = net.send(0, 1, msg(2))   # 1 in flight -> delay 1.5
+        a3 = net.send(0, 1, msg(3))   # 2 in flight -> delay 2.0
+        assert a1 == pytest.approx(1.0)
+        assert a2 == pytest.approx(1.5)
+        assert a3 == pytest.approx(2.0)
+
+    def test_zero_factor_is_neutral(self):
+        e = Engine()
+        net = Network(e, ConstantLatency(1.0), lambda d, m: None)
+        assert net.send(0, 1, msg(1)) == pytest.approx(1.0)
+        assert net.send(0, 1, msg(2)) == pytest.approx(1.0)
+
+
+class TestClusterUnderCongestion:
+    def test_burst_still_verified(self):
+        sched = write_burst_schedule(3, bursts=2, burst_size=5)
+        c = SimCluster("optp", 3, latency=ConstantLatency(0.5),
+                       congestion_factor=0.2)
+        r = c.run_schedule(sched)
+        report = check_run(r)
+        assert report.ok, report.summary()
+        assert not report.unnecessary_delays
+
+    def test_congestion_stretches_run(self):
+        sched = write_burst_schedule(3, bursts=1, burst_size=8)
+        fast = SimCluster("optp", 3, latency=ConstantLatency(0.5))
+        slow = SimCluster("optp", 3, latency=ConstantLatency(0.5),
+                          congestion_factor=0.3)
+        r_fast = fast.run_schedule(sched)
+        r_slow = slow.run_schedule(
+            write_burst_schedule(3, bursts=1, burst_size=8))
+        assert r_slow.duration > r_fast.duration

@@ -1,0 +1,96 @@
+"""Ablation: the exactly-once channel assumption is load-bearing.
+
+The paper's system model (Section 3.1) requires every message be
+received *exactly once*.  These tests inject duplicates to show what
+actually breaks without it: a duplicate of an already-applied write can
+never satisfy OptP's activation predicate again, so it sits in the
+pending buffer forever -- a replica-side memory leak -- and every such
+buffering is recorded as a write delay, corrupting the optimality
+accounting (the audit reports "unnecessary delays" for a provably
+optimal protocol).  Safety and legality survive (the predicate never
+applies stale state); the standard at-least-once fix (receiver-side
+dedup by WriteId) restores everything.
+"""
+
+import pytest
+
+from repro.analysis import check_run
+from repro.sim import SimCluster
+from repro.sim.latency import SeededLatency
+from repro.workloads import WorkloadConfig, random_schedule
+
+
+def make_cluster(**kw):
+    return SimCluster("optp", 4, latency=SeededLatency(5), **kw)
+
+
+def workload(seed=5):
+    cfg = WorkloadConfig(n_processes=4, ops_per_process=10,
+                         write_fraction=0.8, seed=seed)
+    return random_schedule(cfg)
+
+
+class TestAssumptionIsLoadBearing:
+    def test_duplicates_leak_buffers_and_corrupt_accounting(self):
+        """Without dedup: duplicates of applied writes stay buffered
+        forever (memory leak) and are mis-counted as write delays --
+        the audit then blames OptP for 'unnecessary' delays it never
+        chose to execute.  Safety and legality still hold."""
+        c = make_cluster(duplicate_prob=0.5)
+        r = c.run_schedule(workload())
+        assert c.network.duplicates_injected > 0
+        leaked = sum(n.buffered_count for n in c.nodes)
+        assert leaked > 0, "duplicates should wedge in pending buffers"
+        report = check_run(r)
+        # correctness of applied state survives...
+        assert report.ok, report.summary()
+        # ...but the optimality audit is corrupted by phantom delays
+        assert report.unnecessary_delays, (
+            "duplicate buffering should surface as phantom unnecessary "
+            "delays -- if this stops failing, exactly-once broke silently"
+        )
+
+    def test_dedup_restores_correctness(self):
+        c = make_cluster(duplicate_prob=0.5, dedup=True)
+        r = c.run_schedule(workload())
+        report = check_run(r)
+        assert report.ok, report.summary()
+        assert not report.unnecessary_delays
+        dropped = sum(n.duplicates_dropped for n in c.nodes)
+        assert dropped == c.network.duplicates_injected > 0
+
+    def test_gossip_tolerates_duplicates_natively(self):
+        """The gossip variant discards already-applied writes by design
+        (its DISCARD path), so it survives duplication without the
+        substrate guard."""
+        c = SimCluster("gossip-optp", 4, latency=SeededLatency(5),
+                       duplicate_prob=0.5)
+        r = c.run_schedule(workload())
+        report = check_run(r)
+        assert report.ok, report.summary()
+        assert r.discards >= c.network.duplicates_injected
+
+
+class TestDedupMechanics:
+    def test_zero_prob_injects_nothing(self):
+        c = make_cluster(dedup=True)
+        c.run_schedule(workload())
+        assert c.network.duplicates_injected == 0
+        assert sum(n.duplicates_dropped for n in c.nodes) == 0
+
+    def test_prob_validated(self):
+        from repro.sim.engine import Engine
+        from repro.sim.latency import ConstantLatency
+        from repro.sim.network import Network
+
+        with pytest.raises(ValueError):
+            Network(Engine(), ConstantLatency(1.0), lambda d, m: None,
+                    duplicate_prob=1.5)
+
+    def test_deterministic_duplication(self):
+        runs = []
+        for _ in range(2):
+            c = make_cluster(duplicate_prob=0.3, dedup=True)
+            c.run_schedule(workload())
+            runs.append(c.network.duplicates_injected)
+        assert runs[0] == runs[1] > 0

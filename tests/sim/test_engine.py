@@ -1,0 +1,134 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, EngineLimitError
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        e = Engine()
+        out = []
+        e.schedule_at(2.0, lambda: out.append("b"))
+        e.schedule_at(1.0, lambda: out.append("a"))
+        e.schedule_at(3.0, lambda: out.append("c"))
+        e.run()
+        assert out == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        e = Engine()
+        out = []
+        for tag in "abc":
+            e.schedule_at(1.0, lambda t=tag: out.append(t))
+        e.run()
+        assert out == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        e = Engine()
+        seen = []
+        e.schedule_at(5.0, lambda: seen.append(e.now))
+        e.run()
+        assert seen == [5.0]
+        assert e.now == 5.0
+
+    def test_schedule_after(self):
+        e = Engine()
+        seen = []
+        e.schedule_at(2.0, lambda: e.schedule_after(3.0, lambda: seen.append(e.now)))
+        e.run()
+        assert seen == [5.0]
+
+    def test_cannot_schedule_in_past(self):
+        e = Engine()
+        e.schedule_at(5.0, lambda: None)
+        e.run()
+        with pytest.raises(ValueError):
+            e.schedule_at(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            e.schedule_after(-1.0, lambda: None)
+
+    def test_cascading_events(self):
+        e = Engine()
+        out = []
+
+        def chain(k):
+            out.append(k)
+            if k < 5:
+                e.schedule_after(1.0, lambda: chain(k + 1))
+
+        e.schedule_at(0.0, lambda: chain(0))
+        e.run()
+        assert out == [0, 1, 2, 3, 4, 5]
+        assert e.events_processed == 6
+
+
+class TestCancel:
+    def test_cancelled_not_run(self):
+        e = Engine()
+        out = []
+        item = e.schedule_at(1.0, lambda: out.append("x"))
+        e.cancel(item)
+        e.run()
+        assert out == []
+
+    def test_pending_counts_uncancelled(self):
+        e = Engine()
+        a = e.schedule_at(1.0, lambda: None)
+        e.schedule_at(2.0, lambda: None)
+        assert e.pending == 2
+        e.cancel(a)
+        assert e.pending == 1
+
+
+class TestStopsAndLimits:
+    def test_stop_predicate_halts(self):
+        e = Engine()
+        out = []
+        for k in range(10):
+            e.schedule_at(float(k), lambda k=k: out.append(k))
+        e.run(stop=lambda: len(out) >= 3)
+        assert out == [0, 1, 2]
+        assert e.pending == 7
+
+    def test_stop_checked_before_first_event(self):
+        e = Engine()
+        out = []
+        e.schedule_at(1.0, lambda: out.append(1))
+        e.run(stop=lambda: True)
+        assert out == []
+
+    def test_exhaustion_without_stop_ok(self):
+        e = Engine()
+        e.schedule_at(1.0, lambda: None)
+        e.run()  # no error
+
+    def test_exhaustion_with_unmet_stop_raises(self):
+        e = Engine()
+        e.schedule_at(1.0, lambda: None)
+        with pytest.raises(EngineLimitError, match="liveness"):
+            e.run(stop=lambda: False)
+
+    def test_max_events(self):
+        e = Engine()
+
+        def forever():
+            e.schedule_after(1.0, forever)
+
+        e.schedule_at(0.0, forever)
+        with pytest.raises(EngineLimitError, match="max_events"):
+            e.run(stop=lambda: False, max_events=100)
+
+    def test_max_time(self):
+        e = Engine()
+
+        def forever():
+            e.schedule_after(1.0, forever)
+
+        e.schedule_at(0.0, forever)
+        with pytest.raises(EngineLimitError, match="max_time"):
+            e.run(stop=lambda: False, max_time=50.0)
+
+    def test_empty_run(self):
+        e = Engine()
+        e.run()
+        assert e.events_processed == 0

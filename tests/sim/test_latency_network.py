@@ -1,0 +1,197 @@
+"""Unit tests for latency models and the network substrate."""
+
+import pytest
+
+from repro.core.base import ControlMessage, UpdateMessage
+from repro.model.operations import WriteId
+from repro.sim.engine import Engine
+from repro.sim.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    MatrixLatency,
+    ScriptedLatency,
+    SeededLatency,
+    UniformLatency,
+    message_key,
+)
+from repro.sim.network import Network, estimate_size
+
+
+def msg(sender=0, seq=1, var="x", value=1, payload=None):
+    return UpdateMessage(
+        sender=sender,
+        wid=WriteId(sender, seq),
+        variable=var,
+        value=value,
+        payload=payload or {},
+    )
+
+
+class TestMessageKey:
+    def test_update_keyed_by_wid(self):
+        assert message_key(msg(0, 1)) == message_key(msg(0, 1, value=99))
+        assert message_key(msg(0, 1)) != message_key(msg(0, 2))
+
+    def test_control_keyed_by_kind_and_seq(self):
+        c1 = ControlMessage(sender=0, kind="token", payload={"batch_seq": 3})
+        c2 = ControlMessage(sender=0, kind="token", payload={"batch_seq": 4})
+        assert message_key(c1) != message_key(c2)
+        assert message_key(c1) == message_key(
+            ControlMessage(sender=0, kind="token", payload={"batch_seq": 3})
+        )
+
+
+class TestModels:
+    def test_constant(self):
+        m = ConstantLatency(2.5)
+        assert m.latency(0, 1, msg()) == 2.5
+        with pytest.raises(ValueError):
+            ConstantLatency(0)
+
+    def test_matrix(self):
+        m = MatrixLatency([[0, 1], [2, 0]])
+        assert m.latency(0, 1, msg()) == 1
+        assert m.latency(1, 0, msg()) == 2
+        with pytest.raises(ValueError):
+            MatrixLatency([[0, 1]])
+        with pytest.raises(ValueError):
+            MatrixLatency([[0, 0], [1, 0]])
+
+    def test_uniform_range_and_fork(self):
+        m = UniformLatency(1.0, 2.0, seed=7)
+        draws = [m.latency(0, 1, msg()) for _ in range(100)]
+        assert all(1.0 <= d <= 2.0 for d in draws)
+        # fork resets to the initial seed state
+        m2 = m.fork()
+        assert [m2.latency(0, 1, msg()) for _ in range(100)] == draws
+        with pytest.raises(ValueError):
+            UniformLatency(0, 1)
+
+    def test_exponential_positive(self):
+        m = ExponentialLatency(mean=1.0, seed=3)
+        draws = [m.latency(0, 1, msg()) for _ in range(100)]
+        assert all(d > 0 for d in draws)
+        assert m.fork().latency(0, 1, msg()) == ExponentialLatency(1.0, seed=3).latency(0, 1, msg())
+        with pytest.raises(ValueError):
+            ExponentialLatency(0)
+
+    def test_scripted(self):
+        key = message_key(msg(0, 1))
+        m = ScriptedLatency({(key, 2): 9.0}, default=1.0)
+        assert m.latency(0, 2, msg(0, 1)) == 9.0
+        assert m.latency(0, 1, msg(0, 1)) == 1.0   # other dest -> default
+        assert m.latency(0, 2, msg(0, 2)) == 1.0   # other write -> default
+        with pytest.raises(ValueError):
+            ScriptedLatency({}, default=0)
+        with pytest.raises(ValueError):
+            ScriptedLatency({(key, 1): -1.0})
+
+    def test_seeded_is_deterministic_per_message(self):
+        m1 = SeededLatency(seed=5)
+        m2 = SeededLatency(seed=5)
+        a = m1.latency(0, 1, msg(0, 1))
+        assert a == m2.latency(0, 1, msg(0, 1))
+        # independent of payload (protocols differ there!)
+        assert a == m1.latency(0, 1, msg(0, 1, payload={"write_co": (9, 9)}))
+        # but different per dest / per write / per seed
+        assert a != m1.latency(0, 2, msg(0, 1)) or a != m1.latency(0, 1, msg(0, 2))
+        assert SeededLatency(seed=6).latency(0, 1, msg(0, 1)) != a
+
+    def test_seeded_exponential(self):
+        m = SeededLatency(seed=1, dist="exponential", mean=2.0)
+        assert m.latency(0, 1, msg()) > 0
+        with pytest.raises(ValueError):
+            SeededLatency(seed=1, dist="weibull")
+
+    def test_seeded_validation(self):
+        with pytest.raises(ValueError):
+            SeededLatency(seed=1, dist="uniform", lo=0, hi=1)
+        with pytest.raises(ValueError):
+            SeededLatency(seed=1, dist="exponential", mean=-1)
+
+
+class TestNetwork:
+    def _net(self, fifo=False, latency=None):
+        engine = Engine()
+        delivered = []
+        net = Network(
+            engine,
+            latency or ConstantLatency(1.0),
+            lambda dest, m: delivered.append((engine.now, dest, m)),
+            fifo=fifo,
+        )
+        return engine, net, delivered
+
+    def test_delivers_exactly_once(self):
+        engine, net, delivered = self._net()
+        m = msg()
+        net.send(0, 1, m)
+        engine.run()
+        assert len(delivered) == 1
+        assert delivered[0] == (1.0, 1, m)
+        assert net.messages_sent == 1
+
+    def test_no_self_send(self):
+        _, net, _ = self._net()
+        with pytest.raises(ValueError):
+            net.send(0, 0, msg())
+
+    def test_non_fifo_can_reorder(self):
+        class Flip(ConstantLatency):
+            def __init__(self):
+                super().__init__(1.0)
+                self.calls = 0
+
+            def latency(self, s, d, m):
+                self.calls += 1
+                return 5.0 if self.calls == 1 else 1.0
+
+        engine, net, delivered = self._net(latency=Flip())
+        net.send(0, 1, msg(0, 1))
+        net.send(0, 1, msg(0, 2))
+        engine.run()
+        assert [d[2].wid.seq for d in delivered] == [2, 1]  # reordered
+
+    def test_fifo_preserves_order(self):
+        class Flip(ConstantLatency):
+            def __init__(self):
+                super().__init__(1.0)
+                self.calls = 0
+
+            def latency(self, s, d, m):
+                self.calls += 1
+                return 5.0 if self.calls == 1 else 1.0
+
+        engine, net, delivered = self._net(fifo=True, latency=Flip())
+        net.send(0, 1, msg(0, 1))
+        net.send(0, 1, msg(0, 2))
+        engine.run()
+        assert [d[2].wid.seq for d in delivered] == [1, 2]
+
+    def test_rejects_nonpositive_model_delay(self):
+        class Broken(ConstantLatency):
+            def latency(self, s, d, m):
+                return 0.0
+
+        _, net, _ = self._net(latency=Broken())
+        with pytest.raises(ValueError):
+            net.send(0, 1, msg())
+
+
+class TestSizeEstimate:
+    def test_vector_payload_counts(self):
+        small = estimate_size(msg(payload={"write_co": (1, 2, 3)}))
+        large = estimate_size(msg(payload={"write_co": (1,) * 30}))
+        assert large > small
+
+    def test_ws_receiver_payload_costs_more(self):
+        plain = estimate_size(msg(payload={"write_co": (1, 2, 3)}))
+        ws = estimate_size(
+            msg(payload={"write_co": (1, 2, 3),
+                         "var_past": {"x": (1, 0, 0), "y": (0, 2, 0)}})
+        )
+        assert ws > plain
+
+    def test_handles_strings_and_unknowns(self):
+        assert estimate_size(msg(payload={"s": "hello"})) > 24
+        assert estimate_size(msg(payload={"o": object()})) > 24

@@ -1,0 +1,127 @@
+"""Unit tests for trace recording and history extraction."""
+
+import pytest
+
+from repro.model.operations import BOTTOM, WriteId
+from repro.sim.trace import EventKind, Trace
+
+
+class TestRecording:
+    def test_global_seq_monotone(self):
+        t = Trace(2)
+        e1 = t.record(0.0, 0, EventKind.WRITE, wid=WriteId(0, 1), variable="x", value=1)
+        e2 = t.record(0.0, 1, EventKind.RECEIPT, wid=WriteId(0, 1))
+        assert e2.seq == e1.seq + 1
+        assert len(t) == 2
+
+    def test_per_process_views(self):
+        t = Trace(2)
+        t.record(0.0, 0, EventKind.WRITE, wid=WriteId(0, 1), variable="x", value=1)
+        t.record(1.0, 1, EventKind.RECEIPT, wid=WriteId(0, 1))
+        t.record(1.0, 1, EventKind.APPLY, wid=WriteId(0, 1), variable="x", value=1)
+        assert len(t.process_events(0)) == 1
+        assert len(t.process_events(1)) == 2
+
+    def test_prefix_before(self):
+        t = Trace(1)
+        a = t.record(0.0, 0, EventKind.WRITE, wid=WriteId(0, 1), variable="x", value=1)
+        b = t.record(1.0, 0, EventKind.RETURN, variable="x", value=1,
+                     read_from=WriteId(0, 1))
+        assert t.prefix_before(0, b) == [a]
+        assert t.prefix_before(0, a) == []
+
+    def test_duplicate_apply_rejected(self):
+        t = Trace(2)
+        t.record(0.0, 1, EventKind.APPLY, wid=WriteId(0, 1), variable="x", value=1)
+        with pytest.raises(AssertionError):
+            t.record(1.0, 1, EventKind.APPLY, wid=WriteId(0, 1), variable="x", value=1)
+
+    def test_write_event_is_local_apply(self):
+        t = Trace(2)
+        t.record(0.0, 0, EventKind.WRITE, wid=WriteId(0, 1), variable="x", value=1)
+        assert t.apply_event(0, WriteId(0, 1)) is not None
+        assert t.apply_event(1, WriteId(0, 1)) is None
+
+
+class TestQueries:
+    def _sample(self):
+        t = Trace(2)
+        t.record(0.0, 0, EventKind.WRITE, wid=WriteId(0, 1), variable="x", value="v1")
+        t.record(0.0, 0, EventKind.SEND, wid=WriteId(0, 1))
+        t.record(0.5, 0, EventKind.WRITE, wid=WriteId(0, 2), variable="y", value="v2")
+        t.record(0.5, 0, EventKind.SEND, wid=WriteId(0, 2))
+        # p1 receives y first, buffers it, then x arrives and both apply
+        t.record(1.0, 1, EventKind.RECEIPT, wid=WriteId(0, 2), variable="y")
+        t.record(1.0, 1, EventKind.BUFFER, wid=WriteId(0, 2), variable="y")
+        t.record(2.0, 1, EventKind.RECEIPT, wid=WriteId(0, 1), variable="x")
+        t.record(2.0, 1, EventKind.APPLY, wid=WriteId(0, 1), variable="x", value="v1")
+        t.record(2.0, 1, EventKind.APPLY, wid=WriteId(0, 2), variable="y", value="v2")
+        return t
+
+    def test_apply_order(self):
+        t = self._sample()
+        assert t.apply_order(1) == [WriteId(0, 1), WriteId(0, 2)]
+        assert t.apply_order(0) == [WriteId(0, 1), WriteId(0, 2)]
+
+    def test_delayed(self):
+        t = self._sample()
+        delayed = t.delayed()
+        assert len(delayed) == 1 and delayed[0].wid == WriteId(0, 2)
+        assert t.delayed(0) == []
+        assert len(t.delayed(1)) == 1
+
+    def test_delay_durations(self):
+        t = self._sample()
+        assert t.delay_durations() == [1.0]  # buffered at 1.0, applied at 2.0
+
+    def test_receipt_event(self):
+        t = self._sample()
+        assert t.receipt_event(1, WriteId(0, 1)).time == 2.0
+        assert t.receipt_event(0, WriteId(0, 1)) is None
+
+    def test_writes_issued(self):
+        t = self._sample()
+        assert t.writes_issued() == [WriteId(0, 1), WriteId(0, 2)]
+
+    def test_discarded(self):
+        t = Trace(2)
+        t.record(0.0, 1, EventKind.DISCARD, wid=WriteId(0, 1))
+        assert len(t.discarded()) == 1
+        assert len(t.discarded(0)) == 0
+
+    def test_render(self):
+        t = self._sample()
+        text = t.render()
+        assert "p0 write" in text
+        assert "p1 buffer" in text
+        only_applies = t.render(kinds={EventKind.APPLY})
+        assert "buffer" not in only_applies
+
+
+class TestToHistory:
+    def test_roundtrip(self):
+        t = Trace(2)
+        t.record(0.0, 0, EventKind.WRITE, wid=WriteId(0, 1), variable="x", value="v")
+        t.record(1.0, 1, EventKind.RECEIPT, wid=WriteId(0, 1))
+        t.record(1.0, 1, EventKind.APPLY, wid=WriteId(0, 1), variable="x", value="v")
+        t.record(2.0, 1, EventKind.RETURN, variable="x", value="v",
+                 read_from=WriteId(0, 1))
+        h = t.to_history()
+        assert h.n_processes == 2
+        assert len(list(h.writes())) == 1
+        reads = list(h.reads())
+        assert len(reads) == 1 and reads[0].read_from == WriteId(0, 1)
+
+    def test_bottom_reads_preserved(self):
+        t = Trace(1)
+        t.record(0.0, 0, EventKind.RETURN, variable="x", value=BOTTOM, read_from=None)
+        h = t.to_history()
+        r = next(iter(h.reads()))
+        assert r.read_from is None
+
+    def test_applies_are_not_history_ops(self):
+        t = Trace(2)
+        t.record(0.0, 0, EventKind.WRITE, wid=WriteId(0, 1), variable="x", value="v")
+        t.record(1.0, 1, EventKind.APPLY, wid=WriteId(0, 1), variable="x", value="v")
+        h = t.to_history()
+        assert len(h.local(1)) == 0

@@ -1,0 +1,119 @@
+"""API-surface tests: defaults, dunders and small helpers that the
+integration paths exercise only implicitly."""
+
+import pytest
+
+from repro.core.base import (
+    BROADCAST,
+    ControlMessage,
+    Outgoing,
+    Protocol,
+    UpdateMessage,
+)
+from repro.core.optp import OptPProtocol
+from repro.model.operations import OpKind, WriteId
+from repro.sim.latency import ConstantLatency, ScriptedLatency
+from repro.workloads.ops import Program, WaitReadStep, WriteStep
+
+
+class TestBaseProtocolDefaults:
+    def test_on_timer_requires_interval(self):
+        with pytest.raises(NotImplementedError, match="timer_interval"):
+            OptPProtocol(0, 2).on_timer()
+
+    def test_debug_state_default_empty(self):
+        class Minimal(OptPProtocol):
+            def debug_state(self):
+                return Protocol.debug_state(self)
+
+        assert Minimal(0, 2).debug_state() == {}
+
+    def test_record_apply_without_recorder_is_noop(self):
+        p = OptPProtocol(0, 2)
+        p.record_apply(WriteId(0, 1), "x", 1)  # must not raise
+
+
+class TestMessageTypes:
+    def test_update_str(self):
+        m = UpdateMessage(sender=0, wid=WriteId(0, 1), variable="x", value=7)
+        assert "x=7" in str(m)
+
+    def test_control_str(self):
+        c = ControlMessage(sender=2, kind="token")
+        assert str(c) == "ctrl(token from p2)"
+
+    def test_outgoing_default_broadcast(self):
+        m = UpdateMessage(sender=0, wid=WriteId(0, 1), variable="x", value=1)
+        assert Outgoing(m).dest == BROADCAST
+
+
+class TestOpsHelpers:
+    def test_program_of(self):
+        p = Program.of(WriteStep("x", 1), WriteStep("y", 2))
+        assert len(p) == 2
+        assert [s.variable for s in p] == ["x", "y"]
+
+    def test_wait_read_matches_exact(self):
+        s = WaitReadStep("x", expect="v")
+        assert s.matches("v") and not s.matches("w")
+
+    def test_wait_read_matches_accept_set(self):
+        s = WaitReadStep("x", expect="a", accept=("a", "c"))
+        assert s.matches("a") and s.matches("c") and not s.matches("b")
+
+    def test_opkind_str(self):
+        assert str(OpKind.READ) == "read"
+        assert str(OpKind.WRITE) == "write"
+
+
+class TestLatencyForkDefaults:
+    def test_stateless_models_fork_to_self(self):
+        m = ConstantLatency(1.0)
+        assert m.fork() is m
+        s = ScriptedLatency({}, default=1.0)
+        assert s.fork() is s
+
+
+class TestRenderHelpers:
+    def test_sequence_with_sends(self):
+        from repro.paperfigs.render import sequence_at
+        from repro.sim import run_schedule
+        from repro.workloads import Schedule, ScheduledOp, WriteOp
+
+        sched = Schedule.of([ScheduledOp(0.0, 0, WriteOp("x", 1))])
+        r = run_schedule("optp", 2, sched)
+        with_sends = sequence_at(r.trace, r.history, 0, skip_sends=False)
+        without = sequence_at(r.trace, r.history, 0)
+        assert "send_1" in with_sends
+        assert "send_1" not in without
+
+    def test_discard_label(self):
+        from repro.paperfigs.render import paper_event_label
+        from repro.model.history import example_h1
+        from repro.sim.trace import EventKind, Trace
+
+        t = Trace(3)
+        ev = t.record(0.0, 1, EventKind.DISCARD, wid=WriteId(0, 1),
+                      variable="x1")
+        label = paper_event_label(example_h1(), ev)
+        assert "DISCARDED" in label
+
+
+class TestRunResultHelpers:
+    def test_delays_per_process_and_summary(self):
+        from repro.sim import run_schedule
+        from repro.workloads import fig1_run2
+
+        scen = fig1_run2()
+        r = run_schedule("optp", 3, scen.schedule, latency=scen.latency)
+        per = r.delays_per_process()
+        assert per == [0, 0, 1]
+        assert sum(per) == r.write_delays
+        assert "delays=1" in r.summary()
+
+    def test_history_cached(self):
+        from repro.sim import run_schedule
+        from repro.workloads import h1_schedule
+
+        r = run_schedule("optp", 3, h1_schedule())
+        assert r.history is r.history

@@ -1,0 +1,103 @@
+"""Tests for the repro-dsm command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "optp" and args.processes == 4
+
+    def test_protocol_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "-p", "bogus"])
+
+    def test_scenario_choices(self):
+        args = build_parser().parse_args(["scenario", "fig3"])
+        assert args.name == "fig3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "fig99"])
+
+
+class TestCommands:
+    def test_artifacts_subset(self, capsys):
+        assert main(["artifacts", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_run_verifies(self, capsys):
+        rc = main(["run", "-p", "optp", "-n", "3", "--ops", "6", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "legal safe live" in out
+        assert "unnecessary=0" in out.replace("unnec", "unnecessary", 1) or "unnecessary=0" in out
+
+    def test_run_with_diagram(self, capsys):
+        rc = main(["run", "-n", "3", "--ops", "4", "--diagram"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "legend:" in out
+
+    def test_compare(self, capsys):
+        rc = main([
+            "compare", "-n", "3", "--ops", "6", "--seeds", "0",
+            "--protocols", "optp", "anbkh",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "optp" in out and "anbkh" in out
+
+    def test_scenario_anbkh_reports_unnecessary(self, capsys):
+        rc = main(["scenario", "fig3", "-p", "anbkh"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "UNNECESSARY delay" in out
+
+    def test_scenario_optp_clean(self, capsys):
+        rc = main(["scenario", "fig3", "-p", "optp", "--diagram"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "UNNECESSARY" not in out
+        assert "legend:" in out
+
+    def test_dump_and_replay(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["run", "-p", "optp", "-n", "3", "--ops", "6",
+                     "--seed", "2", "--dump-trace", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "legality: causally consistent" in out
+        assert "safety:   ok" in out
+        assert "sessions: all session guarantees hold" in out
+
+    def test_replay_flags_bad_trace(self, tmp_path, capsys):
+        """A doctored trace (applies out of causal order) must fail."""
+        from repro.model.operations import WriteId
+        from repro.sim.serialize import trace_to_jsonl
+        from repro.sim.trace import EventKind, Trace
+
+        t = Trace(2)
+        t.record(0.0, 0, EventKind.WRITE, wid=WriteId(0, 1), variable="x", value=1)
+        t.record(0.0, 0, EventKind.SEND, wid=WriteId(0, 1))
+        t.record(1.0, 0, EventKind.WRITE, wid=WriteId(0, 2), variable="y", value=2)
+        t.record(1.0, 0, EventKind.SEND, wid=WriteId(0, 2))
+        t.record(2.0, 1, EventKind.APPLY, wid=WriteId(0, 2), variable="y", value=2)
+        t.record(3.0, 1, EventKind.APPLY, wid=WriteId(0, 1), variable="x", value=1)
+        path = tmp_path / "bad.jsonl"
+        path.write_text(trace_to_jsonl(t))
+        assert main(["replay", str(path)]) == 1
+        assert "applied" in capsys.readouterr().out
+
+    def test_sweep_small(self, capsys):
+        # use the smallest axis/seed set; still a real sweep
+        rc = main(["sweep", "zipf", "--seeds", "0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "zipf_s" in out

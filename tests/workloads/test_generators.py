@@ -1,0 +1,155 @@
+"""Unit tests for workload generators and the ops vocabulary."""
+
+import pytest
+
+from repro.workloads import (
+    Program,
+    ReadOp,
+    Schedule,
+    ScheduledOp,
+    WorkloadConfig,
+    WriteOp,
+    chain_programs,
+    random_programs,
+    random_schedule,
+    write_burst_schedule,
+)
+from repro.workloads.ops import WaitReadStep, WriteStep
+
+
+class TestWorkloadConfig:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_processes": 0},
+            {"ops_per_process": -1},
+            {"n_variables": 0},
+            {"write_fraction": 1.5},
+            {"write_fraction": -0.1},
+            {"mean_gap": 0},
+            {"zipf_s": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadConfig(**kwargs)
+
+
+class TestRandomSchedule:
+    def test_deterministic_in_seed(self):
+        cfg = WorkloadConfig(seed=13)
+        assert random_schedule(cfg) == random_schedule(cfg)
+
+    def test_different_seeds_differ(self):
+        a = random_schedule(WorkloadConfig(seed=1))
+        b = random_schedule(WorkloadConfig(seed=2))
+        assert a != b
+
+    def test_counts(self):
+        cfg = WorkloadConfig(n_processes=4, ops_per_process=10)
+        sched = random_schedule(cfg)
+        assert sched.n_ops == 40
+        for p in range(4):
+            assert len(sched.for_process(p)) == 10
+
+    def test_write_fraction_extremes(self):
+        all_writes = random_schedule(WorkloadConfig(write_fraction=1.0))
+        assert all_writes.n_writes == all_writes.n_ops
+        all_reads = random_schedule(WorkloadConfig(write_fraction=0.0))
+        assert all_reads.n_writes == 0
+
+    def test_zipf_concentrates(self):
+        flat = random_schedule(
+            WorkloadConfig(ops_per_process=200, n_variables=8, zipf_s=0.0, seed=3)
+        )
+        skew = random_schedule(
+            WorkloadConfig(ops_per_process=200, n_variables=8, zipf_s=2.0, seed=3)
+        )
+
+        def x0_share(s):
+            ops = [o for o in s.ops]
+            return sum(1 for o in ops if o.op.variable == "x0") / len(ops)
+
+        assert x0_share(skew) > x0_share(flat) * 2
+
+    def test_times_sorted_and_nonnegative(self):
+        sched = random_schedule(WorkloadConfig(seed=5))
+        times = [o.time for o in sched]
+        assert times == sorted(times)
+        assert all(t >= 0 for t in times)
+
+
+class TestRandomPrograms:
+    def test_deterministic(self):
+        cfg = WorkloadConfig(seed=4)
+        assert random_programs(cfg) == random_programs(cfg)
+
+    def test_shape(self):
+        cfg = WorkloadConfig(n_processes=3, ops_per_process=7)
+        programs = random_programs(cfg)
+        assert len(programs) == 3
+        assert all(len(p) == 7 for p in programs)
+
+
+class TestBurstSchedule:
+    def test_per_process_variables(self):
+        sched = write_burst_schedule(3, bursts=2, burst_size=4)
+        assert sched.n_ops == 24
+        assert sched.n_writes == 24
+        vars_p0 = {o.op.variable for o in sched.for_process(0)}
+        assert vars_p0 == {"x0"}
+
+    def test_shared_variable(self):
+        sched = write_burst_schedule(2, bursts=1, burst_size=3,
+                                     variable_per_process=False)
+        assert {o.op.variable for o in sched} == {"x"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            write_burst_schedule(2, bursts=0, burst_size=1)
+
+
+class TestChainPrograms:
+    def test_structure(self):
+        programs = chain_programs(3, rounds=2)
+        assert len(programs) == 3
+        # p0 starts each round with a write; later rounds wait first
+        assert isinstance(programs[0].steps[0], WriteStep)
+        assert isinstance(programs[0].steps[1], WaitReadStep)
+        # p1, p2: wait then relay
+        assert isinstance(programs[1].steps[0], WaitReadStep)
+        assert isinstance(programs[1].steps[1], WriteStep)
+
+    def test_needs_two_processes(self):
+        with pytest.raises(ValueError):
+            chain_programs(1)
+
+    def test_runs_and_builds_deep_chain(self):
+        from repro.model.causality_graph import WriteCausalityGraph
+        from repro.sim import ConstantLatency, run_programs
+
+        programs = chain_programs(4, rounds=1)
+        r = run_programs("optp", 4, programs, latency=ConstantLatency(0.5))
+        g = WriteCausalityGraph.from_history(r.history)
+        assert g.longest_chain_length() == 3  # c0 -> c1 -> c2 -> c3
+
+
+class TestScheduleType:
+    def test_of_sorts(self):
+        s = Schedule.of(
+            [
+                ScheduledOp(2.0, 0, WriteOp("x")),
+                ScheduledOp(1.0, 1, ReadOp("x")),
+            ]
+        )
+        assert [o.time for o in s] == [1.0, 2.0]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduledOp(-1.0, 0, WriteOp("x"))
+
+    def test_max_process_empty(self):
+        assert Schedule.of([]).max_process() == -1
