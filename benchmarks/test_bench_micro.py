@@ -104,7 +104,9 @@ def test_bench_q4_engine_throughput(benchmark):
 def test_bench_q4_drain_scaling(benchmark, depth):
     """Cost of the re-test-all pending-buffer drain vs buffer depth
     (DESIGN.md 'Buffering strategy' ablation): a worst case where one
-    arrival unblocks a same-sender chain of `depth` buffered writes."""
+    arrival unblocks a same-sender chain of `depth` buffered writes.
+    Pinned to the legacy scan -- this measures the ablated re-scan
+    itself; the indexed path is covered in test_bench_scheduler.py."""
     from repro.sim.node import Node
     from repro.sim.trace import Trace
 
@@ -114,7 +116,7 @@ def test_bench_q4_drain_scaling(benchmark, depth):
                 for k in range(depth + 1)]
         trace = Trace(2)
         node = Node(OptPProtocol(1, 2), trace, clock=lambda: 0.0,
-                    dispatch=lambda *a: None)
+                    dispatch=lambda *a: None, scheduler="legacy")
         for m in msgs[1:]:
             node.receive(m)          # all buffered (first write missing)
         assert node.buffered_count == depth

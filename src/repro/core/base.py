@@ -13,10 +13,13 @@ Every protocol ``P ∈ 𝒫`` reacts to three stimuli:
   𝒫 -- to be discarded as overwritten.
 
 The hosting substrate (:mod:`repro.sim` or :mod:`repro.runtime`) owns
-the pending buffer, re-classifies buffered messages after every apply,
-and records the trace events (`send`, `receipt`, `apply`, `return`,
-plus `buffer`/`discard`/`suppress` bookkeeping events) that the
-analyzers consume.
+the pending buffer, re-examines buffered messages when applies land
+(via the dependency-indexed wakeup scheduler of
+:mod:`repro.sim.scheduler`, or a legacy full re-scan for protocols
+that cannot enumerate their wait predicate -- see
+:meth:`Protocol.missing_deps`), and records the trace events (`send`,
+`receipt`, `apply`, `return`, plus `buffer`/`discard`/`suppress`
+bookkeeping events) that the analyzers consume.
 
 Protocols that need non-write-triggered communication (the token of the
 Jimenez et al. variant) emit :class:`ControlMessage` values, which the
@@ -255,6 +258,44 @@ class Protocol(abc.ABC):
         """Report an out-of-band apply event to the substrate's trace."""
         if self._apply_recorder is not None:
             self._apply_recorder(wid, variable, value)
+
+    # -- delivery scheduling ---------------------------------------------------
+
+    def missing_deps(
+        self, msg: UpdateMessage
+    ) -> Optional[List[Tuple[int, int]]]:
+        """Enumerate the apply events still missing before ``msg`` applies.
+
+        Contract (see :mod:`repro.sim.scheduler` and DESIGN.md,
+        "Buffering strategy"):
+
+        - Return ``None`` when the protocol cannot enumerate its wait
+          predicate (the substrate then falls back to the legacy
+          re-scan of the whole pending buffer).
+        - Otherwise return the list of *currently unsatisfied* keys
+          ``(process, seq)`` such that ``classify(msg)`` can only turn
+          ``APPLY`` once every listed apply event has occurred locally.
+          Each key must match a future :meth:`apply_event` value -- an
+          event that has not yet fired here and fires at most once.
+        - An empty list together with ``classify(msg) is BUFFER`` means
+          the message is permanently undeliverable (e.g. a duplicate of
+          an already-applied write): the substrate parks it forever,
+          mirroring the legacy path's wedged-buffer behaviour.
+
+        Must be side-effect free, like :meth:`classify`.
+        """
+        return None
+
+    def apply_event(self, msg: UpdateMessage) -> Tuple[int, int]:
+        """The wakeup key satisfied by applying ``msg`` (see
+        :meth:`missing_deps`).  Called by the substrate right after
+        :meth:`apply_update` returns.  The default -- the writer and
+        its per-writer sequence number -- fits protocols whose wait
+        predicates count per-writer applies (OptP, ANBKH); protocols
+        keyed differently (the sequencer's global stamp order) override
+        it.  Only consulted when :meth:`missing_deps` is implemented.
+        """
+        return (msg.sender, msg.wid.seq)
 
     # -- introspection --------------------------------------------------------
 

@@ -45,7 +45,7 @@ affecting it.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.model.operations import WriteId
 from repro.core.base import (
@@ -57,6 +57,7 @@ from repro.core.base import (
     UpdateMessage,
     WriteOutcome,
 )
+from repro.core.vectorclock import vc_join_inplace
 
 #: Payload key under which OptP piggybacks the write's Write_co vector.
 WRITE_CO_KEY = "write_co"
@@ -111,9 +112,7 @@ class OptPProtocol(Protocol):
         """
         lwo = self.last_write_on.get(variable)
         if lwo is not None:
-            for t, v in enumerate(lwo):             # line 1: componentwise max
-                if v > self.write_co[t]:
-                    self.write_co[t] = v
+            vc_join_inplace(self.write_co, lwo)      # line 1: componentwise max
         value, wid = self.store_get(variable)
         return ReadOutcome(value=value, read_from=wid)
 
@@ -143,6 +142,27 @@ class OptPProtocol(Protocol):
         self.store_put(msg.variable, msg.value, msg.wid)   # line 3
         self.apply_vec[u] += 1                             # line 4
         self.last_write_on[msg.variable] = tuple(w_co)     # line 5
+
+    def missing_deps(self, msg: UpdateMessage) -> Optional[List[Tuple[int, int]]]:
+        """The wait predicate of Figure 5 line 2 as explicit apply events.
+
+        ``Apply[u] = W_co[u] - 1`` waits for the apply of ``p_u``'s
+        write number ``W_co[u] - 1``; ``W_co[t] <= Apply[t]`` (t != u)
+        waits for the apply of ``p_t``'s write number ``W_co[t]``.  A
+        dependency on this process itself can never be pending: the
+        sender cannot know more of our writes than we have issued (and
+        locally applied), so only remote apply events are listed --
+        which is what lets the wakeup index fire on applies alone.
+        """
+        u = msg.sender
+        w_co = msg.payload[WRITE_CO_KEY]
+        deps: List[Tuple[int, int]] = []
+        if self.apply_vec[u] < w_co[u] - 1:
+            deps.append((u, w_co[u] - 1))
+        for t in range(self.n_processes):
+            if t != u and w_co[t] > self.apply_vec[t]:
+                deps.append((t, w_co[t]))
+        return deps
 
     # -- introspection ------------------------------------------------------------
 

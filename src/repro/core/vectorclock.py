@@ -28,7 +28,7 @@ Two representations are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -177,23 +177,51 @@ def _as_matrix(vectors: Iterable[Sequence[int]]) -> np.ndarray:
     return mat
 
 
-def batch_precedes_matrix(vectors: Iterable[Sequence[int]]) -> np.ndarray:
+#: Row-block size picked automatically by :func:`batch_precedes_matrix`
+#: for batches large enough that the full (k, k, n) broadcast would
+#: allocate gigabytes (k > _AUTO_CHUNK_THRESHOLD).
+_AUTO_CHUNK_THRESHOLD = 8192
+_DEFAULT_CHUNK = 1024
+
+
+def batch_precedes_matrix(
+    vectors: Iterable[Sequence[int]],
+    *,
+    chunk: Optional[int] = None,
+) -> np.ndarray:
     """Pairwise strict-domination matrix for a batch of k vectors.
 
     Returns a boolean ``(k, k)`` array ``P`` with ``P[i, j]`` true iff
     ``vectors[i] < vectors[j]``.  By Theorem 1 this *is* the ``->co``
     adjacency (closed under transitivity) of the corresponding writes.
 
-    Vectorized: builds ``(k, k, n)`` broadcast comparisons, so memory is
-    O(k^2 * n) -- fine up to a few thousand writes, which is the scale
-    the benchmark harness produces.
+    Vectorized: the broadcast comparison materializes ``(rows, k, n)``
+    intermediates.  With ``chunk=None`` and ``k <= 8192`` all rows go
+    in one shot (O(k^2 * n) scratch memory); larger batches -- traces
+    with tens of thousands of writes -- are processed in row blocks of
+    ``chunk`` (default 1024) so scratch memory stays O(chunk * k * n)
+    while the result is bit-identical
+    (``tests/core/test_vectorclock.py`` pins the equality).  Pass an
+    explicit ``chunk`` to force a block size either way.
     """
     mat = _as_matrix(vectors)
-    if mat.shape[0] == 0:
+    k = mat.shape[0]
+    if k == 0:
         return np.zeros((0, 0), dtype=bool)
-    le = np.all(mat[:, None, :] <= mat[None, :, :], axis=2)
-    eq = np.all(mat[:, None, :] == mat[None, :, :], axis=2)
-    out = le & ~eq
+    if chunk is None and k > _AUTO_CHUNK_THRESHOLD:
+        chunk = _DEFAULT_CHUNK
+    if chunk is not None and chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    if chunk is None or chunk >= k:
+        le = np.all(mat[:, None, :] <= mat[None, :, :], axis=2)
+        eq = np.all(mat[:, None, :] == mat[None, :, :], axis=2)
+        return le & ~eq
+    out = np.empty((k, k), dtype=bool)
+    for start in range(0, k, chunk):
+        rows = mat[start:start + chunk]
+        le = np.all(rows[:, None, :] <= mat[None, :, :], axis=2)
+        eq = np.all(rows[:, None, :] == mat[None, :, :], axis=2)
+        out[start:start + chunk] = le & ~eq
     return out
 
 

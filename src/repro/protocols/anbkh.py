@@ -32,7 +32,7 @@ write-delay optimal (paper, Section 3.6, Figure 3 / Table 2 -- the
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.core.base import (
     BROADCAST,
@@ -98,6 +98,23 @@ class ANBKHProtocol(Protocol):
     def apply_update(self, msg: UpdateMessage) -> None:
         self.store_put(msg.variable, msg.value, msg.wid)
         self.vc[msg.sender] += 1
+
+    def missing_deps(self, msg: UpdateMessage) -> Optional[List[Tuple[int, int]]]:
+        """The BSS delivery condition as explicit apply events:
+        ``VT[u] = VC[u] + 1`` waits for the apply of ``p_u``'s write
+        number ``VT[u] - 1``; ``VT[t] <= VC[t]`` waits for ``p_t``'s
+        write number ``VT[t]``.  Dependencies on this process itself
+        cannot be pending (the sender cannot have applied more of our
+        writes than we issued), so only remote applies are listed."""
+        u = msg.sender
+        vt = msg.payload[VT_KEY]
+        deps: List[Tuple[int, int]] = []
+        if self.vc[u] + 1 < vt[u]:
+            deps.append((u, vt[u] - 1))
+        for t in range(self.n_processes):
+            if t != u and vt[t] > self.vc[t]:
+                deps.append((t, vt[t]))
+        return deps
 
     # -- introspection ------------------------------------------------------------
 

@@ -45,7 +45,17 @@ quiescence and the liveness checker stay balanced.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Hashable, List, Mapping, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.base import (
     Disposition,
@@ -210,6 +220,28 @@ class PartialReplicationProtocol(Protocol):
             if rel[t] > self.applied_rel[t]:
                 return Disposition.BUFFER
         return Disposition.APPLY
+
+    def missing_deps(self, msg: UpdateMessage) -> Optional[List[Tuple[int, int]]]:
+        """Held-restricted dependencies as explicit apply events.
+
+        ``rel[t]`` counts the writes of ``p_t`` on *held* variables in
+        the message's causal past; the t-th obligation is satisfied
+        when the ``rel[t]``-th such write applies here.  Apply events
+        are therefore keyed by this replica's per-sender *applied
+        count* (see :meth:`apply_event`), not by global write sequence
+        numbers -- p_t's held writes form a subsequence of its write
+        sequence."""
+        rel = self._rel(msg.payload[VAR_PAST_KEY], msg.sender)
+        return [
+            (t, rel[t])
+            for t in range(self.n_processes)
+            if rel[t] > self.applied_rel[t]
+        ]
+
+    def apply_event(self, msg: UpdateMessage) -> Tuple[int, int]:
+        # Called right after apply_update: applied_rel[sender] already
+        # counts the apply that just happened.
+        return (msg.sender, self.applied_rel[msg.sender])
 
     def apply_update(self, msg: UpdateMessage) -> None:
         # NOTE: the write's causal knowledge (its VP map, including

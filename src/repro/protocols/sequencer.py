@@ -175,6 +175,21 @@ class SequencerProtocol(Protocol):
             return Disposition.APPLY
         return Disposition.BUFFER
 
+    def missing_deps(self, msg: UpdateMessage) -> Optional[List[Tuple[int, int]]]:
+        """Stamp order is a single chain: update ``gsn`` waits only for
+        the apply of update ``gsn - 1``.  A stamped update with
+        ``gsn < next_apply_gsn`` (a network duplicate) has no pending
+        dependency and can never apply: empty list = dead-park."""
+        gsn = msg.payload[GSN_KEY]
+        if gsn > self.next_apply_gsn:
+            return [(SEQUENCER, gsn - 1)]
+        return []
+
+    def apply_event(self, msg: UpdateMessage) -> Tuple[int, int]:
+        """Wakeup keys follow the global stamp order, not per-writer
+        sequence numbers (every stamped update has sender SEQUENCER)."""
+        return (SEQUENCER, msg.payload[GSN_KEY])
+
     def apply_update(self, msg: UpdateMessage) -> None:
         assert msg.payload[GSN_KEY] == self.next_apply_gsn
         self.store_put(msg.variable, msg.value, msg.wid)

@@ -29,14 +29,26 @@ from repro.sim.latency import (
 from repro.sim.network import Network, estimate_size
 from repro.sim.node import Node
 from repro.sim.result import RunResult
+from repro.sim.scheduler import (
+    DeliveryScheduler,
+    IndexedScheduler,
+    LegacyScanScheduler,
+    SCHEDULER_MODES,
+    make_scheduler,
+    supports_indexing,
+)
 from repro.sim.serialize import trace_from_jsonl, trace_to_jsonl
 from repro.sim.trace import EventKind, Trace, TraceEvent
 
 __all__ = [
     "ConstantLatency",
+    "DeliveryScheduler",
     "Engine",
     "EngineLimitError",
     "EventKind",
+    "IndexedScheduler",
+    "LegacyScanScheduler",
+    "SCHEDULER_MODES",
     "ExponentialLatency",
     "LatencyModel",
     "MatrixLatency",
@@ -50,8 +62,10 @@ __all__ = [
     "TraceEvent",
     "UniformLatency",
     "estimate_size",
+    "make_scheduler",
     "run_programs",
     "run_schedule",
+    "supports_indexing",
     "trace_from_jsonl",
     "trace_to_jsonl",
 ]

@@ -74,6 +74,7 @@ class SimCluster:
         congestion_factor: float = 0.0,
         duplicate_prob: float = 0.0,
         dedup: bool = False,
+        scheduler: str = "auto",
     ):
         """See the class docstring; fault-injection extras:
 
@@ -86,6 +87,12 @@ class SimCluster:
             Stop the run at this simulated time even if not quiescent
             (the run result then shows partial progress; checkers that
             assume quiescence should not be applied wholesale).
+        scheduler:
+            Delivery scheduling strategy for buffered updates:
+            ``"auto"`` (dependency-indexed wakeups where the protocol
+            supports :meth:`~repro.core.base.Protocol.missing_deps`,
+            legacy re-scan otherwise), ``"indexed"``, or ``"legacy"``
+            (force the re-scan; differential tests and benchmarks).
         """
         if n_processes < 1:
             raise ValueError("need at least one process")
@@ -129,6 +136,7 @@ class SimCluster:
                 on_remote_apply=self._count_apply,
                 on_write=self._count_write,
                 dedup=dedup,
+                scheduler=scheduler,
             )
             for i in range(n_processes)
         ]

@@ -38,6 +38,7 @@ class _Scheduled:
     seq: int
     fn: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    executed: bool = field(default=False, compare=False)
 
 
 class Engine:
@@ -48,6 +49,7 @@ class Engine:
         self._queue: List[_Scheduled] = []
         self._seq = itertools.count()
         self.events_processed = 0
+        self._alive = 0  # live count behind the ``pending`` property
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> _Scheduled:
         """Schedule ``fn`` at absolute time ``time`` (>= now)."""
@@ -57,6 +59,7 @@ class Engine:
             )
         item = _Scheduled(time=time, seq=next(self._seq), fn=fn)
         heapq.heappush(self._queue, item)
+        self._alive += 1
         return item
 
     def schedule_after(self, delay: float, fn: Callable[[], None]) -> _Scheduled:
@@ -67,12 +70,20 @@ class Engine:
 
     def cancel(self, item: _Scheduled) -> None:
         """Cancel a scheduled callback (lazily removed from the heap)."""
+        if item.cancelled or item.executed:
+            return
         item.cancelled = True
+        self._alive -= 1
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled scheduled callbacks."""
-        return sum(1 for it in self._queue if not it.cancelled)
+        """Number of not-yet-cancelled scheduled callbacks.
+
+        Maintained as a live counter -- the quiescence predicate reads
+        this after every event, so a heap scan here would make every
+        run O(events * queue depth).
+        """
+        return self._alive
 
     def run(
         self,
@@ -100,6 +111,8 @@ class Engine:
                     f"exceeded max_time={max_time} (next event at {item.time})"
                 )
             self.now = item.time
+            item.executed = True
+            self._alive -= 1
             item.fn()
             self.events_processed += 1
             if self.events_processed >= max_events and self._queue:

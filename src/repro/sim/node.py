@@ -3,9 +3,12 @@
 The node implements the substrate side of the class-𝒫 contract
 (Section 3.2): it turns protocol decisions into trace events and owns
 the pending buffer -- the paper's "the thread is suspended till the
-condition becomes true" is realized by re-classifying every buffered
-message after each successful apply (see DESIGN.md, "Buffering
-strategy", and the ablation in ``benchmarks/test_bench_micro.py``).
+condition becomes true" is realized by a
+:class:`~repro.sim.scheduler.DeliveryScheduler`: dependency-indexed
+wakeups for protocols that can enumerate their wait predicate
+(:meth:`~repro.core.base.Protocol.missing_deps`), a legacy full
+re-scan for those that cannot (see DESIGN.md, "Buffering strategy",
+and the ablation in ``benchmarks/test_bench_scheduler.py``).
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from repro.core.base import (
     UpdateMessage,
 )
 from repro.model.operations import WriteId, fresh_value
+from repro.sim.scheduler import make_scheduler
 from repro.sim.trace import EventKind, Trace
 
 Dispatch = Callable[[int, Sequence[Outgoing]], None]
@@ -41,6 +45,7 @@ class Node:
         on_remote_apply: Optional[Callable[[], None]] = None,
         on_write: Optional[Callable[[], None]] = None,
         dedup: bool = False,
+        scheduler: str = "auto",
     ):
         self.protocol = protocol
         self.process_id = protocol.process_id
@@ -48,7 +53,9 @@ class Node:
         self.clock = clock
         self.dispatch = dispatch
         self.record_state = record_state
-        self.pending: List[UpdateMessage] = []
+        #: delivery scheduler owning the pending buffer (see
+        #: :mod:`repro.sim.scheduler` for the mode semantics).
+        self.scheduler = make_scheduler(protocol, scheduler)
         self._on_remote_apply = on_remote_apply
         self._on_write = on_write
         #: crash-stop flag (fault-injection extension; the paper's
@@ -65,10 +72,20 @@ class Node:
         # Out-of-band applies (token batches) land here:
         protocol.bind_recorder(self._record_oob_apply)
 
+    @property
+    def scheduler_mode(self) -> str:
+        """The resolved delivery strategy: ``"indexed"`` or ``"legacy"``."""
+        return self.scheduler.mode
+
+    @property
+    def pending(self) -> List[UpdateMessage]:
+        """Buffered update messages, oldest first (introspection)."""
+        return self.scheduler.buffered()
+
     def crash(self) -> None:
         """Crash-stop this node: drop its buffer, ignore everything."""
         self.crashed = True
-        self.pending.clear()
+        self.scheduler.clear()
 
     # -- helpers ---------------------------------------------------------------
 
@@ -185,7 +202,7 @@ class Node:
                 wid=msg.wid,
                 variable=msg.variable,
             )
-            self.pending.append(msg)
+            self.scheduler.park(msg)
         else:
             self._discard(msg)
 
@@ -200,6 +217,7 @@ class Node:
             value=msg.value,
             state=self._state(),
         )
+        self.scheduler.notify_applied(msg)
         if self._on_remote_apply is not None:
             self._on_remote_apply()
 
@@ -214,21 +232,9 @@ class Node:
         )
 
     def _drain(self) -> None:
-        """Re-test buffered messages until a fixpoint (the woken
-        synchronization threads of Figure 5)."""
-        progress = True
-        while progress and self.pending:
-            progress = False
-            for msg in list(self.pending):
-                disposition = self.protocol.classify(msg)
-                if disposition is Disposition.APPLY:
-                    self.pending.remove(msg)
-                    self._apply(msg)
-                    progress = True
-                elif disposition is Disposition.DISCARD:
-                    self.pending.remove(msg)
-                    self._discard(msg)
-                    progress = True
+        """Perform every now-actionable buffered message (the woken
+        synchronization threads of Figure 5), oldest-buffered first."""
+        self.scheduler.pump(self._apply, self._discard)
 
     def _record_oob_apply(self, wid: WriteId, variable: Hashable, value: Any) -> None:
         """Recorder callback for protocols that apply writes outside the
@@ -247,4 +253,4 @@ class Node:
 
     @property
     def buffered_count(self) -> int:
-        return len(self.pending)
+        return len(self.scheduler)

@@ -1,0 +1,243 @@
+"""Delivery scheduling: when do buffered update messages get re-examined?
+
+The paper's Figure 5 suspends a synchronization thread "till the
+condition becomes true".  The substrate realizes the wakeup two ways:
+
+- :class:`LegacyScanScheduler` -- the original strategy: after every
+  apply, re-classify the pending buffer front-to-back and perform the
+  first actionable message, restarting until a fixpoint.  O(B) per
+  apply (O(B^2) per delivery burst), but works for *any* protocol
+  because it only needs :meth:`~repro.core.base.Protocol.classify`.
+
+- :class:`IndexedScheduler` -- a dependency-indexed wakeup structure:
+  each buffered message is parked under its first missing apply event
+  ``(process, seq)`` as reported by
+  :meth:`~repro.core.base.Protocol.missing_deps`; when that event fires
+  (:meth:`~repro.core.base.Protocol.apply_event` of an applied
+  message), exactly the parked messages are woken -- O(1) amortized per
+  apply.  A woken message that is still not applicable re-parks under
+  its next missing dependency, so each message is woken at most once
+  per dependency (<= n wakeups total).  Messages whose dependency list
+  is exhausted while ``classify`` still says ``BUFFER`` (duplicates of
+  already-applied writes, under ``duplicate_prob`` without ``dedup``)
+  are *dead-parked*: they stay in the buffer forever, exactly like the
+  wedged duplicates of the legacy path.
+
+Both schedulers realize the same canonical drain order -- *apply the
+oldest-buffered actionable message first, repeatedly* -- so seeded runs
+produce byte-identical traces on either path
+(``tests/integration/test_scheduler_differential.py``).  The legacy
+restart-scan picks the lowest-position actionable message by
+construction; the indexed path keeps woken messages in a min-heap keyed
+by buffer arrival sequence, which coincides because a message becomes
+actionable exactly when its last missing dependency fires (and is woken
+at that moment).
+
+Scheduler choice (``Node(scheduler=...)`` / ``SimCluster(scheduler=...)``):
+
+- ``"auto"`` (default): indexed iff the protocol overrides
+  ``missing_deps`` (OptP, ANBKH, the sequencer, partial replication);
+  legacy otherwise (token batches, gossip, writing-semantics
+  receivers, whose wait predicates are not enumerable as a finite
+  static set of apply events).
+- ``"indexed"``: indexed where supported, legacy fallback otherwise.
+- ``"legacy"``: force the re-scan path (differential tests, the drain
+  ablation benchmark).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.base import Disposition, Protocol, UpdateMessage
+
+ApplyCallback = Callable[[UpdateMessage], None]
+DiscardCallback = Callable[[UpdateMessage], None]
+
+#: Valid values for the ``scheduler`` argument of Node / SimCluster.
+SCHEDULER_MODES = ("auto", "indexed", "legacy")
+
+
+def supports_indexing(protocol: Protocol) -> bool:
+    """True iff the protocol overrides :meth:`Protocol.missing_deps`."""
+    return type(protocol).missing_deps is not Protocol.missing_deps
+
+
+def make_scheduler(protocol: Protocol, mode: str = "auto") -> "DeliveryScheduler":
+    """Resolve a scheduler mode for ``protocol`` (see module docstring)."""
+    if mode not in SCHEDULER_MODES:
+        raise ValueError(
+            f"unknown scheduler mode {mode!r}; known: {SCHEDULER_MODES}"
+        )
+    if mode != "legacy" and supports_indexing(protocol):
+        return IndexedScheduler(protocol)
+    return LegacyScanScheduler(protocol)
+
+
+class DeliveryScheduler:
+    """Owns a node's pending buffer and its wakeup policy.
+
+    The hosting :class:`~repro.sim.node.Node` records trace events and
+    mutates protocol state; the scheduler only decides *which* buffered
+    message to hand back next.  Interaction protocol:
+
+    - ``park(msg)`` -- ``classify`` said ``BUFFER`` at receipt;
+    - ``notify_applied(msg)`` -- the node applied ``msg`` (receipt path
+      or drain path); the scheduler marks dependencies satisfied;
+    - ``pump(apply_cb, discard_cb)`` -- perform every now-actionable
+      buffered message, oldest-buffered first, until a fixpoint.  The
+      callbacks re-enter ``notify_applied``, so cascades (one apply
+      unblocking the next) happen inside a single pump.
+    """
+
+    #: "legacy" or "indexed" (introspection / tests / benchmarks).
+    mode: str = "abstract"
+
+    def __init__(self, protocol: Protocol):
+        self.protocol = protocol
+
+    def park(self, msg: UpdateMessage) -> None:
+        raise NotImplementedError
+
+    def notify_applied(self, msg: UpdateMessage) -> None:
+        raise NotImplementedError
+
+    def pump(self, apply_cb: ApplyCallback, discard_cb: DiscardCallback) -> None:
+        raise NotImplementedError
+
+    def buffered(self) -> List[UpdateMessage]:
+        """Buffered messages in arrival order (introspection)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+
+class LegacyScanScheduler(DeliveryScheduler):
+    """The original strategy: full re-scan of the buffer per apply."""
+
+    mode = "legacy"
+
+    def __init__(self, protocol: Protocol):
+        super().__init__(protocol)
+        self._pending: List[UpdateMessage] = []
+
+    def park(self, msg: UpdateMessage) -> None:
+        self._pending.append(msg)
+
+    def notify_applied(self, msg: UpdateMessage) -> None:
+        pass  # the next pump() re-scans everything anyway
+
+    def pump(self, apply_cb: ApplyCallback, discard_cb: DiscardCallback) -> None:
+        # Canonical order: perform the oldest actionable message, then
+        # restart (an apply may enable messages parked earlier in the
+        # buffer).  Removal is by index -- the previous
+        # ``pending.remove(msg)`` re-scanned the list by value on every
+        # hit, turning each sweep quadratic.
+        pending = self._pending
+        i = 0
+        while i < len(pending):
+            msg = pending[i]
+            disposition = self.protocol.classify(msg)
+            if disposition is Disposition.BUFFER:
+                i += 1
+                continue
+            del pending[i]
+            if disposition is Disposition.APPLY:
+                apply_cb(msg)
+            else:
+                discard_cb(msg)
+            i = 0
+
+    def buffered(self) -> List[UpdateMessage]:
+        return list(self._pending)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def clear(self) -> None:
+        self._pending.clear()
+
+
+class IndexedScheduler(DeliveryScheduler):
+    """Dependency-indexed wakeups: O(1) amortized per apply."""
+
+    mode = "indexed"
+
+    def __init__(self, protocol: Protocol):
+        super().__init__(protocol)
+        if not supports_indexing(protocol):
+            raise TypeError(
+                f"{type(protocol).__name__} does not implement missing_deps"
+            )
+        #: arrival order -> message; insertion-ordered, O(1) removal.
+        self._buffered: Dict[int, UpdateMessage] = {}
+        #: wakeup index: missing apply event -> parked (arrival, msg).
+        self._parked: Dict[Tuple[int, int], List[Tuple[int, UpdateMessage]]] = {}
+        #: woken messages awaiting re-examination, min-heap by arrival.
+        self._woken: List[Tuple[int, UpdateMessage]] = []
+        self._arrivals = 0
+        #: counters for tests / benchmarks
+        self.wakeups = 0
+        self.dead_parked = 0
+
+    # -- parking ---------------------------------------------------------------
+
+    def park(self, msg: UpdateMessage) -> None:
+        seq = self._arrivals
+        self._arrivals += 1
+        self._buffered[seq] = msg
+        self._park_under_next_dep(seq, msg)
+
+    def _park_under_next_dep(self, seq: int, msg: UpdateMessage) -> None:
+        deps = self.protocol.missing_deps(msg)
+        if deps:
+            self._parked.setdefault(deps[0], []).append((seq, msg))
+        else:
+            # classify() said BUFFER yet no future apply can help:
+            # permanently undeliverable (duplicate of an applied write).
+            # It stays counted in the buffer, like the legacy path.
+            self.dead_parked += 1
+
+    # -- wakeups ---------------------------------------------------------------
+
+    def notify_applied(self, msg: UpdateMessage) -> None:
+        key = self.protocol.apply_event(msg)
+        entries = self._parked.pop(key, None)
+        if entries:
+            for entry in entries:
+                heapq.heappush(self._woken, entry)
+            self.wakeups += len(entries)
+
+    def pump(self, apply_cb: ApplyCallback, discard_cb: DiscardCallback) -> None:
+        woken = self._woken
+        while woken:
+            seq, msg = heapq.heappop(woken)
+            if seq not in self._buffered:  # pragma: no cover - defensive
+                continue
+            disposition = self.protocol.classify(msg)
+            if disposition is Disposition.BUFFER:
+                self._park_under_next_dep(seq, msg)
+                continue
+            del self._buffered[seq]
+            if disposition is Disposition.APPLY:
+                apply_cb(msg)  # re-enters notify_applied -> may re-fill woken
+            else:
+                discard_cb(msg)
+
+    # -- introspection -----------------------------------------------------------
+
+    def buffered(self) -> List[UpdateMessage]:
+        return list(self._buffered.values())
+
+    def __len__(self) -> int:
+        return len(self._buffered)
+
+    def clear(self) -> None:
+        self._buffered.clear()
+        self._parked.clear()
+        self._woken.clear()

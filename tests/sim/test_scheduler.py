@@ -1,0 +1,200 @@
+"""Unit tests for the delivery scheduler subsystem
+(:mod:`repro.sim.scheduler`): mode resolution, dependency-indexed
+wakeups, re-parking, dead-parking, and order parity with the legacy
+re-scan."""
+
+import pytest
+
+from repro.core.optp import OptPProtocol
+from repro.protocols.anbkh import ANBKHProtocol
+from repro.protocols.gossip import GossipOptPProtocol
+from repro.protocols.jimenez import JimenezTokenProtocol
+from repro.protocols.partial import PartialReplicationProtocol, ReplicationMap
+from repro.protocols.sequencer import SequencerProtocol
+from repro.protocols.ws_receiver import WSReceiverProtocol
+from repro.sim.node import Node
+from repro.sim.scheduler import (
+    IndexedScheduler,
+    LegacyScanScheduler,
+    make_scheduler,
+    supports_indexing,
+)
+from repro.sim.trace import Trace
+
+
+def make_node(proto, scheduler="auto"):
+    trace = Trace(proto.n_processes)
+    node = Node(proto, trace, clock=lambda: 0.0,
+                dispatch=lambda *a: None, scheduler=scheduler)
+    return node, trace
+
+
+def msg_from(sender_proto, var, value):
+    return sender_proto.write(var, value).outgoing[0].message
+
+
+class TestModeResolution:
+    @pytest.mark.parametrize("proto_cls", [
+        OptPProtocol, ANBKHProtocol, SequencerProtocol,
+    ])
+    def test_dep_enumerable_protocols_get_the_index(self, proto_cls):
+        p = proto_cls(1, 4)
+        assert supports_indexing(p)
+        assert isinstance(make_scheduler(p, "auto"), IndexedScheduler)
+        assert isinstance(make_scheduler(p, "indexed"), IndexedScheduler)
+        assert isinstance(make_scheduler(p, "legacy"), LegacyScanScheduler)
+
+    def test_partial_replication_gets_the_index(self):
+        rmap = ReplicationMap.full(["x"], 4)
+        p = PartialReplicationProtocol(1, 4, rmap)
+        assert supports_indexing(p)
+        assert isinstance(make_scheduler(p), IndexedScheduler)
+
+    @pytest.mark.parametrize("proto_cls", [
+        WSReceiverProtocol, JimenezTokenProtocol, GossipOptPProtocol,
+    ])
+    def test_non_enumerable_protocols_fall_back(self, proto_cls):
+        p = proto_cls(1, 4)
+        assert not supports_indexing(p)
+        # even an explicit "indexed" request degrades transparently
+        assert isinstance(make_scheduler(p, "indexed"), LegacyScanScheduler)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler mode"):
+            make_scheduler(OptPProtocol(0, 2), "eager")
+        with pytest.raises(ValueError, match="unknown scheduler mode"):
+            Node(OptPProtocol(0, 2), Trace(2), clock=lambda: 0.0,
+                 dispatch=lambda *a: None, scheduler="eager")
+
+    def test_indexed_scheduler_rejects_legacy_protocols(self):
+        with pytest.raises(TypeError, match="missing_deps"):
+            IndexedScheduler(WSReceiverProtocol(0, 2))
+
+    def test_node_exposes_resolved_mode(self):
+        node, _ = make_node(OptPProtocol(1, 3))
+        assert node.scheduler_mode == "indexed"
+        node, _ = make_node(WSReceiverProtocol(1, 3))
+        assert node.scheduler_mode == "legacy"
+
+
+class TestIndexedWakeups:
+    def test_single_sender_chain_wakes_each_message_once(self):
+        """Reversed delivery of a same-sender chain: every buffered
+        message has exactly one missing dependency (its predecessor),
+        so each is woken exactly once -- the O(1)-per-apply claim."""
+        depth = 50
+        sender = OptPProtocol(0, 2)
+        msgs = [msg_from(sender, "x", k) for k in range(depth + 1)]
+        node, trace = make_node(OptPProtocol(1, 2))
+        for m in reversed(msgs[1:]):
+            node.receive(m)
+        assert node.buffered_count == depth
+        node.receive(msgs[0])
+        assert node.buffered_count == 0
+        assert node.scheduler.wakeups == depth
+        assert [w.seq for w in trace.apply_order(1)] == list(range(1, depth + 2))
+
+    def test_multi_dep_message_reparks_under_next_dep(self):
+        """A write depending on two other senders is woken once per
+        dependency: first wake re-parks it, second wake applies it."""
+        n = 4
+        p0 = OptPProtocol(0, n)
+        p1 = OptPProtocol(1, n)
+        p2 = OptPProtocol(2, n)
+        m_a = msg_from(p0, "a", 1)
+        m_b = msg_from(p1, "b", 1)
+        # p2 reads both, then writes: its message depends on both
+        p2.apply_update(m_a)
+        p2.read("a")
+        p2.apply_update(m_b)
+        p2.read("b")
+        m_c = msg_from(p2, "c", 1)
+
+        node, trace = make_node(OptPProtocol(3, n))
+        node.receive(m_c)
+        assert node.buffered_count == 1
+        node.receive(m_a)   # wakes m_c once; still missing m_b
+        assert node.buffered_count == 1
+        node.receive(m_b)   # second wake applies it
+        assert node.buffered_count == 0
+        assert node.scheduler.wakeups == 2
+
+    def test_duplicate_of_applied_write_is_dead_parked(self):
+        """A duplicate whose predicate can never hold again is parked
+        forever without being re-examined -- the legacy path's wedged
+        buffer, minus the repeated re-classification."""
+        sender = OptPProtocol(0, 2)
+        m1 = msg_from(sender, "x", 1)
+        node, _ = make_node(OptPProtocol(1, 2))
+        node.receive(m1)
+        assert node.buffered_count == 0
+        node.receive(m1)            # duplicate: BUFFER, no future deps
+        assert node.buffered_count == 1
+        assert node.scheduler.dead_parked == 1
+        # further traffic never wakes it
+        node.receive(msg_from(sender, "x", 2))
+        assert node.buffered_count == 1
+        assert node.pending == [m1]
+
+    def test_sequencer_gap_waits_on_stamp_order(self):
+        seq = SequencerProtocol(0, 3)
+        m0 = seq._stamp_and_broadcast(seq.next_wid(), "x", 0)[0].message
+        m1 = seq._stamp_and_broadcast(seq.next_wid(), "x", 1)[0].message
+        m2 = seq._stamp_and_broadcast(seq.next_wid(), "x", 2)[0].message
+        node, trace = make_node(SequencerProtocol(1, 3))
+        node.receive(m2)
+        node.receive(m1)
+        assert node.buffered_count == 2
+        node.receive(m0)
+        assert node.buffered_count == 0
+        assert trace.apply_order(1) == [m0.wid, m1.wid, m2.wid]
+
+    def test_crash_clears_the_index(self):
+        sender = OptPProtocol(0, 2)
+        msg_from(sender, "x", 1)          # never delivered
+        m2 = msg_from(sender, "x", 2)
+        node, _ = make_node(OptPProtocol(1, 2))
+        node.receive(m2)
+        assert node.buffered_count == 1
+        node.crash()
+        assert node.buffered_count == 0
+        assert node.pending == []
+
+
+class TestOrderParity:
+    def test_repark_preserves_buffer_order(self):
+        """M1 (two deps) buffered before M2 (one shared dep): when the
+        shared dep fires last, both paths apply M1 before M2 -- the
+        indexed path must not let M1's re-parking push it behind M2."""
+        n = 4
+
+        def build():
+            p0 = OptPProtocol(0, n)
+            p1 = OptPProtocol(1, n)
+            p2 = OptPProtocol(2, n)
+            m_a = msg_from(p0, "a", 1)
+            m_b = msg_from(p1, "b", 1)
+            # m1 depends on both m_a and m_b; parks under m_a first
+            p2.apply_update(m_a)
+            p2.read("a")
+            p2.apply_update(m_b)
+            p2.read("b")
+            m1 = msg_from(p2, "c", 1)
+            # m2 (same-sender successor of m_b) depends on m_b only
+            m2 = msg_from(p1, "d", 2)
+            return m1, m2, m_a, m_b
+
+        orders = {}
+        for mode in ("legacy", "indexed"):
+            m1, m2, m_a, m_b = build()
+            node, trace = make_node(OptPProtocol(3, n), scheduler=mode)
+            node.receive(m1)    # parks under m_a's key
+            node.receive(m2)    # parks under m_b's key
+            node.receive(m_a)   # wakes m1 -> still missing m_b -> re-park
+            node.receive(m_b)   # enables both; m1 buffered first
+            assert node.buffered_count == 0
+            orders[mode] = trace.apply_order(3)
+        assert orders["legacy"] == orders["indexed"]
+        # m1 (buffered first) applies before m2
+        applied = orders["legacy"]
+        assert applied.index(m1.wid) < applied.index(m2.wid)
