@@ -1,0 +1,200 @@
+"""Observability overhead budget: disabled-obs must cost <= 5%.
+
+Every instrumentation hook on the simulator's hot paths is gated on a
+single ``if obs.enabled:`` branch (instrument handles are resolved once
+at construction).  This benchmark checks the budget on the most
+hook-dense workload we have -- the reversed-chain scheduler drain of
+``test_bench_scheduler.py``, where every message goes receipt -> park
+-> wakeup -> apply, hitting Node and IndexedScheduler hooks on each
+step.
+
+Three variants over the same workload:
+
+- ``bare``      -- benchmark-local Node/scheduler subclasses whose hot
+                   methods are the pre-instrumentation bodies (no obs
+                   attribute loads, no branches): the honest
+                   "instrumentation absent" control;
+- ``disabled``  -- the shipped code with the default ``NULL_OBS``
+                   handle (what every non-observed run pays);
+- ``enabled``   -- ``Obs.recording()``: metrics + spans materialized.
+
+The acceptance bar (asserted, and written to ``BENCH_obs.json``):
+``disabled / bare <= 1.05``.  ``enabled`` is reported for context; it
+has no bar -- recording is allowed to cost real work.
+"""
+
+import heapq
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.base import Disposition
+from repro.core.optp import OptPProtocol
+from repro.obs import Obs
+from repro.sim.node import Node
+from repro.sim.scheduler import IndexedScheduler
+from repro.sim.trace import EventKind, Trace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_obs.json"
+
+CHAIN_DEPTH = 1024
+N_PROCESSES = 64
+OVERHEAD_CEILING = 1.05
+#: absolute-noise guard: on a sub-millisecond delta the ratio test
+#: measures the OS scheduler, not the code under test.
+NOISE_FLOOR_S = 0.002
+
+
+class BareIndexedScheduler(IndexedScheduler):
+    """IndexedScheduler with the obs gates stripped from the hot path
+    (park / notify_applied / pump bodies as they were pre-hooks)."""
+
+    def park(self, msg):
+        seq = self._arrivals
+        self._arrivals += 1
+        self._buffered[seq] = msg
+        self._park_under_next_dep(seq, msg)
+
+    def notify_applied(self, msg):
+        key = self.protocol.apply_event(msg)
+        entries = self._parked.pop(key, None)
+        if entries:
+            for entry in entries:
+                heapq.heappush(self._woken, entry)
+            self.wakeups += len(entries)
+
+    def pump(self, apply_cb, discard_cb):
+        woken = self._woken
+        while woken:
+            seq, msg = heapq.heappop(woken)
+            if seq not in self._buffered:  # pragma: no cover - defensive
+                continue
+            disposition = self.protocol.classify(msg)
+            if disposition is Disposition.BUFFER:
+                self._park_under_next_dep(seq, msg)
+                continue
+            del self._buffered[seq]
+            if disposition is Disposition.APPLY:
+                apply_cb(msg)
+            else:
+                discard_cb(msg)
+
+
+class BareNode(Node):
+    """Node with the obs gates stripped from the receive/apply path."""
+
+    def _receive_update(self, msg):
+        now = self.clock()
+        self.trace.record(
+            now, self.process_id, EventKind.RECEIPT,
+            wid=msg.wid, variable=msg.variable, value=msg.value,
+        )
+        disposition = self.protocol.classify(msg)
+        if disposition is Disposition.APPLY:
+            self._apply(msg)
+            self._drain()
+        elif disposition is Disposition.BUFFER:
+            self.trace.record(
+                now, self.process_id, EventKind.BUFFER,
+                wid=msg.wid, variable=msg.variable,
+            )
+            self.scheduler.park(msg)
+        else:
+            self._discard(msg)
+
+    def _apply(self, msg):
+        self.protocol.apply_update(msg)
+        self.trace.record(
+            self.clock(), self.process_id, EventKind.APPLY,
+            wid=msg.wid, variable=msg.variable, value=msg.value,
+            state=self._state(),
+        )
+        self.scheduler.notify_applied(msg)
+        if self._on_remote_apply is not None:
+            self._on_remote_apply()
+
+
+def reversed_chain(n=N_PROCESSES, depth=CHAIN_DEPTH):
+    sender = OptPProtocol(0, n)
+    msgs = [sender.write("x", k).outgoing[0].message for k in range(depth)]
+    msgs.reverse()
+    return msgs
+
+
+def make_node(variant, n=N_PROCESSES):
+    trace = Trace(n)
+    if variant == "bare":
+        node = BareNode(OptPProtocol(1, n), trace, clock=lambda: 0.0,
+                        dispatch=lambda *a: None, scheduler="indexed")
+        node.scheduler = BareIndexedScheduler(node.protocol)
+        return node
+    obs = Obs.recording() if variant == "enabled" else None
+    kwargs = {"obs": obs} if obs is not None else {}
+    return Node(OptPProtocol(1, n), trace, clock=lambda: 0.0,
+                dispatch=lambda *a: None, scheduler="indexed", **kwargs)
+
+
+def drain(variant, msgs, n=N_PROCESSES):
+    node = make_node(variant, n)
+    for m in msgs:
+        node.receive(m)
+    assert node.buffered_count == 0
+    return node
+
+
+VARIANTS = ["bare", "disabled", "enabled"]
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_bench_obs_drain(benchmark, variant):
+    msgs = reversed_chain()
+    benchmark.pedantic(drain, args=(variant, msgs), rounds=3, iterations=1)
+
+
+def test_bare_variant_matches_shipped_behaviour():
+    """The control must do the same protocol work as the real path."""
+    msgs = reversed_chain(n=8, depth=32)
+    bare = drain("bare", msgs, n=8)
+    real = drain("disabled", msgs, n=8)
+    assert len(bare.trace.apply_order(1)) == len(real.trace.apply_order(1)) == 32
+    assert bare.scheduler.wakeups == real.scheduler.wakeups
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_obs_overhead_report():
+    """Times all variants, asserts the disabled-mode ceiling, and
+    writes the committed ``BENCH_obs.json`` artifact."""
+    msgs = reversed_chain()
+    timings = {v: _best_of(lambda v=v: drain(v, msgs)) for v in VARIANTS}
+    ratio = timings["disabled"] / timings["bare"]
+
+    report = {
+        "bench": "observability hot-path overhead",
+        "workload": {
+            "shape": "single-sender reversed chain, indexed scheduler",
+            "chain_depth": CHAIN_DEPTH,
+            "n_processes": N_PROCESSES,
+        },
+        "best_of_s": {v: round(t, 6) for v, t in timings.items()},
+        "disabled_over_bare": round(ratio, 4),
+        "enabled_over_bare": round(timings["enabled"] / timings["bare"], 4),
+        "ceiling": OVERHEAD_CEILING,
+    }
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    within_noise = (timings["disabled"] - timings["bare"]) <= NOISE_FLOOR_S
+    assert ratio <= OVERHEAD_CEILING or within_noise, (
+        f"disabled-observability overhead {ratio:.3f}x exceeds the "
+        f"{OVERHEAD_CEILING}x budget: {report['best_of_s']}"
+    )

@@ -161,9 +161,10 @@ def check_liveness(result: RunResult) -> List[str]:
     # non-replicated destination (partial replication).
     expected = len(wids) * (result.n_processes - 1)
     actual = result.remote_applies
-    skipped = result.stat_total("skipped")
-    suppressed = result.stat_total("suppressed") * (result.n_processes - 1)
-    unreplicated = result.stat_total("unreplicated")
+    totals = result.stats_total
+    skipped = totals.get("skipped", 0)
+    suppressed = totals.get("suppressed", 0) * (result.n_processes - 1)
+    unreplicated = totals.get("unreplicated", 0)
     if actual + skipped + suppressed + unreplicated != expected:
         violations.append(
             f"apply accounting broken: {actual} applies + {skipped} skips "

@@ -64,7 +64,7 @@ def metrics_to_csv(metrics: Sequence[RunMetrics]) -> str:
     """Serialize run metrics as CSV (delay-duration stats flattened)."""
     buf = io.StringIO()
     fieldnames = METRIC_COLUMNS + [
-        "delay_mean", "delay_p50", "delay_p95", "delay_max",
+        "delay_mean", "delay_p50", "delay_p95", "delay_p99", "delay_max",
     ]
     writer = csv.DictWriter(buf, fieldnames=fieldnames)
     writer.writeheader()
@@ -74,6 +74,7 @@ def metrics_to_csv(metrics: Sequence[RunMetrics]) -> str:
             delay_mean=m.delay_stats.mean,
             delay_p50=m.delay_stats.p50,
             delay_p95=m.delay_stats.p95,
+            delay_p99=m.delay_stats.p99,
             delay_max=m.delay_stats.max,
         )
         writer.writerow(row)

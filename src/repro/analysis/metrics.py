@@ -35,18 +35,20 @@ class DelayStats:
     mean: float
     p50: float
     p95: float
+    p99: float
     max: float
 
     @classmethod
     def of(cls, durations: Iterable[float]) -> "DelayStats":
         vals = sorted(durations)
         if not vals:
-            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, max=0.0)
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
         return cls(
             count=len(vals),
             mean=sum(vals) / len(vals),
             p50=percentile(vals, 50),
             p95=percentile(vals, 95),
+            p99=percentile(vals, 99),
             max=vals[-1],
         )
 
@@ -77,6 +79,7 @@ class RunMetrics:
         from repro.sim.trace import EventKind
 
         reads = sum(1 for _ in result.trace.of_kind(EventKind.RETURN))
+        totals = result.stats_total
         return cls(
             protocol=result.protocol_name,
             n_processes=result.n_processes,
@@ -89,8 +92,8 @@ class RunMetrics:
             bytes_estimate=result.bytes_estimate,
             remote_applies=result.remote_applies,
             discards=result.discards,
-            skipped=result.stat_total("skipped"),
-            suppressed=result.stat_total("suppressed"),
+            skipped=totals.get("skipped", 0),
+            suppressed=totals.get("suppressed", 0),
             duration=result.duration,
         )
 

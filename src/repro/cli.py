@@ -4,7 +4,10 @@ Subcommands:
 
 - ``artifacts [name ...]``  print regenerated paper tables/figures;
 - ``run``                   run one protocol on a random workload,
-  verify it, and print metrics (+ optional space-time diagram);
+  verify it, and print metrics (+ optional space-time diagram;
+  ``--trace-out``/``--metrics-out`` export a Perfetto trace and a
+  metrics snapshot, see docs/observability.md);
+- ``obs FILE``              summarize a saved ``--metrics-out`` file;
 - ``compare``               all protocols on one identical schedule;
 - ``sweep AXIS``            delay sweeps (Q1a-Q1c, Q3);
 - ``scenario NAME``         run an H1 figure scenario and show the
@@ -80,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the space-time diagram")
     p_run.add_argument("--dump-trace", metavar="PATH",
                        help="write the run's trace as JSON-lines to PATH")
+    p_run.add_argument("--trace-out", metavar="PATH",
+                       help="write a Perfetto/Chrome trace_event JSON "
+                       "rendering of the run (enables observability)")
+    p_run.add_argument("--metrics-out", metavar="PATH",
+                       help="write the run's metrics-registry snapshot "
+                       "as JSON (enables observability)")
 
     p_cmp = sub.add_parser("compare", help="all protocols, one schedule")
     p_cmp.add_argument("-n", "--processes", type=int, default=5)
@@ -106,6 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write to PATH instead of stdout")
     p_rep.add_argument("--quick", action="store_true",
                        help="smaller sweeps (fast sanity run)")
+
+    p_obs = sub.add_parser(
+        "obs", help="summarize a saved metrics file (run --metrics-out)"
+    )
+    p_obs.add_argument("path", help="metrics JSON from run --metrics-out")
 
     p_scen = sub.add_parser("scenario", help="run an H1 figure scenario")
     p_scen.add_argument("name", choices=sorted(ALL_SCENARIOS))
@@ -139,6 +153,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         zipf_s=args.zipf,
         seed=args.seed,
     )
+    obs = None
+    if args.trace_out or args.metrics_out:
+        from repro.obs import Obs
+
+        obs = Obs.recording()
     result = run_schedule(
         args.protocol,
         args.processes,
@@ -147,6 +166,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                               mean=args.latency_mean),
         fifo=args.fifo,
         record_state=True,
+        obs=obs,
     )
     report = check_run(result)
     print(report.summary())
@@ -162,6 +182,23 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         Path(args.dump_trace).write_text(trace_to_jsonl(result.trace))
         print(f"trace written to {args.dump_trace}")
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(args.trace_out, result.trace, result.spans,
+                           protocol=args.protocol)
+        print(f"Perfetto trace written to {args.trace_out} "
+              "(open in ui.perfetto.dev)")
+    if args.metrics_out:
+        from pathlib import Path
+
+        Path(args.metrics_out).write_text(obs.registry.to_json(
+            protocol=args.protocol,
+            n_processes=args.processes,
+            duration=result.duration,
+            seed=args.seed,
+        ))
+        print(f"metrics written to {args.metrics_out}")
     return 0 if report.ok else 1
 
 
@@ -267,6 +304,26 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Summarize a saved metrics file (``run --metrics-out``)."""
+    import json
+    from pathlib import Path
+
+    from repro.obs import summarize_metrics
+
+    try:
+        doc = json.loads(Path(args.path).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read metrics file {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(doc, dict) or "metrics" not in doc:
+        print(f"{args.path} is not a metrics file (missing 'metrics' key)",
+              file=sys.stderr)
+        return 2
+    print(summarize_metrics(doc))
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.paperfigs.report import build_report
 
@@ -285,6 +342,7 @@ COMMANDS = {
     "artifacts": cmd_artifacts,
     "run": cmd_run,
     "compare": cmd_compare,
+    "obs": cmd_obs,
     "replay": cmd_replay,
     "report": cmd_report,
     "sweep": cmd_sweep,

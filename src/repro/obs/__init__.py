@@ -1,0 +1,56 @@
+"""Live instrumentation: metrics, message-lifecycle spans, trace export.
+
+The subsystem the simulator threads through its hot paths behind a
+single :class:`Obs` handle (see docs/observability.md for the metric
+catalog and span semantics):
+
+- :mod:`repro.obs.metrics` -- labeled counters / gauges / histograms;
+- :mod:`repro.obs.spans` -- ``send -> receipt -> [buffer] -> apply``
+  lifecycle spans with per-wait blocking-dependency attribution, plus
+  the :class:`Obs` handle and its sinks;
+- :mod:`repro.obs.export` -- Perfetto / Chrome ``trace_event`` JSON
+  rendering and validation, and metrics-file summarization.
+
+Quick use::
+
+    from repro.obs import Obs
+    from repro.sim import run_schedule
+
+    obs = Obs.recording()
+    result = run_schedule("optp", 4, schedule, obs=obs)
+    result.spans        # lifecycle spans, blocking deps annotated
+    result.metrics      # registry snapshot (JSON-ready)
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    summarize_metrics,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import (
+    InMemorySink,
+    MessageSpan,
+    NullSink,
+    NULL_OBS,
+    Obs,
+    WaitInterval,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemorySink",
+    "MessageSpan",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NullSink",
+    "Obs",
+    "WaitInterval",
+    "chrome_trace",
+    "summarize_metrics",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,279 @@
+"""Perfetto / Chrome ``trace_event`` export of an observed run.
+
+Renders a run as one track per simulated process (all under a single
+"repro-dsm" trace process), loadable in ``ui.perfetto.dev`` or
+``chrome://tracing``:
+
+- local writes and read returns appear as instant events;
+- every apply is a zero-duration slice (``apply w(p,seq)``);
+- every **buffered** stretch -- a write delay in the sense of
+  Definition 3 -- appears as a ``BUFFER`` slice whose args carry the
+  blocking ``(process, seq)`` dependency reported by
+  :meth:`~repro.core.base.Protocol.missing_deps`, and a **flow arrow**
+  connects the slice to the apply event that satisfied that dependency
+  (the scheduler wakeup that released it).  A message that re-parks
+  under several dependencies produces one slice + arrow per wait
+  interval.
+
+Timestamps: one simulation time unit is rendered as one millisecond
+(``ts`` is microseconds in the trace_event format), so relative
+durations read naturally in the UI.
+
+The exporter needs spans (an observability-enabled run); without them
+it still renders the op/apply timeline, just without buffer
+attribution.  :func:`validate_chrome_trace` is the structural check the
+test-suite and CI run over every exported file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.model.operations import WriteId
+from repro.obs.spans import MessageSpan
+from repro.sim.trace import EventKind, Trace
+
+#: one simulation time unit == 1 ms == 1000 trace_event microseconds.
+TS_SCALE = 1000.0
+
+_VALID_PHASES = {"X", "B", "E", "i", "I", "M", "s", "t", "f", "C", "b", "e", "n"}
+
+
+def _wid_label(wid: WriteId) -> str:
+    return f"w(p{wid.process}#{wid.seq})"
+
+
+def chrome_trace(
+    trace: Trace,
+    spans: Optional[Sequence[MessageSpan]] = None,
+    *,
+    protocol: str = "?",
+) -> Dict[str, Any]:
+    """Build a Chrome ``trace_event`` JSON object for one run."""
+    events: List[Dict[str, Any]] = [{
+        "ph": "M", "pid": 0, "tid": 0, "ts": 0,
+        "name": "process_name",
+        "args": {"name": f"repro-dsm {protocol}"},
+    }]
+    for k in range(trace.n_processes):
+        events.append({
+            "ph": "M", "pid": 0, "tid": k, "ts": 0,
+            "name": "thread_name", "args": {"name": f"p{k}"},
+        })
+        events.append({
+            "ph": "M", "pid": 0, "tid": k, "ts": 0,
+            "name": "thread_sort_index", "args": {"sort_index": k},
+        })
+
+    # -- op / apply timeline from the trace ------------------------------------
+    for ev in trace.events:
+        ts = ev.time * TS_SCALE
+        if ev.kind is EventKind.WRITE:
+            events.append({
+                "ph": "X", "pid": 0, "tid": ev.process, "ts": ts, "dur": 0,
+                "cat": "apply", "name": f"write {_wid_label(ev.wid)}",
+                "args": {"variable": str(ev.variable),
+                         "value": repr(ev.value)},
+            })
+        elif ev.kind is EventKind.APPLY:
+            events.append({
+                "ph": "X", "pid": 0, "tid": ev.process, "ts": ts, "dur": 0,
+                "cat": "apply", "name": f"apply {_wid_label(ev.wid)}",
+                "args": {"variable": str(ev.variable),
+                         "value": repr(ev.value)},
+            })
+        elif ev.kind is EventKind.RETURN:
+            events.append({
+                "ph": "i", "s": "t", "pid": 0, "tid": ev.process, "ts": ts,
+                "cat": "op", "name": f"read {ev.variable}",
+                "args": {"value": repr(ev.value),
+                         "read_from": (str(ev.read_from)
+                                       if ev.read_from else None)},
+            })
+        elif ev.kind is EventKind.DISCARD:
+            events.append({
+                "ph": "i", "s": "t", "pid": 0, "tid": ev.process, "ts": ts,
+                "cat": "discard", "name": f"discard {_wid_label(ev.wid)}",
+                "args": {"variable": str(ev.variable)},
+            })
+
+    # -- buffer intervals + release flows from the spans -------------------------
+    flow_id = 0
+    horizon = trace.events[-1].time if len(trace) else 0.0
+    for span in spans or ():
+        for wait in span.waits:
+            end = wait.end if wait.end is not None else horizon
+            dep = wait.dep
+            args = {
+                "wid": _wid_label(span.wid),
+                "variable": str(span.variable),
+                "sender": span.sender,
+                "blocked_on": (f"p{dep[0]}#{dep[1]}" if dep else "unknown"),
+            }
+            events.append({
+                "ph": "X", "pid": 0, "tid": span.process,
+                "ts": wait.start * TS_SCALE,
+                "dur": max(0.0, (end - wait.start)) * TS_SCALE,
+                "cat": "buffer", "name": f"BUFFER {_wid_label(span.wid)}",
+                "args": args,
+            })
+            if dep is None:
+                continue
+            releasing = trace.apply_event(span.process, WriteId(dep[0], dep[1]))
+            if releasing is None or wait.end is None:
+                # dependency never fired here (dead-park) or keyed by a
+                # protocol-specific scheme the trace cannot resolve.
+                continue
+            # flow arrow: BUFFER slice --> the apply that released it.
+            flow_id += 1
+            events.append({
+                "ph": "s", "pid": 0, "tid": span.process,
+                "ts": wait.start * TS_SCALE,
+                "cat": "release", "name": "released-by", "id": flow_id,
+                "args": args,
+            })
+            events.append({
+                "ph": "f", "bp": "e", "pid": 0, "tid": releasing.process,
+                "ts": releasing.time * TS_SCALE,
+                "cat": "release", "name": "released-by", "id": flow_id,
+                "args": args,
+            })
+
+    events.sort(key=lambda e: (e["ts"], 0 if e["ph"] == "M" else 1))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro-dsm",
+            "protocol": protocol,
+            "n_processes": trace.n_processes,
+        },
+    }
+
+
+def write_chrome_trace(path, trace, spans=None, *, protocol="?") -> None:
+    """Render and write a Chrome trace file (convenience for the CLI)."""
+    doc = chrome_trace(trace, spans, protocol=protocol)
+    problems = validate_chrome_trace(doc)
+    if problems:  # pragma: no cover - exporter bug guard
+        raise ValueError(f"exporter produced an invalid trace: {problems}")
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+
+
+# -- validation ------------------------------------------------------------------
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Structural validation against the ``trace_event`` format.
+
+    Returns a list of problems (empty == valid).  Checks the JSON
+    object layout, per-event required fields, phase codes, non-negative
+    durations, and that every flow-start ``s`` has a matching
+    flow-finish ``f`` no earlier than itself.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+    flows: Dict[Any, Dict[str, float]] = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _VALID_PHASES:
+            problems.append(f"{where}: bad phase {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                problems.append(f"{where}: missing/non-int {key}")
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"{where}: missing name")
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: missing/negative ts")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event needs dur >= 0")
+        if ph in ("s", "f"):
+            if "id" not in ev:
+                problems.append(f"{where}: flow event needs an id")
+            else:
+                entry = flows.setdefault(ev["id"], {})
+                if ph in entry:
+                    problems.append(f"{where}: duplicate flow {ph}")
+                entry[ph] = ev.get("ts", 0.0)
+    for fid, entry in flows.items():
+        if set(entry) != {"s", "f"}:
+            problems.append(f"flow {fid}: unmatched (has {sorted(entry)})")
+        elif entry["f"] < entry["s"]:
+            problems.append(f"flow {fid}: finish before start")
+    try:
+        json.dumps(doc)
+    except (TypeError, ValueError) as exc:
+        problems.append(f"not JSON-serializable: {exc}")
+    return problems
+
+
+# -- saved-metrics summarization (the ``repro-dsm obs`` subcommand) ---------------
+
+
+def summarize_metrics(doc: Dict[str, Any]) -> str:
+    """Human-readable summary of a ``--metrics-out`` JSON document."""
+    lines: List[str] = []
+    proto = doc.get("protocol", "?")
+    lines.append(f"protocol: {proto}   n={doc.get('n_processes', '?')}   "
+                 f"duration={doc.get('duration', '?')}")
+    metrics = doc.get("metrics", {})
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    histograms = metrics.get("histograms", {})
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':<28}{'total':>10}  per-series")
+        lines.append("-" * 64)
+        for name in sorted(counters):
+            series = counters[name]
+            total = sum(s["value"] for s in series)
+            detail = ""
+            if len(series) > 1:
+                detail = " ".join(
+                    f"{_series_label(s['labels'])}={s['value']}"
+                    for s in series
+                )
+            lines.append(f"{name:<28}{total:>10}  {detail}".rstrip())
+    if gauges:
+        lines.append("")
+        lines.append(f"{'gauge':<28}{'last':>10}{'high-water':>12}")
+        lines.append("-" * 50)
+        for name in sorted(gauges):
+            for s in gauges[name]:
+                label = _series_label(s["labels"])
+                display = f"{name}{{{label}}}" if label else name
+                lines.append(f"{display:<28}{s['value']:>10}"
+                             f"{s.get('high_water', s['value']):>12}")
+    if histograms:
+        lines.append("")
+        lines.append(f"{'histogram':<28}{'count':>7}{'mean':>9}{'p95':>9}"
+                     f"{'p99':>9}{'max':>9}")
+        lines.append("-" * 71)
+        for name in sorted(histograms):
+            for s in histograms[name]:
+                label = _series_label(s["labels"])
+                display = f"{name}{{{label}}}" if label else name
+                lines.append(
+                    f"{display:<28}{s['count']:>7}{s['mean']:>9.3f}"
+                    f"{s['p95']:>9.3f}{s['p99']:>9.3f}{s['max']:>9.3f}"
+                )
+    return "\n".join(lines)
+
+
+def _series_label(labels: Dict[str, Any]) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))

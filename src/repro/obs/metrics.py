@@ -1,0 +1,204 @@
+"""Metrics registry: labeled counters, gauges, and histograms.
+
+Zero-dependency, simulation-friendly instrumentation primitives.  The
+design follows the usual production pattern (Prometheus-style labeled
+series) scaled down to a single deterministic process:
+
+- a **Counter** is a monotone event count (``applies``, ``parks``);
+- a **Gauge** is a sampled level with a high-water mark
+  (``sched.index_depth``, ``net.in_flight``);
+- a **Histogram** records a full distribution (simulation runs are
+  small enough to keep every observation, so percentile queries are
+  exact rather than bucketed).
+
+Series are keyed by ``(name, labels)`` where labels are keyword
+arguments (``registry.counter("node.applies", process=3)``).  Handle
+lookup builds a tuple key, so **hot paths should resolve their handles
+once** (at node construction) and call ``inc``/``set``/``observe`` on
+the cached object -- that is what :mod:`repro.sim.node` and friends do.
+
+The registry snapshots to plain JSON (:meth:`MetricsRegistry.collect`,
+:meth:`MetricsRegistry.to_json`) for ``repro-dsm run --metrics-out``
+and the ``repro-dsm obs`` summarizer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, Any], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A sampled level; tracks the high-water mark alongside the
+    current value (queue depths are only interesting at their peak)."""
+
+    __slots__ = ("value", "high_water")
+
+    def __init__(self) -> None:
+        self.value = 0
+        self.high_water = 0
+
+    def set(self, value) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+    def inc(self, n=1) -> None:
+        self.set(self.value + n)
+
+    def dec(self, n=1) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """An exact distribution: every observation is retained.
+
+    Simulation runs observe at most a few hundred thousand values, so
+    exact retention is cheaper than getting bucket boundaries wrong.
+    Percentiles are nearest-rank via
+    :func:`repro.analysis.metrics.percentile`.
+    """
+
+    __slots__ = ("values", "total")
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+        self.total += value
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        from repro.analysis.metrics import percentile
+
+        return percentile(sorted(self.values), q)
+
+
+class MetricsRegistry:
+    """Home of every labeled series produced by one run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # -- handle resolution (cache the result on hot paths) ---------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter()
+        return inst
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge()
+        return inst
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = (name, _label_key(labels))
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram()
+        return inst
+
+    # -- queries ---------------------------------------------------------------
+
+    def series(self, name: str) -> Iterator[Tuple[Dict[str, Any], Any]]:
+        """All ``(labels, instrument)`` pairs registered under ``name``."""
+        for table in (self._counters, self._gauges, self._histograms):
+            for (n, labels), inst in table.items():
+                if n == name:
+                    yield dict(labels), inst
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge series across all label combinations."""
+        out = 0
+        for _, inst in self.series(name):
+            if isinstance(inst, (Counter, Gauge)):
+                out += inst.value
+        return out
+
+    def value(self, name: str, **labels: Any) -> Optional[float]:
+        """The value of one exact series, or None if never registered."""
+        key = (name, _label_key(labels))
+        if key in self._counters:
+            return self._counters[key].value
+        if key in self._gauges:
+            return self._gauges[key].value
+        return None
+
+    def names(self) -> List[str]:
+        out = set()
+        for table in (self._counters, self._gauges, self._histograms):
+            for (name, _labels) in table:
+                out.add(name)
+        return sorted(out)
+
+    # -- snapshots --------------------------------------------------------------
+
+    def collect(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot: ``{kind: {name: [series...]}}``."""
+        counters: Dict[str, list] = {}
+        for (name, labels), c in sorted(self._counters.items()):
+            counters.setdefault(name, []).append(
+                {"labels": dict(labels), "value": c.value}
+            )
+        gauges: Dict[str, list] = {}
+        for (name, labels), g in sorted(self._gauges.items()):
+            gauges.setdefault(name, []).append(
+                {"labels": dict(labels), "value": g.value,
+                 "high_water": g.high_water}
+            )
+        histograms: Dict[str, list] = {}
+        for (name, labels), h in sorted(self._histograms.items()):
+            histograms.setdefault(name, []).append({
+                "labels": dict(labels),
+                "count": h.count,
+                "sum": h.total,
+                "mean": h.mean,
+                "p50": h.percentile(50),
+                "p95": h.percentile(95),
+                "p99": h.percentile(99),
+                "max": max(h.values) if h.values else 0.0,
+            })
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def to_json(self, **meta: Any) -> str:
+        """Serialize the snapshot (+ caller metadata) as a JSON document."""
+        doc = {"version": 1, **meta, "metrics": self.collect()}
+        return json.dumps(doc, indent=2, sort_keys=True, default=str)

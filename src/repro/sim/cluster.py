@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence, Union
 
 from repro.core.base import BROADCAST, Outgoing, Protocol
+from repro.obs.spans import NULL_OBS, Obs
 from repro.sim.engine import Engine
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.network import Network
@@ -75,6 +76,7 @@ class SimCluster:
         duplicate_prob: float = 0.0,
         dedup: bool = False,
         scheduler: str = "auto",
+        obs: Optional[Obs] = None,
     ):
         """See the class docstring; fault-injection extras:
 
@@ -93,6 +95,13 @@ class SimCluster:
             supports :meth:`~repro.core.base.Protocol.missing_deps`,
             legacy re-scan otherwise), ``"indexed"``, or ``"legacy"``
             (force the re-scan; differential tests and benchmarks).
+        obs:
+            Observability handle (:class:`repro.obs.Obs`); default is
+            the shared disabled handle -- zero instrumentation beyond
+            one branch per hook, and trace-identical output.  Pass
+            ``Obs.recording()`` to collect metrics + lifecycle spans
+            (surfaced on :class:`~repro.sim.result.RunResult` and
+            exportable as a Perfetto trace, see docs/observability.md).
         """
         if n_processes < 1:
             raise ValueError("need at least one process")
@@ -109,13 +118,16 @@ class SimCluster:
                 )
         factory = _resolve_factory(protocol)
         self.n_processes = n_processes
-        self.engine = Engine()
+        self.obs = obs if obs is not None else NULL_OBS
+        self.engine = Engine(obs=self.obs)
+        self.engine.diag_context = self._diag_context
         self.trace = Trace(n_processes)
         model = (latency or ConstantLatency(1.0)).fork()
         self.network = Network(
             self.engine, model, self._deliver, fifo=fifo,
             congestion_factor=congestion_factor,
             duplicate_prob=duplicate_prob,
+            obs=self.obs,
         )
         self.max_events = max_events
         self.max_time = max_time
@@ -137,6 +149,7 @@ class SimCluster:
                 on_write=self._count_write,
                 dedup=dedup,
                 scheduler=scheduler,
+                obs=self.obs,
             )
             for i in range(n_processes)
         ]
@@ -155,6 +168,14 @@ class SimCluster:
 
     def _deliver(self, dest: int, message) -> None:
         self.nodes[dest].receive(message)
+
+    def _diag_context(self) -> dict:
+        """Extra state for :class:`~repro.sim.engine.EngineLimitError`:
+        where the undeliverable messages are stuck."""
+        return {
+            "buffered_per_node": [len(n.scheduler) for n in self.nodes],
+            "in_flight_updates": self.network.in_flight_updates,
+        }
 
     def _count_apply(self) -> None:
         self._remote_applies += 1
@@ -217,6 +238,15 @@ class SimCluster:
             max_events=self.max_events,
             max_time=self.max_time,
         )
+        # Protocol counters live on the metrics registry; the list of
+        # per-process dicts survives as the backward-compatible
+        # ``RunResult.protocol_stats`` view (with ``stats_total`` as
+        # the cluster-wide rollup).
+        protocol_stats = [node.protocol.stats() for node in self.nodes]
+        metrics = None
+        if self.obs.enabled:
+            self._publish_final_metrics(protocol_stats)
+            metrics = self.obs.registry.collect()
         return RunResult(
             protocol_name=self.protocol_name,
             n_processes=self.n_processes,
@@ -225,9 +255,27 @@ class SimCluster:
             messages_sent=self.network.messages_sent,
             bytes_estimate=self.network.bytes_estimate,
             stores=[node.protocol.store_snapshot() for node in self.nodes],
-            protocol_stats=[node.protocol.stats() for node in self.nodes],
+            protocol_stats=protocol_stats,
             in_class_p=type(self.nodes[0].protocol).in_class_p,
+            metrics=metrics,
+            spans=self.obs.spans,
         )
+
+    def _publish_final_metrics(self, protocol_stats) -> None:
+        """End-of-run registry publication (not a hot path): protocol
+        counters as labeled gauges, and the per-process write-delay
+        distributions (Definition 3) as histograms."""
+        reg = self.obs.registry
+        for pid, stats in enumerate(protocol_stats):
+            for key, value in stats.items():
+                reg.gauge(f"protocol.{key}", protocol=self.protocol_name,
+                          process=pid).set(value)
+        for ev in self.trace.delayed():
+            applied = self.trace.apply_event(ev.process, ev.wid)
+            if applied is not None:
+                reg.histogram("node.buffer_wait", process=ev.process).observe(
+                    applied.time - ev.time
+                )
 
     # -- open-loop ---------------------------------------------------------------
 

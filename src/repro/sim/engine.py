@@ -20,7 +20,9 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.spans import NULL_OBS, Obs
 
 
 class EngineLimitError(RuntimeError):
@@ -28,8 +30,37 @@ class EngineLimitError(RuntimeError):
 
     In this codebase that always signals a protocol liveness bug (or a
     stop predicate that can never become true), so it is an error, not
-    a normal exit.
+    a normal exit.  The exception carries the engine's state at the
+    moment of failure -- ``events_processed``, ``now``, ``queue_depth``
+    and any substrate-provided ``detail`` (the cluster contributes
+    per-node buffered-message counts) -- so a liveness failure is
+    debuggable from the exception alone.
     """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        events_processed: Optional[int] = None,
+        now: Optional[float] = None,
+        queue_depth: Optional[int] = None,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.reason = reason
+        self.events_processed = events_processed
+        self.now = now
+        self.queue_depth = queue_depth
+        self.detail = dict(detail or {})
+        parts = [reason]
+        if events_processed is not None:
+            parts.append(f"events_processed={events_processed}")
+        if now is not None:
+            parts.append(f"now={now:.6g}")
+        if queue_depth is not None:
+            parts.append(f"queue_depth={queue_depth}")
+        for key, value in self.detail.items():
+            parts.append(f"{key}={value}")
+        super().__init__("; ".join(parts))
 
 
 @dataclass(order=True)
@@ -44,12 +75,26 @@ class _Scheduled:
 class Engine:
     """The event loop.  ``now`` is the current simulation time."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, obs: Obs = NULL_OBS) -> None:
         self.now: float = 0.0
         self._queue: List[_Scheduled] = []
         self._seq = itertools.count()
         self.events_processed = 0
         self._alive = 0  # live count behind the ``pending`` property
+        self._obs = obs
+        #: optional provider of extra diagnostic state for
+        #: :class:`EngineLimitError` (the cluster installs one that
+        #: reports per-node buffered-message counts).
+        self.diag_context: Optional[Callable[[], Dict[str, Any]]] = None
+
+    def _limit_error(self, reason: str) -> EngineLimitError:
+        return EngineLimitError(
+            reason,
+            events_processed=self.events_processed,
+            now=self.now,
+            queue_depth=self._alive,
+            detail=self.diag_context() if self.diag_context else None,
+        )
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> _Scheduled:
         """Schedule ``fn`` at absolute time ``time`` (>= now)."""
@@ -102,12 +147,17 @@ class Engine:
         """
         if stop is not None and stop():
             return
+        obs = self._obs
+        obs_on = obs.enabled
+        if obs_on:
+            m_events = obs.registry.counter("engine.events")
+            g_depth = obs.registry.gauge("engine.queue_depth")
         while self._queue:
             item = heapq.heappop(self._queue)
             if item.cancelled:
                 continue
             if item.time > max_time:
-                raise EngineLimitError(
+                raise self._limit_error(
                     f"exceeded max_time={max_time} (next event at {item.time})"
                 )
             self.now = item.time
@@ -115,15 +165,18 @@ class Engine:
             self._alive -= 1
             item.fn()
             self.events_processed += 1
+            if obs_on:
+                m_events.inc()
+                g_depth.set(self._alive)
             if self.events_processed >= max_events and self._queue:
-                raise EngineLimitError(
+                raise self._limit_error(
                     f"exceeded max_events={max_events} with "
                     f"{self.pending} events still pending"
                 )
             if stop is not None and stop():
                 return
         if stop is not None and not stop():
-            raise EngineLimitError(
+            raise self._limit_error(
                 "event queue exhausted but the stop condition never "
                 "became true (protocol liveness violation?)"
             )

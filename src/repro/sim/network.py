@@ -18,6 +18,7 @@ import random
 from typing import Callable, Dict, Tuple
 
 from repro.core.base import Message, UpdateMessage
+from repro.obs.spans import NULL_OBS, Obs
 from repro.sim.engine import Engine
 from repro.sim.latency import LatencyModel
 
@@ -40,6 +41,7 @@ class Network:
         congestion_factor: float = 0.0,
         duplicate_prob: float = 0.0,
         duplicate_seed: int = 0,
+        obs: Obs = NULL_OBS,
     ):
         """``congestion_factor`` > 0 models load-dependent latency: each
         hop's delay is scaled by ``1 + factor * in_flight_updates`` at
@@ -72,6 +74,14 @@ class Network:
         #: quiescence check waits for this to reach zero so late (e.g.
         #: to-be-discarded) messages still get traced.
         self.in_flight_updates = 0
+        self._obs = obs
+        if obs.enabled:
+            reg = obs.registry
+            self._m_update_msgs = reg.counter("net.messages", kind="update")
+            self._m_control_msgs = reg.counter("net.messages", kind="control")
+            self._m_bytes = reg.counter("net.bytes")
+            self._m_duplicates = reg.counter("net.duplicates_injected")
+            self._g_in_flight = reg.gauge("net.in_flight_updates")
 
     def send(self, sender: int, dest: int, message: Message) -> float:
         """Ship ``message`` from ``sender`` to ``dest``; returns the
@@ -93,10 +103,16 @@ class Network:
                 arrival = floor + FIFO_EPSILON
             self._last_arrival[chan] = arrival
         self.messages_sent += 1
-        self.bytes_estimate += estimate_size(message)
+        size = estimate_size(message)
+        self.bytes_estimate += size
         is_update = isinstance(message, UpdateMessage)
         if is_update:
             self.in_flight_updates += 1
+        if self._obs.enabled:
+            (self._m_update_msgs if is_update else self._m_control_msgs).inc()
+            self._m_bytes.inc(size)
+            if is_update:
+                self._g_in_flight.set(self.in_flight_updates)
 
         def arrive() -> None:
             if is_update:
@@ -115,6 +131,8 @@ class Network:
             extra = self._dup_rng.uniform(0.1, 2.0)
             self.duplicates_injected += 1
             self.in_flight_updates += 1
+            if self._obs.enabled:
+                self._m_duplicates.inc()
 
             def arrive_dup() -> None:
                 self.in_flight_updates -= 1

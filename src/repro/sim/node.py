@@ -24,6 +24,7 @@ from repro.core.base import (
     UpdateMessage,
 )
 from repro.model.operations import WriteId, fresh_value
+from repro.obs.spans import NULL_OBS, Obs
 from repro.sim.scheduler import make_scheduler
 from repro.sim.trace import EventKind, Trace
 
@@ -46,6 +47,7 @@ class Node:
         on_write: Optional[Callable[[], None]] = None,
         dedup: bool = False,
         scheduler: str = "auto",
+        obs: Obs = NULL_OBS,
     ):
         self.protocol = protocol
         self.process_id = protocol.process_id
@@ -55,7 +57,22 @@ class Node:
         self.record_state = record_state
         #: delivery scheduler owning the pending buffer (see
         #: :mod:`repro.sim.scheduler` for the mode semantics).
-        self.scheduler = make_scheduler(protocol, scheduler)
+        self.scheduler = make_scheduler(protocol, scheduler, obs=obs,
+                                        clock=clock)
+        #: observability handle; hot-path hooks are gated on
+        #: ``obs.enabled`` (instrument handles resolved once, here).
+        self._obs = obs
+        if obs.enabled:
+            pid = self.process_id
+            reg = obs.registry
+            self._m_writes = reg.counter("node.writes", process=pid)
+            self._m_reads = reg.counter("node.reads", process=pid)
+            self._m_receipts = reg.counter("node.receipts", process=pid)
+            self._m_applies = reg.counter("node.applies", process=pid)
+            self._m_buffers = reg.counter("node.buffers", process=pid)
+            self._m_discards = reg.counter("node.discards", process=pid)
+            self._m_dups_dropped = reg.counter(
+                "node.duplicates_dropped", process=pid)
         self._on_remote_apply = on_remote_apply
         self._on_write = on_write
         #: crash-stop flag (fault-injection extension; the paper's
@@ -133,6 +150,13 @@ class Node:
                 value=value,
             )
             self.dispatch(self.process_id, outcome.outgoing)
+        if self._obs.enabled:
+            self._m_writes.inc()
+            self._obs.registry.counter(
+                "node.writes_by_variable", variable=str(variable)).inc()
+            if outcome.outgoing:
+                self._obs.sink.on_send(now, self.process_id, outcome.wid,
+                                       variable)
         if self._on_write is not None:
             self._on_write(outcome.local_apply)
         return outcome.wid
@@ -151,6 +175,8 @@ class Node:
             read_from=outcome.read_from,
             state=self._state(),
         )
+        if self._obs.enabled:
+            self._m_reads.inc()
         return outcome.value
 
     # -- message reception --------------------------------------------------------
@@ -178,6 +204,8 @@ class Node:
         if self.dedup:
             if msg.wid in self._seen_updates:
                 self.duplicates_dropped += 1
+                if self._obs.enabled:
+                    self._m_dups_dropped.inc()
                 return
             self._seen_updates.add(msg.wid)
         now = self.clock()
@@ -189,6 +217,10 @@ class Node:
             variable=msg.variable,
             value=msg.value,
         )
+        if self._obs.enabled:
+            self._m_receipts.inc()
+            self._obs.sink.on_receipt(now, self.process_id, msg.wid,
+                                      msg.variable, msg.sender)
         disposition = self.protocol.classify(msg)
         if disposition is Disposition.APPLY:
             self._apply(msg)
@@ -202,14 +234,19 @@ class Node:
                 wid=msg.wid,
                 variable=msg.variable,
             )
+            if self._obs.enabled:
+                self._m_buffers.inc()
+            # the scheduler records the span's wait interval (it knows
+            # the blocking dependency it parks the message under)
             self.scheduler.park(msg)
         else:
             self._discard(msg)
 
     def _apply(self, msg: UpdateMessage) -> None:
         self.protocol.apply_update(msg)
+        now = self.clock()
         self.trace.record(
-            self.clock(),
+            now,
             self.process_id,
             EventKind.APPLY,
             wid=msg.wid,
@@ -217,19 +254,26 @@ class Node:
             value=msg.value,
             state=self._state(),
         )
+        if self._obs.enabled:
+            self._m_applies.inc()
+            self._obs.sink.on_apply(now, self.process_id, msg.wid)
         self.scheduler.notify_applied(msg)
         if self._on_remote_apply is not None:
             self._on_remote_apply()
 
     def _discard(self, msg: UpdateMessage) -> None:
         self.protocol.discard_update(msg)
+        now = self.clock()
         self.trace.record(
-            self.clock(),
+            now,
             self.process_id,
             EventKind.DISCARD,
             wid=msg.wid,
             variable=msg.variable,
         )
+        if self._obs.enabled:
+            self._m_discards.inc()
+            self._obs.sink.on_discard(now, self.process_id, msg.wid)
 
     def _drain(self) -> None:
         """Perform every now-actionable buffered message (the woken
@@ -239,8 +283,9 @@ class Node:
     def _record_oob_apply(self, wid: WriteId, variable: Hashable, value: Any) -> None:
         """Recorder callback for protocols that apply writes outside the
         update-message flow (token batches)."""
+        now = self.clock()
         self.trace.record(
-            self.clock(),
+            now,
             self.process_id,
             EventKind.APPLY,
             wid=wid,
@@ -248,6 +293,9 @@ class Node:
             value=value,
             state=self._state(),
         )
+        if self._obs.enabled:
+            self._m_applies.inc()
+            self._obs.sink.on_apply(now, self.process_id, wid)
         if self._on_remote_apply is not None:
             self._on_remote_apply()
 

@@ -8,6 +8,7 @@ from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.model.history import History
 from repro.model.operations import WriteId
+from repro.obs.spans import MessageSpan
 from repro.sim.trace import EventKind, Trace
 
 
@@ -31,7 +32,18 @@ class RunResult:
     stores:
         Final replica snapshot per process (``variable -> (value, wid)``).
     protocol_stats:
-        Per-process protocol counters (``stats()``).
+        Per-process protocol counters (``stats()``) -- the
+        backward-compatible view; :attr:`stats_total` is the
+        cluster-wide rollup and the metrics registry snapshot
+        (:attr:`metrics`) carries the same counters as labeled
+        ``protocol.*`` gauges when observability is enabled.
+    metrics:
+        Metrics-registry snapshot (``MetricsRegistry.collect()``) for
+        observability-enabled runs, else None.
+    spans:
+        Message-lifecycle spans (``send -> receipt -> [buffer] ->
+        apply``, with blocking-dependency attribution) when the run
+        used a span-recording sink, else None.
     """
 
     protocol_name: str
@@ -45,6 +57,9 @@ class RunResult:
     #: whether the protocol belongs to class 𝒫 (liveness: every write
     #: applied everywhere).  Writing-semantics variants set this False.
     in_class_p: bool = True
+    #: observability payloads (None unless the run enabled obs).
+    metrics: Optional[Dict[str, Any]] = None
+    spans: Optional[List[MessageSpan]] = None
 
     @cached_property
     def history(self) -> History:
@@ -75,6 +90,18 @@ class RunResult:
 
     def delay_durations(self) -> List[float]:
         return self.trace.delay_durations()
+
+    @property
+    def stats_total(self) -> Dict[str, int]:
+        """Cluster-wide protocol-stat rollup: every ``stats()`` key
+        summed across processes.  Recomputed per call -- the checker
+        tests mutate ``protocol_stats`` in place to simulate liveness
+        violations, so this must never cache."""
+        total: Dict[str, int] = {}
+        for stats in self.protocol_stats:
+            for key, value in stats.items():
+                total[key] = total.get(key, 0) + value
+        return total
 
     def stat_total(self, key: str) -> int:
         """Sum a protocol stat (e.g. ``"skipped"``) across processes."""

@@ -48,12 +48,14 @@ Scheduler choice (``Node(scheduler=...)`` / ``SimCluster(scheduler=...)``):
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.base import Disposition, Protocol, UpdateMessage
+from repro.obs.spans import NULL_OBS, Obs
 
 ApplyCallback = Callable[[UpdateMessage], None]
 DiscardCallback = Callable[[UpdateMessage], None]
+Clock = Callable[[], float]
 
 #: Valid values for the ``scheduler`` argument of Node / SimCluster.
 SCHEDULER_MODES = ("auto", "indexed", "legacy")
@@ -64,15 +66,21 @@ def supports_indexing(protocol: Protocol) -> bool:
     return type(protocol).missing_deps is not Protocol.missing_deps
 
 
-def make_scheduler(protocol: Protocol, mode: str = "auto") -> "DeliveryScheduler":
+def make_scheduler(
+    protocol: Protocol,
+    mode: str = "auto",
+    *,
+    obs: Obs = NULL_OBS,
+    clock: Optional[Clock] = None,
+) -> "DeliveryScheduler":
     """Resolve a scheduler mode for ``protocol`` (see module docstring)."""
     if mode not in SCHEDULER_MODES:
         raise ValueError(
             f"unknown scheduler mode {mode!r}; known: {SCHEDULER_MODES}"
         )
     if mode != "legacy" and supports_indexing(protocol):
-        return IndexedScheduler(protocol)
-    return LegacyScanScheduler(protocol)
+        return IndexedScheduler(protocol, obs=obs, clock=clock)
+    return LegacyScanScheduler(protocol, obs=obs, clock=clock)
 
 
 class DeliveryScheduler:
@@ -94,8 +102,37 @@ class DeliveryScheduler:
     #: "legacy" or "indexed" (introspection / tests / benchmarks).
     mode: str = "abstract"
 
-    def __init__(self, protocol: Protocol):
+    def __init__(
+        self,
+        protocol: Protocol,
+        *,
+        obs: Obs = NULL_OBS,
+        clock: Optional[Clock] = None,
+    ):
         self.protocol = protocol
+        #: observability handle; every hook call is gated on
+        #: ``obs.enabled`` so disabled runs pay one branch per hook.
+        self._obs = obs
+        self._clock: Clock = clock if clock is not None else (lambda: 0.0)
+        if obs.enabled:
+            pid = protocol.process_id
+            reg = obs.registry
+            self._m_parks = reg.counter(
+                "sched.parks", process=pid, mode=self.mode)
+            self._m_wakeups = reg.counter("sched.wakeups", process=pid)
+            self._m_reparks = reg.counter("sched.reparks", process=pid)
+            self._m_dead_parked = reg.counter("sched.dead_parked", process=pid)
+            self._m_scans = reg.counter("sched.scan_classifies", process=pid)
+            self._g_buffer_depth = reg.gauge("sched.buffer_depth", process=pid)
+            self._g_index_depth = reg.gauge("sched.index_depth", process=pid)
+
+    def _first_missing_dep(
+        self, msg: UpdateMessage
+    ) -> Optional[Tuple[int, int]]:
+        """The ``(process, seq)`` apply event ``msg`` is waiting on, or
+        None when the protocol cannot enumerate it (span attribution)."""
+        deps = self.protocol.missing_deps(msg)
+        return deps[0] if deps else None
 
     def park(self, msg: UpdateMessage) -> None:
         raise NotImplementedError
@@ -122,12 +159,21 @@ class LegacyScanScheduler(DeliveryScheduler):
 
     mode = "legacy"
 
-    def __init__(self, protocol: Protocol):
-        super().__init__(protocol)
+    def __init__(self, protocol: Protocol, **kwargs):
+        super().__init__(protocol, **kwargs)
         self._pending: List[UpdateMessage] = []
 
     def park(self, msg: UpdateMessage) -> None:
         self._pending.append(msg)
+        if self._obs.enabled:
+            self._m_parks.inc()
+            self._g_buffer_depth.set(len(self._pending))
+            # Attribution is best-effort on the legacy path: the
+            # protocol may not enumerate its wait predicate at all.
+            self._obs.sink.on_buffer(
+                self._clock(), self.protocol.process_id, msg.wid,
+                self._first_missing_dep(msg),
+            )
 
     def notify_applied(self, msg: UpdateMessage) -> None:
         pass  # the next pump() re-scans everything anyway
@@ -139,10 +185,13 @@ class LegacyScanScheduler(DeliveryScheduler):
         # ``pending.remove(msg)`` re-scanned the list by value on every
         # hit, turning each sweep quadratic.
         pending = self._pending
+        obs_on = self._obs.enabled
         i = 0
         while i < len(pending):
             msg = pending[i]
             disposition = self.protocol.classify(msg)
+            if obs_on:
+                self._m_scans.inc()
             if disposition is Disposition.BUFFER:
                 i += 1
                 continue
@@ -168,8 +217,8 @@ class IndexedScheduler(DeliveryScheduler):
 
     mode = "indexed"
 
-    def __init__(self, protocol: Protocol):
-        super().__init__(protocol)
+    def __init__(self, protocol: Protocol, **kwargs):
+        super().__init__(protocol, **kwargs)
         if not supports_indexing(protocol):
             raise TypeError(
                 f"{type(protocol).__name__} does not implement missing_deps"
@@ -191,17 +240,31 @@ class IndexedScheduler(DeliveryScheduler):
         seq = self._arrivals
         self._arrivals += 1
         self._buffered[seq] = msg
-        self._park_under_next_dep(seq, msg)
+        dep = self._park_under_next_dep(seq, msg)
+        if self._obs.enabled:
+            self._m_parks.inc()
+            self._g_buffer_depth.set(len(self._buffered))
+            self._g_index_depth.set(len(self._parked))
+            self._obs.sink.on_buffer(
+                self._clock(), self.protocol.process_id, msg.wid, dep
+            )
 
-    def _park_under_next_dep(self, seq: int, msg: UpdateMessage) -> None:
+    def _park_under_next_dep(
+        self, seq: int, msg: UpdateMessage
+    ) -> Optional[Tuple[int, int]]:
+        """Park under the first missing dependency; returns the key
+        used (None = dead-parked)."""
         deps = self.protocol.missing_deps(msg)
         if deps:
             self._parked.setdefault(deps[0], []).append((seq, msg))
-        else:
-            # classify() said BUFFER yet no future apply can help:
-            # permanently undeliverable (duplicate of an applied write).
-            # It stays counted in the buffer, like the legacy path.
-            self.dead_parked += 1
+            return deps[0]
+        # classify() said BUFFER yet no future apply can help:
+        # permanently undeliverable (duplicate of an applied write).
+        # It stays counted in the buffer, like the legacy path.
+        self.dead_parked += 1
+        if self._obs.enabled:
+            self._m_dead_parked.inc()
+        return None
 
     # -- wakeups ---------------------------------------------------------------
 
@@ -212,16 +275,28 @@ class IndexedScheduler(DeliveryScheduler):
             for entry in entries:
                 heapq.heappush(self._woken, entry)
             self.wakeups += len(entries)
+            if self._obs.enabled:
+                self._m_wakeups.inc(len(entries))
+                self._g_index_depth.set(len(self._parked))
 
     def pump(self, apply_cb: ApplyCallback, discard_cb: DiscardCallback) -> None:
         woken = self._woken
+        obs_on = self._obs.enabled
         while woken:
             seq, msg = heapq.heappop(woken)
             if seq not in self._buffered:  # pragma: no cover - defensive
                 continue
             disposition = self.protocol.classify(msg)
             if disposition is Disposition.BUFFER:
-                self._park_under_next_dep(seq, msg)
+                dep = self._park_under_next_dep(seq, msg)
+                if obs_on:
+                    # woken but still blocked: re-parked under the next
+                    # missing dependency (a new wait interval).
+                    self._m_reparks.inc()
+                    self._g_index_depth.set(len(self._parked))
+                    self._obs.sink.on_repark(
+                        self._clock(), self.protocol.process_id, msg.wid, dep
+                    )
                 continue
             del self._buffered[seq]
             if disposition is Disposition.APPLY:

@@ -78,3 +78,107 @@ class TestComparisonTable:
         agg = aggregate_delays(ms)
         assert "optp" in agg and "optp/unnecessary" in agg
         assert agg["optp/unnecessary"] == 0.0
+
+
+class TestPercentileProperties:
+    """Property tests pinning the nearest-rank definition against the
+    stdlib and numpy reference implementations."""
+
+    hypothesis = pytest.importorskip("hypothesis")
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    values = st.lists(
+        st.floats(min_value=-1e9, max_value=1e9,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=60,
+    )
+    quantile = st.integers(min_value=0, max_value=100)
+
+    @given(values=values, q=quantile)
+    def test_result_is_a_data_point(self, values, q):
+        assert percentile(sorted(values), q) in values
+
+    @given(values=values, q1=quantile, q2=quantile)
+    def test_monotone_in_q(self, values, q1, q2):
+        vals = sorted(values)
+        lo, hi = sorted((q1, q2))
+        assert percentile(vals, lo) <= percentile(vals, hi)
+
+    @given(values=values)
+    def test_extremes_hit_min_and_max(self, values):
+        vals = sorted(values)
+        assert percentile(vals, 0) == vals[0]
+        assert percentile(vals, 100) == vals[-1]
+
+    @given(v=st.floats(allow_nan=False, allow_infinity=False), q=quantile)
+    def test_single_element(self, v, q):
+        assert percentile([v], q) == v
+
+    @given(v=st.floats(allow_nan=False, allow_infinity=False),
+           n=st.integers(min_value=1, max_value=40), q=quantile)
+    def test_all_equal(self, v, n, q):
+        assert percentile([v] * n, q) == v
+
+    @given(values=values, q=quantile)
+    def test_nearest_rank_characterization(self, values, q):
+        """The defining property: the result is the smallest data point
+        with at least ceil(q/100 * n) values <= it (q > 0)."""
+        import math
+
+        vals = sorted(values)
+        result = percentile(vals, q)
+        rank = max(1, math.ceil(q / 100 * len(vals)))
+        assert sum(1 for v in vals if v <= result) >= rank
+        assert sum(1 for v in vals if v < result) < rank
+
+    @given(values=values, q=quantile)
+    def test_matches_numpy_inverted_cdf(self, values, q):
+        np = pytest.importorskip("numpy")
+        vals = sorted(values)
+        expected = float(np.percentile(vals, q, method="inverted_cdf"))
+        assert percentile(vals, q) == expected
+
+    @given(values=st.lists(
+        st.floats(min_value=-1e9, max_value=1e9,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=61).filter(lambda v: len(v) % 2 == 1))
+    def test_median_matches_statistics(self, values):
+        import statistics
+
+        vals = sorted(values)
+        assert percentile(vals, 50) == statistics.median(vals)
+
+    @given(values=st.lists(
+        st.floats(min_value=-1e9, max_value=1e9,
+                  allow_nan=False, allow_infinity=False),
+        min_size=2, max_size=60), q=st.integers(min_value=1, max_value=99))
+    def test_brackets_statistics_quantiles(self, values, q):
+        """Nearest-rank and the stdlib's inclusive-interpolation
+        quantile always land in the same order-statistic bracket."""
+        import math
+        import statistics
+
+        vals = sorted(values)
+        pos = (len(vals) - 1) * q / 100
+        lo, hi = vals[math.floor(pos)], vals[math.ceil(pos)]
+        cut = statistics.quantiles(vals, n=100, method="inclusive")[q - 1]
+        assert lo <= percentile(vals, q) <= hi
+        assert lo <= cut <= hi or math.isclose(cut, lo) or math.isclose(cut, hi)
+
+
+class TestDelayStatsP99:
+    def test_p99_populated(self):
+        vals = [float(v) for v in range(1, 101)]
+        s = DelayStats.of(vals)
+        assert s.p99 == 99.0
+        assert s.p95 == 95.0
+        assert s.p50 == 50.0
+
+    def test_p99_empty(self):
+        assert DelayStats.of([]).p99 == 0.0
+
+    def test_p99_single(self):
+        s = DelayStats.of([4.2])
+        assert s.p99 == 4.2 and s.max == 4.2

@@ -1,0 +1,143 @@
+"""Perfetto/Chrome trace_event exporter: structure, attribution, flows,
+and the validator the CI artifact check relies on."""
+
+import json
+
+import pytest
+
+from repro.model.operations import WriteId
+from repro.obs import (
+    Obs,
+    chrome_trace,
+    summarize_metrics,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.export import TS_SCALE
+from repro.sim.cluster import run_schedule
+from repro.sim.latency import ScriptedLatency
+from repro.workloads.ops import Schedule, ScheduledOp, WriteOp
+
+
+@pytest.fixture(scope="module")
+def observed_run():
+    obs = Obs.recording()
+    sched = Schedule.of([
+        ScheduledOp(0.0, 0, WriteOp("x")),
+        ScheduledOp(1.0, 0, WriteOp("y")),
+    ])
+    latency = ScriptedLatency(
+        {(("update", WriteId(0, 1)), 1): 10.0}, default=1.0
+    )
+    return run_schedule("optp", 2, sched, latency=latency, obs=obs)
+
+
+@pytest.fixture(scope="module")
+def doc(observed_run):
+    return chrome_trace(observed_run.trace, observed_run.spans,
+                        protocol="optp")
+
+
+class TestChromeTrace:
+    def test_validates_clean(self, doc):
+        assert validate_chrome_trace(doc) == []
+
+    def test_json_round_trips(self, doc):
+        assert json.loads(json.dumps(doc))["otherData"]["protocol"] == "optp"
+
+    def test_track_metadata_per_process(self, doc):
+        names = [e for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert {e["args"]["name"] for e in names} == {"p0", "p1"}
+
+    def test_buffer_slice_carries_blocking_dep(self, doc):
+        [buf] = [e for e in doc["traceEvents"]
+                 if e["ph"] == "X" and e.get("cat") == "buffer"]
+        assert buf["name"] == "BUFFER w(p0#2)"
+        assert buf["args"]["blocked_on"] == "p0#1"
+        assert buf["tid"] == 1
+        assert buf["ts"] == 2.0 * TS_SCALE
+        assert buf["dur"] == pytest.approx(8.0 * TS_SCALE)
+
+    def test_flow_connects_buffer_to_releasing_apply(self, doc):
+        flows = [e for e in doc["traceEvents"] if e["ph"] in ("s", "f")]
+        assert len(flows) == 2
+        start = next(e for e in flows if e["ph"] == "s")
+        finish = next(e for e in flows if e["ph"] == "f")
+        assert start["id"] == finish["id"]
+        assert finish["bp"] == "e"
+        # the finish lands on w(p0#1)'s apply at p1 (t=10)
+        assert finish["tid"] == 1
+        assert finish["ts"] == 10.0 * TS_SCALE
+        assert finish["ts"] >= start["ts"]
+
+    def test_apply_timeline_rendered(self, doc):
+        applies = [e["name"] for e in doc["traceEvents"]
+                   if e.get("cat") == "apply"]
+        assert "write w(p0#1)" in applies
+        assert "apply w(p0#2)" in applies
+
+    def test_spanless_export_still_valid(self, observed_run):
+        bare = chrome_trace(observed_run.trace, None, protocol="optp")
+        assert validate_chrome_trace(bare) == []
+        assert not any(e.get("cat") == "buffer" for e in bare["traceEvents"])
+
+    def test_write_chrome_trace_file(self, observed_run, tmp_path):
+        path = tmp_path / "run.json"
+        write_chrome_trace(path, observed_run.trace, observed_run.spans,
+                           protocol="optp")
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == []
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) == ["document is not a JSON object"]
+
+    def test_rejects_missing_events(self):
+        assert validate_chrome_trace({}) == ["missing traceEvents array"]
+
+    def test_rejects_bad_phase(self):
+        doc = {"traceEvents": [
+            {"ph": "Z", "pid": 0, "tid": 0, "ts": 0, "name": "x"},
+        ]}
+        assert any("bad phase" in p for p in validate_chrome_trace(doc))
+
+    def test_rejects_negative_duration(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": -1, "name": "x"},
+        ]}
+        assert any("dur" in p for p in validate_chrome_trace(doc))
+
+    def test_rejects_unmatched_flow(self):
+        doc = {"traceEvents": [
+            {"ph": "s", "pid": 0, "tid": 0, "ts": 5, "name": "x", "id": 9},
+        ]}
+        assert any("unmatched" in p for p in validate_chrome_trace(doc))
+
+    def test_rejects_flow_finish_before_start(self):
+        doc = {"traceEvents": [
+            {"ph": "s", "pid": 0, "tid": 0, "ts": 5, "name": "x", "id": 9},
+            {"ph": "f", "pid": 0, "tid": 0, "ts": 1, "name": "x", "id": 9},
+        ]}
+        assert any("finish before start" in p
+                   for p in validate_chrome_trace(doc))
+
+    def test_rejects_non_int_pid(self):
+        doc = {"traceEvents": [
+            {"ph": "i", "pid": "a", "tid": 0, "ts": 0, "name": "x"},
+        ]}
+        assert any("pid" in p for p in validate_chrome_trace(doc))
+
+
+class TestSummarizeMetrics:
+    def test_renders_counters_gauges_histograms(self, observed_run):
+        doc = {
+            "protocol": "optp", "n_processes": 2, "duration": 11.0,
+            "metrics": observed_run.metrics,
+        }
+        text = summarize_metrics(doc)
+        assert "protocol: optp" in text
+        assert "node.applies" in text
+        assert "engine.queue_depth" in text
+        assert "node.buffer_wait" in text

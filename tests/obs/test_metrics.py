@@ -1,0 +1,110 @@
+"""Unit tests for the metrics registry primitives."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+
+class TestGauge:
+    def test_tracks_high_water(self):
+        g = Gauge()
+        g.set(3)
+        g.set(7)
+        g.set(2)
+        assert g.value == 2
+        assert g.high_water == 7
+
+    def test_inc_dec(self):
+        g = Gauge()
+        g.inc(3)
+        g.dec()
+        assert g.value == 2
+        assert g.high_water == 3
+
+
+class TestHistogram:
+    def test_observations(self):
+        h = Histogram()
+        for v in [1.0, 3.0, 2.0]:
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.mean == 2.0
+        assert h.percentile(50) == 2.0
+        assert h.percentile(100) == 3.0
+
+    def test_empty(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.percentile(99) == 0.0
+
+
+class TestRegistry:
+    def test_same_labels_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", process=1)
+        b = reg.counter("x", process=1)
+        c = reg.counter("x", process=2)
+        assert a is b and a is not c
+
+    def test_label_order_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", a=1, b=2)
+        b = reg.counter("x", b=2, a=1)
+        assert a is b
+
+    def test_total_sums_series(self):
+        reg = MetricsRegistry()
+        reg.counter("n.applies", process=0).inc(3)
+        reg.counter("n.applies", process=1).inc(4)
+        assert reg.total("n.applies") == 7
+
+    def test_value_lookup(self):
+        reg = MetricsRegistry()
+        reg.counter("c", process=0).inc(2)
+        reg.gauge("g").set(9)
+        assert reg.value("c", process=0) == 2
+        assert reg.value("g") == 9
+        assert reg.value("missing") is None
+        assert reg.value("c", process=99) is None
+
+    def test_names(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        reg.histogram("c")
+        assert reg.names() == ["a", "b", "c"]
+
+    def test_collect_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", process=0).inc()
+        reg.gauge("g", process=1).set(5)
+        reg.histogram("h").observe(2.5)
+        snap = reg.collect()
+        assert snap["counters"]["c"] == [
+            {"labels": {"process": 0}, "value": 1}
+        ]
+        [g] = snap["gauges"]["g"]
+        assert g["value"] == 5 and g["high_water"] == 5
+        [h] = snap["histograms"]["h"]
+        assert h["count"] == 1 and h["p99"] == 2.5
+
+    def test_to_json_round_trips_with_meta(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        doc = json.loads(reg.to_json(protocol="optp", n_processes=4))
+        assert doc["version"] == 1
+        assert doc["protocol"] == "optp"
+        assert doc["metrics"]["counters"]["c"][0]["value"] == 3

@@ -132,3 +132,71 @@ class TestStopsAndLimits:
         e = Engine()
         e.run()
         assert e.events_processed == 0
+
+
+class TestLimitDiagnostics:
+    """EngineLimitError carries the engine state at the failure point."""
+
+    def test_max_events_carries_state(self):
+        e = Engine()
+
+        def forever():
+            e.schedule_after(1.0, forever)
+
+        e.schedule_at(0.0, forever)
+        with pytest.raises(EngineLimitError) as exc_info:
+            e.run(max_events=7)
+        err = exc_info.value
+        assert err.events_processed == 7
+        assert err.now == 6.0
+        assert err.queue_depth == 1
+        assert "events_processed=7" in str(err)
+        assert "now=6" in str(err)
+        assert "queue_depth=1" in str(err)
+
+    def test_max_time_carries_state(self):
+        e = Engine()
+
+        def forever():
+            e.schedule_after(1.0, forever)
+
+        e.schedule_at(0.0, forever)
+        with pytest.raises(EngineLimitError) as exc_info:
+            e.run(stop=lambda: False, max_time=3.0)
+        err = exc_info.value
+        assert err.now == 3.0
+        assert err.events_processed == 4  # events at t=0,1,2,3 ran
+
+    def test_liveness_failure_carries_state(self):
+        e = Engine()
+        e.schedule_at(1.0, lambda: None)
+        with pytest.raises(EngineLimitError) as exc_info:
+            e.run(stop=lambda: False)
+        err = exc_info.value
+        assert "liveness" in str(err)
+        assert err.events_processed == 1
+        assert err.queue_depth == 0
+
+    def test_diag_context_appears_in_message(self):
+        e = Engine()
+        e.diag_context = lambda: {"buffered_per_node": [3, 0, 1]}
+        e.schedule_at(0.0, lambda: None)
+        with pytest.raises(EngineLimitError) as exc_info:
+            e.run(stop=lambda: False)
+        err = exc_info.value
+        assert err.detail == {"buffered_per_node": [3, 0, 1]}
+        assert "buffered_per_node=[3, 0, 1]" in str(err)
+
+    def test_cluster_contributes_buffer_diagnostics(self):
+        """A run that cannot quiesce reports where messages are stuck."""
+        from repro.sim.cluster import run_schedule
+        from repro.workloads.ops import Schedule, ScheduledOp, WriteOp
+
+        sched = Schedule.of([ScheduledOp(0.0, 0, WriteOp("x"))])
+        with pytest.raises(EngineLimitError) as exc_info:
+            # 2 processes but the only update needs ~1 time unit to
+            # arrive: max_time cuts the run before delivery.
+            run_schedule("optp", 2, sched, max_time=0.5)
+        err = exc_info.value
+        assert "buffered_per_node" in str(err)
+        assert err.detail["in_flight_updates"] == 1

@@ -101,3 +101,55 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "zipf_s" in out
+
+
+class TestObservability:
+    def test_run_exports_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "run.json"
+        metrics_path = tmp_path / "metrics.json"
+        rc = main([
+            "run", "-p", "optp", "-n", "3", "--ops", "6", "--seed", "1",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+
+        doc = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["protocol"] == "optp"
+
+        saved = json.loads(metrics_path.read_text())
+        assert saved["protocol"] == "optp"
+        assert saved["metrics"]["counters"]["node.writes"]
+        assert str(trace_path) in out
+
+    def test_obs_summarizes_saved_metrics(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        main([
+            "run", "-p", "optp", "-n", "3", "--ops", "6", "--seed", "1",
+            "--metrics-out", str(metrics_path),
+        ])
+        capsys.readouterr()
+        rc = main(["obs", str(metrics_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "protocol: optp" in out
+        assert "node.applies" in out
+
+    def test_obs_rejects_non_metrics_file(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("[1, 2]")
+        assert main(["obs", str(bogus)]) == 2
+        assert main(["obs", str(tmp_path / "missing.json")]) == 2
+
+    def test_run_without_export_prints_no_paths(self, capsys):
+        rc = main(["run", "-p", "optp", "-n", "3", "--ops", "6",
+                   "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "trace-out" not in out
