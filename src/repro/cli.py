@@ -11,7 +11,10 @@ Subcommands:
 - ``compare``               all protocols on one identical schedule;
 - ``sweep AXIS``            delay sweeps (Q1a-Q1c, Q3);
 - ``scenario NAME``         run an H1 figure scenario and show the
-  sequence at p3 plus the delay audit.
+  sequence at p3 plus the delay audit;
+- ``lint [PATH ...]``       run the reprolint static analyzer
+  (determinism, vector-clock aliasing, protocol contract, obs gating,
+  cross-node isolation; see docs/static-analysis.md).
 
 Examples::
 
@@ -20,6 +23,7 @@ Examples::
     repro-dsm compare -n 6 --seeds 0 1 2
     repro-dsm sweep processes
     repro-dsm scenario fig3 -p anbkh
+    repro-dsm lint --format json
 """
 
 from __future__ import annotations
@@ -126,6 +130,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_scen.add_argument("-p", "--protocol", default="optp",
                         choices=sorted(PROTOCOLS))
     p_scen.add_argument("--diagram", action="store_true")
+
+    p_lint = sub.add_parser(
+        "lint", help="static analysis (determinism & protocol contract)"
+    )
+    p_lint.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories (default: the "
+                        "installed repro package)")
+    p_lint.add_argument("--format", choices=["text", "json"], default="text")
+    p_lint.add_argument("--select", metavar="CODES",
+                        help="run only these rule codes, comma-separated "
+                        "(e.g. RL001,RL003)")
+    p_lint.add_argument("--ignore", metavar="CODES",
+                        help="skip these rule codes, comma-separated")
+    p_lint.add_argument("--catalog", action="store_true",
+                        help="print the rule catalog and exit")
 
     return parser
 
@@ -338,6 +357,42 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run reprolint: exit 0 when clean, 1 on findings, 2 on bad usage."""
+    from pathlib import Path
+
+    from repro.lint import lint_paths, rule_catalog
+
+    if args.catalog:
+        for rule in rule_catalog():
+            print(f"{rule.code}  {rule.name:<22} {rule.summary}")
+        return 0
+    paths = args.paths
+    if not paths:
+        import repro
+
+        paths = [Path(repro.__file__).parent]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 2
+    def codes(raw):
+        return [c for c in raw.split(",") if c] if raw else None
+
+    try:
+        report = lint_paths(paths, select=codes(args.select),
+                            ignore=codes(args.ignore))
+    except ValueError as exc:  # unknown rule codes
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return 0 if report.ok else 1
+
+
 COMMANDS = {
     "artifacts": cmd_artifacts,
     "run": cmd_run,
@@ -347,6 +402,7 @@ COMMANDS = {
     "report": cmd_report,
     "sweep": cmd_sweep,
     "scenario": cmd_scenario,
+    "lint": cmd_lint,
 }
 
 

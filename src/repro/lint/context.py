@@ -1,0 +1,117 @@
+"""Per-module analysis context shared by all lint rules.
+
+A :class:`ModuleContext` bundles the parsed AST with everything a rule
+needs to decide applicability and render findings:
+
+- the **zone** the file belongs to (``sim`` / ``core`` / ``protocols``
+  / ``runtime`` / ``obs`` / ``other``), inferred from directory parts
+  so fixture trees like ``tests/lint/fixtures/sim/...`` are analyzed
+  exactly like ``src/repro/sim/...``;
+- whether the file is a **hot-path module** (the obs-gating rule's
+  scope: ``engine.py``, ``scheduler.py``, ``network.py``, ``node.py``);
+- a parent map over the AST (``ast`` has no parent links) plus helpers
+  for walking enclosing statements/functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "DETERMINISM_ZONES",
+    "HOT_PATH_MODULES",
+    "ModuleContext",
+    "dotted_name",
+    "zone_of",
+]
+
+#: Zones where replay determinism is contractual (the differential and
+#: gating tests pin traces byte-for-byte over code in these packages).
+DETERMINISM_ZONES = ("sim", "core", "protocols")
+
+#: Modules on the per-event hot path: obs instrumentation here must sit
+#: behind an ``obs.enabled`` / ``obs_on`` guard (the 1.05x budget of
+#: ``benchmarks/test_bench_obs_overhead.py``).
+HOT_PATH_MODULES = ("engine.py", "scheduler.py", "network.py", "node.py")
+
+_ZONES = ("sim", "core", "protocols", "runtime", "obs")
+
+
+def zone_of(path: Path) -> str:
+    """Infer the analysis zone from directory components.
+
+    The *last* zone-named directory wins, so both
+    ``src/repro/protocols/x.py`` and fixture copies such as
+    ``tests/lint/fixtures/protocols/x.py`` resolve identically.
+    """
+    zone = "other"
+    for part in path.parts[:-1]:
+        if part in _ZONES:
+            zone = part
+    return zone
+
+
+class ModuleContext:
+    """One parsed source file plus derived lookup structures."""
+
+    def __init__(self, path: Path, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.zone = zone_of(path)
+        self.is_hot_path = path.name in HOT_PATH_MODULES
+        self._parents: Dict[int, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+
+    @classmethod
+    def parse(cls, path: Path, source: Optional[str] = None) -> "ModuleContext":
+        if source is None:
+            source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+        return cls(path, source, tree)
+
+    # -- tree navigation ----------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Enclosing nodes, innermost first (excluding ``node`` itself)."""
+        cur = self.parent(node)
+        while cur is not None:
+            yield cur
+            cur = self.parent(cur)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.AST]:
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    def classes(self) -> List[ast.ClassDef]:
+        return [n for n in ast.walk(self.tree) if isinstance(n, ast.ClassDef)]
+
+    # -- rendering helpers --------------------------------------------------
+
+    def loc(self, node: ast.AST) -> Tuple[int, int]:
+        """(line, col) of a node, 1-based column for display."""
+        return getattr(node, "lineno", 1), getattr(node, "col_offset", 0) + 1
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,87 @@
+"""Finding objects and report rendering for :mod:`repro.lint`.
+
+A :class:`Finding` is one rule violation anchored to a file/line; a
+:class:`LintReport` aggregates the findings of a run plus bookkeeping
+(files scanned, rules applied) and renders them as human-readable text
+or machine-readable JSON (the CI artifact format).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Finding", "LintReport"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: ``path:line:col CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    #: short rule identifier (e.g. ``"determinism"``) for grouping.
+    rule: str = field(default="", compare=False)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        return f"{self.location()}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run over a set of files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_applied: Sequence[str] = ()
+    #: findings silenced by inline ``# reprolint: disable=`` comments
+    #: (kept for introspection; not part of the pass/fail verdict).
+    suppressed: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_code(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.code] = counts.get(f.code, 0) + 1
+        return counts
+
+    def to_text(self) -> str:
+        lines = [f.render() for f in sorted(self.findings)]
+        summary = (
+            f"{len(self.findings)} finding(s) in {self.files_scanned} "
+            f"file(s) ({len(self.suppressed)} suppressed)"
+        )
+        if lines:
+            return "\n".join(lines) + "\n" + summary
+        return summary
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        doc = {
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "rules_applied": list(self.rules_applied),
+            "counts": self.counts_by_code(),
+            "findings": [f.to_dict() for f in sorted(self.findings)],
+            "suppressed": [f.to_dict() for f in sorted(self.suppressed)],
+        }
+        return json.dumps(doc, indent=indent, sort_keys=True)

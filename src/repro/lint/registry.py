@@ -1,0 +1,95 @@
+"""Rule base class and the global rule registry.
+
+Rules self-register at import time via the :func:`register` decorator;
+:func:`all_rules` triggers the import of :mod:`repro.lint.rules` so the
+shipped rule set is always complete without the runner hard-coding it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+
+__all__ = ["Rule", "all_rules", "register", "rule_catalog"]
+
+_REGISTRY: Dict[str, "Rule"] = {}
+
+
+class Rule:
+    """One static check, identified by a stable ``RLxxx`` code.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding :class:`Finding` values (use :meth:`finding` so the code
+    and rule name are filled in consistently).  ``check`` runs once per
+    analyzed module; rules decide applicability themselves from the
+    context's zone/filename so fixture trees behave like the real
+    package layout.
+    """
+
+    #: stable finding code, ``RL001``...; one code per rule.
+    code: str = ""
+    #: short identifier used in reports and ``rule_catalog``.
+    name: str = ""
+    #: one-line description for ``repro-dsm lint --catalog`` and docs.
+    summary: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node, message: str) -> Finding:
+        line, col = ctx.loc(node)
+        return Finding(
+            path=str(ctx.path),
+            line=line,
+            col=col,
+            code=self.code,
+            rule=self.name,
+            message=message,
+        )
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and add to the registry."""
+    rule = rule_cls()
+    if not rule.code or not rule.name:
+        raise ValueError(f"{rule_cls.__name__} must set code and name")
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return rule_cls
+
+
+def all_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Rule]:
+    """The registered rules, filtered by code, sorted by code.
+
+    ``select`` keeps only the listed codes; ``ignore`` drops the listed
+    codes (applied after ``select``).  Unknown codes raise so typos in
+    CI configuration fail loudly instead of silently disabling checks.
+    """
+    import repro.lint.rules  # noqa: F401  (registration side effect)
+
+    known = set(_REGISTRY)
+    chosen = set(known)
+    if select is not None:
+        requested = set(select)
+        unknown = requested - known
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
+        chosen = requested
+    if ignore is not None:
+        dropped = set(ignore)
+        unknown = dropped - known
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
+        chosen -= dropped
+    return [_REGISTRY[code] for code in sorted(chosen)]
+
+
+def rule_catalog() -> List[Rule]:
+    """Every registered rule (unfiltered), sorted by code."""
+    return all_rules()

@@ -1,0 +1,31 @@
+"""The shipped rule set.
+
+Importing this package registers every rule (via the ``@register``
+decorators in the submodules); :func:`repro.lint.registry.all_rules`
+does so lazily, so adding a rule module here is the only wiring step.
+"""
+
+from repro.lint.rules import aliasing as _aliasing  # noqa: F401
+from repro.lint.rules import contract as _contract  # noqa: F401
+from repro.lint.rules import determinism as _determinism  # noqa: F401
+from repro.lint.rules import isolation as _isolation  # noqa: F401
+from repro.lint.rules import obsgate as _obsgate  # noqa: F401
+
+from repro.lint.rules.aliasing import VectorAliasingRule
+from repro.lint.rules.contract import ProtocolHooksRule, ProtocolPairRule
+from repro.lint.rules.determinism import (
+    NondeterministicCallRule,
+    UnorderedIterationRule,
+)
+from repro.lint.rules.isolation import CrossNodeIsolationRule
+from repro.lint.rules.obsgate import ObsGatingRule
+
+__all__ = [
+    "CrossNodeIsolationRule",
+    "NondeterministicCallRule",
+    "ObsGatingRule",
+    "ProtocolHooksRule",
+    "ProtocolPairRule",
+    "UnorderedIterationRule",
+    "VectorAliasingRule",
+]

@@ -1,0 +1,305 @@
+"""RL003: vector-clock aliasing across the node boundary.
+
+Messages are shared objects: in the simulator an ``UpdateMessage`` (and
+everything reachable from its payload) is the *same* Python object in
+the sender's outgoing buffer, the network, every receiver, and the
+trace.  Fidge-Mattern-style vectors (``Apply``, ``Write_co``,
+``LastWriteOn``, per-variable past maps) are therefore a mutation
+hazard: storing a payload value -- or shipping an internal mutable
+vector -- without an explicit copy lets one process's later in-place
+update silently rewrite another process's causal past.
+
+Flagged patterns (zone ``core`` / ``protocols``):
+
+1. storing a payload access into protocol state without a copy:
+   ``self.last_write_on[v] = msg.payload[KEY]`` (use ``tuple(...)`` /
+   ``dict(...)``);
+2. a bare mutable vector attribute inside an outgoing message payload:
+   ``payload={KEY: self.write_co}`` (ship ``tuple(self.write_co)``);
+3. aliasing one internal mutable vector to another:
+   ``self.known_apply[i] = self.apply_vec``;
+4. a local that was placed in an outgoing payload later stored bare
+   into protocol state (sender-side aliasing of an in-flight message);
+5. returning a bare mutable vector (directly or inside a dict literal)
+   from ``debug_state``/``stats``/``store_snapshot``-style
+   introspection, which must return snapshots.
+
+"Mutable vector attribute" means an instance attribute bound in
+``__init__`` to a list/dict-producing expression (``[0] * n``, ``{}``,
+comprehensions, ``list(...)``...).  Wrapping the value in ``tuple()``,
+``dict()``, ``list()``, ``sorted()``, ``copy.deepcopy()`` etc. at the
+store site satisfies the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.context import ModuleContext, dotted_name
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+__all__ = ["VectorAliasingRule"]
+
+#: Calls that produce a fresh container (an explicit copy).
+_COPY_WRAPPERS = {
+    "tuple", "list", "dict", "set", "frozenset", "sorted",
+    "copy.copy", "copy.deepcopy", "dict.copy",
+}
+
+#: Message constructors whose payload crosses the node boundary.
+_MESSAGE_CTORS = {"UpdateMessage", "ControlMessage"}
+
+#: Introspection methods that must return snapshots, not live state.
+_SNAPSHOT_METHODS = {"debug_state", "stats"}
+
+
+def _is_copy_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    if name in _COPY_WRAPPERS:
+        return True
+    # value.copy() method calls
+    return isinstance(node.func, ast.Attribute) and node.func.attr == "copy"
+
+
+def _is_payload_access(node: ast.AST) -> bool:
+    """``<expr>.payload[...]`` or ``<expr>.payload.get(...)``."""
+    if isinstance(node, ast.Subscript):
+        return (
+            isinstance(node.value, ast.Attribute)
+            and node.value.attr == "payload"
+        )
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr == "get":
+            inner = node.func.value
+            return (
+                isinstance(inner, ast.Attribute) and inner.attr == "payload"
+            ) or _is_payload_access(inner)
+    return False
+
+
+def _is_immutable_expr(node: ast.AST) -> bool:
+    """Expressions whose value cannot be mutated through an alias."""
+    if isinstance(node, (ast.Constant, ast.Tuple)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in ("tuple", "frozenset")
+    return False
+
+
+class _ClassModel:
+    """Per-class facts: mutable vector attrs + payload-shared locals."""
+
+    def __init__(self, cls: ast.ClassDef):
+        self.cls = cls
+        self.mutable_attrs: Set[str] = set()
+        init = next(
+            (n for n in cls.body
+             if isinstance(n, ast.FunctionDef) and n.name == "__init__"),
+            None,
+        )
+        if init is None:
+            return
+        for node in ast.walk(init):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            if value is None or not self._mutable_container(value):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                name = dotted_name(target)
+                if name and name.startswith("self."):
+                    self.mutable_attrs.add(name.split(".", 1)[1])
+
+    @staticmethod
+    def _mutable_container(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.ListComp, ast.DictComp)):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+            # [0] * n style vector initialization
+            return isinstance(node.left, ast.List) or isinstance(
+                node.right, ast.List
+            )
+        if isinstance(node, ast.Call):
+            return dotted_name(node.func) in ("list", "dict")
+        return False
+
+    def is_mutable_vec(self, node: ast.AST) -> bool:
+        name = dotted_name(node)
+        return (
+            name is not None
+            and name.startswith("self.")
+            and name.split(".", 1)[1] in self.mutable_attrs
+        )
+
+
+@register
+class VectorAliasingRule(Rule):
+    code = "RL003"
+    name = "vc-aliasing"
+    summary = (
+        "vector-clock payloads and internal vectors must be copied, "
+        "never aliased, across the node boundary"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.zone not in ("core", "protocols"):
+            return
+        for cls in ctx.classes():
+            model = _ClassModel(cls)
+            for method in cls.body:
+                if not isinstance(method, ast.FunctionDef):
+                    continue
+                shared = self._payload_shared_locals(method)
+                yield from self._check_method(ctx, model, method, shared)
+
+    # -- per-method passes ----------------------------------------------------
+
+    def _payload_shared_locals(self, method: ast.FunctionDef) -> Set[str]:
+        """Local names that end up inside an outgoing message payload,
+        excluding those bound to immutable expressions."""
+        immutable: Set[str] = set()
+        maybe_shared: Set[str] = set()
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign) and _is_immutable_expr(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        immutable.add(target.id)
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in _MESSAGE_CTORS):
+                continue
+            for kw in node.keywords:
+                if kw.arg != "payload" or not isinstance(kw.value, ast.Dict):
+                    continue
+                for value in kw.value.values:
+                    if isinstance(value, ast.Name):
+                        maybe_shared.add(value.id)
+        return maybe_shared - immutable
+
+    def _check_method(
+        self,
+        ctx: ModuleContext,
+        model: _ClassModel,
+        method: ast.FunctionDef,
+        shared_locals: Set[str],
+    ) -> Iterator[Finding]:
+        payload_aliases = self._payload_aliased_locals(method)
+        for node in ast.walk(method):
+            # patterns 1, 3, 4: assignments into self state
+            if isinstance(node, ast.Assign):
+                yield from self._check_store(
+                    ctx, model, node, shared_locals, payload_aliases
+                )
+            # pattern 2: bare mutable vector inside a payload dict
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in _MESSAGE_CTORS):
+                for kw in node.keywords:
+                    if kw.arg != "payload" or not isinstance(kw.value, ast.Dict):
+                        continue
+                    for value in kw.value.values:
+                        if model.is_mutable_vec(value):
+                            yield self.finding(
+                                ctx, value,
+                                f"mutable vector {dotted_name(value)} shipped "
+                                "in a message payload without a copy; wrap "
+                                "in tuple(...)",
+                            )
+            # pattern 5: snapshot methods returning live vectors
+            if (method.name in _SNAPSHOT_METHODS
+                    and isinstance(node, ast.Return)
+                    and node.value is not None):
+                yield from self._check_snapshot_return(ctx, model, node)
+
+    def _payload_aliased_locals(self, method: ast.FunctionDef) -> Set[str]:
+        """Locals bound directly to a payload access (no copy)."""
+        aliases: Set[str] = set()
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign):
+                continue
+            if _is_payload_access(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        aliases.add(target.id)
+        return aliases
+
+    def _check_store(
+        self,
+        ctx: ModuleContext,
+        model: _ClassModel,
+        node: ast.Assign,
+        shared_locals: Set[str],
+        payload_aliases: Set[str],
+    ) -> Iterator[Finding]:
+        stores_to_self = any(
+            (n := dotted_name(t)) is not None and n.startswith("self.")
+            for t in node.targets
+        ) or any(
+            isinstance(t, ast.Subscript)
+            and (n := dotted_name(t.value)) is not None
+            and n.startswith("self.")
+            for t in node.targets
+        )
+        if not stores_to_self:
+            return
+        value = node.value
+        if _is_copy_call(value) or _is_immutable_expr(value):
+            return
+        # pattern 1: direct payload access stored into self state
+        if _is_payload_access(value):
+            yield self.finding(
+                ctx, node,
+                "message payload value stored into protocol state without "
+                "a copy; wrap in tuple(...)/dict(...)",
+            )
+            return
+        if isinstance(value, ast.Name):
+            # pattern 4: sender-side alias of an in-flight payload value
+            if value.id in shared_locals:
+                yield self.finding(
+                    ctx, node,
+                    f"local {value.id!r} is part of an outgoing message "
+                    "payload; storing it into protocol state aliases the "
+                    "in-flight message -- store a copy",
+                )
+            # pattern 1 via a local alias of the payload
+            elif value.id in payload_aliases:
+                yield self.finding(
+                    ctx, node,
+                    f"local {value.id!r} aliases a message payload value; "
+                    "storing it into protocol state needs an explicit copy",
+                )
+            return
+        # pattern 3: aliasing an internal mutable vector
+        if model.is_mutable_vec(value):
+            yield self.finding(
+                ctx, node,
+                f"aliasing internal vector {dotted_name(value)}; a later "
+                "in-place update would corrupt both holders -- store a copy",
+            )
+
+    def _check_snapshot_return(
+        self, ctx: ModuleContext, model: _ClassModel, node: ast.Return
+    ) -> Iterator[Finding]:
+        value = node.value
+        candidates: List[ast.AST] = []
+        if isinstance(value, ast.Dict):
+            candidates.extend(value.values)
+        else:
+            candidates.append(value)
+        for cand in candidates:
+            if model.is_mutable_vec(cand):
+                yield self.finding(
+                    ctx, cand,
+                    f"introspection must return snapshots; "
+                    f"{dotted_name(cand)} is live mutable state -- wrap in "
+                    "tuple(...)/dict(...)",
+                )

@@ -1,0 +1,192 @@
+"""Determinism rules: RL001 (nondeterministic calls) and RL002
+(unordered-collection iteration) inside the replay-critical zones.
+
+The repo's correctness story rests on byte-identical replay: the
+scheduler differential tests and the obs gating tests pin traces
+bit-for-bit, and the machine-checked theorems are only meaningful over
+deterministic runs.  Two classic regressions are banned statically in
+``sim`` / ``core`` / ``protocols``:
+
+RL001
+    Wall-clock and entropy sources: ``time.time()`` (and the other
+    ``time`` clocks), ``datetime.now()`` / ``utcnow()`` / ``today()``,
+    ``os.urandom``, ``uuid.uuid1/uuid4``, anything from ``secrets``,
+    and **unseeded** randomness -- module-level ``random.<fn>(...)``
+    calls, ``random.Random()`` with no seed argument, and
+    ``numpy.random`` conveniences.  ``random.Random(seed)`` instances
+    are the sanctioned pattern (see ``repro.sim.latency``).
+
+RL002
+    Iterating a ``set``/``frozenset`` whose order can leak into traces
+    or message schedules.  Dicts are insertion-ordered in Python and
+    fine; set iteration order depends on hash seeding and history.
+    Wrap the iterable in ``sorted(...)`` or iterate the original
+    ordered source instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.lint.context import DETERMINISM_ZONES, ModuleContext, dotted_name
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+__all__ = ["NondeterministicCallRule", "UnorderedIterationRule"]
+
+#: ``module.attr`` call targets that read wall clocks or entropy.
+_BANNED_CALLS = {
+    "time.time": "wall clock",
+    "time.time_ns": "wall clock",
+    "time.monotonic": "wall clock",
+    "time.monotonic_ns": "wall clock",
+    "time.perf_counter": "wall clock",
+    "time.perf_counter_ns": "wall clock",
+    "time.process_time": "wall clock",
+    "os.urandom": "OS entropy",
+    "uuid.uuid1": "host/clock-derived id",
+    "uuid.uuid4": "OS entropy",
+}
+
+#: ``datetime``-ish receivers whose now/today/utcnow is wall clock.
+_DATETIME_FACTORIES = {"now", "utcnow", "today", "fromtimestamp"}
+
+#: names random.Random instances are allowed to be built from.
+_RANDOM_EXEMPT = {"Random", "SystemRandom", "seed", "getstate", "setstate"}
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Literal sets and direct set()/frozenset() constructor calls."""
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _collect_set_bindings(tree: ast.Module) -> Set[str]:
+    """Names bound to set-producing expressions anywhere in the module.
+
+    Tracks both locals (``holders = frozenset(...)``) and instance
+    attributes (``self.seen = set()``), keyed by their dotted source
+    form.  Coarse by design: rebinding a name to a non-set later keeps
+    it flagged -- acceptable for lint-grade analysis.
+    """
+    bound: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            if value is None or not _is_set_expr(value):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                name = dotted_name(target)
+                if name:
+                    bound.add(name)
+    return bound
+
+
+@register
+class NondeterministicCallRule(Rule):
+    code = "RL001"
+    name = "determinism"
+    summary = (
+        "no wall-clock, entropy, or unseeded randomness in sim/core/protocols"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.zone not in DETERMINISM_ZONES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = self._violation(node)
+            if message:
+                yield self.finding(ctx, node, message)
+
+    def _violation(self, call: ast.Call) -> Optional[str]:
+        name = dotted_name(call.func)
+        if name is None:
+            return None
+        if name in _BANNED_CALLS:
+            return (
+                f"nondeterministic call {name}() ({_BANNED_CALLS[name]}) "
+                "breaks byte-identical replay; derive values from the "
+                "engine clock or a seeded RNG"
+            )
+        parts = name.split(".")
+        # datetime.now() / datetime.datetime.utcnow() / date.today()
+        if parts[-1] in _DATETIME_FACTORIES and any(
+            p in ("datetime", "date") for p in parts[:-1]
+        ):
+            return (
+                f"nondeterministic call {name}() (wall clock) breaks "
+                "byte-identical replay; use the simulation clock"
+            )
+        # secrets.<anything>()
+        if parts[0] == "secrets" and len(parts) > 1:
+            return f"nondeterministic call {name}() (OS entropy)"
+        # unseeded random.Random() -- with a seed argument it is the
+        # sanctioned deterministic pattern.
+        if name == "random.Random":
+            if not call.args and not call.keywords:
+                return (
+                    "random.Random() without a seed falls back to OS "
+                    "entropy; pass an explicit seed"
+                )
+            return None
+        # module-level random.* convenience functions share one global,
+        # implicitly-seeded generator.
+        if parts[0] == "random" and len(parts) == 2 and parts[1] not in _RANDOM_EXEMPT:
+            return (
+                f"unseeded randomness {name}() (global RNG); use a "
+                "random.Random(seed) instance"
+            )
+        # numpy.random.* / np.random.*: same story.
+        if (
+            len(parts) >= 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+        ):
+            if parts[2] == "default_rng" and (call.args or call.keywords):
+                return None
+            return (
+                f"unseeded numpy randomness {name}(); seed an explicit "
+                "Generator instead"
+            )
+        return None
+
+
+@register
+class UnorderedIterationRule(Rule):
+    code = "RL002"
+    name = "unordered-iteration"
+    summary = "no set/frozenset iteration on replay-critical paths"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.zone not in DETERMINISM_ZONES:
+            return
+        set_names = _collect_set_bindings(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if self._unordered(it, set_names):
+                    yield self.finding(
+                        ctx, it,
+                        "iteration over a set has hash-dependent order; "
+                        "wrap in sorted(...) or iterate an ordered source",
+                    )
+
+    def _unordered(self, it: ast.AST, set_names: Set[str]) -> bool:
+        if _is_set_expr(it):
+            return True
+        name = dotted_name(it)
+        return name is not None and name in set_names

@@ -1,0 +1,109 @@
+"""RL007: cross-node isolation -- no reaching into another node's protocol.
+
+The paper's system model gives each process its own protocol instance;
+all inter-process information flows through messages.  The simulator
+mirrors that: a protocol instance "is owned by exactly one process and
+must never be shared" (``repro.core.base.Protocol``), and byte-identical
+parity between the simulator and the socket runtime only holds if no
+component shortcuts through shared memory.
+
+Flagged (zones ``sim`` / ``runtime`` / ``protocols``):
+
+- reading ``<other>.protocol.<attr>`` for anything outside the
+  read-only introspection API (substrates may drive *their own*
+  protocol -- ``self.protocol.<hook>`` -- freely);
+- writing ``<anything>.protocol.<attr> = ...`` from outside the
+  protocol: mutating protocol internals externally bypasses the
+  message flow entirely;
+- protocol code (zone ``protocols`` / ``core``) touching ``.protocol``
+  or ``.nodes`` at all -- a protocol must not know the substrate's
+  topology.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext, dotted_name
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+__all__ = ["CrossNodeIsolationRule"]
+
+#: Read-only introspection attributes a substrate/cluster may read off
+#: any protocol instance (reports, quiescence accounting, checkers).
+_ALLOWED_REMOTE = {
+    "name",
+    "in_class_p",
+    "timer_interval",
+    "process_id",
+    "n_processes",
+    "stats",
+    "missing_applies",
+    "store_snapshot",
+    "debug_state",
+    "bind_recorder",
+    "writes_issued",
+}
+
+
+@register
+class CrossNodeIsolationRule(Rule):
+    code = "RL007"
+    name = "cross-node-isolation"
+    summary = (
+        "no reaching into another node's protocol state except through "
+        "messages (read-only introspection excepted)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.zone in ("protocols", "core"):
+            yield from self._check_protocol_zone(ctx)
+        elif ctx.zone in ("sim", "runtime"):
+            yield from self._check_substrate_zone(ctx)
+
+    # -- protocol code must not see the topology ----------------------------
+
+    def _check_protocol_zone(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr in ("protocol", "nodes"):
+                yield self.finding(
+                    ctx, node,
+                    f"protocol code must not touch .{node.attr}: a protocol "
+                    "instance sees only its own state and incoming messages",
+                )
+
+    # -- substrate code: own protocol free, remote protocols read-only ------
+
+    def _check_substrate_zone(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            value = node.value
+            if not (isinstance(value, ast.Attribute)
+                    and value.attr == "protocol"):
+                continue
+            # <expr>.protocol.<node.attr>
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                yield self.finding(
+                    ctx, node,
+                    f"assignment to .protocol.{node.attr} from outside the "
+                    "protocol; state changes must flow through messages "
+                    "and the protocol's own hooks",
+                )
+                continue
+            owner = value.value
+            own = isinstance(owner, ast.Name) and owner.id == "self"
+            if own:
+                continue
+            if node.attr.startswith("_") or node.attr not in _ALLOWED_REMOTE:
+                yield self.finding(
+                    ctx, node,
+                    f"cross-node access .protocol.{node.attr} bypasses the "
+                    "message flow; only the read-only introspection API "
+                    f"({', '.join(sorted(_ALLOWED_REMOTE))}) may be read "
+                    "off another node's protocol",
+                )

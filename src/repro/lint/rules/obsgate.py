@@ -1,0 +1,116 @@
+"""RL006: obs instrumentation on the hot path must be gated.
+
+The observability layer's contract (``docs/observability.md``, enforced
+dynamically by ``benchmarks/test_bench_obs_overhead.py``'s 1.05x
+budget) is that a disabled run pays *one branch per hook site*.  That
+only holds if every instrument operation in the per-event hot-path
+modules (``engine.py`` / ``scheduler.py`` / ``network.py`` /
+``node.py``) sits under an ``if <...>.enabled:`` or ``if obs_on:``
+guard -- counter bumps and sink callbacks on an ungated path charge
+every simulation, observed or not.
+
+Recognized instrument operations:
+
+- ``.inc(...)`` / ``.set(...)`` / ``.observe(...)`` on a resolved
+  handle (an identifier with the ``_m_``/``_g_``/``m_``/``g_`` naming
+  convention, or a freshly built ``registry.counter(...)`` chain);
+- ``<...>.sink.on_*(...)`` sink callbacks;
+- ``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)`` registry
+  lookups (ungated lookups allocate label tuples per event).
+
+A site is *gated* when any enclosing ``if``/conditional expression /
+``and`` chain tests ``.enabled`` or an ``obs_on`` local.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+__all__ = ["ObsGatingRule"]
+
+_HANDLE_OPS = {"inc", "set", "observe"}
+_REGISTRY_OPS = {"counter", "gauge", "histogram"}
+_HANDLE_PREFIXES = ("_m_", "_g_", "m_", "g_")
+
+
+def _idents(node: ast.AST) -> Iterator[str]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+
+
+def _mentions_handle(node: ast.AST) -> bool:
+    return any(
+        ident.startswith(_HANDLE_PREFIXES) for ident in _idents(node)
+    ) or any(ident in _REGISTRY_OPS for ident in _idents(node))
+
+
+def _mentions_registry(node: ast.AST) -> bool:
+    return any(ident in ("registry", "reg") for ident in _idents(node))
+
+
+def _tests_enabled(test: ast.AST) -> bool:
+    for sub in ast.walk(test):
+        if isinstance(sub, ast.Attribute) and sub.attr == "enabled":
+            return True
+        if isinstance(sub, ast.Name) and sub.id == "obs_on":
+            return True
+    return False
+
+
+@register
+class ObsGatingRule(Rule):
+    code = "RL006"
+    name = "obs-gating"
+    summary = (
+        "instrument calls in hot-path modules must sit under an "
+        "obs.enabled / obs_on guard"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_hot_path:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = self._instrument_kind(node)
+            if kind is None:
+                continue
+            if not self._gated(ctx, node):
+                yield self.finding(
+                    ctx, node,
+                    f"ungated {kind} on the hot path; wrap in "
+                    "'if obs.enabled:' (or hoist an obs_on local) so "
+                    "disabled runs pay one branch per hook",
+                )
+
+    def _instrument_kind(self, call: ast.Call) -> str:
+        """Classify a call as an instrument op, or return None."""
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        receiver = func.value
+        if func.attr in _HANDLE_OPS and _mentions_handle(receiver):
+            return f"instrument update .{func.attr}()"
+        if func.attr.startswith("on_"):
+            if any(ident == "sink" for ident in _idents(receiver)):
+                return f"sink callback .{func.attr}()"
+        if func.attr in _REGISTRY_OPS and _mentions_registry(receiver):
+            return f"registry lookup .{func.attr}()"
+        return None
+
+    def _gated(self, ctx: ModuleContext, node: ast.AST) -> bool:
+        for anc in ctx.ancestors(node):
+            if isinstance(anc, (ast.If, ast.IfExp)) and _tests_enabled(anc.test):
+                return True
+            if isinstance(anc, ast.BoolOp) and isinstance(anc.op, ast.And):
+                if any(_tests_enabled(v) for v in anc.values):
+                    return True
+        return False

@@ -1,0 +1,110 @@
+"""File collection and the lint driver.
+
+:func:`lint_paths` is the single entry point used by the CLI, CI, and
+the self-check test: it expands files/directory trees to ``.py`` files
+(sorted, so reports and JSON artifacts are stable across hosts), runs
+every selected rule per module, applies inline suppressions, and folds
+unused-suppression findings (RL900) back into the report.
+
+Unparseable files are reported as findings (code ``RL000``) rather
+than aborting the run: a syntax error in one fixture must not mask
+findings elsewhere.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding, LintReport
+from repro.lint.registry import Rule, all_rules
+from repro.lint.suppress import parse_suppressions
+
+__all__ = ["PARSE_ERROR", "collect_files", "lint_file", "lint_paths"]
+
+#: Code reported when a file cannot be parsed.
+PARSE_ERROR = "RL000"
+
+#: Directory names never descended into.
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "build", "dist"}
+
+
+def collect_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """Expand files and directory trees to a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(
+                p for p in path.rglob("*.py")
+                if not (_SKIP_DIRS & set(p.parts))
+            )
+        elif path.suffix == ".py":
+            out.append(path)
+    return sorted(set(out))
+
+
+def lint_file(
+    path: Path,
+    rules: Sequence[Rule],
+    source: Optional[str] = None,
+) -> List[Finding]:
+    """All surviving findings for one file (suppressions applied)."""
+    findings, _ = _lint_one(path, rules, source)
+    return findings
+
+
+def _lint_one(
+    path: Path,
+    rules: Sequence[Rule],
+    source: Optional[str] = None,
+):
+    if source is None:
+        source = path.read_text()
+    try:
+        ctx = ModuleContext.parse(path, source)
+    except SyntaxError as exc:
+        parse_finding = Finding(
+            path=str(path),
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+            code=PARSE_ERROR,
+            rule="parse",
+            message=f"syntax error: {exc.msg}",
+        )
+        return [parse_finding], []
+
+    table = parse_suppressions(str(path), source)
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if table.suppresses(finding):
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+    kept.extend(table.unused())
+    return kept, suppressed
+
+
+def lint_paths(
+    paths: Iterable[Union[str, Path]],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint files/trees and return the aggregate report."""
+    rules = all_rules(select=select, ignore=ignore)
+    files = collect_files(paths)
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for path in files:
+        file_findings, file_suppressed = _lint_one(path, rules)
+        findings.extend(file_findings)
+        suppressed.extend(file_suppressed)
+    return LintReport(
+        findings=sorted(findings),
+        files_scanned=len(files),
+        rules_applied=tuple(r.code for r in rules),
+        suppressed=sorted(suppressed),
+    )

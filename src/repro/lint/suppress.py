@@ -1,0 +1,113 @@
+"""Inline suppression comments: ``# reprolint: disable=RL001[,RL002]``.
+
+A suppression applies to findings reported on the same physical line as
+the comment.  ``disable=all`` silences every code on that line.  Each
+suppression must actually silence something: a disable comment whose
+codes never fire on its line is itself reported (code ``RL900``), so
+stale suppressions cannot accumulate after the underlying code is
+fixed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.lint.findings import Finding
+
+__all__ = ["SuppressionTable", "UNUSED_SUPPRESSION", "parse_suppressions"]
+
+#: Code reported for a disable comment that silenced nothing.
+UNUSED_SUPPRESSION = "RL900"
+
+_DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*disable="
+    r"(?P<codes>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+@dataclass
+class _LineSuppression:
+    line: int
+    codes: Set[str]
+    used: Set[str] = field(default_factory=set)
+
+
+class SuppressionTable:
+    """Per-file map of line -> suppressed codes, with usage tracking."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._by_line: Dict[int, _LineSuppression] = {}
+
+    def add(self, line: int, codes: Set[str]) -> None:
+        entry = self._by_line.get(line)
+        if entry is None:
+            self._by_line[line] = _LineSuppression(line, set(codes))
+        else:
+            entry.codes |= codes
+
+    def suppresses(self, finding: Finding) -> bool:
+        """True (and mark the directive used) if ``finding`` is silenced."""
+        entry = self._by_line.get(finding.line)
+        if entry is None:
+            return False
+        if "all" in entry.codes:
+            entry.used.add("all")
+            return True
+        if finding.code in entry.codes:
+            entry.used.add(finding.code)
+            return True
+        return False
+
+    def unused(self) -> List[Finding]:
+        """RL900 findings for directives (or codes) that silenced nothing."""
+        out = []
+        for entry in sorted(self._by_line.values(), key=lambda e: e.line):
+            stale = sorted(entry.codes - entry.used)
+            if stale:
+                out.append(Finding(
+                    path=self.path,
+                    line=entry.line,
+                    col=1,
+                    code=UNUSED_SUPPRESSION,
+                    rule="suppression",
+                    message=(
+                        "unused suppression: disable="
+                        + ",".join(stale)
+                        + " silences nothing on this line"
+                    ),
+                ))
+        return out
+
+
+def parse_suppressions(path: str, source: str) -> SuppressionTable:
+    """Scan ``source`` for disable directives (line numbers are 1-based).
+
+    Only genuine ``COMMENT`` tokens count: a directive quoted inside a
+    docstring (e.g. documentation *about* suppressions) is ignored.
+    Tokenization errors fall back to no suppressions -- the runner
+    reports the syntax error separately.
+    """
+    table = SuppressionTable(path)
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return table
+    for lineno, text in comments:
+        m = _DIRECTIVE.search(text)
+        if m:
+            codes = {
+                c.strip() for c in m.group("codes").split(",") if c.strip()
+            }
+            if codes:
+                table.add(lineno, codes)
+    return table

@@ -73,7 +73,9 @@ class GossipOptPProtocol(Protocol):
         #: monotone, so componentwise max is safe); feeds the stability
         #: vector that garbage-collects the log
         self.known_apply: List[List[int]] = [[0] * n for _ in range(n)]
-        self.known_apply[process_id] = self.apply_vec  # alias: always fresh
+        # intentional: this process's own digest row must track its live
+        # Apply vector, so it is an alias by design, never a stale copy.
+        self.known_apply[process_id] = self.apply_vec  # reprolint: disable=RL003
         self._round = 0
         self.duplicates = 0
         self.gc_dropped = 0

@@ -86,7 +86,7 @@ class ReplicationMap:
             holders = frozenset(procs)
             if not holders:
                 raise ValueError(f"variable {var!r} has no replicas")
-            for p in holders:
+            for p in sorted(holders):
                 if not 0 <= p < n_processes:
                     raise ValueError(
                         f"replica {p} of {var!r} out of range [0, {n_processes})"
@@ -192,7 +192,8 @@ class PartialReplicationProtocol(Protocol):
         )
         self.store_put(variable, value, wid)
         self.applied_rel[i] += 1
-        self.last_var_past_on[variable] = vp
+        # copy: vp is also the in-flight message's payload mapping
+        self.last_var_past_on[variable] = dict(vp)
         holders = self.replication.holders(variable)
         self.unreplicated += self.n_processes - len(holders)
         outgoing = tuple(

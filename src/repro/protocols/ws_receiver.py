@@ -133,7 +133,8 @@ class WSReceiverProtocol(Protocol):
         self.apply_vec[i] += 1
         self._vp_row(self.apply_on, variable)[i] += 1
         self.last_write_on[variable] = w_vec
-        self.last_var_past_on[variable] = vp
+        # copy: vp is also the in-flight message's payload mapping
+        self.last_var_past_on[variable] = dict(vp)
         return WriteOutcome(wid=wid, outgoing=(Outgoing(msg, BROADCAST),))
 
     def read(self, variable: Hashable) -> ReadOutcome:

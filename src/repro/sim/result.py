@@ -119,7 +119,7 @@ class RunResult:
         variables = set()
         for store in self.stores:
             variables |= set(store.keys())
-        for var in variables:
+        for var in sorted(variables, key=repr):
             values = {store.get(var, (None, None))[1] for store in self.stores}
             if len(values) != 1:
                 return False

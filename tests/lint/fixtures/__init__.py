@@ -1,0 +1,4 @@
+# Fixture trees for the reprolint tests.  Directory names mirror the
+# package zones (sim/, core/, protocols/) so zone inference treats these
+# files exactly like src/repro/<zone>/... modules.  Files are named
+# bad_* / good_* (never test_*) so pytest does not collect them.

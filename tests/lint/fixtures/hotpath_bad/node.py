@@ -1,0 +1,17 @@
+"""RL006 bad fixture: ungated instrumentation on the hot path.
+
+The filename (``node.py``) is what makes this a hot-path module.
+"""
+
+
+class Node:
+    def __init__(self, obs):
+        self._obs = obs
+        reg = obs.registry
+        self._m_applies = reg.counter("node.applies")  # ungated lookup
+        self._g_depth = reg.gauge("node.depth")
+
+    def on_apply(self, msg, pending):
+        self._m_applies.inc()  # ungated counter bump
+        self._g_depth.set(len(pending))  # ungated gauge set
+        self._obs.sink.on_apply(0.0, 0, msg.wid)  # ungated sink callback

@@ -1,0 +1,22 @@
+"""RL006 good fixture: every instrument call sits under a guard."""
+
+
+class Node:
+    def __init__(self, obs):
+        self._obs = obs
+        if obs.enabled:
+            reg = obs.registry
+            self._m_applies = reg.counter("node.applies")
+            self._g_depth = reg.gauge("node.depth")
+
+    def on_apply(self, msg, pending):
+        if self._obs.enabled:
+            self._m_applies.inc()
+            self._g_depth.set(len(pending))
+            self._obs.sink.on_apply(0.0, 0, msg.wid)
+
+    def pump(self, batch):
+        obs_on = self._obs.enabled  # hoisted guard
+        for msg in batch:
+            if obs_on:
+                self._m_applies.inc()

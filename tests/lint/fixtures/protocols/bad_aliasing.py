@@ -1,0 +1,40 @@
+"""RL003 bad fixture: all five aliasing patterns."""
+
+from repro.core.base import Outgoing, Protocol, UpdateMessage, WriteOutcome
+
+
+class LeakyProtocol(Protocol):
+    name = "leaky"
+
+    def __init__(self, process_id, n_processes):
+        super().__init__(process_id, n_processes)
+        self.write_co = [0] * n_processes
+        self.last_write_on = {}
+
+    def write(self, variable, value):
+        self.write_co[self.process_id] += 1
+        wid = self.next_wid()
+        vp = {variable: self.write_co}
+        msg = UpdateMessage(
+            sender=self.process_id, wid=wid, variable=variable, value=value,
+            payload={"write_co": self.write_co, "var_past": vp},
+        )
+        self.last_write_on[variable] = vp  # aliases the in-flight payload
+        return WriteOutcome(wid=wid, outgoing=(Outgoing(msg),))
+
+    def read(self, variable):
+        raise NotImplementedError
+
+    def classify(self, msg):
+        raise NotImplementedError
+
+    def apply_update(self, msg):
+        self.last_write_on[msg.variable] = msg.payload["write_co"]
+        w_co = msg.payload.get("write_co")
+        self.write_co = w_co
+
+    def mirror(self, other_vec=None):
+        self.last_write_on["mirror"] = self.write_co
+
+    def debug_state(self):
+        return {"write_co": self.write_co}

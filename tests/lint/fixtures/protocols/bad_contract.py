@@ -1,0 +1,51 @@
+"""RL004 bad fixture: missing hooks, orphan apply_event, bad signature."""
+
+from repro.core.base import Protocol
+
+
+class HalfProtocol(Protocol):
+    """Missing read/classify/apply_update entirely."""
+
+    name = "half"
+
+    def write(self, variable, value):
+        raise NotImplementedError
+
+
+class OrphanEventProtocol(Protocol):
+    name = "orphan"
+
+    def write(self, variable, value):
+        raise NotImplementedError
+
+    def read(self, variable):
+        raise NotImplementedError
+
+    def classify(self, msg):
+        raise NotImplementedError
+
+    def apply_update(self, msg):
+        raise NotImplementedError
+
+    # apply_event without missing_deps: never consulted
+    def apply_event(self, msg):
+        return (msg.sender, msg.wid.seq)
+
+
+class BadSignatureProtocol(Protocol):
+    name = "badsig"
+
+    def write(self, variable, value):
+        raise NotImplementedError
+
+    def read(self, variable):
+        raise NotImplementedError
+
+    def classify(self, msg):
+        raise NotImplementedError
+
+    def apply_update(self, msg):
+        raise NotImplementedError
+
+    def missing_deps(self, msg, rescan=False):  # extra parameter
+        return None

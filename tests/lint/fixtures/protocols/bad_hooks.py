@@ -1,0 +1,37 @@
+"""RL005 bad fixture: declared capabilities without their handlers."""
+
+from repro.core.base import Disposition, Protocol
+
+
+class TimerlessProtocol(Protocol):
+    name = "timerless"
+    timer_interval = 2.5  # declared, but no on_timer below
+
+    def write(self, variable, value):
+        raise NotImplementedError
+
+    def read(self, variable):
+        raise NotImplementedError
+
+    def classify(self, msg):
+        raise NotImplementedError
+
+    def apply_update(self, msg):
+        raise NotImplementedError
+
+
+class SilentDiscardProtocol(Protocol):
+    name = "silent-discard"
+    in_class_p = False  # declared, but no missing_applies below
+
+    def write(self, variable, value):
+        raise NotImplementedError
+
+    def read(self, variable):
+        raise NotImplementedError
+
+    def classify(self, msg):
+        return Disposition.DISCARD  # but no discard_update below
+
+    def apply_update(self, msg):
+        raise NotImplementedError

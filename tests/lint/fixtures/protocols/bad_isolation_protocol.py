@@ -1,0 +1,12 @@
+"""RL007 bad fixture (protocol zone): a protocol that sees the topology."""
+
+
+class NosyProtocol:
+    def __init__(self, cluster):
+        self.cluster = cluster
+
+    def classify(self, msg):
+        peer = self.cluster.nodes[msg.sender]  # protocols must not see nodes
+        if peer.protocol.writes_issued > 0:
+            return "apply"
+        return "buffer"

@@ -1,0 +1,36 @@
+"""RL003 good fixture: every boundary crossing copies."""
+
+from repro.core.base import Outgoing, Protocol, UpdateMessage, WriteOutcome
+
+
+class CarefulProtocol(Protocol):
+    name = "careful"
+
+    def __init__(self, process_id, n_processes):
+        super().__init__(process_id, n_processes)
+        self.write_co = [0] * n_processes
+        self.last_write_on = {}
+
+    def write(self, variable, value):
+        self.write_co[self.process_id] += 1
+        wid = self.next_wid()
+        vec = tuple(self.write_co)  # immutable snapshot
+        msg = UpdateMessage(
+            sender=self.process_id, wid=wid, variable=variable, value=value,
+            payload={"write_co": vec},
+        )
+        self.last_write_on[variable] = vec  # sharing a tuple is fine
+        return WriteOutcome(wid=wid, outgoing=(Outgoing(msg),))
+
+    def read(self, variable):
+        raise NotImplementedError
+
+    def classify(self, msg):
+        raise NotImplementedError
+
+    def apply_update(self, msg):
+        self.last_write_on[msg.variable] = tuple(msg.payload["write_co"])
+        self.write_co = list(msg.payload.get("write_co"))
+
+    def debug_state(self):
+        return {"write_co": tuple(self.write_co)}

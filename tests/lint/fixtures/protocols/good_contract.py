@@ -1,0 +1,46 @@
+"""RL004 good fixture: complete hook set, properly paired scheduling."""
+
+from repro.core.base import Protocol
+
+
+class CompleteProtocol(Protocol):
+    name = "complete"
+
+    def write(self, variable, value):
+        raise NotImplementedError
+
+    def read(self, variable):
+        raise NotImplementedError
+
+    def classify(self, msg):
+        raise NotImplementedError
+
+    def apply_update(self, msg):
+        raise NotImplementedError
+
+    def missing_deps(self, msg):
+        return []
+
+    def apply_event(self, msg):
+        return (msg.sender, msg.wid.seq)
+
+
+class DefaultKeyedProtocol(Protocol):
+    """missing_deps alone is fine: the default apply_event keying fits."""
+
+    name = "default-keyed"
+
+    def write(self, variable, value):
+        raise NotImplementedError
+
+    def read(self, variable):
+        raise NotImplementedError
+
+    def classify(self, msg):
+        raise NotImplementedError
+
+    def apply_update(self, msg):
+        raise NotImplementedError
+
+    def missing_deps(self, msg):
+        return None

@@ -1,0 +1,49 @@
+"""RL005 good fixture: every declared capability has its handler."""
+
+from repro.core.base import Disposition, Protocol
+
+
+class FullyDeclaredProtocol(Protocol):
+    name = "fully-declared"
+    timer_interval = 2.5
+    in_class_p = False
+
+    def write(self, variable, value):
+        raise NotImplementedError
+
+    def read(self, variable):
+        raise NotImplementedError
+
+    def classify(self, msg):
+        return Disposition.DISCARD
+
+    def apply_update(self, msg):
+        raise NotImplementedError
+
+    def discard_update(self, msg):
+        pass
+
+    def on_timer(self):
+        return ()
+
+    def missing_applies(self):
+        return 0
+
+
+class PlainProtocol(Protocol):
+    """No timer, never discards, stays in class P: nothing extra needed."""
+
+    name = "plain"
+    timer_interval = None
+
+    def write(self, variable, value):
+        raise NotImplementedError
+
+    def read(self, variable):
+        raise NotImplementedError
+
+    def classify(self, msg):
+        return Disposition.APPLY
+
+    def apply_update(self, msg):
+        raise NotImplementedError

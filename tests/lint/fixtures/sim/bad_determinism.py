@@ -1,0 +1,27 @@
+"""RL001 bad fixture: every banned nondeterminism source in one file."""
+
+import datetime
+import os
+import random
+import time
+
+
+def stamp_event(event):
+    event.time = time.time()  # wall clock
+    return event
+
+
+def label_run():
+    return datetime.datetime.now().isoformat()
+
+
+def salt():
+    return os.urandom(8)
+
+
+def jitter():
+    return random.random()  # global, implicitly seeded RNG
+
+
+def make_rng():
+    return random.Random()  # no seed: falls back to OS entropy

@@ -1,0 +1,16 @@
+"""RL007 bad fixture (substrate zone): reaching into remote protocols."""
+
+
+class Cluster:
+    def __init__(self, nodes):
+        self.nodes = nodes
+
+    def shortcut_apply(self, msg):
+        target = self.nodes[msg.dest]
+        target.protocol.apply_update(msg)  # bypasses the message flow
+
+    def peek_vector(self, pid):
+        return self.nodes[pid].protocol.write_co  # private protocol state
+
+    def force_vector(self, pid, vec):
+        self.nodes[pid].protocol.write_co = vec  # external mutation

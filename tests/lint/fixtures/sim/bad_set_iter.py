@@ -1,0 +1,11 @@
+"""RL002 bad fixture: set iteration on a replay-critical path."""
+
+
+def fanout(message, dests):
+    targets = set(dests)
+    for dest in targets:  # hash-dependent order
+        message.send(dest)
+
+
+def first_pending(pending):
+    return [wid for wid in {p.wid for p in pending}]

@@ -1,0 +1,15 @@
+"""RL001 good fixture: the sanctioned deterministic patterns."""
+
+import random
+
+
+def make_rng(seed):
+    return random.Random(seed)  # explicit seed: deterministic
+
+
+def jitter(rng):
+    return rng.random()  # instance method, not the global RNG
+
+
+def now(clock):
+    return clock.now()  # simulation clock, not the wall clock

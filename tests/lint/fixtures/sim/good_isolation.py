@@ -1,0 +1,22 @@
+"""RL007 good fixture: own-protocol hooks + read-only introspection."""
+
+
+class Node:
+    def __init__(self, protocol):
+        self.protocol = protocol
+
+    def deliver(self, msg):
+        self.protocol.apply_update(msg)  # driving its OWN protocol
+
+
+class Cluster:
+    def __init__(self, nodes):
+        self.nodes = nodes
+
+    def quiesced(self):
+        return sum(
+            node.protocol.missing_applies() for node in self.nodes
+        ) == 0
+
+    def report(self):
+        return [node.protocol.stats() for node in self.nodes]

@@ -1,0 +1,12 @@
+"""RL002 good fixture: ordered iteration everywhere."""
+
+
+def fanout(message, dests):
+    targets = set(dests)
+    for dest in sorted(targets):  # deterministic order
+        message.send(dest)
+
+
+def membership(targets, dest):
+    seen = set(targets)
+    return dest in seen  # membership tests are order-free

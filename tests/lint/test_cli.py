@@ -1,0 +1,84 @@
+"""The ``repro-dsm lint`` subcommand: exit codes and output formats."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_lint_clean_tree_exits_zero(capsys):
+    assert main(["lint", "src/repro"]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_lint_findings_exit_one(capsys):
+    rc = main(["lint", "tests/lint/fixtures/sim/bad_determinism.py"])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "RL001" in out
+    assert "bad_determinism.py" in out
+
+
+def test_lint_json_format(capsys):
+    rc = main(["lint", "--format", "json",
+               "tests/lint/fixtures/sim/bad_determinism.py"])
+    assert rc == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is False
+    assert doc["counts"]["RL001"] >= 4
+
+
+def test_lint_select_narrows_rules(capsys):
+    rc = main(["lint", "--select", "RL002",
+               "tests/lint/fixtures/sim/bad_determinism.py"])
+    assert rc == 0
+    rc = main(["lint", "--ignore", "RL001",
+               "tests/lint/fixtures/sim/bad_determinism.py"])
+    assert rc == 0
+    rc = main(["lint", "--select", "RL001,RL002",
+               "tests/lint/fixtures/sim/bad_determinism.py"])
+    assert rc == 1
+    capsys.readouterr()
+
+
+def test_lint_unknown_code_is_usage_error(capsys):
+    assert main(["lint", "--select", "RLXYZ", "src/repro"]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_lint_missing_path_is_usage_error(capsys):
+    assert main(["lint", "no/such/dir"]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_lint_catalog(capsys):
+    assert main(["lint", "--catalog"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RL001", "RL007"):
+        assert code in out
+
+
+def test_seeded_violation_fails_a_fixture_copy(tmp_path, capsys):
+    """Mirror of the CI self-check: copying a clean sim/ fixture and
+    injecting a wall-clock call must flip the exit code to 1.  The
+    copy keeps the ``sim`` directory so zone inference still applies."""
+    import shutil
+
+    src = "tests/lint/fixtures/sim/good_determinism.py"
+    dest_dir = tmp_path / "sim"
+    dest_dir.mkdir()
+    dest = dest_dir / "good_determinism.py"
+    shutil.copy(src, dest)
+    assert main(["lint", str(dest)]) == 0
+    dest.write_text(dest.read_text()
+                    + "\nimport time\n\ndef t():\n    return time.time()\n")
+    assert main(["lint", str(dest)]) == 1
+    assert "RL001" in capsys.readouterr().out
+
+
+def test_lint_default_path_is_the_package(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out

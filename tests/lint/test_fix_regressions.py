@@ -1,0 +1,77 @@
+"""Trace-identity regression tests for the reprolint-driven fixes.
+
+The analyzer flagged three real aliasing/ordering hazards in the
+protocol code (the ``vp`` payload aliases in ``partial``/``ws-receiver``
+writes, and the frozenset validation loop in ``ReplicationMap``).  The
+fixes replace aliases with copies and unordered iteration with sorted
+iteration -- pure hygiene that must not change behavior.  These digests
+were captured *before* the fixes; byte-identical traces after prove the
+fixes are semantics-preserving, and pin the hazard sites against future
+regressions (an actual cross-boundary mutation would shift the traces).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.protocols.partial import ReplicationMap, partial_factory
+from repro.sim import SeededLatency, run_schedule
+from repro.sim.serialize import trace_to_jsonl
+from repro.workloads import WorkloadConfig, random_schedule
+from repro.workloads.generators import random_partial_schedule
+
+#: sha256(trace_to_jsonl(...)) captured on the pre-fix code.
+PINNED = {
+    ("ws-receiver", 0):
+        "ff020d180343efa6d1629a3d1e7ee54c96f8f787bfe8d25c058c97e7e4d4a0bb",
+    ("ws-receiver", 3):
+        "098ceab42d34b61971cb2d46bfb4ff131cc28dfed2097c393f9075ade282c5e1",
+    ("partial", 0):
+        "1a6b9c1ba3e405af226bc83f971c7bb3c4060691013b3d2305ffac37b156d78a",
+    ("partial", 3):
+        "1c3805666c551944a0a4d63ac2b71e2833f705d64e736c3f3700f2dd0e2b7cbc",
+}
+
+
+def _digest(result):
+    return hashlib.sha256(trace_to_jsonl(result.trace).encode()).hexdigest()
+
+
+def _config(seed):
+    return WorkloadConfig(n_processes=4, ops_per_process=14, n_variables=4,
+                          write_fraction=0.6, seed=seed)
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_ws_receiver_trace_unchanged_by_aliasing_fix(seed):
+    result = run_schedule(
+        "ws-receiver", 4, random_schedule(_config(seed)),
+        latency=SeededLatency(seed, dist="exponential", mean=2.5),
+        record_state=True,
+    )
+    assert _digest(result) == PINNED[("ws-receiver", seed)]
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_partial_trace_unchanged_by_aliasing_fix(seed):
+    cfg = _config(seed)
+    variables = [f"x{i}" for i in range(cfg.n_variables)]
+    rmap = ReplicationMap.round_robin(variables, cfg.n_processes, 2)
+    result = run_schedule(
+        partial_factory(rmap), 4, random_partial_schedule(cfg, rmap),
+        latency=SeededLatency(seed, dist="exponential", mean=2.5),
+        record_state=True,
+    )
+    assert _digest(result) == PINNED[("partial", seed)]
+
+
+def test_payload_no_longer_aliased_into_state():
+    """Direct check of the fixed hazard: the stored per-variable past is
+    a distinct object from the in-flight message payload mapping."""
+    rmap = ReplicationMap.round_robin(["x0", "x1"], 2, 2)
+    proto = partial_factory(rmap)(0, 2)
+    outcome = proto.write("x0", 41)
+    payload_vp = outcome.outgoing[0].message.payload["var_past"]
+    stored_vp = proto.last_var_past_on["x0"]
+    assert stored_vp == payload_vp
+    assert stored_vp is not payload_vp

@@ -1,0 +1,119 @@
+"""Per-rule proof: each bad fixture fires its rule, each good fixture
+stays silent -- under the *full* rule set, so fixtures also prove the
+rules don't bleed into each other."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules, lint_file, zone_of
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: (fixture path, the only code expected to fire there)
+BAD = [
+    ("sim/bad_determinism.py", "RL001"),
+    ("sim/bad_set_iter.py", "RL002"),
+    ("protocols/bad_aliasing.py", "RL003"),
+    ("protocols/bad_contract.py", "RL004"),
+    ("protocols/bad_hooks.py", "RL005"),
+    ("hotpath_bad/node.py", "RL006"),
+    ("sim/bad_isolation.py", "RL007"),
+    ("protocols/bad_isolation_protocol.py", "RL007"),
+]
+
+GOOD = [
+    "sim/good_determinism.py",
+    "sim/good_set_iter.py",
+    "protocols/good_aliasing.py",
+    "protocols/good_contract.py",
+    "protocols/good_hooks.py",
+    "hotpath_good/node.py",
+    "sim/good_isolation.py",
+]
+
+
+def run(rel):
+    return lint_file(FIXTURES / rel, all_rules())
+
+
+@pytest.mark.parametrize("rel,code", BAD)
+def test_bad_fixture_fires_exactly_its_rule(rel, code):
+    findings = run(rel)
+    assert findings, f"{rel} produced no findings"
+    assert {f.code for f in findings} == {code}
+
+
+@pytest.mark.parametrize("rel", GOOD)
+def test_good_fixture_is_silent(rel):
+    findings = run(rel)
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_zone_inference_matches_package_layout():
+    assert zone_of(FIXTURES / "sim" / "bad_determinism.py") == "sim"
+    assert zone_of(Path("src/repro/protocols/gossip.py")) == "protocols"
+    assert zone_of(Path("src/repro/cli.py")) == "other"
+
+
+# -- finding shapes ---------------------------------------------------------
+
+def test_determinism_fixture_covers_each_source():
+    findings = run("sim/bad_determinism.py")
+    messages = "\n".join(f.message for f in findings)
+    assert "time.time" in messages
+    assert "datetime" in messages
+    assert "os.urandom" in messages
+    assert "random.random" in messages
+    assert "random.Random() without a seed" in messages
+
+
+def test_aliasing_fixture_covers_each_pattern():
+    findings = run("protocols/bad_aliasing.py")
+    messages = "\n".join(f.message for f in findings)
+    # receiver-side store of a payload value
+    assert "payload value stored into protocol state" in messages
+    # mutable vector shipped in a payload
+    assert "shipped in a message payload" in messages
+    # sender-side alias of the in-flight message
+    assert "aliases the in-flight message" in messages
+    # internal vector aliasing
+    assert "aliasing internal vector self.write_co" in messages
+    # live state returned from introspection
+    assert "introspection must return snapshots" in messages
+
+
+def test_contract_fixture_names_missing_hooks():
+    findings = run("protocols/bad_contract.py")
+    messages = "\n".join(f.message for f in findings)
+    assert "missing mandatory hook(s): read, classify, apply_update" in messages
+    assert "only consulted when missing_deps is implemented" in messages
+    assert "must keep the (self, msg) signature" in messages
+    assert len(findings) == 3
+
+
+def test_hooks_fixture_names_each_capability():
+    findings = run("protocols/bad_hooks.py")
+    messages = "\n".join(f.message for f in findings)
+    assert "timer_interval" in messages
+    assert "discard_update" in messages
+    assert "missing_applies" in messages
+    assert len(findings) == 3
+
+
+def test_obs_fixture_flags_each_instrument_kind():
+    findings = run("hotpath_bad/node.py")
+    messages = "\n".join(f.message for f in findings)
+    assert "instrument update .inc()" in messages
+    assert "instrument update .set()" in messages
+    assert "sink callback .on_apply()" in messages
+    assert "registry lookup .counter()" in messages
+    assert "registry lookup .gauge()" in messages
+
+
+def test_isolation_fixture_flags_reads_and_writes():
+    findings = run("sim/bad_isolation.py")
+    messages = "\n".join(f.message for f in findings)
+    assert "cross-node access .protocol.apply_update" in messages
+    assert "cross-node access .protocol.write_co" in messages
+    assert "assignment to .protocol.write_co" in messages

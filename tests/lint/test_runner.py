@@ -1,0 +1,84 @@
+"""Runner/report behaviors: collection order, parse errors, selection,
+JSON stability, and the repo-wide self-check (the acceptance gate)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    PARSE_ERROR,
+    all_rules,
+    collect_files,
+    lint_file,
+    lint_paths,
+    rule_catalog,
+)
+
+FIXTURES = Path("tests/lint/fixtures")
+
+
+def test_collect_files_sorted_and_deduped(tmp_path):
+    (tmp_path / "b.py").write_text("x = 1\n")
+    (tmp_path / "a.py").write_text("x = 1\n")
+    sub = tmp_path / "__pycache__"
+    sub.mkdir()
+    (sub / "skip.py").write_text("x = 1\n")
+    files = collect_files([tmp_path, tmp_path / "a.py"])
+    assert files == [tmp_path / "a.py", tmp_path / "b.py"]
+
+
+def test_parse_error_is_a_finding_not_a_crash(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    findings = lint_file(bad, all_rules())
+    assert [f.code for f in findings] == [PARSE_ERROR]
+
+
+def test_select_and_ignore():
+    bad = FIXTURES / "sim" / "bad_determinism.py"
+    only_002 = lint_file(bad, all_rules(select=["RL002"]))
+    assert only_002 == []
+    without_001 = lint_file(bad, all_rules(ignore=["RL001"]))
+    assert without_001 == []
+    with pytest.raises(ValueError):
+        all_rules(select=["RLXYZ"])
+    with pytest.raises(ValueError):
+        all_rules(ignore=["RLXYZ"])
+
+
+def test_report_json_shape():
+    report = lint_paths([FIXTURES / "sim"])
+    doc = json.loads(report.to_json())
+    assert set(doc) == {
+        "ok", "files_scanned", "rules_applied", "counts", "findings",
+        "suppressed",
+    }
+    assert doc["ok"] is False
+    assert doc["counts"]["RL001"] >= 4
+    first = doc["findings"][0]
+    assert set(first) == {"path", "line", "col", "code", "rule", "message"}
+
+
+def test_report_is_deterministic():
+    a = lint_paths([FIXTURES]).to_json()
+    b = lint_paths([FIXTURES]).to_json()
+    assert a == b
+
+
+def test_rule_catalog_is_complete():
+    codes = [r.code for r in rule_catalog()]
+    assert codes == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+                     "RL007"]
+    assert all(r.summary for r in rule_catalog())
+
+
+def test_repo_is_lint_clean():
+    """The acceptance gate: zero unsuppressed findings over src/repro."""
+    report = lint_paths([Path("src/repro")])
+    assert report.ok, report.to_text()
+    assert report.files_scanned > 50
+    # the one sanctioned suppression: the gossip digest-row alias
+    assert len(report.suppressed) == 1
+    assert report.suppressed[0].code == "RL003"
+    assert report.suppressed[0].path.endswith("gossip.py")

@@ -1,0 +1,82 @@
+"""Inline suppressions: silencing, RL900 staleness, docstring immunity."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules, lint_file
+from repro.lint.suppress import parse_suppressions
+
+SIM = Path("tests/lint/fixtures/sim")
+
+
+def lint_source(source, name="sim/snippet.py"):
+    return lint_file(Path(f"tests/lint/fixtures/{name}"), all_rules(),
+                     source=source)
+
+
+def test_suppression_silences_matching_code():
+    src = (
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()  # reprolint: disable=RL001\n"
+    )
+    assert lint_source(src) == []
+
+
+def test_suppression_all_silences_everything():
+    src = (
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()  # reprolint: disable=all\n"
+    )
+    assert lint_source(src) == []
+
+
+def test_wrong_code_does_not_silence():
+    src = (
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()  # reprolint: disable=RL002\n"
+    )
+    codes = {f.code for f in lint_source(src)}
+    # the real finding survives AND the directive is reported stale
+    assert codes == {"RL001", "RL900"}
+
+
+def test_unused_suppression_reported_as_rl900():
+    src = (
+        "def clean():\n"
+        "    return 1  # reprolint: disable=RL001\n"
+    )
+    findings = lint_source(src)
+    assert [f.code for f in findings] == ["RL900"]
+    assert "disable=RL001" in findings[0].message
+
+
+def test_multi_code_directive_partial_staleness():
+    src = (
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()  # reprolint: disable=RL001,RL002\n"
+    )
+    findings = lint_source(src)
+    # RL001 silenced; the RL002 half of the directive is stale
+    assert [f.code for f in findings] == ["RL900"]
+    assert "disable=RL002" in findings[0].message
+
+
+def test_directive_in_docstring_is_ignored():
+    src = (
+        '"""Docs may mention # reprolint: disable=RL001 freely."""\n'
+        "def clean():\n"
+        "    return 1\n"
+    )
+    assert lint_source(src) == []
+
+
+def test_parse_suppressions_line_numbers():
+    src = "x = 1\ny = 2  # reprolint: disable=RL003\n"
+    table = parse_suppressions("f.py", src)
+    assert 2 in table._by_line
+    assert table._by_line[2].codes == {"RL003"}

@@ -99,6 +99,60 @@ class TestRenderHelpers:
         assert "DISCARDED" in label
 
 
+class TestDunderAllConsistency:
+    """Every ``__all__`` in the package names things that exist, and the
+    reprolint public API is actually exported."""
+
+    MODULES = None  # populated lazily; a list of (name, module) pairs
+
+    @classmethod
+    def _modules(cls):
+        if cls.MODULES is None:
+            import importlib
+            import pkgutil
+
+            import repro
+
+            pairs = []
+            prefix = repro.__name__ + "."
+            for info in pkgutil.walk_packages(repro.__path__, prefix):
+                mod = importlib.import_module(info.name)
+                pairs.append((info.name, mod))
+            cls.MODULES = pairs
+        return cls.MODULES
+
+    def test_every_dunder_all_name_exists(self):
+        missing = []
+        for name, mod in self._modules():
+            for export in getattr(mod, "__all__", ()):
+                if not hasattr(mod, export):
+                    missing.append(f"{name}.{export}")
+        assert missing == []
+
+    def test_dunder_all_entries_unique_and_sorted_sets(self):
+        for name, mod in self._modules():
+            exports = list(getattr(mod, "__all__", ()))
+            assert len(exports) == len(set(exports)), (
+                f"{name}.__all__ has duplicates"
+            )
+
+    def test_lint_public_api_exported(self):
+        import repro.lint as lint
+
+        for export in ("Finding", "LintReport", "Rule", "all_rules",
+                       "lint_paths", "lint_file", "register",
+                       "rule_catalog"):
+            assert export in lint.__all__
+            assert hasattr(lint, export)
+
+    def test_lint_rules_all_registered(self):
+        from repro.lint import rule_catalog
+        import repro.lint.rules as rules
+
+        catalog_classes = {type(r).__name__ for r in rule_catalog()}
+        assert catalog_classes == set(rules.__all__)
+
+
 class TestRunResultHelpers:
     def test_delays_per_process_and_summary(self):
         from repro.sim import run_schedule
