@@ -1,0 +1,117 @@
+"""Tentpole benchmark: parallel sweep runner + content-addressed cache.
+
+The workload is a fig6-style comparison grid -- ``sweep_processes``
+over n in {3, 5, 8}, three seeds, all four protocols (36 verified
+simulations) -- executed three ways:
+
+- **serial cold**: the reference path (``jobs=1``, no cache);
+- **parallel cold**: ``jobs=4`` against a fresh cache;
+- **warm**: the same grid again, now answered fully from the cache.
+
+``test_sweep_speedup_report`` re-times all three with
+``time.perf_counter`` (pytest-benchmark may run with
+``--benchmark-disable`` in CI smoke), checks the rows of every
+configuration are identical, asserts the acceptance bars -- warm
+>= 10x over serial cold always; parallel cold >= 2x on machines with
+>= 4 cores (process pools cannot beat serial on the 1-core container
+this repo is sometimes developed in, so that bar is gated on
+``os.cpu_count()``; CI runs it) -- and writes ``BENCH_sweep.json`` at
+the repo root with the honest numbers either way.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.paperfigs.comparison import sweep_processes
+from repro.sweep import RunCache, SweepRunner
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_sweep.json"
+
+GRID = dict(n_values=(3, 5, 8), ops_per_process=15, seeds=(0, 1, 2),
+            protocols=("optp", "anbkh", "ws-receiver", "jimenez-token"))
+GRID_RUNS = 3 * 3 * 4
+PARALLEL_JOBS = 4
+WARM_SPEEDUP_FLOOR = 10.0
+PARALLEL_SPEEDUP_FLOOR = 2.0
+PARALLEL_MIN_CORES = 4
+
+
+def run_grid(runner=None):
+    return sweep_processes(**GRID, runner=runner)
+
+
+def test_bench_sweep_serial(benchmark):
+    rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    assert len(rows) == 3 * 4
+
+
+def test_bench_sweep_warm_cache(benchmark, tmp_path):
+    runner = SweepRunner(cache=RunCache(tmp_path))
+    cold = run_grid(runner)
+
+    warm = benchmark.pedantic(run_grid, args=(runner,),
+                              rounds=1, iterations=1)
+    assert warm == cold
+    assert runner.stats.cache_hits == GRID_RUNS
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def test_sweep_speedup_report(tmp_path):
+    """Times the three execution modes, checks result identity,
+    asserts the acceptance bars, writes ``BENCH_sweep.json``."""
+    serial_rows, serial_s = _timed(run_grid)
+
+    cold_cache = RunCache(tmp_path / "cold")
+    parallel_runner = SweepRunner(jobs=PARALLEL_JOBS, cache=cold_cache)
+    parallel_rows, parallel_s = _timed(lambda: run_grid(parallel_runner))
+    assert parallel_rows == serial_rows
+    assert parallel_runner.stats.cache_misses == GRID_RUNS
+
+    warm_rows, warm_s = _timed(lambda: run_grid(parallel_runner))
+    assert warm_rows == serial_rows
+    assert parallel_runner.stats.cache_hits == GRID_RUNS
+
+    cores = os.cpu_count() or 1
+    parallel_gated = cores >= PARALLEL_MIN_CORES
+    report = {
+        "bench": "parallel sweep runner + content-addressed cache",
+        "workload": {
+            "shape": "sweep_processes comparison grid",
+            "n_values": list(GRID["n_values"]),
+            "seeds": list(GRID["seeds"]),
+            "protocols": list(GRID["protocols"]),
+            "runs": GRID_RUNS,
+        },
+        "host_cores": cores,
+        "jobs": PARALLEL_JOBS,
+        "serial_cold_s": round(serial_s, 6),
+        "parallel_cold_s": round(parallel_s, 6),
+        "warm_s": round(warm_s, 6),
+        "parallel_speedup": round(serial_s / parallel_s, 2),
+        "warm_speedup": round(serial_s / warm_s, 2),
+        "parallel_bar_checked": parallel_gated,
+    }
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    warm_speedup = report["warm_speedup"]
+    assert warm_speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm cache only {warm_speedup}x faster than serial cold "
+        f"(floor {WARM_SPEEDUP_FLOOR}x): {report}"
+    )
+    if parallel_gated:
+        parallel_speedup = report["parallel_speedup"]
+        assert parallel_speedup >= PARALLEL_SPEEDUP_FLOOR, (
+            f"--jobs {PARALLEL_JOBS} only {parallel_speedup}x faster "
+            f"than serial (floor {PARALLEL_SPEEDUP_FLOOR}x on "
+            f"{cores} cores): {report}"
+        )

@@ -9,7 +9,10 @@ Subcommands:
   metrics snapshot, see docs/observability.md);
 - ``obs FILE``              summarize a saved ``--metrics-out`` file;
 - ``compare``               all protocols on one identical schedule;
-- ``sweep AXIS``            delay sweeps (Q1a-Q1c, Q3);
+- ``sweep AXIS``            delay sweeps (Q1a-Q1c, Q3); ``--jobs N``
+  parallelizes across worker processes and ``--cache-dir``/``--no-cache``
+  control the content-addressed result cache (byte-identical output
+  either way, see docs/performance.md);
 - ``scenario NAME``         run an H1 figure scenario and show the
   sequence at p3 plus the delay audit;
 - ``lint [PATH ...]``       run the reprolint static analyzer
@@ -107,6 +110,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
     p_sweep.add_argument("--format", choices=["table", "csv", "json"],
                          default="table")
+    p_sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes (output is byte-identical "
+                         "to --jobs 1; see docs/performance.md)")
+    p_sweep.add_argument("--cache-dir", default="artifacts/runcache",
+                         metavar="DIR",
+                         help="content-addressed result cache root "
+                         "(default: %(default)s)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="skip the result cache (neither read nor "
+                         "written)")
+    p_sweep.add_argument("--stats-out", metavar="PATH",
+                         help="write runner stats (jobs, cache hits/misses, "
+                         "sim seconds) as JSON to PATH")
 
     p_replay = sub.add_parser(
         "replay", help="re-audit an archived trace (JSON-lines dump)"
@@ -119,6 +135,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write to PATH instead of stdout")
     p_rep.add_argument("--quick", action="store_true",
                        help="smaller sweeps (fast sanity run)")
+    p_rep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the report's sweeps")
+    p_rep.add_argument("--cache-dir", default="artifacts/runcache",
+                       metavar="DIR", help="sweep result cache root")
+    p_rep.add_argument("--no-cache", action="store_true",
+                       help="skip the sweep result cache")
 
     p_obs = sub.add_parser(
         "obs", help="summarize a saved metrics file (run --metrics-out)"
@@ -243,8 +265,30 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_runner(args: argparse.Namespace):
+    """A SweepRunner configured from --jobs/--cache-dir/--no-cache."""
+    from repro.sweep import RunCache, SweepRunner
+
+    cache = None if args.no_cache else RunCache(args.cache_dir)
+    return SweepRunner(jobs=args.jobs, cache=cache)
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
-    rows = SWEEPS[args.axis](seeds=tuple(args.seeds))
+    runner = _make_runner(args)
+    rows = SWEEPS[args.axis](seeds=tuple(args.seeds), runner=runner)
+    stats = runner.stats.to_dict()
+    print(
+        f"sweep: jobs={stats['jobs']} runs={stats['runs']} "
+        f"cache_hits={stats['cache_hits']} "
+        f"cache_misses={stats['cache_misses']} "
+        f"sim_seconds={stats['sim_seconds']}",
+        file=sys.stderr,
+    )
+    if args.stats_out:
+        import json
+        from pathlib import Path
+
+        Path(args.stats_out).write_text(json.dumps(stats, indent=2) + "\n")
     if args.format == "csv":
         from repro.analysis.export import sweep_to_csv
 
@@ -346,7 +390,7 @@ def cmd_obs(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.paperfigs.report import build_report
 
-    text = build_report(quick=args.quick)
+    text = build_report(quick=args.quick, runner=_make_runner(args))
     if args.out:
         from pathlib import Path
 

@@ -4,9 +4,10 @@ A :class:`ModuleContext` bundles the parsed AST with everything a rule
 needs to decide applicability and render findings:
 
 - the **zone** the file belongs to (``sim`` / ``core`` / ``protocols``
-  / ``runtime`` / ``obs`` / ``other``), inferred from directory parts
-  so fixture trees like ``tests/lint/fixtures/sim/...`` are analyzed
-  exactly like ``src/repro/sim/...``;
+  / ``runtime`` / ``obs`` / ``sweep`` / ``other``), inferred from
+  directory parts so fixture trees like
+  ``tests/lint/fixtures/sim/...`` are analyzed exactly like
+  ``src/repro/sim/...``;
 - whether the file is a **hot-path module** (the obs-gating rule's
   scope: ``engine.py``, ``scheduler.py``, ``network.py``, ``node.py``);
 - a parent map over the AST (``ast`` has no parent links) plus helpers
@@ -28,15 +29,17 @@ __all__ = [
 ]
 
 #: Zones where replay determinism is contractual (the differential and
-#: gating tests pin traces byte-for-byte over code in these packages).
-DETERMINISM_ZONES = ("sim", "core", "protocols")
+#: gating tests pin traces byte-for-byte over code in these packages;
+#: ``sweep`` is in because its cached results must be byte-identical to
+#: fresh runs -- its worker timing lines carry explicit suppressions).
+DETERMINISM_ZONES = ("sim", "core", "protocols", "sweep")
 
 #: Modules on the per-event hot path: obs instrumentation here must sit
 #: behind an ``obs.enabled`` / ``obs_on`` guard (the 1.05x budget of
 #: ``benchmarks/test_bench_obs_overhead.py``).
 HOT_PATH_MODULES = ("engine.py", "scheduler.py", "network.py", "node.py")
 
-_ZONES = ("sim", "core", "protocols", "runtime", "obs")
+_ZONES = ("sim", "core", "protocols", "runtime", "obs", "sweep")
 
 
 def zone_of(path: Path) -> str:

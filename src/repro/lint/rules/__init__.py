@@ -10,6 +10,7 @@ from repro.lint.rules import contract as _contract  # noqa: F401
 from repro.lint.rules import determinism as _determinism  # noqa: F401
 from repro.lint.rules import isolation as _isolation  # noqa: F401
 from repro.lint.rules import obsgate as _obsgate  # noqa: F401
+from repro.lint.rules import workers as _workers  # noqa: F401
 
 from repro.lint.rules.aliasing import VectorAliasingRule
 from repro.lint.rules.contract import ProtocolHooksRule, ProtocolPairRule
@@ -19,11 +20,13 @@ from repro.lint.rules.determinism import (
 )
 from repro.lint.rules.isolation import CrossNodeIsolationRule
 from repro.lint.rules.obsgate import ObsGatingRule
+from repro.lint.rules.workers import PicklableWorkerRule
 
 __all__ = [
     "CrossNodeIsolationRule",
     "NondeterministicCallRule",
     "ObsGatingRule",
+    "PicklableWorkerRule",
     "ProtocolHooksRule",
     "ProtocolPairRule",
     "UnorderedIterationRule",

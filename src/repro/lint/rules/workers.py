@@ -1,0 +1,103 @@
+"""RL008: process-pool entry points must be picklable (zone ``sweep``).
+
+``ProcessPoolExecutor`` pickles the submitted callable **by qualified
+name**: only module-level functions survive the trip.  Lambdas, nested
+functions, and bound methods raise ``PicklingError`` at runtime -- but
+only on the parallel path, so a serial test suite never sees it.  This
+rule fails the lint instead.
+
+Flagged as the callable argument of ``<pool>.submit(fn, ...)`` /
+``<pool>.map(fn, ...)``:
+
+- a ``lambda`` expression;
+- a name bound to a function *defined inside another function or
+  class* (nested ``def``) or to a lambda assignment;
+- an attribute rooted at ``self`` / ``cls`` (a bound method).
+
+Module-level ``def``s and imported names pass.  The receiver is not
+type-checked -- any ``.submit``/``.map`` call in the sweep zone is
+held to the contract, which is exactly the discipline
+:mod:`repro.sweep.worker` documents.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.lint.context import ModuleContext, dotted_name
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+__all__ = ["PicklableWorkerRule"]
+
+_POOL_METHODS = ("submit", "map")
+
+
+def _nonmodule_callables(tree: ast.Module):
+    """``(nested defs, lambda-bound names)`` anywhere in the module.
+
+    Lambda assignments are unpicklable even at module level (their
+    qualified name is ``<lambda>``), so both sets fail the contract.
+    """
+    toplevel = {
+        node.name
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    nested: Set[str] = set()
+    lambdas: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name not in toplevel:
+                nested.add(node.name)
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    lambdas.add(target.id)
+    return nested, lambdas
+
+
+@register
+class PicklableWorkerRule(Rule):
+    code = "RL008"
+    name = "picklable-workers"
+    summary = (
+        "pool.submit/map entry points in sweep code must be module-level "
+        "functions"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.zone != "sweep":
+            return
+        nested, lambdas = _nonmodule_callables(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in _POOL_METHODS or not node.args:
+                continue
+            message = self._violation(node.args[0], nested, lambdas)
+            if message:
+                yield self.finding(
+                    ctx, node.args[0],
+                    f"{message} passed to .{node.func.attr}(); process-pool "
+                    "entry points are pickled by qualified name -- use a "
+                    "module-level function",
+                )
+
+    def _violation(
+        self, fn: ast.AST, nested: Set[str], lambdas: Set[str]
+    ) -> Optional[str]:
+        if isinstance(fn, ast.Lambda):
+            return "lambda"
+        if isinstance(fn, ast.Name):
+            if fn.id in nested:
+                return f"nested function {fn.id!r}"
+            if fn.id in lambdas:
+                return f"lambda-bound name {fn.id!r}"
+        name = dotted_name(fn)
+        if name and name.split(".")[0] in ("self", "cls"):
+            return f"bound method {name!r}"
+        return None

@@ -323,6 +323,42 @@ class CausalOrder:
                     row[j] = True
         return out
 
+    def closure_vectors(self, ops: Sequence[Operation]):
+        """0/1 ``(k, V)`` numpy matrix of downward-closure indicators.
+
+        Row ``i`` marks, over all ``V`` nodes of the history, the set
+        :math:`\\{ops[i]\\} \\cup desc(ops[i])`.  On a DAG, strict
+        elementwise domination of these rows characterizes ``->co``::
+
+            ops[i] ->co ops[j]  iff  row(j) < row(i)
+
+        (forward: reachability makes ``closure(j)`` a subset of
+        ``closure(i)``, strictly since ``i`` is not its own descendant;
+        backward: ``j`` in ``closure(i)`` and ``j != i`` is exactly
+        reachability).  So ``batch_precedes_matrix(closure_vectors(
+        ops)).T`` is :meth:`precedes_matrix` computed by numpy
+        broadcasting instead of per-pair Python -- the vectorized
+        legality checker's substrate.  Only meaningful on acyclic
+        histories (callers check :attr:`has_cycle` first).
+        """
+        import numpy as np
+
+        n_nodes = len(self._nodes)
+        nbytes = max(1, (n_nodes + 7) // 8)
+        out = np.zeros((len(ops), n_nodes), dtype=np.uint8)
+        for i, op in enumerate(ops):
+            mask = (
+                self._desc_of_node[op.key]
+                | (1 << self._node_index[op.key])
+            )
+            packed = np.frombuffer(
+                mask.to_bytes(nbytes, "little"), dtype=np.uint8
+            )
+            out[i] = np.unpackbits(
+                packed, bitorder="little", count=n_nodes
+            )
+        return out
+
     def writes_precede(self, w1: Write, w2: Write) -> bool:
         """Convenience alias of :meth:`precedes` restricted to writes."""
         return self.precedes(w1, w2)

@@ -104,20 +104,120 @@ def is_legal_read(history: History, read: Read) -> Optional[LegalityViolation]:
     return None
 
 
-def check_causal_consistency(history: History) -> LegalityReport:
-    """Check Definition 2 on a full history; returns a detailed report.
-
-    A cyclic ``->co`` (only possible for histories no protocol run can
-    produce) is reported as inconsistent with ``cyclic=True``.
-    """
-    co = history.causal_order
-    if co.has_cycle:
-        return LegalityReport(consistent=False, cyclic=True)
+def _check_scalar(history: History) -> List[LegalityViolation]:
+    """Reference path: :func:`is_legal_read` per read, in history order."""
     violations = []
     for read in history.reads():
         v = is_legal_read(history, read)
         if v is not None:
             violations.append(v)
+    return violations
+
+
+def _check_vectorized(history: History) -> List[LegalityViolation]:
+    """Batch path: every (write, read) precedence decided in one numpy
+    broadcast instead of per-pair Python bit tests.
+
+    Builds closure vectors for all writes and reads, takes
+    ``batch_precedes_matrix(...)`` over the concatenated batch (its
+    transpose is the ``->co`` matrix, see
+    :meth:`~repro.model.history.CausalOrder.closure_vectors`), then
+    answers Definition 1 per read with boolean masks over the writes
+    *grouped by variable*.  Witness parity with the scalar path is
+    structural: writes are scanned in ``history.writes()`` order, the
+    same order ``write_causal_past`` yields them, so the first matching
+    index is the scalar path's witness and the produced violations are
+    ``==``-identical (the differential test pins this).
+
+    Only called on acyclic histories -- the closure-domination
+    equivalence needs a DAG.
+    """
+    import numpy as np
+
+    from repro.core.vectorclock import batch_precedes_matrix
+
+    co = history.causal_order
+    writes = list(history.writes())
+    reads = list(history.reads())
+    if not reads:
+        return []
+    n_writes = len(writes)
+    precedes = batch_precedes_matrix(
+        co.closure_vectors(writes + reads)
+    ).T
+    ww = precedes[:n_writes, :n_writes]     # write ->co write
+    wr = precedes[:n_writes, n_writes:]     # write ->co read
+
+    grouped: dict = {}
+    for i, w in enumerate(writes):
+        grouped.setdefault(w.variable, []).append(i)
+    by_variable = {v: np.asarray(ix) for v, ix in grouped.items()}
+    windex = {w.wid: i for i, w in enumerate(writes)}
+
+    violations = []
+    for j, read in enumerate(reads):
+        group = by_variable.get(read.variable)
+        if group is None:
+            continue
+        in_past = wr[group, j]
+        if read.read_from is None:
+            if in_past.any():
+                witness = writes[group[int(np.argmax(in_past))]]
+                violations.append(LegalityViolation(
+                    read=read,
+                    reason=(
+                        "returned BOTTOM although a write to the same "
+                        "variable is in its causal past"
+                    ),
+                    interposed=witness,
+                ))
+            continue
+        wi = windex[read.read_from]
+        interposed = in_past & ww[wi, group] & (group != wi)
+        if interposed.any():
+            witness = writes[group[int(np.argmax(interposed))]]
+            violations.append(LegalityViolation(
+                read=read,
+                reason="a causally newer write to the same variable is "
+                "interposed between the writer and the read",
+                interposed=witness,
+            ))
+    return violations
+
+
+def check_causal_consistency(
+    history: History, *, mode: str = "auto"
+) -> LegalityReport:
+    """Check Definition 2 on a full history; returns a detailed report.
+
+    A cyclic ``->co`` (only possible for histories no protocol run can
+    produce) is reported as inconsistent with ``cyclic=True``.
+
+    ``mode`` selects the engine: ``"vectorized"`` batches every
+    precedence query through numpy (see :func:`_check_vectorized`),
+    ``"scalar"`` runs the per-read reference loop, and ``"auto"`` (the
+    default) uses the vectorized path when numpy is importable and
+    falls back to scalar otherwise.  All modes return ``==``-identical
+    reports.
+    """
+    if mode not in ("auto", "vectorized", "scalar"):
+        raise ValueError(
+            f"mode must be 'auto', 'vectorized' or 'scalar', got {mode!r}"
+        )
+    co = history.causal_order
+    if co.has_cycle:
+        return LegalityReport(consistent=False, cyclic=True)
+    if mode == "auto":
+        try:
+            import numpy  # noqa: F401
+        except ImportError:  # pragma: no cover - numpy ships with the repo
+            mode = "scalar"
+        else:
+            mode = "vectorized"
+    if mode == "vectorized":
+        violations = _check_vectorized(history)
+    else:
+        violations = _check_scalar(history)
     return LegalityReport(consistent=not violations, violations=violations)
 
 

@@ -23,6 +23,7 @@ from repro.paperfigs.comparison import (
     DEFAULT_PROTOCOLS,
     SweepRow,
     compare_on_schedule,
+    expand_grid,
     render_sweep,
     sweep,
     sweep_latency_spread,
@@ -48,6 +49,7 @@ __all__ = [
     "DEFAULT_PROTOCOLS",
     "SweepRow",
     "compare_on_schedule",
+    "expand_grid",
     "fig1",
     "fig2",
     "fig3",

@@ -13,6 +13,14 @@ turns its comparison criterion -- the number of write delays (Section
 Every sweep uses open-loop schedules + :class:`SeededLatency`, so all
 protocols see byte-identical message arrival times and the measured
 gaps are attributable to protocol buffering alone.
+
+Sweeps execute through :mod:`repro.sweep`: the grid expands into flat
+:class:`~repro.sweep.spec.RunSpec` lists and a
+:class:`~repro.sweep.runner.SweepRunner` runs them -- serially by
+default, in parallel and/or against the content-addressed result cache
+when the caller passes a configured runner (``repro-dsm sweep --jobs N``
+does).  Results merge in spec order, so every configuration produces
+byte-identical rows (see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from repro.analysis.checker import check_run
 from repro.analysis.metrics import RunMetrics
 from repro.sim import SeededLatency, run_schedule
 from repro.sim.latency import LatencyModel
+from repro.sweep import LatencySpec, RunSpec, SweepRunner
 from repro.workloads.generators import WorkloadConfig, random_schedule
 from repro.workloads.ops import Schedule
 
@@ -72,6 +81,37 @@ class SweepRow:
     seeds: int
 
 
+def expand_grid(
+    values: Sequence[float],
+    *,
+    make_config: Callable[[float, int], WorkloadConfig],
+    n_for: Callable[[float], int],
+    seeds: Sequence[int] = (0, 1, 2),
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    latency_for: Optional[Callable[[float, int], LatencySpec]] = None,
+) -> List[RunSpec]:
+    """Flatten a sweep grid into run specs, in the canonical order
+    (value-major, then seed, then protocol) every consumer relies on."""
+    specs: List[RunSpec] = []
+    for value in values:
+        n = n_for(value)
+        for seed in seeds:
+            cfg = make_config(value, seed)
+            latency = (
+                latency_for(value, seed)
+                if latency_for is not None
+                else LatencySpec.seeded(seed, dist="exponential", mean=2.0)
+            )
+            for proto in protocols:
+                specs.append(RunSpec(
+                    protocol=proto,
+                    n_processes=n,
+                    config=cfg,
+                    latency=latency,
+                ))
+    return specs
+
+
 def sweep(
     axis: str,
     values: Sequence[float],
@@ -80,30 +120,37 @@ def sweep(
     n_for: Callable[[float], int],
     seeds: Sequence[int] = (0, 1, 2),
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
-    latency_for: Optional[Callable[[float, int], LatencyModel]] = None,
+    latency_for: Optional[Callable[[float, int], LatencySpec]] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> List[SweepRow]:
     """Generic sweep driver.
 
     For each axis value and seed, builds a workload via ``make_config``,
     runs every protocol on the identical schedule, and averages the
     metrics per (value, protocol).
+
+    ``latency_for`` returns a declarative
+    :class:`~repro.sweep.spec.LatencySpec` (not a live model), so every
+    grid point is picklable and cache-addressable.  ``runner`` selects
+    execution: None means a fresh serial, uncached
+    :class:`~repro.sweep.runner.SweepRunner`; any configured runner
+    (``jobs > 1``, a cache, obs) produces byte-identical rows.
     """
+    if runner is None:
+        runner = SweepRunner()
+    specs = expand_grid(
+        values, make_config=make_config, n_for=n_for, seeds=seeds,
+        protocols=protocols, latency_for=latency_for,
+    )
+    metrics = runner.run(specs)
     rows: List[SweepRow] = []
+    idx = 0
     for value in values:
         per_proto: Dict[str, List[RunMetrics]] = {p: [] for p in protocols}
-        for seed in seeds:
-            cfg = make_config(value, seed)
-            schedule = random_schedule(cfg)
-            n = n_for(value)
-            latency = (
-                latency_for(value, seed)
-                if latency_for is not None
-                else SeededLatency(seed, dist="exponential", mean=2.0)
-            )
-            for m in compare_on_schedule(
-                schedule, n, protocols=protocols, latency=latency
-            ):
-                per_proto[m.protocol].append(m)
+        for _seed in seeds:
+            for proto in protocols:
+                per_proto[proto].append(metrics[idx])
+                idx += 1
         for proto, ms in per_proto.items():
             k = len(ms)
             rows.append(
@@ -131,6 +178,7 @@ def sweep_processes(
     ops_per_process: int = 15,
     seeds: Sequence[int] = (0, 1, 2),
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    runner: Optional[SweepRunner] = None,
 ) -> List[SweepRow]:
     """Delays vs. process count (Q1's main axis: false-causality
     opportunities grow with n)."""
@@ -147,6 +195,7 @@ def sweep_processes(
         n_for=lambda n: int(n),
         seeds=seeds,
         protocols=protocols,
+        runner=runner,
     )
 
 
@@ -157,6 +206,7 @@ def sweep_write_fraction(
     ops_per_process: int = 15,
     seeds: Sequence[int] = (0, 1, 2),
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    runner: Optional[SweepRunner] = None,
 ) -> List[SweepRow]:
     """Delays vs. write intensity.
 
@@ -178,6 +228,7 @@ def sweep_write_fraction(
         n_for=lambda f: n_processes,
         seeds=seeds,
         protocols=protocols,
+        runner=runner,
     )
 
 
@@ -188,6 +239,7 @@ def sweep_latency_spread(
     ops_per_process: int = 15,
     seeds: Sequence[int] = (0, 1, 2),
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    runner: Optional[SweepRunner] = None,
 ) -> List[SweepRow]:
     """Delays vs. latency variance (exponential mean).
 
@@ -207,9 +259,10 @@ def sweep_latency_spread(
         n_for=lambda m: n_processes,
         seeds=seeds,
         protocols=protocols,
-        latency_for=lambda m, seed: SeededLatency(
+        latency_for=lambda m, seed: LatencySpec.seeded(
             seed, dist="exponential", mean=float(m)
         ),
+        runner=runner,
     )
 
 
@@ -220,6 +273,7 @@ def sweep_zipf(
     ops_per_process: int = 15,
     seeds: Sequence[int] = (0, 1, 2),
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    runner: Optional[SweepRunner] = None,
 ) -> List[SweepRow]:
     """Delays/skips vs. variable-popularity skew (Q3's axis: hot
     variables create same-variable chains that writing semantics can
@@ -238,6 +292,7 @@ def sweep_zipf(
         n_for=lambda s: n_processes,
         seeds=seeds,
         protocols=protocols,
+        runner=runner,
     )
 
 

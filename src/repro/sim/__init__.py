@@ -37,7 +37,12 @@ from repro.sim.scheduler import (
     make_scheduler,
     supports_indexing,
 )
-from repro.sim.serialize import trace_from_jsonl, trace_to_jsonl
+from repro.sim.serialize import (
+    run_metrics_from_dict,
+    run_metrics_to_dict,
+    trace_from_jsonl,
+    trace_to_jsonl,
+)
 from repro.sim.trace import EventKind, Trace, TraceEvent
 
 __all__ = [
@@ -63,6 +68,8 @@ __all__ = [
     "UniformLatency",
     "estimate_size",
     "make_scheduler",
+    "run_metrics_from_dict",
+    "run_metrics_to_dict",
     "run_programs",
     "run_schedule",
     "supports_indexing",

@@ -63,8 +63,14 @@ class EngineLimitError(RuntimeError):
         super().__init__("; ".join(parts))
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _Scheduled:
+    """One heap entry.  ``slots=True`` drops the per-instance
+    ``__dict__``: an entry is allocated per scheduled event, so large
+    runs hold tens of thousands live in the queue at once
+    (``benchmarks/test_bench_micro.py::test_bench_q4_scheduled_alloc``
+    records the delta)."""
+
     time: float
     seq: int
     fn: Callable[[], None] = field(compare=False)

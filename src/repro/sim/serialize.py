@@ -1,10 +1,18 @@
-"""Trace (de)serialization: JSON-lines export for offline analysis.
+"""Run (de)serialization: JSON-lines traces and run-summary dicts.
 
 A dumped trace round-trips completely: per-process sequences, the
 apply/receipt indexes (including deferred local applies of the
 sequencer baseline), protocol state snapshots, and the BOTTOM sentinel.
 All the analyzers accept a reloaded trace, so runs can be archived and
 re-audited without re-simulating.
+
+:func:`run_metrics_to_dict` / :func:`run_metrics_from_dict` round-trip
+a :class:`~repro.analysis.metrics.RunMetrics` summary exactly (Python's
+JSON float encoding is ``repr``-based, so every float survives
+bit-for-bit) -- the payload format of the sweep runner's result cache
+and of worker->parent transfers.  Loading is strict: unknown schema
+versions or missing fields raise ``ValueError`` so the cache treats
+damaged entries as misses instead of trusting them.
 
 Format: one JSON object per line, first line a header::
 
@@ -29,6 +37,60 @@ from repro.sim.trace import EventKind, Trace
 
 FORMAT_VERSION = 1
 _BOTTOM_MARKER = {"__bottom__": True}
+
+#: Schema version of the RunMetrics summary dict.
+METRICS_FORMAT_VERSION = 1
+
+_DELAY_STATS_FIELDS = ("count", "mean", "p50", "p95", "p99", "max")
+_METRICS_FIELDS = (
+    "protocol", "n_processes", "writes", "reads", "delays",
+    "unnecessary_delays", "messages", "bytes_estimate", "remote_applies",
+    "discards", "skipped", "suppressed", "duration",
+)
+
+
+def run_metrics_to_dict(metrics) -> dict:
+    """A JSON-ready dict capturing a ``RunMetrics`` value exactly."""
+    doc = {field: getattr(metrics, field) for field in _METRICS_FIELDS}
+    doc["delay_stats"] = {
+        field: getattr(metrics.delay_stats, field)
+        for field in _DELAY_STATS_FIELDS
+    }
+    doc["metrics_version"] = METRICS_FORMAT_VERSION
+    return doc
+
+
+def run_metrics_from_dict(doc: dict):
+    """Rebuild a ``RunMetrics`` from :func:`run_metrics_to_dict` output.
+
+    Strict: a wrong version or a missing/extra field raises
+    ``ValueError`` (the sweep cache maps that to a miss).
+    """
+    from repro.analysis.metrics import DelayStats, RunMetrics
+
+    if not isinstance(doc, dict):
+        raise ValueError(f"metrics payload must be a dict, got {type(doc)}")
+    if doc.get("metrics_version") != METRICS_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported metrics version {doc.get('metrics_version')!r}"
+        )
+    expected = set(_METRICS_FIELDS) | {"delay_stats", "metrics_version"}
+    if set(doc) != expected:
+        raise ValueError(
+            f"metrics payload fields {sorted(doc)} != {sorted(expected)}"
+        )
+    stats_doc = doc["delay_stats"]
+    if not isinstance(stats_doc, dict) or set(stats_doc) != set(
+        _DELAY_STATS_FIELDS
+    ):
+        raise ValueError(f"malformed delay_stats {stats_doc!r}")
+    delay_stats = DelayStats(
+        **{field: stats_doc[field] for field in _DELAY_STATS_FIELDS}
+    )
+    return RunMetrics(
+        delay_stats=delay_stats,
+        **{field: doc[field] for field in _METRICS_FIELDS},
+    )
 
 
 def _encode_value(value: Any) -> Any:

@@ -1,0 +1,60 @@
+"""Parallel sweep runner with a content-addressed result cache.
+
+Every paper figure and benchmark sweep is a grid of *independent,
+deterministic* simulations -- the exact property the engine guarantees.
+This package exploits it twice over:
+
+- :class:`SweepRunner` fans a flat list of :class:`RunSpec` values out
+  over worker processes and merges results in spec order, so
+  ``--jobs N`` output is byte-identical to the serial path;
+- :class:`RunCache` stores each run's metrics under a content address
+  (canonical spec digest + a fingerprint of the simulator/protocol/
+  analyzer sources), so warm reruns of figures and benchmarks skip
+  simulation entirely and invalidation is automatic.
+
+Quick use::
+
+    from repro.paperfigs.comparison import sweep_processes
+    from repro.sweep import RunCache, SweepRunner
+
+    runner = SweepRunner(jobs=4, cache=RunCache("artifacts/runcache"))
+    rows = sweep_processes(runner=runner)       # cold: parallel
+    rows_again = sweep_processes(runner=runner) # warm: all cache hits
+    assert rows == rows_again
+
+See docs/performance.md for cache layout, keying, and the determinism
+guarantees.
+"""
+
+from repro.sweep.cache import (
+    CACHE_VERSION,
+    FINGERPRINT_PACKAGES,
+    RunCache,
+    code_fingerprint,
+)
+from repro.sweep.runner import SweepRunner, SweepStats, run_specs
+from repro.sweep.spec import (
+    LatencySpec,
+    RunSpec,
+    SPEC_VERSION,
+    canonical_spec,
+    spec_digest,
+)
+from repro.sweep.worker import execute_spec, run_spec
+
+__all__ = [
+    "CACHE_VERSION",
+    "FINGERPRINT_PACKAGES",
+    "LatencySpec",
+    "RunCache",
+    "RunSpec",
+    "SPEC_VERSION",
+    "SweepRunner",
+    "SweepStats",
+    "canonical_spec",
+    "code_fingerprint",
+    "execute_spec",
+    "run_spec",
+    "run_specs",
+    "spec_digest",
+]

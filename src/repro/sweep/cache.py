@@ -1,0 +1,138 @@
+"""Content-addressed on-disk cache of run metrics.
+
+Layout (under the cache root, default ``artifacts/runcache/``)::
+
+    <root>/<key[:2]>/<key>.json
+
+where ``key = spec_digest(spec, code_fingerprint())`` -- the sha256 of
+the canonicalized :class:`~repro.sweep.spec.RunSpec` *and* a
+fingerprint of every source file whose behaviour feeds the run's
+metrics.  Any change to a spec field (protocol, seed, workload shape,
+latency parameters) or to the simulator/protocol/analyzer code yields
+a different key, so the cache never needs explicit invalidation: stale
+entries are simply never addressed again.
+
+Entries are written atomically (temp file + ``os.replace``) and read
+defensively: a truncated, corrupted, or wrong-schema entry is deleted
+and reported as a miss, never trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = ["CACHE_VERSION", "FINGERPRINT_PACKAGES", "RunCache",
+           "code_fingerprint"]
+
+#: Entry schema version; bumped on incompatible payload changes.
+CACHE_VERSION = 1
+
+#: Packages hashed into the code fingerprint.  The issue's floor is
+#: {core, protocols, sim, workloads}; ``model`` and ``analysis`` are
+#: included as a safety superset because cached *metrics* also depend
+#: on the legality/safety checkers and the metric definitions.
+FINGERPRINT_PACKAGES = (
+    "analysis", "core", "model", "protocols", "sim", "workloads",
+)
+
+_fingerprint_memo: Dict[Tuple[str, ...], str] = {}
+
+
+def code_fingerprint(packages: Sequence[str] = FINGERPRINT_PACKAGES) -> str:
+    """sha256 over the sources of the given ``repro`` subpackages.
+
+    Hashes ``(relative path, file bytes)`` pairs in sorted path order,
+    so the value is stable across hosts and processes but changes with
+    any edit to a hashed file.  Memoized per process: the sources
+    cannot change under a running sweep.
+    """
+    key = tuple(packages)
+    memo = _fingerprint_memo.get(key)
+    if memo is not None:
+        return memo
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for package in sorted(packages):
+        pkg_dir = root / package
+        if not pkg_dir.is_dir():
+            raise ValueError(f"no such repro subpackage: {package!r}")
+        for path in sorted(pkg_dir.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            digest.update(rel.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+    value = digest.hexdigest()
+    _fingerprint_memo[key] = value
+    return value
+
+
+class RunCache:
+    """The on-disk store.  Keys are hex digests from
+    :func:`~repro.sweep.spec.spec_digest`; payloads are JSON dicts
+    (the serialized metrics of one run)."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.discarded = 0  # corrupted entries dropped by get()
+
+    def path_for(self, key: str) -> Path:
+        if len(key) < 3 or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed cache key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The payload stored under ``key``, or None.
+
+        Every failure mode -- unreadable file, invalid JSON, wrong
+        schema version, key mismatch (a truncated write that still
+        parses) -- discards the entry and reports a miss, so a damaged
+        cache degrades to recomputation, never to wrong results.
+        """
+        path = self.path_for(key)
+        try:
+            doc = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._discard(path)
+            return None
+        if (
+            not isinstance(doc, dict)
+            or doc.get("cache_version") != CACHE_VERSION
+            or doc.get("key") != key
+            or not isinstance(doc.get("payload"), dict)
+        ):
+            self._discard(path)
+            return None
+        return doc["payload"]
+
+    def put(self, key: str, payload: Dict) -> None:
+        """Store ``payload`` under ``key`` atomically (write + rename),
+        so a crashed or concurrent writer can truncate at worst its own
+        temp file, never a published entry."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"cache_version": CACHE_VERSION, "key": key,
+               "payload": payload}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(doc, sort_keys=True, indent=1) + "\n")
+        os.replace(tmp, path)
+
+    def _discard(self, path: Path) -> None:
+        self.discarded += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,170 @@
+"""The sweep orchestrator: parallel execution + cache, serial merge.
+
+:class:`SweepRunner` turns a flat list of :class:`RunSpec` values into
+the corresponding list of :class:`RunMetrics`, in **spec order**:
+
+1. every spec's cache key is computed (canonical spec digest + code
+   fingerprint) and the cache is consulted;
+2. misses execute -- inline when ``jobs <= 1``, else fanned out over a
+   ``ProcessPoolExecutor`` whose entry point is the module-level
+   :func:`~repro.sweep.worker.execute_spec`;
+3. results land in a by-index slot table, so the merged output is
+   independent of worker completion order -- the parallel path is
+   byte-identical to the serial one by construction;
+4. fresh results are written back to the cache.
+
+Determinism contract: nothing in this module draws on wall clocks,
+unordered iteration, or scheduling order to produce *results*; the
+only nondeterministic quantity handled (worker wall time) flows
+exclusively into observability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.spans import NULL_OBS, Obs
+from repro.sweep.cache import RunCache, code_fingerprint
+from repro.sweep.spec import RunSpec, spec_digest
+from repro.sweep.worker import execute_spec
+
+__all__ = ["SweepRunner", "SweepStats", "run_specs"]
+
+
+@dataclass
+class SweepStats:
+    """Counters accumulated across a runner's lifetime."""
+
+    jobs: int = 1
+    runs: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: sum of per-run worker wall seconds (fresh runs only).
+    sim_seconds: float = 0.0
+    #: corrupted cache entries discarded during lookups.
+    cache_discarded: int = 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "jobs": self.jobs,
+            "runs": self.runs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "sim_seconds": round(self.sim_seconds, 6),
+            "cache_discarded": self.cache_discarded,
+        }
+
+
+@dataclass
+class SweepRunner:
+    """Executes run specs with optional parallelism and caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``<= 1`` runs inline in this process
+        (no pool, no pickling) -- the reference serial path.
+    cache:
+        A :class:`RunCache`, or None to disable caching entirely.
+    obs:
+        Observability handle; when enabled the runner records
+        ``sweep.runs`` / ``sweep.cache_hits`` / ``sweep.cache_misses``
+        counters, the ``sweep.jobs`` gauge, and a
+        ``sweep.run_seconds`` histogram of per-run worker wall time.
+    fingerprint:
+        Override for the code fingerprint (tests use this to model
+        code changes); None computes the real one on first use.
+    """
+
+    jobs: int = 1
+    cache: Optional[RunCache] = None
+    obs: Obs = NULL_OBS
+    fingerprint: Optional[str] = None
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    def run(self, specs: Sequence[RunSpec]) -> List:
+        """Metrics for every spec, in spec order."""
+        from repro.sim.serialize import (
+            run_metrics_from_dict,
+            run_metrics_to_dict,
+        )
+
+        specs = list(specs)
+        self.stats.jobs = max(self.stats.jobs, self.jobs)
+        self.stats.runs += len(specs)
+        results: List = [None] * len(specs)
+
+        keys: List[Optional[str]] = [None] * len(specs)
+        misses: List[int] = []
+        if self.cache is not None:
+            if self.fingerprint is None:
+                self.fingerprint = code_fingerprint()
+            discarded_before = self.cache.discarded
+            for i, spec in enumerate(specs):
+                keys[i] = spec_digest(spec, self.fingerprint)
+                payload = self.cache.get(keys[i])
+                if payload is None:
+                    misses.append(i)
+                    continue
+                try:
+                    results[i] = run_metrics_from_dict(payload)
+                except ValueError:
+                    # schema drift inside a well-formed entry: recompute.
+                    misses.append(i)
+                    results[i] = None
+            self.stats.cache_discarded += (
+                self.cache.discarded - discarded_before
+            )
+            self.stats.cache_hits += len(specs) - len(misses)
+            self.stats.cache_misses += len(misses)
+        else:
+            misses = list(range(len(specs)))
+
+        fresh = self._execute([specs[i] for i in misses])
+        obs_on = self.obs.enabled
+        if obs_on:
+            h_seconds = self.obs.registry.histogram("sweep.run_seconds")
+        for i, (payload, wall) in zip(misses, fresh):
+            results[i] = run_metrics_from_dict(payload)
+            self.stats.sim_seconds += wall
+            if obs_on:
+                h_seconds.observe(wall)
+            if self.cache is not None:
+                self.cache.put(keys[i], payload)
+
+        if obs_on:
+            reg = self.obs.registry
+            reg.counter("sweep.runs").inc(len(specs))
+            reg.counter("sweep.cache_hits").inc(
+                len(specs) - len(misses) if self.cache is not None else 0
+            )
+            reg.counter("sweep.cache_misses").inc(len(misses))
+            reg.gauge("sweep.jobs").set(self.jobs)
+        return results
+
+    def _execute(self, specs: Sequence[RunSpec]) -> List:
+        """(payload dict, wall seconds) per spec, in spec order."""
+        if not specs:
+            return []
+        if self.jobs <= 1:
+            return [execute_spec(spec) for spec in specs]
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            # Submission order is spec order; collecting each future by
+            # position (not as_completed) keeps the merge deterministic
+            # regardless of which worker finishes first.
+            futures = [pool.submit(execute_spec, spec) for spec in specs]
+            return [f.result() for f in futures]
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    *,
+    jobs: int = 1,
+    cache: Optional[RunCache] = None,
+    obs: Obs = NULL_OBS,
+) -> List:
+    """One-shot convenience around :class:`SweepRunner`."""
+    return SweepRunner(jobs=jobs, cache=cache, obs=obs).run(specs)

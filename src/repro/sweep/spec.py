@@ -1,0 +1,153 @@
+"""Declarative run specifications and their canonical digests.
+
+The sweep runner's unit of work is a :class:`RunSpec`: one
+``(protocol, n, workload config, latency model, seed)`` point of a
+sweep grid.  Specs are *data*, not callables -- every field is a plain
+value -- which buys three properties at once:
+
+- **picklable**: specs cross the ``ProcessPoolExecutor`` boundary;
+- **canonicalizable**: :func:`canonical_spec` renders a spec as a
+  nested dict with deterministic key order, so :func:`spec_digest`
+  is a stable content address for the run it describes;
+- **reproducible**: a spec plus the code fingerprint (see
+  :mod:`repro.sweep.cache`) fully determines the run's metrics, which
+  is what makes the on-disk result cache sound.
+
+Latency models are described by :class:`LatencySpec` rather than live
+:class:`~repro.sim.latency.LatencyModel` instances: a model instance
+is neither canonicalizable nor (for the RNG-bearing ones) obviously
+safe to share, while the spec's ``build()`` reconstructs a fresh model
+with its initial state -- exactly the ``fork()`` semantics the cluster
+applies per run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
+
+from repro.sim.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    SeededLatency,
+    UniformLatency,
+)
+from repro.workloads.generators import WorkloadConfig
+
+__all__ = [
+    "LatencySpec",
+    "RunSpec",
+    "SPEC_VERSION",
+    "canonical_spec",
+    "spec_digest",
+]
+
+#: Bumped whenever the canonical form changes incompatibly; part of the
+#: digest, so old cache entries simply stop matching.
+SPEC_VERSION = 1
+
+_LATENCY_KINDS = ("seeded", "constant", "exponential", "uniform")
+
+
+@dataclass(frozen=True)
+class LatencySpec:
+    """A declarative latency model (see the class docstring above).
+
+    ``kind`` selects the model; only the fields that kind reads are
+    meaningful, but all participate in the canonical form so two specs
+    are equal iff they build identical models.
+    """
+
+    kind: str = "seeded"
+    seed: int = 0
+    dist: str = "exponential"
+    lo: float = 0.5
+    hi: float = 5.0
+    mean: float = 2.0
+    min_delay: float = 0.01
+    delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _LATENCY_KINDS:
+            raise ValueError(
+                f"unknown latency kind {self.kind!r}; "
+                f"known: {_LATENCY_KINDS}"
+            )
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        dist: str = "exponential",
+        lo: float = 0.5,
+        hi: float = 5.0,
+        mean: float = 2.0,
+        min_delay: float = 0.01,
+    ) -> "LatencySpec":
+        """The cross-protocol-identical model the sweeps default to."""
+        return cls(kind="seeded", seed=seed, dist=dist, lo=lo, hi=hi,
+                   mean=mean, min_delay=min_delay)
+
+    @classmethod
+    def constant(cls, delay: float) -> "LatencySpec":
+        return cls(kind="constant", delay=delay)
+
+    def build(self) -> LatencyModel:
+        """A fresh model instance in its initial state."""
+        if self.kind == "seeded":
+            return SeededLatency(self.seed, dist=self.dist, lo=self.lo,
+                                 hi=self.hi, mean=self.mean,
+                                 min_delay=self.min_delay)
+        if self.kind == "constant":
+            return ConstantLatency(self.delay)
+        if self.kind == "exponential":
+            return ExponentialLatency(self.mean, min_delay=self.min_delay,
+                                      seed=self.seed)
+        return UniformLatency(self.lo, self.hi, seed=self.seed)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully determined simulation run of a sweep grid.
+
+    ``verify`` is part of the identity on purpose: verified and
+    unverified runs produce different metrics (the checker feeds the
+    delay audit), so they must never share a cache entry.
+    """
+
+    protocol: str
+    n_processes: int
+    config: WorkloadConfig
+    latency: LatencySpec = LatencySpec()
+    verify: bool = True
+
+
+def canonical_spec(spec: RunSpec) -> Dict:
+    """The spec as a nested dict with deterministic structure.
+
+    ``asdict`` preserves dataclass field order and every leaf is a
+    JSON scalar, so ``json.dumps(..., sort_keys=True)`` of this value
+    is byte-stable across processes and hosts.
+    """
+    return {
+        "version": SPEC_VERSION,
+        "protocol": spec.protocol,
+        "n_processes": spec.n_processes,
+        "config": asdict(spec.config),
+        "latency": asdict(spec.latency),
+        "verify": spec.verify,
+    }
+
+
+def spec_digest(spec: RunSpec, fingerprint: Optional[str] = None) -> str:
+    """Content address of a run: sha256 over the canonical spec, plus
+    the code fingerprint when given (the cache key form)."""
+    doc = canonical_spec(spec)
+    if fingerprint is not None:
+        doc = {"fingerprint": fingerprint, "spec": doc}
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,63 @@
+"""Process-pool worker entry points.
+
+Everything here is a **module-level function of picklable arguments**
+-- the contract ``ProcessPoolExecutor`` imposes (the callable is
+pickled by qualified name) and reprolint's RL008 enforces for this
+package.  Workers receive a :class:`~repro.sweep.spec.RunSpec`, run the
+simulation + full verification, and ship back the *serialized* metrics
+dict: the same bytes-stable form the result cache stores, so a fresh
+run and a cache hit are interchangeable by construction.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Tuple
+
+from repro.sweep.spec import RunSpec
+
+__all__ = ["execute_spec", "run_spec"]
+
+
+def run_spec(spec: RunSpec):
+    """Run one spec and return its :class:`RunMetrics` (verified).
+
+    Mirrors ``compare_on_schedule``'s per-protocol body: the schedule
+    and latency model are rebuilt from the spec (both pure functions of
+    it), the run goes through the full checker unless ``verify=False``,
+    and a verification failure raises -- sweeps measure *verified*
+    runs.
+    """
+    from repro.analysis.checker import check_run
+    from repro.analysis.metrics import RunMetrics
+    from repro.sim import run_schedule
+    from repro.workloads.generators import random_schedule
+
+    schedule = random_schedule(spec.config)
+    result = run_schedule(
+        spec.protocol, spec.n_processes, schedule,
+        latency=spec.latency.build(),
+    )
+    report = None
+    if spec.verify:
+        report = check_run(result)
+        if not report.ok:
+            raise AssertionError(
+                f"{spec.protocol} failed verification: {report.summary()}"
+            )
+    return RunMetrics.of(result, report)
+
+
+def execute_spec(spec: RunSpec) -> Tuple[Dict, float]:
+    """The pool entry point: ``(metrics dict, wall seconds)``.
+
+    The wall time is observational only -- it feeds the obs histogram
+    and the benchmark report, never the metrics or the cache payload,
+    so results stay byte-identical across hosts and loads.
+    """
+    from repro.sim.serialize import run_metrics_to_dict
+
+    t0 = time.perf_counter()  # reprolint: disable=RL001
+    metrics = run_spec(spec)
+    wall = time.perf_counter() - t0  # reprolint: disable=RL001
+    return run_metrics_to_dict(metrics), wall

@@ -1,0 +1,9 @@
+"""BAD: wall clock inside the sweep zone; RL001 fires (the real
+worker's timing lines carry explicit ``reprolint: disable`` markers)."""
+
+import time
+
+
+def time_a_run(spec):
+    start = time.perf_counter()
+    return spec, time.perf_counter() - start

@@ -1,0 +1,21 @@
+"""BAD: unpicklable pool entry points; RL008 (and only RL008) fires."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+double = lambda x: x * 2  # noqa: E731
+
+
+class Runner:
+    def run_one(self, spec):
+        return spec
+
+    def fan_out(self, specs):
+        def local_worker(spec):
+            return spec
+
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            a = pool.submit(lambda s: s, specs[0])
+            b = pool.submit(local_worker, specs[0])
+            c = pool.submit(self.run_one, specs[0])
+            d = list(pool.map(double, specs))
+        return [a.result(), b.result(), c.result()] + d

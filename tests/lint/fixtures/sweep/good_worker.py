@@ -1,0 +1,14 @@
+"""GOOD: module-level pool entry points; nothing should fire."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_one(spec):
+    return spec
+
+
+def fan_out(specs):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(run_one, s) for s in specs]
+        mapped = list(pool.map(run_one, specs))
+    return [f.result() for f in futures] + mapped

@@ -20,6 +20,8 @@ BAD = [
     ("hotpath_bad/node.py", "RL006"),
     ("sim/bad_isolation.py", "RL007"),
     ("protocols/bad_isolation_protocol.py", "RL007"),
+    ("sweep/bad_worker.py", "RL008"),
+    ("sweep/bad_determinism.py", "RL001"),
 ]
 
 GOOD = [
@@ -30,6 +32,7 @@ GOOD = [
     "protocols/good_hooks.py",
     "hotpath_good/node.py",
     "sim/good_isolation.py",
+    "sweep/good_worker.py",
 ]
 
 
@@ -109,6 +112,22 @@ def test_obs_fixture_flags_each_instrument_kind():
     assert "sink callback .on_apply()" in messages
     assert "registry lookup .counter()" in messages
     assert "registry lookup .gauge()" in messages
+
+
+def test_worker_fixture_flags_each_unpicklable_shape():
+    findings = run("sweep/bad_worker.py")
+    messages = "\n".join(f.message for f in findings)
+    assert "lambda" in messages
+    assert "nested function 'local_worker'" in messages
+    assert "bound method 'self.run_one'" in messages
+    # the module-level lambda assignment is unpicklable too
+    assert "'double'" in messages
+    assert len(findings) == 4
+
+
+def test_sweep_zone_inference():
+    assert zone_of(FIXTURES / "sweep" / "bad_worker.py") == "sweep"
+    assert zone_of(Path("src/repro/sweep/worker.py")) == "sweep"
 
 
 def test_isolation_fixture_flags_reads_and_writes():

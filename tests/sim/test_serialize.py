@@ -103,3 +103,82 @@ class TestValidation:
         corrupted = "\n".join([lines[0]] + lines[2:])  # drop event 0
         with pytest.raises(ValueError, match="out of order"):
             trace_from_jsonl(corrupted)
+
+
+class TestRunMetricsRoundTrip:
+    def metrics(self, seed=0):
+        from repro.analysis import check_run
+        from repro.analysis.metrics import RunMetrics
+        from repro.sim import run_schedule
+        from repro.workloads import WorkloadConfig, random_schedule
+
+        cfg = WorkloadConfig(n_processes=3, ops_per_process=6, seed=seed)
+        r = run_schedule("optp", 3, random_schedule(cfg))
+        return RunMetrics.of(r, check_run(r))
+
+    def test_round_trip_is_exact(self):
+        from repro.sim.serialize import (
+            run_metrics_from_dict,
+            run_metrics_to_dict,
+        )
+
+        m = self.metrics()
+        assert run_metrics_from_dict(run_metrics_to_dict(m)) == m
+
+    def test_round_trip_survives_json(self):
+        """The cache stores JSON text; Python float encoding is
+        repr-based so every float survives bit-for-bit."""
+        import json
+
+        from repro.sim.serialize import (
+            run_metrics_from_dict,
+            run_metrics_to_dict,
+        )
+
+        m = self.metrics(seed=3)
+        doc = json.loads(json.dumps(run_metrics_to_dict(m)))
+        assert run_metrics_from_dict(doc) == m
+
+    def test_wrong_version_rejected(self):
+        from repro.sim.serialize import (
+            run_metrics_from_dict,
+            run_metrics_to_dict,
+        )
+
+        doc = run_metrics_to_dict(self.metrics())
+        doc["metrics_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            run_metrics_from_dict(doc)
+
+    def test_missing_field_rejected(self):
+        from repro.sim.serialize import (
+            run_metrics_from_dict,
+            run_metrics_to_dict,
+        )
+
+        doc = run_metrics_to_dict(self.metrics())
+        del doc["delays"]
+        with pytest.raises(ValueError, match="fields"):
+            run_metrics_from_dict(doc)
+
+    def test_extra_field_rejected(self):
+        from repro.sim.serialize import (
+            run_metrics_from_dict,
+            run_metrics_to_dict,
+        )
+
+        doc = run_metrics_to_dict(self.metrics())
+        doc["surprise"] = 1
+        with pytest.raises(ValueError, match="fields"):
+            run_metrics_from_dict(doc)
+
+    def test_malformed_delay_stats_rejected(self):
+        from repro.sim.serialize import (
+            run_metrics_from_dict,
+            run_metrics_to_dict,
+        )
+
+        doc = run_metrics_to_dict(self.metrics())
+        doc["delay_stats"] = {"count": 1}
+        with pytest.raises(ValueError, match="delay_stats"):
+            run_metrics_from_dict(doc)

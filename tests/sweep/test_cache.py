@@ -1,0 +1,172 @@
+"""The result cache's contract: hits return the stored payload,
+everything suspicious degrades to a recomputing miss, and any change
+to spec, seed, or code fingerprint addresses a different entry."""
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    CACHE_VERSION,
+    LatencySpec,
+    RunCache,
+    RunSpec,
+    SweepRunner,
+    code_fingerprint,
+    spec_digest,
+)
+from repro.workloads.generators import WorkloadConfig
+
+
+def spec(seed=0, protocol="optp"):
+    return RunSpec(
+        protocol=protocol,
+        n_processes=3,
+        config=WorkloadConfig(n_processes=3, ops_per_process=5, seed=seed),
+        latency=LatencySpec.seeded(seed),
+    )
+
+
+KEY = "ab" + "0" * 62
+PAYLOAD = {"answer": 42}
+
+
+class TestGetPut:
+    def test_miss_on_empty_cache(self, tmp_path):
+        assert RunCache(tmp_path).get(KEY) is None
+
+    def test_put_then_get(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        assert cache.get(KEY) == PAYLOAD
+        assert len(cache) == 1
+
+    def test_layout_is_sharded_by_prefix(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        assert (tmp_path / "ab" / f"{KEY}.json").is_file()
+
+    def test_malformed_key_rejected(self, tmp_path):
+        cache = RunCache(tmp_path)
+        with pytest.raises(ValueError, match="malformed cache key"):
+            cache.get("../../etc/passwd")
+        with pytest.raises(ValueError, match="malformed cache key"):
+            cache.put("zz", PAYLOAD)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        leftovers = [p for p in tmp_path.rglob("*") if p.is_file()
+                     and p.suffix != ".json"]
+        assert leftovers == []
+
+
+class TestCorruption:
+    def entry_path(self, cache):
+        cache.put(KEY, PAYLOAD)
+        return cache.path_for(KEY)
+
+    def test_invalid_json_discarded(self, tmp_path):
+        cache = RunCache(tmp_path)
+        path = self.entry_path(cache)
+        path.write_text("{not json")
+        assert cache.get(KEY) is None
+        assert cache.discarded == 1
+        assert not path.exists()
+
+    def test_truncated_entry_discarded(self, tmp_path):
+        cache = RunCache(tmp_path)
+        path = self.entry_path(cache)
+        path.write_text(path.read_text()[:20])
+        assert cache.get(KEY) is None
+        assert cache.discarded == 1
+
+    def test_wrong_version_discarded(self, tmp_path):
+        cache = RunCache(tmp_path)
+        path = self.entry_path(cache)
+        doc = json.loads(path.read_text())
+        doc["cache_version"] = CACHE_VERSION + 1
+        path.write_text(json.dumps(doc))
+        assert cache.get(KEY) is None
+        assert cache.discarded == 1
+
+    def test_key_mismatch_discarded(self, tmp_path):
+        """A parseable entry whose recorded key disagrees with its
+        address (e.g. a copy under the wrong name) is never trusted."""
+        cache = RunCache(tmp_path)
+        path = self.entry_path(cache)
+        doc = json.loads(path.read_text())
+        doc["key"] = "cd" + "0" * 62
+        path.write_text(json.dumps(doc))
+        assert cache.get(KEY) is None
+
+    def test_non_dict_payload_discarded(self, tmp_path):
+        cache = RunCache(tmp_path)
+        path = self.entry_path(cache)
+        path.write_text(json.dumps(
+            {"cache_version": CACHE_VERSION, "key": KEY, "payload": [1]}
+        ))
+        assert cache.get(KEY) is None
+
+    def test_corrupted_entry_recomputed_by_runner(self, tmp_path):
+        """End to end: corrupt the entry between two identical sweeps;
+        the second run discards it, recomputes, and rewrites a valid
+        entry with the same metrics."""
+        cache = RunCache(tmp_path)
+        runner = SweepRunner(cache=cache)
+        [first] = runner.run([spec()])
+        [path] = list(tmp_path.glob("*/*.json"))
+        path.write_text("garbage")
+        [second] = SweepRunner(cache=cache).run([spec()])
+        assert second == first
+        assert cache.discarded == 1
+        assert cache.get(spec_digest(spec(), code_fingerprint())) is not None
+
+
+class TestInvalidation:
+    def test_spec_change_is_a_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        runner = SweepRunner(cache=cache)
+        runner.run([spec(protocol="optp")])
+        runner.run([spec(protocol="anbkh")])
+        assert runner.stats.cache_hits == 0
+        assert runner.stats.cache_misses == 2
+        assert len(cache) == 2
+
+    def test_seed_change_is_a_miss(self, tmp_path):
+        runner = SweepRunner(cache=RunCache(tmp_path))
+        runner.run([spec(seed=0)])
+        runner.run([spec(seed=1)])
+        assert runner.stats.cache_misses == 2
+
+    def test_same_spec_is_a_hit(self, tmp_path):
+        runner = SweepRunner(cache=RunCache(tmp_path))
+        runner.run([spec()])
+        runner.run([spec()])
+        assert runner.stats.cache_hits == 1
+        assert runner.stats.cache_misses == 1
+
+    def test_fingerprint_change_is_a_miss(self, tmp_path):
+        """Simulated code change: the same spec under a different code
+        fingerprint must recompute, not reuse."""
+        cache = RunCache(tmp_path)
+        old = SweepRunner(cache=cache, fingerprint="a" * 64)
+        old.run([spec()])
+        new = SweepRunner(cache=cache, fingerprint="b" * 64)
+        new.run([spec()])
+        assert old.stats.cache_misses == 1
+        assert new.stats.cache_hits == 0
+        assert new.stats.cache_misses == 1
+        assert len(cache) == 2
+
+
+class TestCodeFingerprint:
+    def test_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_package_subset_changes_value(self):
+        assert code_fingerprint(("sim",)) != code_fingerprint(("core",))
+
+    def test_unknown_package_raises(self):
+        with pytest.raises(ValueError, match="no such repro subpackage"):
+            code_fingerprint(("nonexistent",))

@@ -1,0 +1,143 @@
+"""The runner's determinism contract: parallel, cached, and serial
+executions of the same grid are ``==``-identical down to the rendered
+report bytes."""
+
+import pytest
+
+from repro.paperfigs.comparison import (
+    expand_grid,
+    render_sweep,
+    sweep_processes,
+)
+from repro.sweep import (
+    LatencySpec,
+    RunCache,
+    RunSpec,
+    SweepRunner,
+    run_specs,
+)
+from repro.workloads.generators import WorkloadConfig
+
+GRID = dict(n_values=(3, 4), ops_per_process=5, seeds=(0, 1),
+            protocols=("optp", "anbkh"))
+
+
+def small_specs(n=3):
+    return [
+        RunSpec(
+            protocol=proto,
+            n_processes=n,
+            config=WorkloadConfig(n_processes=n, ops_per_process=5,
+                                  seed=seed),
+            latency=LatencySpec.seeded(seed),
+        )
+        for seed in (0, 1)
+        for proto in ("optp", "anbkh")
+    ]
+
+
+class TestDifferential:
+    def test_parallel_rows_byte_identical_to_serial(self):
+        """The acceptance differential: --jobs 2 output equals the
+        serial reference, rows and rendered text alike."""
+        serial = sweep_processes(**GRID)
+        parallel = sweep_processes(**GRID, runner=SweepRunner(jobs=2))
+        assert parallel == serial
+        assert render_sweep(parallel) == render_sweep(serial)
+
+    def test_cached_rows_equal_fresh(self, tmp_path):
+        runner = SweepRunner(cache=RunCache(tmp_path))
+        fresh = sweep_processes(**GRID, runner=runner)
+        warm = sweep_processes(**GRID, runner=runner)
+        assert warm == fresh
+        assert render_sweep(warm) == render_sweep(fresh)
+        runs = len(expand_grid(
+            GRID["n_values"],
+            make_config=lambda n, s: WorkloadConfig(n_processes=int(n)),
+            n_for=int, seeds=GRID["seeds"], protocols=GRID["protocols"],
+        ))
+        assert runner.stats.cache_misses == runs
+        assert runner.stats.cache_hits == runs
+
+    def test_parallel_cached_and_serial_metrics_identical(self, tmp_path):
+        specs = small_specs()
+        serial = run_specs(specs)
+        parallel = run_specs(specs, jobs=2)
+        cache = RunCache(tmp_path)
+        cold = run_specs(specs, cache=cache)
+        warm = run_specs(specs, cache=cache)
+        assert serial == parallel == cold == warm
+
+    def test_results_in_spec_order(self):
+        specs = small_specs()
+        metrics = run_specs(specs)
+        assert [m.protocol for m in metrics] == [s.protocol for s in specs]
+        assert [m.n_processes for m in metrics] == [
+            s.n_processes for s in specs
+        ]
+
+
+class TestStats:
+    def test_counts_accumulate(self, tmp_path):
+        runner = SweepRunner(cache=RunCache(tmp_path))
+        specs = small_specs()
+        runner.run(specs)
+        runner.run(specs)
+        stats = runner.stats.to_dict()
+        assert stats["runs"] == 2 * len(specs)
+        assert stats["cache_misses"] == len(specs)
+        assert stats["cache_hits"] == len(specs)
+        assert stats["sim_seconds"] > 0
+        assert stats["cache_discarded"] == 0
+
+    def test_no_cache_counts_all_misses(self):
+        runner = SweepRunner()
+        runner.run(small_specs())
+        assert runner.stats.cache_hits == 0
+        assert runner.stats.cache_misses == 0  # no cache consulted
+        assert runner.stats.runs == len(small_specs())
+
+
+class TestObservability:
+    def test_counters_recorded_when_enabled(self, tmp_path):
+        from repro.obs import Obs
+
+        obs = Obs.recording()
+        runner = SweepRunner(cache=RunCache(tmp_path), obs=obs)
+        specs = small_specs()
+        runner.run(specs)
+        runner.run(specs)
+        reg = obs.registry
+        assert reg.total("sweep.runs") == 2 * len(specs)
+        assert reg.total("sweep.cache_hits") == len(specs)
+        assert reg.total("sweep.cache_misses") == len(specs)
+        assert reg.value("sweep.jobs") == 1
+
+    def test_null_obs_records_nothing(self):
+        runner = SweepRunner()
+        runner.run(small_specs()[:1])  # must not raise via NULL_OBS
+
+
+class TestVerification:
+    def test_unknown_protocol_raises(self):
+        from repro.sweep import run_spec
+
+        bad = RunSpec(
+            protocol="no-such-protocol",
+            n_processes=3,
+            config=WorkloadConfig(n_processes=3, ops_per_process=2),
+        )
+        with pytest.raises(Exception):
+            run_spec(bad)
+
+    def test_verify_false_skips_checker(self):
+        from repro.sweep import run_spec
+
+        spec = RunSpec(
+            protocol="optp",
+            n_processes=3,
+            config=WorkloadConfig(n_processes=3, ops_per_process=3),
+            verify=False,
+        )
+        metrics = run_spec(spec)
+        assert metrics.protocol == "optp"
