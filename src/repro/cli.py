@@ -15,6 +15,10 @@ Subcommands:
   either way, see docs/performance.md);
 - ``scenario NAME``         run an H1 figure scenario and show the
   sequence at p3 plus the delay audit;
+- ``check``                 model-check a protocol over *all* message
+  interleavings of small workloads (safety/optimality/liveness/
+  convergence/isolation invariants, optional fault injection, witness
+  export and byte-identical ``--replay``; see docs/model-checking.md);
 - ``lint [PATH ...]``       run the reprolint static analyzer
   (determinism, vector-clock aliasing, protocol contract, obs gating,
   cross-node isolation; see docs/static-analysis.md).
@@ -26,6 +30,9 @@ Examples::
     repro-dsm compare -n 6 --seeds 0 1 2
     repro-dsm sweep processes
     repro-dsm scenario fig3 -p anbkh
+    repro-dsm check -p optp -w h1 pair chain
+    repro-dsm check -p anbkh -w fig3 --stats-out verdicts.json
+    repro-dsm check --replay witness.json
     repro-dsm lint --format json
 """
 
@@ -152,6 +159,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_scen.add_argument("-p", "--protocol", default="optp",
                         choices=sorted(PROTOCOLS))
     p_scen.add_argument("--diagram", action="store_true")
+
+    p_chk = sub.add_parser(
+        "check", help="model-check a protocol over all interleavings"
+    )
+    p_chk.add_argument("-p", "--protocol", default="optp",
+                       choices=sorted(PROTOCOLS))
+    p_chk.add_argument("-w", "--workload", nargs="+", default=["h1"],
+                       metavar="NAME",
+                       help="canned checker workload(s); see "
+                       "docs/model-checking.md (default: h1)")
+    p_chk.add_argument("--faults", default="none", metavar="SPEC",
+                       help="fault adapters: none | dup:N,drop:N"
+                       "[,noretransmit][,dedup|nodedup] "
+                       "(default: %(default)s)")
+    p_chk.add_argument("--mode", choices=["exhaustive", "walk"],
+                       default="exhaustive")
+    p_chk.add_argument("--max-states", type=int, default=200_000)
+    p_chk.add_argument("--max-depth", type=int, default=80)
+    p_chk.add_argument("--walks", type=int, default=64,
+                       help="random walks in --mode walk")
+    p_chk.add_argument("--seed", type=int, default=0,
+                       help="walk-mode RNG seed")
+    p_chk.add_argument("--timer-budget", type=int, default=3,
+                       help="timer firings per process (timer-driven "
+                       "protocols)")
+    p_chk.add_argument("--expect-optimal", choices=["auto", "yes", "no"],
+                       default="auto",
+                       help="treat unnecessary delays as violations "
+                       "(auto: yes for Theorem-4 protocols)")
+    p_chk.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes across workloads")
+    p_chk.add_argument("--cache-dir", default="artifacts/runcache",
+                       metavar="DIR", help="verdict cache root "
+                       "(default: %(default)s)")
+    p_chk.add_argument("--no-cache", action="store_true",
+                       help="skip the verdict cache")
+    p_chk.add_argument("--stats-out", metavar="PATH",
+                       help="write verdicts + runner stats as JSON")
+    p_chk.add_argument("--witness-out", metavar="PATH",
+                       help="write the first violation as a replayable "
+                       "witness (minimized choice path)")
+    p_chk.add_argument("--replay", metavar="WITNESS",
+                       help="replay a witness file instead of checking; "
+                       "exits 0 iff the recorded run reproduces "
+                       "byte-identically")
 
     p_lint = sub.add_parser(
         "lint", help="static analysis (determinism & protocol contract)"
@@ -401,6 +453,107 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Model-check: exit 0 when every config is clean, 1 on violations,
+    2 on bad usage.  ``--replay`` instead re-executes a witness and
+    exits 0 iff it reproduces byte-identically."""
+    import json
+    from pathlib import Path
+
+    from repro.mck import (
+        CheckConfig,
+        build_witness,
+        load_witness,
+        parse_faults,
+        replay_witness,
+        run_checks,
+        workload_by_name,
+    )
+
+    if args.replay:
+        try:
+            doc = load_witness(args.replay)
+            outcome, problems = replay_witness(doc)
+        except (OSError, ValueError) as exc:
+            print(f"cannot replay {args.replay}: {exc}", file=sys.stderr)
+            return 2
+        spec = doc["config"]
+        print(f"witness: {spec['protocol']}/{spec['workload']['name']} "
+              f"choices={len(doc['choices'])} status={outcome.status}")
+        for finding in outcome.findings:
+            print(f"  {finding}")
+        if problems:
+            print("NOT reproduced:")
+            for p in problems:
+                print(f"  {p}")
+            return 1
+        print("reproduced byte-identically")
+        return 0
+
+    try:
+        faults = parse_faults(args.faults)
+        workloads = [workload_by_name(name) for name in args.workload]
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    expect = {"auto": None, "yes": True, "no": False}[args.expect_optimal]
+    configs = [
+        CheckConfig(
+            protocol=args.protocol,
+            workload=w,
+            faults=faults,
+            expect_optimal=expect,
+            mode=args.mode,
+            max_states=args.max_states,
+            max_depth=args.max_depth,
+            walks=args.walks,
+            seed=args.seed,
+            timer_budget=args.timer_budget,
+        )
+        for w in workloads
+    ]
+    cache = None
+    if not args.no_cache:
+        from repro.sweep import RunCache
+
+        cache = RunCache(args.cache_dir)
+    results, stats = run_checks(configs, jobs=args.jobs, cache=cache)
+    failed = False
+    for config, r in zip(configs, results):
+        verdict = "OK" if r.ok else f"VIOLATED ({r.violations_seen})"
+        # wall time survives only on the inline path; decoded results
+        # (cache hits, pool workers) aggregate it in stats.sim_seconds.
+        rate = (f" ({r.states_per_sec:,.0f} states/s)"
+                if r.wall > 0 else "")
+        print(f"{r.protocol_name}/{r.workload_name} mode={r.mode} "
+              f"faults={args.faults}: {verdict}  states={r.states} "
+              f"transitions={r.transitions} "
+              f"terminals={r.terminals} prunes={r.prunes} "
+              f"unnecessary_delays={r.unnecessary_delays}"
+              f"{' LIMIT-HIT' if r.state_limit_hit else ''}{rate}")
+        for v in r.violations[:5]:
+            print(f"  {v.finding}  [{len(v.choices)} choices]")
+        if len(r.violations) > 5:
+            print(f"  ... and {len(r.violations) - 5} more recorded")
+        if not r.ok:
+            failed = True
+            if args.witness_out:
+                doc = build_witness(config, r.violations[0])
+                save = Path(args.witness_out)
+                save.write_text(json.dumps(doc, sort_keys=True, indent=1)
+                                + "\n")
+                print(f"  witness written to {args.witness_out} "
+                      f"({len(doc['choices'])} choices, minimized)")
+                args.witness_out = None  # first violation only
+    if args.stats_out:
+        Path(args.stats_out).write_text(json.dumps({
+            "checks": [r.verdict_dict() for r in results],
+            "stats": stats.to_dict(),
+        }, indent=2, sort_keys=True) + "\n")
+        print(f"verdicts written to {args.stats_out}", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run reprolint: exit 0 when clean, 1 on findings, 2 on bad usage."""
     from pathlib import Path
@@ -446,6 +599,7 @@ COMMANDS = {
     "report": cmd_report,
     "sweep": cmd_sweep,
     "scenario": cmd_scenario,
+    "check": cmd_check,
     "lint": cmd_lint,
 }
 

@@ -1,0 +1,69 @@
+"""Exhaustive interleaving model checker for the protocol zoo.
+
+``repro.mck`` drives the *real* protocol implementations (the same
+``Node``/``Protocol`` objects the simulator runs) through every
+message-delivery interleaving of small workloads, checking causal
+legality, Theorem 3 safety, Theorem 4 optimality, Theorem 5 liveness,
+convergence, and cross-node isolation at every reachable state --
+with bounded fault injection (duplication, drops) layered on top.
+See docs/model-checking.md for the state space, the pruning soundness
+argument, and the witness/replay format.
+"""
+
+from repro.mck.cluster import ControlledCluster, Transition, independent
+from repro.mck.explorer import (
+    OPTIMAL_PROTOCOLS,
+    CheckConfig,
+    CheckResult,
+    StateLimitError,
+    Violation,
+    check,
+    minimize_witness,
+    workload_by_name,
+)
+from repro.mck.faults import NO_FAULTS, FaultSpec, parse_faults
+from repro.mck.invariants import Finding, InvariantTracker, UnnecessaryDelay
+from repro.mck.parallel import run_checks
+from repro.mck.witness import (
+    build_witness,
+    load_witness,
+    replay_path,
+    replay_witness,
+    save_witness,
+)
+from repro.mck.workloads import (
+    MCK_WORKLOADS,
+    MckWorkload,
+    workload_from_dict,
+    workload_from_schedule,
+)
+
+__all__ = [
+    "MCK_WORKLOADS",
+    "NO_FAULTS",
+    "OPTIMAL_PROTOCOLS",
+    "CheckConfig",
+    "CheckResult",
+    "ControlledCluster",
+    "FaultSpec",
+    "Finding",
+    "InvariantTracker",
+    "MckWorkload",
+    "StateLimitError",
+    "Transition",
+    "UnnecessaryDelay",
+    "Violation",
+    "build_witness",
+    "check",
+    "independent",
+    "load_witness",
+    "minimize_witness",
+    "parse_faults",
+    "replay_path",
+    "replay_witness",
+    "run_checks",
+    "save_witness",
+    "workload_by_name",
+    "workload_from_dict",
+    "workload_from_schedule",
+]

@@ -1,0 +1,552 @@
+"""A cluster whose scheduler and network are the model checker.
+
+:class:`ControlledCluster` hosts real :class:`repro.sim.node.Node`
+instances (the production protocol + buffering + tracing stack), but
+replaces the discrete-event engine and latency network with an
+explicit *transition system*: every send lands in an unordered pending
+pool, and the explorer decides -- one transition at a time -- which
+operation issues, which message delivers, which timer fires, and which
+fault strikes.  Exploring all choices covers every non-FIFO delivery
+order of the paper's system model (Section 2.1).
+
+Transition vocabulary (all JSON-serializable 2-tuples):
+
+- ``("op", p)``       -- process ``p`` issues its next scripted operation
+- ``("deliver", mid)``-- deliver pending message ``mid`` to its target
+- ``("timer", p)``    -- fire ``p``'s periodic hook (budgeted)
+- ``("dup", mid)``    -- clone a pending update (fault, budgeted)
+- ``("drop", mid)``   -- drop a pending update (fault, budgeted)
+
+Message ids are *interleaving-independent*: ``u:{origin}.{seq}>{dest}``
+with a per-origin emission counter, so two independent transitions
+produce the same ids in either execution order -- a requirement for
+both sleep-set soundness and witness replay.  Fault copies stack a
+prefix (``d:``/``r:``) on the id they were derived from.
+
+Cross-node isolation is checked here: every enqueued message's payload
+is scanned for deep immutability (messages are shared objects -- one
+broadcast object reaches n-1 receivers and every clone of this
+cluster), and a content fingerprint taken at enqueue is re-verified at
+delivery and, for still-pending messages, at terminal states.  A
+mutation by the last receiver of a message that nothing later delivers
+escapes the fingerprint net, but the immutability scan already flags
+the mutable container such a mutation would need.
+
+Cloning: the explorer snapshots a state with :meth:`clone`, a
+``copy.deepcopy`` whose memo is pre-seeded with the immutable shared
+objects (trace events, messages, write ids, past-sets) so branching
+cost stays proportional to the *mutable* state.  Everything handed to
+``Node`` is a bound method -- never a lambda -- because deepcopy
+rebinds bound methods to the copied cluster, while a lambda's closure
+would keep pointing at the original (silent cross-branch corruption).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.base import (
+    BROADCAST,
+    ControlMessage,
+    Message,
+    Outgoing,
+    UpdateMessage,
+)
+from repro.model.operations import WriteId
+from repro.obs.spans import NULL_OBS
+from repro.sim.cluster import ProtocolFactory, _resolve_factory
+from repro.sim.node import Node
+from repro.sim.trace import Trace
+from repro.workloads.ops import ReadOp, WriteOp
+
+from repro.mck.faults import NO_FAULTS, FaultSpec
+from repro.mck.invariants import Finding, InvariantTracker
+from repro.mck.workloads import MckWorkload
+
+#: A checker transition: ``(kind, process-or-mid)``.
+Transition = Tuple[str, Union[int, str]]
+
+__all__ = ["ControlledCluster", "Transition", "independent",
+           "transition_actor"]
+
+#: Types that are deeply immutable by construction (payload scan).
+_ATOMS = (type(None), bool, int, float, str, bytes, WriteId)
+
+
+def _find_mutable(value: Any) -> Optional[str]:
+    """Return a description of the first mutable object inside
+    ``value`` (tuples/frozensets recursed), or None if deeply
+    immutable."""
+    if isinstance(value, _ATOMS):
+        return None
+    if isinstance(value, (tuple, frozenset)):
+        for item in value:
+            problem = _find_mutable(item)
+            if problem is not None:
+                return problem
+        return None
+    return f"{type(value).__name__} ({value!r})"
+
+
+def _fingerprint(message: Message) -> str:
+    """Deterministic content digest of a message (payload order-free)."""
+    items = sorted(message.payload.items())
+    if isinstance(message, UpdateMessage):
+        return repr((message.sender, message.wid, message.variable,
+                     message.value, items))
+    return repr((message.sender, message.kind, items))
+
+
+def _core(mid: str) -> str:
+    """Strip fault prefixes: the identity of the underlying send."""
+    while mid.startswith(("d:", "r:")):
+        mid = mid[2:]
+    return mid
+
+
+def _dest(mid: str) -> int:
+    return int(mid.rsplit(">", 1)[1])
+
+
+def transition_actor(t: Transition) -> Optional[int]:
+    """The process whose local state a transition touches (None for
+    fault transitions, which only touch the pool + budgets)."""
+    if t[0] in ("op", "timer"):
+        return t[1]  # type: ignore[return-value]
+    if t[0] == "deliver":
+        return _dest(t[1])  # type: ignore[arg-type]
+    return None
+
+
+def independent(a: Transition, b: Transition) -> bool:
+    """True when ``a`` and ``b`` commute (same successor state either
+    order) -- the sleep-set relation.  Sound because:
+
+    - op/timer/deliver transitions mutate exactly one node's state plus
+      that node's emission counter; different actors touch disjoint
+      state (the pool is a dict keyed by ids that embed the origin).
+    - fault transitions touch only the pool entry for their ``mid`` and
+      the fault budgets, so they commute with anything that neither
+      consumes the same ``mid`` nor spends a budget.  Fault-vs-fault is
+      conservatively declared dependent (shared budgets).
+    """
+    a_fault = a[0] in ("dup", "drop")
+    b_fault = b[0] in ("dup", "drop")
+    if a_fault or b_fault:
+        if a_fault and b_fault:
+            return False
+        fault, other = (a, b) if a_fault else (b, a)
+        if other[0] == "deliver" and other[1] == fault[1]:
+            return False
+        return True
+    return transition_actor(a) != transition_actor(b)
+
+
+@dataclass(frozen=True)
+class _Pending:
+    """A pool entry.  Frozen so clones can share entries outright."""
+
+    mid: str
+    sender: int
+    dest: int
+    message: Message
+    fingerprint: str
+    is_update: bool
+
+
+class ControlledCluster:
+    """``n`` protocol instances + pending pool, stepped by transitions."""
+
+    def __init__(
+        self,
+        protocol: ProtocolFactory,
+        workload: MckWorkload,
+        *,
+        faults: FaultSpec = NO_FAULTS,
+        expect_optimal: bool = False,
+        check_convergence: bool = True,
+        timer_budget: int = 3,
+    ):
+        factory = _resolve_factory(protocol)
+        n = workload.n_processes
+        self.n_processes = n
+        self.workload = workload
+        self.faults = faults
+        self._now = 0
+        self.trace = Trace(n)
+        self._seen_events = 0
+        self._pool: Dict[str, _Pending] = {}
+        #: every message object ever enqueued on this path -- protocols
+        #: may retain references (logs, buffers), and clone() pins them
+        #: in the deepcopy memo so all branches share one object.
+        self._msgs: List[Message] = []
+        self._emit_seq = [0] * n
+        self._pending_findings: List[Finding] = []
+        self._writes_issued = 0
+        self._deferred_local_applies = 0
+        self._remote_applies = 0
+        self.writes: List[WriteId] = []
+        self.pc = [0] * n
+        self._dup_budget = faults.duplicate
+        self._drop_budget = faults.drop
+        self._duped: Set[str] = set()
+        self._lost: List[_Pending] = []
+        self.check_convergence = check_convergence
+        self.tracker = InvariantTracker(n, expect_optimal=expect_optimal)
+        #: whether the last executed transition recorded trace events
+        #: (cycle pruning only tracks no-growth chains).
+        self.last_trace_grew = False
+        self.nodes: List[Node] = [
+            Node(
+                factory(i, n),
+                self.trace,
+                clock=self._clock,          # bound methods: deepcopy-safe
+                dispatch=self._dispatch,
+                on_remote_apply=self._count_remote_apply,
+                on_write=self._count_write,
+                dedup=faults.dedup_effective,
+                obs=NULL_OBS,
+            )
+            for i in range(n)
+        ]
+        self.protocol_name = self.nodes[0].protocol.name
+        self.in_class_p = type(self.nodes[0].protocol).in_class_p
+        self._timer_budget = [
+            timer_budget if node.protocol.timer_interval is not None else 0
+            for node in self.nodes
+        ]
+        self._has_timers = any(self._timer_budget)
+        for node in self.nodes:
+            node.start()
+        #: findings raised by bootstrap traffic (e.g. token injection);
+        #: the explorer reports these against the empty choice path.
+        self.bootstrap_findings = self._absorb()
+
+    # -- node plumbing (bound methods; see module docstring) ----------------
+
+    def _clock(self) -> float:
+        return float(self._now)
+
+    def _count_remote_apply(self) -> None:
+        self._remote_applies += 1
+
+    def _count_write(self, local_apply: bool) -> None:
+        self._writes_issued += 1
+        if not local_apply:
+            self._deferred_local_applies += 1
+
+    def _dispatch(self, sender: int, outgoing: Sequence[Outgoing]) -> None:
+        for out in outgoing:
+            if out.dest == BROADCAST:
+                dests = [d for d in range(self.n_processes) if d != sender]
+            else:
+                dests = [out.dest]
+            for dest in dests:
+                self._enqueue(sender, dest, out.message)
+
+    def _enqueue(self, sender: int, dest: int, message: Message) -> None:
+        is_update = isinstance(message, UpdateMessage)
+        prefix = "u" if is_update else "c"
+        seq = self._emit_seq[sender]
+        self._emit_seq[sender] = seq + 1
+        mid = f"{prefix}:{sender}.{seq}>{dest}"
+        problem = _find_mutable(message.value) if is_update else None
+        if problem is None:
+            for key in sorted(message.payload):
+                problem = _find_mutable(message.payload[key])
+                if problem is not None:
+                    problem = f"payload[{key!r}] holds {problem}"
+                    break
+        if problem is not None:
+            self._pending_findings.append(Finding(
+                kind="isolation", process=sender,
+                wid=getattr(message, "wid", None),
+                detail=f"message {mid} carries mutable state shared "
+                       f"across nodes/clones: {problem}",
+            ))
+        self._msgs.append(message)
+        self._pool[mid] = _Pending(
+            mid=mid, sender=sender, dest=dest, message=message,
+            fingerprint=_fingerprint(message), is_update=is_update,
+        )
+
+    # -- transition system --------------------------------------------------
+
+    def enabled(self) -> List[Transition]:
+        """All enabled transitions, in a deterministic order."""
+        ts: List[Transition] = []
+        for p in range(self.n_processes):
+            if self.pc[p] < len(self.workload.scripts[p]):
+                ts.append(("op", p))
+        for p in range(self.n_processes):
+            if self._timer_budget[p] > 0:
+                ts.append(("timer", p))
+        mids = sorted(self._pool)
+        for mid in mids:
+            ts.append(("deliver", mid))
+        if self._dup_budget > 0:
+            for mid in mids:
+                entry = self._pool[mid]
+                if entry.is_update and _core(mid) not in self._duped:
+                    ts.append(("dup", mid))
+        if self._drop_budget > 0:
+            for mid in mids:
+                if self._pool[mid].is_update:
+                    ts.append(("drop", mid))
+        return ts
+
+    def execute(self, t: Transition) -> List[Finding]:
+        """Apply one transition; return invariant findings it caused."""
+        self._now += 1
+        kind, arg = t
+        if kind == "op":
+            self._exec_op(arg)
+        elif kind == "deliver":
+            self._exec_deliver(arg)
+        elif kind == "timer":
+            self._timer_budget[arg] -= 1
+            self.nodes[arg].fire_timer()
+        elif kind == "dup":
+            entry = self._pool[arg]
+            self._dup_budget -= 1
+            self._duped.add(_core(arg))
+            self._pool["d:" + arg] = _Pending(
+                mid="d:" + arg, sender=entry.sender, dest=entry.dest,
+                message=entry.message, fingerprint=entry.fingerprint,
+                is_update=True,
+            )
+        elif kind == "drop":
+            entry = self._pool.pop(arg)
+            self._drop_budget -= 1
+            if self.faults.retransmit:
+                self._pool["r:" + arg] = _Pending(
+                    mid="r:" + arg, sender=entry.sender, dest=entry.dest,
+                    message=entry.message, fingerprint=entry.fingerprint,
+                    is_update=True,
+                )
+            else:
+                self._lost.append(entry)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown transition {t!r}")
+        return self._absorb()
+
+    def _exec_op(self, p: int) -> None:
+        op = self.workload.scripts[p][self.pc[p]]
+        self.pc[p] += 1
+        node = self.nodes[p]
+        if isinstance(op, WriteOp):
+            wid = node.do_write(op.variable, op.value)
+            if wid is not None:
+                self.writes.append(wid)
+        elif isinstance(op, ReadOp):
+            node.do_read(op.variable)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown op {op!r}")
+
+    def _exec_deliver(self, mid: str) -> None:
+        entry = self._pool.pop(mid)
+        if _fingerprint(entry.message) != entry.fingerprint:
+            self._pending_findings.append(Finding(
+                kind="isolation", process=entry.dest,
+                wid=getattr(entry.message, "wid", None),
+                detail=f"message {mid} mutated between send and delivery",
+            ))
+        self.nodes[entry.dest].receive(entry.message)
+
+    def _absorb(self) -> List[Finding]:
+        """Feed newly recorded trace events to the invariant tracker."""
+        events = self.trace.events[self._seen_events:]
+        self._seen_events += len(events)
+        self.last_trace_grew = bool(events)
+        findings = self._pending_findings
+        self._pending_findings = []
+        findings.extend(self.tracker.observe(self.trace, events))
+        return findings
+
+    # -- terminal conditions ------------------------------------------------
+
+    @property
+    def quiescent(self) -> bool:
+        """Mirror of ``SimCluster._quiescent``: workload done, no update
+        in flight, apply accounting satisfied (skips credited via
+        ``missing_applies``)."""
+        for p in range(self.n_processes):
+            if self.pc[p] < len(self.workload.scripts[p]):
+                return False
+        if any(e.is_update for e in self._pool.values()):
+            return False
+        expected = (self._writes_issued * (self.n_processes - 1)
+                    + self._deferred_local_applies)
+        missing = sum(n.protocol.missing_applies() for n in self.nodes)
+        return self._remote_applies + missing >= expected
+
+    def status(self) -> str:
+        """``running`` | ``quiescent`` | ``stuck`` | ``truncated``.
+
+        ``stuck`` is a liveness violation (nothing enabled, yet not
+        quiescent); ``truncated`` is "out of timer budget" -- the
+        checker cannot conclude anything about liveness there.
+        """
+        if self.quiescent:
+            return "quiescent"
+        if not self.enabled():
+            if self._lost or any(n.buffered_count for n in self.nodes):
+                return "stuck"
+            return "truncated" if self._has_timers else "stuck"
+        return "running"
+
+    def terminal_findings(self, status: str) -> List[Finding]:
+        """Invariants judged only at path end (liveness, convergence,
+        leftover isolation fingerprints)."""
+        findings: List[Finding] = []
+        for entry in self._pool.values():
+            if _fingerprint(entry.message) != entry.fingerprint:
+                findings.append(Finding(
+                    kind="isolation", process=entry.sender,
+                    wid=getattr(entry.message, "wid", None),
+                    detail=f"pending message {entry.mid} mutated after send",
+                ))
+        if status == "quiescent":
+            if self.in_class_p:
+                findings.extend(self.tracker.liveness_findings(self.writes))
+            if self.check_convergence:
+                findings.extend(self._convergence_findings())
+            # Quiescence is judged by apply accounting; a message still
+            # buffered here is wedged junk (e.g. a duplicate admitted
+            # without the dedup guard) that no future apply can free.
+            for p, node in enumerate(self.nodes):
+                for msg in node.pending:
+                    findings.append(Finding(
+                        kind="stuck_message", process=p, wid=msg.wid,
+                        detail=f"{msg.wid} still buffered at p{p} at "
+                               "quiescence (undeliverable forever)",
+                    ))
+        elif status == "stuck":
+            for entry in self._lost:
+                findings.append(Finding(
+                    kind="liveness", process=entry.dest,
+                    wid=getattr(entry.message, "wid", None),
+                    detail=f"update {entry.mid} dropped without retransmit "
+                           f"and never delivered to p{entry.dest}",
+                ))
+            for p, node in enumerate(self.nodes):
+                for msg in node.pending:
+                    findings.append(Finding(
+                        kind="stuck_message", process=p, wid=msg.wid,
+                        detail=f"{msg.wid} buffered forever at p{p} "
+                               "(activation condition never satisfied)",
+                    ))
+            if not findings:
+                findings.append(Finding(
+                    kind="liveness", process=-1,
+                    detail="no enabled transitions before quiescence",
+                ))
+        return findings
+
+    def _convergence_findings(self) -> List[Finding]:
+        """Causal convergence: replicas may legitimately disagree on
+        the final value of a variable written *concurrently* (the paper
+        imposes no total order on ``||co`` writes), but never when one
+        final write is in the causal past of another -- the replica
+        holding the causally older write either missed an apply
+        (liveness) or applied out of order (safety), and this check is
+        the store-level witness of that."""
+        stores = [node.protocol.store_snapshot() for node in self.nodes]
+        variables = sorted({v for s in stores for v in s}, key=repr)
+        past = self.tracker.past
+        findings = []
+        for var in variables:
+            wids = {store.get(var, (None, None))[1] for store in stores}
+            if len(wids) <= 1:
+                continue
+            finals = sorted(wids, key=repr)
+            for i, w1 in enumerate(finals):
+                for w2 in finals[i + 1:]:
+                    ordered = (w1 in past.get(w2, ()) or
+                               w2 in past.get(w1, ()))
+                    if ordered:
+                        findings.append(Finding(
+                            kind="convergence", process=-1,
+                            detail=f"stores settle {var!r} on causally "
+                                   f"ordered writes {w1} vs {w2} at "
+                                   "quiescence",
+                        ))
+        return findings
+
+    # -- exploration support ------------------------------------------------
+
+    def state_key(self) -> str:
+        """Fingerprint for cycle pruning (only consulted along chains of
+        transitions that record no trace events, where protocol control
+        loops -- token hops, dedup'd duplicates -- could revisit a
+        state)."""
+        parts: List[Any] = [
+            tuple(self.pc),
+            tuple(self._emit_seq),
+            tuple(self._timer_budget),
+            self._dup_budget,
+            self._drop_budget,
+            tuple(sorted(self._pool)),
+        ]
+        for node in self.nodes:
+            store = node.protocol.store_snapshot()
+            parts.append((
+                repr(sorted(store.items(), key=repr)),
+                repr(node.protocol.debug_state()),
+                node.duplicates_dropped,
+                repr([(m.wid, m.variable) for m in node.pending]),
+            ))
+        return repr(parts)
+
+    def clone(self) -> "ControlledCluster":
+        """Branch-point snapshot; shares immutable objects with the
+        parent (see module docstring).
+
+        Everything outside the nodes is copied by hand (container
+        copies of shared immutable values -- this runs once per
+        explored transition and dominates exploration cost).  The nodes
+        (protocol + scheduler state, arbitrary per-protocol structure)
+        go through ``copy.deepcopy`` with a memo pre-seeded so that the
+        trace, every message ever sent, and the cluster itself resolve
+        to their new-branch counterparts -- the last entry is what
+        rebinds the nodes' bound-method clock/dispatch callbacks to the
+        clone."""
+        new = ControlledCluster.__new__(ControlledCluster)
+        new.n_processes = self.n_processes
+        new.workload = self.workload          # frozen
+        new.faults = self.faults              # frozen
+        new._now = self._now
+        new.trace = self.trace.clone_shared()
+        new._seen_events = self._seen_events
+        new._pool = dict(self._pool)          # entries frozen
+        new._msgs = list(self._msgs)
+        new._emit_seq = list(self._emit_seq)
+        new._pending_findings = list(self._pending_findings)
+        new._writes_issued = self._writes_issued
+        new._deferred_local_applies = self._deferred_local_applies
+        new._remote_applies = self._remote_applies
+        new.writes = list(self.writes)
+        new.pc = list(self.pc)
+        new._dup_budget = self._dup_budget
+        new._drop_budget = self._drop_budget
+        new._duped = set(self._duped)
+        new._lost = list(self._lost)          # entries frozen
+        new.check_convergence = self.check_convergence
+        new.tracker = self.tracker.clone()
+        new.last_trace_grew = self.last_trace_grew
+        new.protocol_name = self.protocol_name
+        new.in_class_p = self.in_class_p
+        new._timer_budget = list(self._timer_budget)
+        new._has_timers = self._has_timers
+        new.bootstrap_findings = self.bootstrap_findings  # frozen entries
+        memo: Dict[int, Any] = {
+            id(self): new,
+            id(self.trace): new.trace,
+            id(NULL_OBS): NULL_OBS,
+        }
+        for msg in self._msgs:
+            memo[id(msg)] = msg
+        new.nodes = copy.deepcopy(self.nodes, memo)
+        return new

@@ -1,0 +1,122 @@
+"""Fault adapters for the model checker (network-level adversary).
+
+The paper's system model (Section 2) assumes reliable, non-FIFO,
+exactly-once channels.  The checker's *baseline* transition system
+already realizes the non-FIFO part adversarially -- every pending
+message can be delivered at every step, so arbitrary reorderings are
+explored without any adapter.  A :class:`FaultSpec` widens the
+adversary beyond the paper's model with bounded budgets (bounds keep
+the state space finite):
+
+- ``duplicate``: up to N pending update messages may be cloned once
+  each (at-least-once channels).  Delivering the clone exercises the
+  receiver's dedup guard; with ``dedup=False`` the guard is removed
+  and the checker demonstrates *why* the model needs exactly-once
+  channels (the duplicate wedges in the buffer -- a liveness finding).
+- ``drop``: up to N pending update messages may be dropped.  With
+  ``retransmit=True`` (the default) a fresh copy is re-queued, which
+  preserves every reachable outcome (the pool is unordered, so
+  "dropped then retransmitted" is delivery-equivalent to "delivered
+  later") while exercising message accounting; with
+  ``retransmit=False`` the message is lost for good and the checker
+  must report the resulting liveness violation.
+
+Faults only target *update* messages: control traffic (token, batches,
+digests, write requests) carries protocol-internal sequencing whose
+loss models process failure, not channel failure -- out of scope for
+the failure-free model being checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["FaultSpec", "NO_FAULTS", "parse_faults"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Bounded fault budgets injected as extra checker transitions."""
+
+    #: total update messages that may be duplicated (once each).
+    duplicate: int = 0
+    #: total update messages that may be dropped.
+    drop: int = 0
+    #: re-queue a fresh copy of every dropped message.
+    retransmit: bool = True
+    #: receiver-side at-least-once guard; ``None`` = auto (enabled
+    #: exactly when ``duplicate > 0``, the paper's exactly-once model
+    #: otherwise needs no guard).
+    dedup: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.duplicate < 0 or self.drop < 0:
+            raise ValueError("fault budgets must be >= 0")
+
+    @property
+    def dedup_effective(self) -> bool:
+        if self.dedup is not None:
+            return self.dedup
+        return self.duplicate > 0
+
+    @property
+    def any(self) -> bool:
+        return self.duplicate > 0 or self.drop > 0
+
+    def to_dict(self) -> Dict:
+        """Canonical JSON form (witness + cache key material)."""
+        return {
+            "duplicate": self.duplicate,
+            "drop": self.drop,
+            "retransmit": self.retransmit,
+            "dedup": self.dedup,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "FaultSpec":
+        extra = set(doc) - {"duplicate", "drop", "retransmit", "dedup"}
+        if extra:
+            raise ValueError(f"unknown fault fields {sorted(extra)}")
+        return cls(
+            duplicate=int(doc.get("duplicate", 0)),
+            drop=int(doc.get("drop", 0)),
+            retransmit=bool(doc.get("retransmit", True)),
+            dedup=doc.get("dedup"),
+        )
+
+
+NO_FAULTS = FaultSpec()
+
+
+def parse_faults(text: str) -> FaultSpec:
+    """Parse the CLI grammar: ``none`` or a comma-separated list of
+    ``dup:N``, ``drop:N``, ``noretransmit``, ``dedup``, ``nodedup``.
+
+    Examples: ``dup:1``; ``drop:1,noretransmit``; ``dup:2,nodedup``.
+    """
+    text = text.strip().lower()
+    if text in ("", "none"):
+        return NO_FAULTS
+    duplicate = drop = 0
+    retransmit = True
+    dedup: Optional[bool] = None
+    for part in text.split(","):
+        part = part.strip()
+        if part.startswith("dup:"):
+            duplicate = int(part[4:])
+        elif part.startswith("drop:"):
+            drop = int(part[5:])
+        elif part == "noretransmit":
+            retransmit = False
+        elif part == "dedup":
+            dedup = True
+        elif part == "nodedup":
+            dedup = False
+        else:
+            raise ValueError(
+                f"unknown fault token {part!r} (want dup:N, drop:N, "
+                "noretransmit, dedup, nodedup, or none)"
+            )
+    return FaultSpec(duplicate=duplicate, drop=drop,
+                     retransmit=retransmit, dedup=dedup)

@@ -1,0 +1,233 @@
+"""Per-state invariants, checked incrementally along every explored path.
+
+The checker cannot afford the full analyzers of :mod:`repro.analysis`
+at every one of ~10^5 states, so this module maintains the same
+quantities *online*, O(small set) per event:
+
+- ``context[i]`` -- the set of writes in the causal past of process
+  ``p_i``'s next operation.  Maintained exactly like the paper's
+  ``->co`` (Section 2.2): a write folds into its issuer's context; a
+  read folds in its read-from write and that write's own causal past.
+  By construction ``past(w) == X_co-safe(apply(w))`` for every ``w``
+  (the differential test in ``tests/mck/test_checker.py`` pins this
+  against :func:`repro.analysis.enabling.x_co_safe`).
+- **Legality** (Definitions 1-2): checked per RETURN event against the
+  reader's context -- the same three cases as
+  :func:`repro.model.legality.is_legal_read` (differentially tested
+  against it).
+- **Safety** (Theorem 3): the apply order at each process must embed
+  ``->co``.  Checked per APPLY: applying ``w`` after some already
+  applied ``w''`` with ``w ∈ past(w'')`` is exactly an embedding
+  violation (attributed at the later apply, which also keeps the check
+  correct for writing-semantics protocols that legitimately *skip*
+  applies).
+- **Optimality** (Definition 5 / Theorem 4): a BUFFER event whose
+  write's causal past is already fully applied locally is an
+  *unnecessary* delay.  For protocols claiming optimality it is a
+  violation; otherwise it is counted (ANBKH's false causality shows up
+  here, Figure 3).
+
+Liveness, convergence and isolation are terminal/transition-level
+checks owned by :class:`repro.mck.cluster.ControlledCluster`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from repro.model.operations import WriteId
+from repro.sim.trace import EventKind, Trace, TraceEvent
+
+__all__ = ["Finding", "InvariantTracker", "UnnecessaryDelay"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation, located at a process and (usually) a
+    write.  ``kind`` is one of ``legality``, ``safety``, ``optimality``,
+    ``liveness``, ``convergence``, ``isolation``, ``stuck_message``."""
+
+    kind: str
+    process: int
+    detail: str
+    wid: Optional[WriteId] = None
+
+    def __str__(self) -> str:
+        where = f" {self.wid}" if self.wid is not None else ""
+        return f"{self.kind} at p{self.process}{where}: {self.detail}"
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "process": self.process,
+            "wid": None if self.wid is None else [self.wid.process,
+                                                  self.wid.seq],
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "Finding":
+        wid = doc.get("wid")
+        return cls(
+            kind=doc["kind"],
+            process=doc["process"],
+            detail=doc["detail"],
+            wid=None if wid is None else WriteId(wid[0], wid[1]),
+        )
+
+
+@dataclass(frozen=True)
+class UnnecessaryDelay:
+    """A buffered message whose causal past was already applied --
+    Definition 5's unnecessary write delay (a non-minimal enabling
+    set at work)."""
+
+    process: int
+    wid: WriteId
+
+    def to_dict(self) -> Dict:
+        return {"process": self.process,
+                "wid": [self.wid.process, self.wid.seq]}
+
+
+class InvariantTracker:
+    """Online legality/safety/optimality state for one explored path.
+
+    Deep-copied along with the cluster at every DFS branch point, so
+    all structures are plain sets/dicts of (mostly shared, immutable)
+    values.
+    """
+
+    def __init__(self, n_processes: int, *, expect_optimal: bool):
+        self.n = n_processes
+        self.expect_optimal = expect_optimal
+        #: writes in the causal past of p_i's next operation.
+        self.context: List[Set[WriteId]] = [set() for _ in range(n_processes)]
+        #: write -> its (frozen) write causal past, fixed at issue time.
+        self.past: Dict[WriteId, FrozenSet[WriteId]] = {}
+        #: writes applied at each process so far.
+        self.applied: List[Set[WriteId]] = [set() for _ in range(n_processes)]
+        self.var_of: Dict[WriteId, Hashable] = {}
+        self.value_of: Dict[WriteId, Any] = {}
+        #: every unnecessary delay observed (violations only when
+        #: ``expect_optimal``; otherwise evidence of non-minimality).
+        self.unnecessary: List[UnnecessaryDelay] = []
+
+    def clone(self) -> "InvariantTracker":
+        """Branch-point snapshot.  All contained objects (write ids,
+        past frozensets, variables, values) are immutable and shared;
+        only the containers are copied -- this runs on every explored
+        transition, so it must stay allocation-light."""
+        new = InvariantTracker.__new__(InvariantTracker)
+        new.n = self.n
+        new.expect_optimal = self.expect_optimal
+        new.context = [set(c) for c in self.context]
+        new.past = dict(self.past)
+        new.applied = [set(a) for a in self.applied]
+        new.var_of = dict(self.var_of)
+        new.value_of = dict(self.value_of)
+        new.unnecessary = list(self.unnecessary)
+        return new
+
+    # -- event feed ---------------------------------------------------------
+
+    def observe(self, trace: Trace, events: List[TraceEvent]) -> List[Finding]:
+        """Fold newly recorded trace events; return any violations."""
+        findings: List[Finding] = []
+        for ev in events:
+            if ev.kind is EventKind.WRITE:
+                findings += self._on_write(trace, ev)
+            elif ev.kind is EventKind.RETURN:
+                findings += self._on_return(ev)
+            elif ev.kind is EventKind.APPLY:
+                findings += self._on_apply(ev.process, ev.wid)
+            elif ev.kind is EventKind.BUFFER:
+                findings += self._on_buffer(ev)
+        return findings
+
+    # -- per-kind handlers --------------------------------------------------
+
+    def _on_write(self, trace: Trace, ev: TraceEvent) -> List[Finding]:
+        p, wid = ev.process, ev.wid
+        self.past[wid] = frozenset(self.context[p])
+        self.var_of[wid] = ev.variable
+        self.value_of[wid] = ev.value
+        self.context[p].add(wid)
+        # The WRITE event doubles as the local apply unless the
+        # protocol deferred it (then a later APPLY event registers).
+        if trace.apply_event(p, wid) is ev:
+            return self._on_apply(p, wid)
+        return []
+
+    def _on_return(self, ev: TraceEvent) -> List[Finding]:
+        p = ev.process
+        ctx = self.context[p]
+        findings: List[Finding] = []
+        if ev.read_from is None:
+            for w in ctx:
+                if self.var_of[w] == ev.variable:
+                    findings.append(Finding(
+                        kind="legality", process=p, wid=w,
+                        detail=f"read of {ev.variable!r} returned BOTTOM "
+                               f"although {w} is in its causal past",
+                    ))
+                    break
+            return findings
+        writer = ev.read_from
+        for w in ctx:
+            if (w != writer and self.var_of[w] == ev.variable
+                    and writer in self.past[w]):
+                findings.append(Finding(
+                    kind="legality", process=p, wid=writer,
+                    detail=f"read of {ev.variable!r} returned {writer} but "
+                           f"the causally newer {w} is interposed",
+                ))
+                break
+        # ->ro: the writer and its causal past join the reader's context.
+        if writer in self.past:
+            ctx.update(self.past[writer])
+            ctx.add(writer)
+        return findings
+
+    def _on_apply(self, p: int, wid: WriteId) -> List[Finding]:
+        findings: List[Finding] = []
+        for prior in self.applied[p]:
+            if wid in self.past[prior]:
+                findings.append(Finding(
+                    kind="safety", process=p, wid=wid,
+                    detail=f"{wid} applied after its causal successor "
+                           f"{prior} (apply order does not embed ->co)",
+                ))
+                break
+        self.applied[p].add(wid)
+        return findings
+
+    def _on_buffer(self, ev: TraceEvent) -> List[Finding]:
+        p, wid = ev.process, ev.wid
+        if self.past[wid] <= self.applied[p]:
+            self.unnecessary.append(UnnecessaryDelay(process=p, wid=wid))
+            if self.expect_optimal:
+                return [Finding(
+                    kind="optimality", process=p, wid=wid,
+                    detail=f"delay of {wid} is unnecessary: its whole "
+                           f"causal past ({len(self.past[wid])} writes) "
+                           f"was already applied at p{p} "
+                           "(enabling set exceeds X_co-safe)",
+                )]
+        return []
+
+    # -- terminal-state helpers --------------------------------------------
+
+    def liveness_findings(self, writes: List[WriteId]) -> List[Finding]:
+        """Theorem 5 for class-𝒫 runs: every write applied everywhere.
+        Only meaningful at quiescent terminals of class-𝒫 protocols."""
+        findings = []
+        for wid in writes:
+            for k in range(self.n):
+                if wid not in self.applied[k]:
+                    findings.append(Finding(
+                        kind="liveness", process=k, wid=wid,
+                        detail=f"{wid} never applied at p{k}",
+                    ))
+        return findings

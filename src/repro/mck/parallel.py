@@ -1,0 +1,139 @@
+"""Parallel model checking on the sweep substrate.
+
+A check over one ``(protocol, workload, faults, mode)`` point is CPU
+bound and independent of every other point, so a conformance matrix is
+embarrassingly parallel.  Rather than grow a second orchestrator, this
+module plugs the checker into :class:`~repro.sweep.runner.SweepRunner`:
+same process pool, same by-index deterministic merge, same
+content-addressed result cache -- only the three pluggable pieces
+change:
+
+- :func:`execute_check_spec` is the worker (module-level, picklable);
+- :func:`check_digest` is the content address: sha256 over the
+  canonical config dict plus a code fingerprint that *includes the
+  ``mck`` package itself* (a checker bug fix must invalidate cached
+  verdicts, not just protocol changes);
+- :func:`verdict_from_dict` rebuilds a :class:`CheckResult` from the
+  cached JSON verdict, strictly (schema drift -> ``ValueError`` ->
+  cache miss).
+
+Cached verdicts drop wall-clock timing (``wall = 0``): the verdict
+slice is deterministic by construction, timing is not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.spans import NULL_OBS, Obs
+from repro.sweep.cache import FINGERPRINT_PACKAGES, RunCache
+from repro.sweep.runner import SweepRunner, SweepStats
+
+from repro.mck.explorer import CheckConfig, CheckResult, Violation, check
+from repro.mck.faults import FaultSpec
+from repro.mck.witness import config_to_dict
+
+__all__ = [
+    "MCK_FINGERPRINT_PACKAGES",
+    "MCK_SPEC_VERSION",
+    "check_digest",
+    "execute_check_spec",
+    "run_checks",
+    "verdict_from_dict",
+]
+
+#: Bumped whenever the canonical config form or verdict schema changes
+#: incompatibly; old cache entries then simply stop matching.
+MCK_SPEC_VERSION = 1
+
+#: The sweep fingerprint floor plus the checker itself.
+MCK_FINGERPRINT_PACKAGES = tuple(FINGERPRINT_PACKAGES) + ("mck",)
+
+_VERDICT_KEYS = (
+    "protocol", "workload", "faults", "mode", "expect_optimal", "ok",
+    "states", "transitions", "terminals", "prunes", "violations",
+    "violations_seen", "unnecessary_delays", "state_limit_hit",
+)
+
+
+def check_digest(config: CheckConfig,
+                 fingerprint: Optional[str] = None) -> str:
+    """Content address of a check (the cache key form)."""
+    doc: Dict = {"version": MCK_SPEC_VERSION,
+                 "check": config_to_dict(config)}
+    if fingerprint is not None:
+        doc = {"fingerprint": fingerprint, "spec": doc}
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def execute_check_spec(config: CheckConfig) -> Tuple[Dict, float]:
+    """Worker entry point: run one check, return (verdict, wall)."""
+    result = check(config)
+    return result.verdict_dict(), result.wall
+
+
+def verdict_from_dict(doc: Dict) -> CheckResult:
+    """Rebuild a :class:`CheckResult` from a verdict dict (strict)."""
+    if not isinstance(doc, dict) or set(doc) != set(_VERDICT_KEYS):
+        raise ValueError(
+            f"verdict fields {sorted(doc) if isinstance(doc, dict) else doc!r}"
+            f" != {sorted(_VERDICT_KEYS)}"
+        )
+    terminals = doc["terminals"]
+    prunes = doc["prunes"]
+    if (not isinstance(terminals, dict)
+            or set(terminals) != {"quiescent", "stuck", "truncated"}):
+        raise ValueError(f"malformed terminals {terminals!r}")
+    if not isinstance(prunes, dict) or set(prunes) != {"sleep", "cycle"}:
+        raise ValueError(f"malformed prunes {prunes!r}")
+    result = CheckResult(
+        protocol_name=doc["protocol"],
+        workload_name=doc["workload"],
+        faults=FaultSpec.from_dict(doc["faults"]),
+        mode=doc["mode"],
+        expect_optimal=doc["expect_optimal"],
+        states=doc["states"],
+        transitions=doc["transitions"],
+        terminals=dict(terminals),
+        prunes=dict(prunes),
+        violations=[Violation.from_dict(v) for v in doc["violations"]],
+        violations_seen=doc["violations_seen"],
+        unnecessary_delays=doc["unnecessary_delays"],
+        state_limit_hit=doc["state_limit_hit"],
+        wall=0.0,
+    )
+    if result.ok != doc["ok"]:
+        raise ValueError("inconsistent verdict: ok flag does not match "
+                         "violations_seen")
+    return result
+
+
+def make_check_runner(*, jobs: int = 1, cache: Optional[RunCache] = None,
+                      obs: Obs = NULL_OBS,
+                      fingerprint: Optional[str] = None) -> SweepRunner:
+    """A :class:`SweepRunner` wired for check configs."""
+    return SweepRunner(
+        jobs=jobs,
+        cache=cache,
+        obs=obs,
+        fingerprint=fingerprint,
+        worker=execute_check_spec,
+        digest_fn=check_digest,
+        decode=verdict_from_dict,
+        fingerprint_packages=MCK_FINGERPRINT_PACKAGES,
+    )
+
+
+def run_checks(
+    configs: Sequence[CheckConfig],
+    *,
+    jobs: int = 1,
+    cache: Optional[RunCache] = None,
+    obs: Obs = NULL_OBS,
+) -> Tuple[List[CheckResult], SweepStats]:
+    """Check every config (parallel, cached), in config order."""
+    runner = make_check_runner(jobs=jobs, cache=cache, obs=obs)
+    return runner.run(configs), runner.stats

@@ -1,0 +1,160 @@
+"""Canned small workloads for exhaustive checking.
+
+A checker workload is one straight-line operation script per process
+-- the :class:`~repro.workloads.ops.Schedule` vocabulary stripped of
+issue times, because the checker *is* the scheduler: it explores every
+interleaving of the scripts with each other and with message
+deliveries, so pinned times would only restrict coverage.
+
+Sizes are chosen so exhaustive DFS stays in the 10^3..10^5 state range
+(see docs/model-checking.md, "State-space budget"); ``h1`` is the
+paper's Example 1 / Figure 3 history and the workload on which ANBKH's
+false causality must surface in some interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.workloads.ops import Op, ReadOp, Schedule, WriteOp
+
+__all__ = ["MCK_WORKLOADS", "MckWorkload", "workload_from_dict",
+           "workload_from_schedule"]
+
+
+@dataclass(frozen=True)
+class MckWorkload:
+    """Per-process operation scripts (untimed open-loop workload)."""
+
+    name: str
+    scripts: Tuple[Tuple[Op, ...], ...]
+
+    @property
+    def n_processes(self) -> int:
+        return len(self.scripts)
+
+    @property
+    def n_ops(self) -> int:
+        return sum(len(s) for s in self.scripts)
+
+    @property
+    def n_writes(self) -> int:
+        return sum(
+            1 for s in self.scripts for op in s if isinstance(op, WriteOp)
+        )
+
+    def to_dict(self) -> Dict:
+        """Canonical JSON form (witness + cache key material)."""
+        return {
+            "name": self.name,
+            "scripts": [
+                [["w", op.variable, op.value] if isinstance(op, WriteOp)
+                 else ["r", op.variable] for op in script]
+                for script in self.scripts
+            ],
+        }
+
+
+def workload_from_dict(doc: Dict) -> MckWorkload:
+    """Inverse of :meth:`MckWorkload.to_dict` (strict)."""
+    scripts: List[Tuple[Op, ...]] = []
+    for script in doc["scripts"]:
+        ops: List[Op] = []
+        for item in script:
+            if item[0] == "w":
+                ops.append(WriteOp(item[1], item[2]))
+            elif item[0] == "r":
+                ops.append(ReadOp(item[1]))
+            else:
+                raise ValueError(f"unknown op kind {item[0]!r}")
+        scripts.append(tuple(ops))
+    return MckWorkload(name=doc["name"], scripts=tuple(scripts))
+
+
+def workload_from_schedule(
+    name: str, n_processes: int, schedule: Schedule
+) -> MckWorkload:
+    """Strip a timed Schedule down to per-process scripts (issue order
+    preserved; times discarded -- the checker explores all of them)."""
+    return MckWorkload(
+        name=name,
+        scripts=tuple(
+            tuple(s.op for s in schedule.for_process(p))
+            for p in range(n_processes)
+        ),
+    )
+
+
+def _h1() -> MckWorkload:
+    """Example 1 / Figures 1-3: the history whose interleavings contain
+    both the necessary-delay run (Figure 1, run 2) and ANBKH's false
+    causality (Figure 3)."""
+    return MckWorkload(
+        name="h1",
+        scripts=(
+            (WriteOp("x1", "a"), WriteOp("x1", "c")),
+            (ReadOp("x1"), WriteOp("x2", "b")),
+            (ReadOp("x2"), WriteOp("x2", "d")),
+        ),
+    )
+
+
+def _pair() -> MckWorkload:
+    """Two writers, crossing variables: the classic store-buffer-shaped
+    interleaving square, plus trailing reads."""
+    return MckWorkload(
+        name="pair",
+        scripts=(
+            (WriteOp("x", "a"), ReadOp("y"), ReadOp("x")),
+            (WriteOp("y", "b"), ReadOp("x"), ReadOp("y")),
+        ),
+    )
+
+
+def _chain() -> MckWorkload:
+    """A causal chain across three processes: p1 reads p0's write and
+    writes; p2 reads both ends of the chain."""
+    return MckWorkload(
+        name="chain",
+        scripts=(
+            (WriteOp("x", "a"),),
+            (ReadOp("x"), WriteOp("y", "b")),
+            (ReadOp("y"), ReadOp("x")),
+        ),
+    )
+
+
+def _braid() -> MckWorkload:
+    """Two processes, interleaved writes to shared variables -- dense
+    in concurrent same-variable writes (convergence stress)."""
+    return MckWorkload(
+        name="braid",
+        scripts=(
+            (WriteOp("x", "a"), WriteOp("y", "b"), ReadOp("x")),
+            (WriteOp("x", "c"), ReadOp("y"), WriteOp("y", "d"),
+             ReadOp("x")),
+        ),
+    )
+
+
+def _triangle() -> MckWorkload:
+    """Three processes, one write each, everyone reads someone else --
+    the smallest all-to-all causal-visibility pattern."""
+    return MckWorkload(
+        name="triangle",
+        scripts=(
+            (WriteOp("x", "a"), ReadOp("z")),
+            (ReadOp("x"), WriteOp("y", "b")),
+            (WriteOp("z", "c"), ReadOp("y")),
+        ),
+    )
+
+
+#: Registry of canned workloads, keyed by name.  ``fig3`` aliases
+#: ``h1``: the Figure 3 run is one interleaving of the H1 scripts.
+MCK_WORKLOADS: Dict[str, MckWorkload] = {
+    w.name: w
+    for w in (_h1(), _pair(), _chain(), _braid(), _triangle())
+}
+MCK_WORKLOADS["fig3"] = MckWorkload(name="fig3", scripts=_h1().scripts)

@@ -99,6 +99,15 @@ class WriteId:
     def __str__(self) -> str:
         return f"w[p{self.process}#{self.seq}]"
 
+    # Immutable value object: copying is pure overhead, and write ids
+    # are the most-copied objects in clone-based exploration
+    # (repro.mck snapshots whole clusters at every branch point).
+    def __copy__(self) -> "WriteId":
+        return self
+
+    def __deepcopy__(self, memo) -> "WriteId":
+        return self
+
 
 @dataclass(frozen=True, slots=True)
 class Operation:

@@ -153,8 +153,14 @@ class PartialReplicationProtocol(Protocol):
             self.var_past[var] = row
         return row
 
-    def _frozen_var_past(self) -> Dict[Hashable, Tuple[int, ...]]:
-        return {var: tuple(vec) for var, vec in self.var_past.items()}
+    def _frozen_var_past(self) -> Tuple[Tuple[Hashable, Tuple[int, ...]], ...]:
+        """Wire form of the VP map: sorted, deeply immutable pairs (the
+        payload contract -- in-flight messages are shared across
+        receivers; see :mod:`repro.protocols.ws_receiver`)."""
+        return tuple(sorted(
+            ((var, tuple(vec)) for var, vec in self.var_past.items()),
+            key=lambda pair: repr(pair[0]),
+        ))
 
     def _check_held(self, variable: Hashable, op: str) -> None:
         if variable not in self.held:
@@ -164,11 +170,12 @@ class PartialReplicationProtocol(Protocol):
                 f"{sorted(self.replication.holders(variable))})"
             )
 
-    def _rel(self, vp: Mapping[Hashable, Tuple[int, ...]], sender: int) -> List[int]:
+    def _rel(self, vp: Tuple[Tuple[Hashable, Tuple[int, ...]], ...],
+             sender: int) -> List[int]:
         """Dependency counts restricted to this replica's held set,
         excluding the carried write itself."""
         rel = [0] * self.n_processes
-        for var, vec in vp.items():
+        for var, vec in vp:
             if var in self.held:
                 for t, v in enumerate(vec):
                     rel[t] += v
@@ -192,7 +199,7 @@ class PartialReplicationProtocol(Protocol):
         )
         self.store_put(variable, value, wid)
         self.applied_rel[i] += 1
-        # copy: vp is also the in-flight message's payload mapping
+        # dict form for the per-variable merge on later reads
         self.last_var_past_on[variable] = dict(vp)
         holders = self.replication.holders(variable)
         self.unreplicated += self.n_processes - len(holders)

@@ -75,6 +75,20 @@ from repro.core.base import (
 WRITE_CO_KEY = "write_co"
 VAR_PAST_KEY = "var_past"
 
+#: wire form of the VP map: sorted ((variable, vector), ...) pairs --
+#: deeply immutable, as the payload contract requires.
+VarPastWire = Tuple[Tuple[Hashable, Tuple[int, ...]], ...]
+
+
+def _vp_get(pairs: VarPastWire, variable: Hashable,
+            default: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Look up one variable's vector in the wire-form VP (linear scan:
+    the pairs list is as short as the causal past's variable set)."""
+    for var, vec in pairs:
+        if var == variable:
+            return vec
+    return default
+
 
 class WSReceiverProtocol(Protocol):
     """OptP extended with receiver-side writing semantics ([2,14] style).
@@ -109,8 +123,16 @@ class WSReceiverProtocol(Protocol):
             table[var] = row
         return row
 
-    def _frozen_var_past(self) -> Dict[Hashable, Tuple[int, ...]]:
-        return {var: tuple(vec) for var, vec in self.var_past.items()}
+    def _frozen_var_past(self) -> Tuple[Tuple[Hashable, Tuple[int, ...]], ...]:
+        """The VP map as a deeply immutable tuple of (variable, vector)
+        pairs, sorted for determinism.  Payload values must be immutable
+        (see :class:`repro.core.base.UpdateMessage`): in-flight messages
+        are shared across receivers, and the model checker's isolation
+        invariant flags any mutable container smuggled through one."""
+        return tuple(sorted(
+            ((var, tuple(vec)) for var, vec in self.var_past.items()),
+            key=lambda pair: repr(pair[0]),
+        ))
 
     # -- operations -----------------------------------------------------------
 
@@ -133,7 +155,7 @@ class WSReceiverProtocol(Protocol):
         self.apply_vec[i] += 1
         self._vp_row(self.apply_on, variable)[i] += 1
         self.last_write_on[variable] = w_vec
-        # copy: vp is also the in-flight message's payload mapping
+        # dict form for the per-variable merge on later reads
         self.last_var_past_on[variable] = dict(vp)
         return WriteOutcome(wid=wid, outgoing=(Outgoing(msg, BROADCAST),))
 
@@ -164,7 +186,8 @@ class WSReceiverProtocol(Protocol):
         """
         u = msg.sender
         w = msg.payload[WRITE_CO_KEY]
-        vp_x = msg.payload[VAR_PAST_KEY].get(msg.variable, (0,) * self.n_processes)
+        vp_x = _vp_get(msg.payload[VAR_PAST_KEY], msg.variable,
+                       (0,) * self.n_processes)
         apply_x = self.apply_on.get(msg.variable, [0] * self.n_processes)
         missing = []
         missing_x = []
@@ -193,7 +216,8 @@ class WSReceiverProtocol(Protocol):
     def apply_update(self, msg: UpdateMessage) -> None:
         u = msg.sender
         w = msg.payload[WRITE_CO_KEY]
-        vp_x = msg.payload[VAR_PAST_KEY].get(msg.variable, (0,) * self.n_processes)
+        vp_x = _vp_get(msg.payload[VAR_PAST_KEY], msg.variable,
+                       (0,) * self.n_processes)
         missing, _ = self._missing_counts(msg)
         self.skipped += sum(missing)
 

@@ -136,6 +136,28 @@ class Trace:
             self._receipt_index.setdefault((process, wid), ev)
         return ev
 
+    # -- branching -----------------------------------------------------------
+
+    def clone_shared(self) -> "Trace":
+        """An independent trace sharing the (frozen) event objects.
+
+        Appending to either copy leaves the other untouched; the events
+        themselves are immutable, so sharing is safe.  This is the
+        branch-point snapshot used by the model checker
+        (:meth:`repro.mck.cluster.ControlledCluster.clone`), where a
+        generic deepcopy of the trace would dominate exploration cost.
+        Identity of shared events is preserved: ``apply_event`` returns
+        the same object in both copies (callers use ``is`` checks to
+        tell a registering WRITE from a deferred one).
+        """
+        new = Trace.__new__(Trace)
+        new.n_processes = self.n_processes
+        new._events = list(self._events)
+        new._per_process = [list(evs) for evs in self._per_process]
+        new._apply_index = dict(self._apply_index)
+        new._receipt_index = dict(self._receipt_index)
+        return new
+
     # -- views ---------------------------------------------------------------
 
     @property

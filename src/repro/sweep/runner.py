@@ -22,10 +22,14 @@ exclusively into observability.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.spans import NULL_OBS, Obs
-from repro.sweep.cache import RunCache, code_fingerprint
+from repro.sweep.cache import (
+    FINGERPRINT_PACKAGES,
+    RunCache,
+    code_fingerprint,
+)
 from repro.sweep.spec import RunSpec, spec_digest
 from repro.sweep.worker import execute_spec
 
@@ -75,21 +79,40 @@ class SweepRunner:
     fingerprint:
         Override for the code fingerprint (tests use this to model
         code changes); None computes the real one on first use.
+    worker / digest_fn / decode / fingerprint_packages:
+        The pluggable work kind.  The defaults run simulation specs
+        (:func:`~repro.sweep.worker.execute_spec`); the model checker
+        reuses the whole orchestration -- pool, by-index merge, result
+        cache -- by substituting its own trio (see
+        :mod:`repro.mck.parallel`).  ``worker`` must be a module-level
+        (picklable) callable returning ``(json payload, wall seconds)``;
+        ``digest_fn(spec, fingerprint)`` must be a stable content
+        address; ``decode(payload)`` rebuilds the result value and
+        raises ``ValueError`` on schema drift (mapped to a cache miss).
     """
 
     jobs: int = 1
     cache: Optional[RunCache] = None
     obs: Obs = NULL_OBS
     fingerprint: Optional[str] = None
+    worker: Callable[[Any], Tuple[Dict, float]] = None  # type: ignore[assignment]
+    digest_fn: Callable[[Any, Optional[str]], str] = None  # type: ignore[assignment]
+    decode: Callable[[Dict], Any] = None  # type: ignore[assignment]
+    fingerprint_packages: Sequence[str] = FINGERPRINT_PACKAGES
     stats: SweepStats = field(default_factory=SweepStats)
 
-    def run(self, specs: Sequence[RunSpec]) -> List:
-        """Metrics for every spec, in spec order."""
-        from repro.sim.serialize import (
-            run_metrics_from_dict,
-            run_metrics_to_dict,
-        )
+    def __post_init__(self) -> None:
+        if self.worker is None:
+            self.worker = execute_spec
+        if self.digest_fn is None:
+            self.digest_fn = spec_digest
+        if self.decode is None:
+            from repro.sim.serialize import run_metrics_from_dict
 
+            self.decode = run_metrics_from_dict
+
+    def run(self, specs: Sequence[Any]) -> List:
+        """Decoded results for every spec, in spec order."""
         specs = list(specs)
         self.stats.jobs = max(self.stats.jobs, self.jobs)
         self.stats.runs += len(specs)
@@ -99,16 +122,17 @@ class SweepRunner:
         misses: List[int] = []
         if self.cache is not None:
             if self.fingerprint is None:
-                self.fingerprint = code_fingerprint()
+                self.fingerprint = code_fingerprint(
+                    tuple(self.fingerprint_packages))
             discarded_before = self.cache.discarded
             for i, spec in enumerate(specs):
-                keys[i] = spec_digest(spec, self.fingerprint)
+                keys[i] = self.digest_fn(spec, self.fingerprint)
                 payload = self.cache.get(keys[i])
                 if payload is None:
                     misses.append(i)
                     continue
                 try:
-                    results[i] = run_metrics_from_dict(payload)
+                    results[i] = self.decode(payload)
                 except ValueError:
                     # schema drift inside a well-formed entry: recompute.
                     misses.append(i)
@@ -126,7 +150,7 @@ class SweepRunner:
         if obs_on:
             h_seconds = self.obs.registry.histogram("sweep.run_seconds")
         for i, (payload, wall) in zip(misses, fresh):
-            results[i] = run_metrics_from_dict(payload)
+            results[i] = self.decode(payload)
             self.stats.sim_seconds += wall
             if obs_on:
                 h_seconds.observe(wall)
@@ -143,19 +167,21 @@ class SweepRunner:
             reg.gauge("sweep.jobs").set(self.jobs)
         return results
 
-    def _execute(self, specs: Sequence[RunSpec]) -> List:
+    def _execute(self, specs: Sequence[Any]) -> List:
         """(payload dict, wall seconds) per spec, in spec order."""
         if not specs:
             return []
         if self.jobs <= 1:
-            return [execute_spec(spec) for spec in specs]
+            return [self.worker(spec) for spec in specs]
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             # Submission order is spec order; collecting each future by
             # position (not as_completed) keeps the merge deterministic
             # regardless of which worker finishes first.
-            futures = [pool.submit(execute_spec, spec) for spec in specs]
+            # self.worker is a dataclass field holding a module-level
+            # function (never a bound method), so it pickles by name.
+            futures = [pool.submit(self.worker, spec) for spec in specs]  # reprolint: disable=RL008
             return [f.result() for f in futures]
 
 

@@ -17,13 +17,15 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import check_run
-from repro.sim import (
-    ConstantLatency,
-    ExponentialLatency,
-    SeededLatency,
-    run_schedule,
+from repro.sim import SeededLatency, run_schedule
+from repro.workloads import random_schedule
+
+from tests.strategies import (
+    latency_kinds,
+    latency_seeds,
+    make_latency,
+    workload_configs,
 )
-from repro.workloads import WorkloadConfig, random_schedule
 
 # Run-generating tests are expensive; keep example counts modest but
 # meaningful, and disable the too-slow health check.
@@ -33,28 +35,7 @@ RUN_SETTINGS = settings(
     suppress_health_check=[HealthCheck.too_slow],
 )
 
-configs = st.builds(
-    WorkloadConfig,
-    n_processes=st.integers(min_value=2, max_value=6),
-    ops_per_process=st.integers(min_value=2, max_value=15),
-    n_variables=st.integers(min_value=1, max_value=5),
-    write_fraction=st.floats(min_value=0.2, max_value=1.0),
-    zipf_s=st.floats(min_value=0.0, max_value=2.0),
-    seed=st.integers(min_value=0, max_value=10_000),
-)
-
-latency_seeds = st.integers(min_value=0, max_value=10_000)
-
-
-def make_latency(kind: str, seed: int):
-    if kind == "constant":
-        return ConstantLatency(1.0)
-    if kind == "uniform":
-        return SeededLatency(seed, dist="uniform", lo=0.2, hi=4.0)
-    return SeededLatency(seed, dist="exponential", mean=1.5)
-
-
-latency_kinds = st.sampled_from(["constant", "uniform", "exponential"])
+configs = workload_configs()
 
 
 class TestClassPProtocols:

@@ -15,6 +15,8 @@ transparency.
 """
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.analysis import check_run
 from repro.protocols import PROTOCOLS
@@ -24,6 +26,8 @@ from repro.sim.scheduler import supports_indexing
 from repro.sim.serialize import trace_to_jsonl
 from repro.workloads import WorkloadConfig, random_schedule
 from repro.workloads.generators import random_partial_schedule
+
+from tests.strategies import latency_seeds, workload_configs
 
 #: Protocols whose ``missing_deps`` enables the indexed path; the rest
 #: must fall back to the legacy scan under both modes.
@@ -70,6 +74,24 @@ class TestRegistryProtocols:
     def test_mode_resolution_matches_registry_split(self, name):
         proto = PROTOCOLS[name](0, 4)
         assert supports_indexing(proto) == (name in INDEXED_PROTOCOLS), name
+
+
+class TestRandomizedParity:
+    """Hypothesis widens the seed grid above: indexed == legacy on
+    arbitrary workload shapes, not just the pinned configurations."""
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(cfg=workload_configs(max_processes=5, max_ops=10),
+           name=st.sampled_from(sorted(INDEXED_PROTOCOLS)),
+           lseed=latency_seeds)
+    def test_indexed_matches_legacy_on_random_workloads(
+        self, cfg, name, lseed
+    ):
+        sched = random_schedule(cfg)
+        r_legacy, r_indexed = _run_both(
+            PROTOCOLS[name], cfg.n_processes, sched, lseed)
+        assert_observationally_identical(r_legacy, r_indexed)
 
 
 class TestPartialReplication:

@@ -66,12 +66,15 @@ def test_partial_trace_unchanged_by_aliasing_fix(seed):
 
 
 def test_payload_no_longer_aliased_into_state():
-    """Direct check of the fixed hazard: the stored per-variable past is
-    a distinct object from the in-flight message payload mapping."""
+    """Direct check of the fixed hazard: the in-flight payload is deeply
+    immutable (pair-tuple wire form), and the stored per-variable past
+    is a distinct (mutable, private) mapping built from it."""
     rmap = ReplicationMap.round_robin(["x0", "x1"], 2, 2)
     proto = partial_factory(rmap)(0, 2)
     outcome = proto.write("x0", 41)
     payload_vp = outcome.outgoing[0].message.payload["var_past"]
     stored_vp = proto.last_var_past_on["x0"]
-    assert stored_vp == payload_vp
+    assert isinstance(payload_vp, tuple)
+    assert all(isinstance(pair, tuple) for pair in payload_vp)
+    assert stored_vp == dict(payload_vp)
     assert stored_vp is not payload_vp

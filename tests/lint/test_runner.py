@@ -78,13 +78,16 @@ def test_repo_is_lint_clean():
     report = lint_paths([Path("src/repro")])
     assert report.ok, report.to_text()
     assert report.files_scanned > 50
-    # the sanctioned suppressions: the gossip digest-row alias plus the
-    # sweep worker's two observational wall-clock reads
+    # the sanctioned suppressions: the gossip digest-row alias, the
+    # sweep worker's two observational wall-clock reads, and the sweep
+    # runner's pluggable worker field (a module-level function stored
+    # on the instance -- RL008's bound-method heuristic misreads it)
     by_file = sorted(
         (f.path.rsplit("/", 1)[-1], f.code) for f in report.suppressed
     )
     assert by_file == [
         ("gossip.py", "RL003"),
+        ("runner.py", "RL008"),
         ("worker.py", "RL001"),
         ("worker.py", "RL001"),
     ]

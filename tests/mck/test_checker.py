@@ -1,0 +1,224 @@
+"""Model-checker acceptance tests.
+
+Four layers:
+
+- **OptP exhaustively clean** -- safety + optimality + liveness +
+  convergence hold on *every* interleaving of three workloads whose
+  state spaces each exceed 1000 states (Theorems 3-5 machine-checked
+  over the full interleaving space, not a sample).
+- **ANBKH safe but non-optimal** -- same driver, same workloads: zero
+  violations, but unnecessary delays > 0 on the Figure 3 history (the
+  paper's false-causality gap, found by exhaustion rather than by the
+  one pinned scenario).
+- **Mutation self-check** -- two deliberately broken variants
+  (``tests/mck/mutants.py``) must each be rejected with a safety
+  violation and a short replayable witness.
+- **Differential against the offline analyzers** -- the incremental
+  tracker's quantities (legality verdict, causal pasts = X_co-safe)
+  must agree with :mod:`repro.analysis` / :mod:`repro.model` on random
+  interleavings.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.enabling import x_co_safe
+from repro.mck import (
+    CheckConfig,
+    ControlledCluster,
+    check,
+    minimize_witness,
+    parse_faults,
+    workload_by_name,
+)
+from repro.mck.witness import replay_path
+from repro.model.legality import check_causal_consistency
+
+from tests.mck.mutants import BrokenANBKH, BrokenOptP
+from tests.strategies import mck_workloads
+
+#: The acceptance floor: three distinct workloads, >= 1000 states each.
+BIG_WORKLOADS = ("h1", "triangle", "braid")
+
+
+def run_exhaustive(protocol, workload_name, faults="none", **kwargs):
+    return check(CheckConfig(
+        protocol=protocol,
+        workload=workload_by_name(workload_name),
+        faults=parse_faults(faults),
+        **kwargs,
+    ))
+
+
+class TestOptPExhaustive:
+    @pytest.mark.parametrize("workload", BIG_WORKLOADS)
+    def test_clean_on_every_interleaving(self, workload):
+        r = run_exhaustive("optp", workload)
+        assert r.ok, [str(v.finding) for v in r.violations]
+        assert r.states >= 1000, (workload, r.states)
+        assert not r.state_limit_hit
+        # every explored path ran to quiescence: nothing stuck, nothing
+        # cut off by the depth bound
+        assert r.terminals["stuck"] == 0
+        assert r.terminals["truncated"] == 0
+        # Theorem 4 over the whole space: expect_optimal resolves to
+        # True for optp, so ok already covers it; the counter agrees.
+        assert r.expect_optimal is True
+        assert r.unnecessary_delays == 0
+
+    @pytest.mark.parametrize("workload", ["pair", "chain"])
+    def test_clean_on_small_workloads(self, workload):
+        r = run_exhaustive("optp", workload)
+        assert r.ok and not r.state_limit_hit
+        assert r.terminals["stuck"] == 0
+
+
+class TestANBKHSafeButNotOptimal:
+    def test_safe_on_fig3_history(self):
+        r = run_exhaustive("anbkh", "fig3")
+        assert r.ok, [str(v.finding) for v in r.violations]
+        assert r.terminals["stuck"] == 0
+
+    def test_false_causality_surfaces_by_exhaustion(self):
+        """Some interleaving of the Figure 3 scripts delays a write
+        whose causal past is already applied (Theorem 4's gap)."""
+        r = run_exhaustive("anbkh", "fig3")
+        assert r.unnecessary_delays > 0
+
+    def test_flagged_when_held_to_optp_standard(self):
+        r = run_exhaustive("anbkh", "chain", expect_optimal=True)
+        assert not r.ok
+        assert any(v.finding.kind == "optimality" for v in r.violations)
+
+    def test_optp_strictly_fewer_delay_events(self):
+        """Definition 5 ordering, summed over the whole interleaving
+        space of the same workload."""
+        r_optp = run_exhaustive("optp", "fig3")
+        r_anbkh = run_exhaustive("anbkh", "fig3")
+        assert r_optp.unnecessary_delays == 0
+        assert r_anbkh.unnecessary_delays > r_optp.unnecessary_delays
+
+
+class TestMutationSelfCheck:
+    """The checker must catch planted bugs -- else it checks nothing."""
+
+    @pytest.mark.parametrize("factory,expected_kind", [
+        (BrokenOptP, "safety"),
+        (BrokenANBKH, "safety"),
+    ])
+    def test_mutant_rejected_with_replayable_witness(
+        self, factory, expected_kind
+    ):
+        config = CheckConfig(protocol=factory,
+                             workload=workload_by_name("h1"),
+                             stop_on_violation=True)
+        r = check(config)
+        assert not r.ok
+        violation = r.violations[0]
+        assert violation.finding.kind == expected_kind, str(violation.finding)
+
+        # the witness minimizes and still reproduces deterministically
+        minimal = minimize_witness(config, list(violation.choices))
+        assert 0 < len(minimal) <= len(violation.choices)
+        outcome = replay_path(config, minimal)
+        assert any(f.kind == expected_kind for f in outcome.findings)
+        # replay is deterministic: same path, same trace bytes
+        again = replay_path(config, minimal)
+        assert again.trace_jsonl == outcome.trace_jsonl
+
+    def test_broken_optp_witness_is_short(self):
+        """The h1 counterexample needs only a handful of steps --
+        minimization must find one, not return a full-depth path."""
+        config = CheckConfig(protocol=BrokenOptP,
+                             workload=workload_by_name("h1"),
+                             stop_on_violation=True)
+        r = check(config)
+        minimal = minimize_witness(config, list(r.violations[0].choices))
+        assert len(minimal) <= 8, minimal
+
+
+class TestFaultAdapters:
+    def test_duplicates_with_dedup_are_harmless(self):
+        r = run_exhaustive("optp", "pair", faults="dup:1")
+        assert r.ok
+        baseline = run_exhaustive("optp", "pair")
+        assert r.states > baseline.states  # the adversary really ran
+
+    def test_duplicates_without_dedup_are_caught(self):
+        r = run_exhaustive("optp", "pair", faults="dup:1,nodedup")
+        assert not r.ok
+
+    def test_drop_with_retransmit_is_outcome_preserving(self):
+        r = run_exhaustive("optp", "pair", faults="drop:1")
+        assert r.ok
+        assert r.terminals["stuck"] == 0
+
+    def test_lost_message_is_a_liveness_violation(self):
+        r = run_exhaustive("optp", "pair", faults="drop:1,noretransmit")
+        assert not r.ok
+        assert any(v.finding.kind == "liveness" for v in r.violations)
+        assert r.terminals["stuck"] > 0
+
+
+class TestWalkMode:
+    """The fallback for state spaces exhaustion cannot cover."""
+
+    @pytest.mark.parametrize("protocol", ["gossip-optp", "jimenez-token"])
+    def test_timer_driven_protocols_clean_under_walks(self, protocol):
+        r = check(CheckConfig(protocol=protocol,
+                              workload=workload_by_name("pair"),
+                              mode="walk", walks=32, seed=1))
+        assert r.ok, [str(v.finding) for v in r.violations]
+
+    def test_walk_finds_the_planted_bug_too(self):
+        r = check(CheckConfig(protocol=BrokenANBKH,
+                              workload=workload_by_name("h1"),
+                              mode="walk", walks=64, seed=0))
+        assert not r.ok
+
+
+DIFF_SETTINGS = settings(max_examples=25, deadline=None,
+                         suppress_health_check=[HealthCheck.too_slow])
+
+
+def random_interleaving(protocol, workload, seed):
+    """One seeded random maximal path through the transition system."""
+    cluster = ControlledCluster(protocol, workload)
+    rng = random.Random(seed)
+    findings = list(cluster.bootstrap_findings)
+    for _ in range(200):
+        if cluster.status() != "running":
+            break
+        enabled = cluster.enabled()
+        findings += cluster.execute(enabled[rng.randrange(len(enabled))])
+    return cluster, findings
+
+
+class TestTrackerDifferential:
+    """The online tracker against the offline reference analyzers."""
+
+    @DIFF_SETTINGS
+    @given(workload=mck_workloads(), seed=st.integers(0, 999),
+           protocol=st.sampled_from(["optp", "anbkh"]))
+    def test_legality_matches_reference_checker(
+        self, workload, seed, protocol
+    ):
+        cluster, findings = random_interleaving(protocol, workload, seed)
+        report = check_causal_consistency(cluster.trace.to_history())
+        tracker_legal = not any(f.kind == "legality" for f in findings)
+        assert tracker_legal == report.consistent, (
+            findings, report.summary())
+
+    @DIFF_SETTINGS
+    @given(workload=mck_workloads(), seed=st.integers(0, 999))
+    def test_tracked_past_is_x_co_safe(self, workload, seed):
+        """The tracker's per-write causal past must equal Definition
+        4's X_co-safe -- the optimality check is only as good as this
+        set."""
+        cluster, _ = random_interleaving("optp", workload, seed)
+        history = cluster.trace.to_history()
+        for wid, past in cluster.tracker.past.items():
+            assert past == x_co_safe(history, 0, wid), wid

@@ -1,0 +1,92 @@
+"""Parallel + cached model checking on the sweep substrate.
+
+The contract is the same one the simulation sweeps pin: the verdicts
+from ``jobs=N`` equal the serial reference by value, a warm cache
+answers without exploring, and cache decoding is strict -- any schema
+drift is a miss (re-explore), never a silently wrong verdict.
+"""
+
+import pytest
+
+from repro.mck import CheckConfig, check, run_checks, workload_by_name
+from repro.mck.parallel import (
+    MCK_FINGERPRINT_PACKAGES,
+    check_digest,
+    execute_check_spec,
+    verdict_from_dict,
+)
+from repro.sweep import RunCache
+from repro.sweep.cache import FINGERPRINT_PACKAGES
+
+
+def configs():
+    return [
+        CheckConfig(protocol=name, workload=workload_by_name(wl))
+        for name, wl in (("optp", "pair"), ("optp", "chain"),
+                         ("anbkh", "pair"))
+    ]
+
+
+class TestParity:
+    def test_parallel_and_cached_match_serial(self, tmp_path):
+        serial = [check(c).verdict_dict() for c in configs()]
+
+        cache = RunCache(tmp_path)
+        cold, cold_stats = run_checks(configs(), jobs=2, cache=cache)
+        assert [r.verdict_dict() for r in cold] == serial
+        assert cold_stats.cache_misses == 3 and cold_stats.cache_hits == 0
+
+        warm, warm_stats = run_checks(configs(), jobs=1, cache=cache)
+        assert [r.verdict_dict() for r in warm] == serial
+        assert warm_stats.cache_hits == 3 and warm_stats.cache_misses == 0
+        # cached verdicts carry no wall time by design
+        assert all(r.wall == 0.0 for r in warm)
+
+    def test_uncached_serial_path(self):
+        results, stats = run_checks(configs()[:1])
+        assert results[0].ok and stats.cache_hits == 0
+
+
+class TestDigest:
+    def test_digest_distinguishes_configs(self):
+        a, b, c = configs()
+        assert len({check_digest(a), check_digest(b), check_digest(c)}) == 3
+        assert check_digest(a) == check_digest(configs()[0])
+
+    def test_fingerprint_wraps_digest(self):
+        a = configs()[0]
+        assert check_digest(a) != check_digest(a, "deadbeef")
+
+    def test_checker_code_is_fingerprinted(self):
+        """A bug fix in repro.mck must invalidate cached verdicts."""
+        assert "mck" in MCK_FINGERPRINT_PACKAGES
+        assert set(FINGERPRINT_PACKAGES) < set(MCK_FINGERPRINT_PACKAGES)
+
+
+class TestStrictDecode:
+    def good(self):
+        verdict, wall = execute_check_spec(configs()[0])
+        assert wall > 0
+        return verdict
+
+    def test_round_trip(self):
+        verdict = self.good()
+        rebuilt = verdict_from_dict(verdict)
+        assert rebuilt.verdict_dict() == verdict
+
+    @pytest.mark.parametrize("mutate", [
+        lambda d: {k: v for k, v in d.items() if k != "states"},
+        lambda d: {**d, "extra": 1},
+        lambda d: {**d, "terminals": {"quiescent": 1}},
+        lambda d: {**d, "prunes": {"sleep": 0}},
+        lambda d: [d],
+    ])
+    def test_schema_drift_raises(self, mutate):
+        with pytest.raises(ValueError):
+            verdict_from_dict(mutate(self.good()))
+
+    def test_ok_flag_consistency_enforced(self):
+        verdict = self.good()
+        assert verdict["ok"]
+        with pytest.raises(ValueError, match="inconsistent"):
+            verdict_from_dict({**verdict, "ok": False})

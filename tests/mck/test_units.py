@@ -1,0 +1,252 @@
+"""Unit tests for the checker's building blocks.
+
+The acceptance suite (``test_checker.py``) exercises the happy paths
+end to end; this file pins the edges -- fault-spec parsing and
+validation, workload plumbing, exploration budgets, obs export -- and
+drives :class:`~repro.mck.cluster.ControlledCluster` by hand along
+interleavings the explorer prunes below the first violation, so every
+invariant *kind* (legality both ways, convergence, isolation,
+stuck-message) is shown to actually fire.
+"""
+
+import pytest
+
+from repro.mck import (
+    CheckConfig,
+    ControlledCluster,
+    FaultSpec,
+    MckWorkload,
+    check,
+    parse_faults,
+    workload_by_name,
+    workload_from_dict,
+    workload_from_schedule,
+)
+from repro.obs import Obs
+from repro.workloads import WorkloadConfig, random_schedule
+from repro.workloads.ops import ReadOp, WriteOp
+
+from tests.mck.mutants import BrokenANBKH, LeakyOptP
+
+
+class TestFaultSpec:
+    def test_parse_tokens(self):
+        spec = parse_faults("dup:2,drop:1,noretransmit,nodedup")
+        assert spec.duplicate == 2 and spec.drop == 1
+        assert spec.retransmit is False and spec.dedup is False
+        assert spec.any
+        assert not parse_faults("none").any
+
+    def test_parse_rejects_unknown_token(self):
+        with pytest.raises(ValueError, match="unknown fault token"):
+            parse_faults("dup:1,chaos")
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="budgets"):
+            FaultSpec(duplicate=-1)
+
+    def test_dict_round_trip_is_strict(self):
+        spec = parse_faults("dup:1,dedup")
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+        with pytest.raises(ValueError, match="unknown fault fields"):
+            FaultSpec.from_dict({"duplicate": 1, "latency": 3})
+
+
+class TestWorkloads:
+    def test_counts(self):
+        wl = workload_by_name("h1")
+        assert wl.n_processes == len(wl.scripts)
+        assert wl.n_ops == sum(len(s) for s in wl.scripts)
+        assert 0 < wl.n_writes < wl.n_ops  # h1 mixes writes and reads
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            workload_by_name("h99")
+
+    def test_from_dict_rejects_unknown_op(self):
+        doc = workload_by_name("pair").to_dict()
+        doc["scripts"][0][0] = ["x", "boom"]
+        with pytest.raises(ValueError, match="unknown op kind"):
+            workload_from_dict(doc)
+
+    def test_from_schedule_strips_times(self):
+        cfg = WorkloadConfig(n_processes=3, ops_per_process=5,
+                             n_variables=2, write_fraction=0.5, seed=3)
+        sched = random_schedule(cfg)
+        wl = workload_from_schedule("rand", 3, sched)
+        assert wl.n_processes == 3
+        assert wl.n_ops == sched.n_ops
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            CheckConfig(protocol="optp",
+                        workload=workload_by_name("pair"),
+                        mode="bfs")
+
+
+class TestBudgets:
+    def test_state_limit_reported_not_silently_ignored(self):
+        r = check(CheckConfig(protocol="optp",
+                              workload=workload_by_name("h1"),
+                              max_states=50))
+        assert r.state_limit_hit
+        assert r.states <= 51  # stopped at the cap, not at quiescence
+
+    def test_depth_bound_counts_truncated_paths(self):
+        r = check(CheckConfig(protocol="optp",
+                              workload=workload_by_name("pair"),
+                              max_depth=3))
+        assert r.terminals["truncated"] > 0
+
+    def test_walk_mode_respects_depth_bound(self):
+        r = check(CheckConfig(protocol="optp",
+                              workload=workload_by_name("pair"),
+                              mode="walk", walks=4, seed=2, max_depth=2))
+        assert r.terminals["truncated"] == 4
+
+
+class TestObsExport:
+    def test_counters_exported_when_enabled(self):
+        obs = Obs.recording()
+        r = check(CheckConfig(protocol="optp",
+                              workload=workload_by_name("pair")),
+                  obs=obs)
+        reg = obs.registry
+        assert reg.total("mck.states") == r.states
+        assert reg.total("mck.transitions") == r.transitions
+        assert reg.total("mck.terminals") == sum(r.terminals.values())
+        assert reg.value("mck.prunes", kind="sleep",
+                         protocol=r.protocol_name,
+                         workload=r.workload_name) == r.prunes["sleep"]
+
+
+#: p0 writes x=a; p2 reads it and writes x=b (so a ->co b); p1 reads
+#: twice.  A protocol that applies b before a lets p1 observe b, then
+#: a -- the stale read the legality invariant must flag.
+STALE_READ = MckWorkload(name="stale-read", scripts=(
+    (WriteOp("x", "a"),),
+    (ReadOp("x"), ReadOp("x")),
+    (ReadOp("x"), WriteOp("x", "b")),
+))
+
+#: Same shape split over two variables: p1 learns of the x-write only
+#: through the y-write's causal past, then reads x before it arrived.
+BOTTOM_READ = MckWorkload(name="bottom-read", scripts=(
+    (WriteOp("x", "a"),),
+    (ReadOp("y"), ReadOp("x")),
+    (ReadOp("x"), WriteOp("y", "b")),
+))
+
+
+def drive(cluster, path):
+    findings = list(cluster.bootstrap_findings)
+    for t in path:
+        assert t in cluster.enabled(), (t, cluster.enabled())
+        findings += cluster.execute(t)
+    return findings
+
+
+class TestInvariantKindsFire:
+    """Hand-driven interleavings for the finding kinds the explorer
+    stops short of (it does not descend below a violating state)."""
+
+    def test_stale_read_is_a_legality_violation(self):
+        c = ControlledCluster(BrokenANBKH, STALE_READ)
+        findings = drive(c, [
+            ("op", 0), ("deliver", "u:0.1>2"),       # p2 applies a
+            ("op", 2), ("op", 2),                    # reads a, writes b
+            ("deliver", "u:2.1>1"), ("op", 1),       # p1 applies b, reads b
+            ("deliver", "u:0.0>1"), ("op", 1),       # a overtakes; stale read
+        ])
+        kinds = [f.kind for f in findings]
+        assert "safety" in kinds
+        assert "legality" in kinds
+        legality = next(f for f in findings if f.kind == "legality")
+        assert "interposed" in legality.detail
+
+    def test_bottom_read_is_a_legality_violation(self):
+        c = ControlledCluster(BrokenANBKH, BOTTOM_READ)
+        findings = drive(c, [
+            ("op", 0), ("deliver", "u:0.1>2"),
+            ("op", 2), ("op", 2),                    # p2: reads a, writes y=b
+            ("deliver", "u:2.1>1"),                  # p1 applies b without a
+            ("op", 1),                               # reads y=b: a joins ctx
+            ("op", 1),                               # reads x -> BOTTOM
+        ])
+        legality = [f for f in findings if f.kind == "legality"]
+        assert legality and "BOTTOM" in legality[0].detail
+
+    def test_causally_ordered_divergence_is_a_convergence_violation(self):
+        c = ControlledCluster(BrokenANBKH, STALE_READ)
+        drive(c, [
+            ("op", 0), ("deliver", "u:0.1>2"), ("op", 2), ("op", 2),
+            ("deliver", "u:2.1>1"), ("op", 1), ("deliver", "u:0.0>1"),
+            ("op", 1),
+            ("deliver", "u:2.0>0"),                  # p0 applies b
+        ])
+        # p1's store settled on a although a ->co b; p0/p2 hold b.
+        assert c.status() == "quiescent"
+        kinds = [f.kind for f in c.terminal_findings("quiescent")]
+        assert "convergence" in kinds
+
+    def test_liveness_findings_name_every_missing_apply(self):
+        c = ControlledCluster("optp", workload_by_name("pair"))
+        drive(c, [("op", 0), ("op", 1)])             # nothing delivered
+        findings = c.tracker.liveness_findings(c.writes)
+        assert len(findings) == 2                    # one per missing apply
+        assert all(f.kind == "liveness" for f in findings)
+
+    def test_wedged_duplicate_is_stuck_at_quiescence(self):
+        c = ControlledCluster("optp", workload_by_name("pair"),
+                              faults=parse_faults("dup:1,nodedup"))
+        drive(c, [
+            ("op", 0),
+            ("dup", "u:0.0>1"),                      # clone while pending
+            ("deliver", "u:0.0>1"),                  # original applies
+            ("deliver", "d:u:0.0>1"),                # duplicate buffers
+            ("op", 0), ("op", 0),
+            ("op", 1), ("deliver", "u:1.0>0"),
+            ("op", 1), ("op", 1),
+        ])
+        # apply accounting is satisfied; only the wedged duplicate is
+        # left behind, undeliverable forever
+        assert c.status() == "quiescent"
+        kinds = [f.kind for f in c.terminal_findings("quiescent")]
+        assert "stuck_message" in kinds
+
+
+class TestIsolationInvariant:
+    """The payload-immutability contract, checked structurally."""
+
+    def test_mutable_payload_flagged_at_send(self):
+        c = ControlledCluster(LeakyOptP, workload_by_name("pair"))
+        findings = drive(c, [("op", 0)])
+        isolation = [f for f in findings if f.kind == "isolation"]
+        assert isolation and "mutable" in isolation[0].detail
+
+    def test_mutation_in_flight_flagged_at_delivery(self):
+        wl = MckWorkload(name="two-writes", scripts=(
+            (WriteOp("x", 1), WriteOp("x", 2)), (),
+        ))
+        c = ControlledCluster(LeakyOptP, wl)
+        drive(c, [("op", 0), ("op", 0)])     # 2nd write mutates 1st payload
+        findings = c.execute(("deliver", "u:0.0>1"))
+        assert any(f.kind == "isolation" and "mutated" in f.detail
+                   for f in findings)
+
+    def test_mutated_pending_message_flagged_at_terminal(self):
+        wl = MckWorkload(name="two-writes", scripts=(
+            (WriteOp("x", 1), WriteOp("x", 2)), (),
+        ))
+        c = ControlledCluster(LeakyOptP, wl)
+        drive(c, [("op", 0), ("op", 0)])
+        findings = c.terminal_findings("stuck")
+        assert any(f.kind == "isolation" and "mutated after send" in f.detail
+                   for f in findings)
+
+    def test_checker_rejects_the_leaky_protocol(self):
+        r = check(CheckConfig(protocol=LeakyOptP,
+                              workload=workload_by_name("pair"),
+                              stop_on_violation=True))
+        assert not r.ok
+        assert r.violations[0].finding.kind == "isolation"

@@ -9,38 +9,15 @@ picks an arbitrary same-variable write (or BOTTOM) to read from.
 
 import pytest
 from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
 
 from repro.model.causality_graph import WriteCausalityGraph
-from repro.model.history import History, HistoryBuilder
 from repro.model.legality import check_causal_consistency
-from repro.model.operations import Read, Write
 from repro.model.serialization import is_causal_ahamad
+
+from tests.strategies import histories
 
 SETTINGS = settings(max_examples=60, deadline=None,
                     suppress_health_check=[HealthCheck.too_slow])
-
-
-@st.composite
-def histories(draw, max_processes=4, max_ops=12, max_vars=3):
-    """A random history: reads read-from any *earlier-generated* write
-    on the same variable (or BOTTOM), so ->co stays acyclic but
-    legality is arbitrary."""
-    n = draw(st.integers(min_value=1, max_value=max_processes))
-    n_ops = draw(st.integers(min_value=0, max_value=max_ops))
-    b = HistoryBuilder(n)
-    wids_by_var = {}
-    for _ in range(n_ops):
-        p = draw(st.integers(min_value=0, max_value=n - 1))
-        var = f"x{draw(st.integers(min_value=0, max_value=max_vars - 1))}"
-        if draw(st.booleans()):
-            wid = b.write(p, var)
-            wids_by_var.setdefault(var, []).append(wid)
-        else:
-            pool = wids_by_var.get(var, [])
-            choice = draw(st.integers(min_value=-1, max_value=len(pool) - 1))
-            b.read(p, var, None if choice < 0 else pool[choice])
-    return b.build()
 
 
 class TestCausalOrderInvariants:

@@ -1,0 +1,108 @@
+"""Protocol conformance suite: one contract, every implementation.
+
+Every registered protocol (plus partial replication, which needs its
+own factory) runs over the *same* randomized workloads and must
+produce:
+
+- a **legal, causally consistent** history (Definitions 1-2, via the
+  full ``check_run`` report: legality + Theorem-3 safety + class-𝒫
+  liveness accounting);
+- **causally convergent** stores at quiescence: two replicas may end a
+  variable on different writes only when those writes are concurrent
+  under ``->co`` (causal consistency imposes no order on concurrent
+  writes; divergence on *ordered* writes would witness a missed or
+  misordered apply).
+
+New protocols added to the registry are picked up automatically --
+appearing here is the price of admission.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import check_run
+from repro.protocols import PROTOCOLS
+from repro.protocols.partial import ReplicationMap, partial_factory
+from repro.sim import SeededLatency, run_schedule
+from repro.workloads import WorkloadConfig, random_schedule
+from repro.workloads.generators import random_partial_schedule
+
+from tests.strategies import latency_seeds, workload_configs
+
+SEEDS = [0, 1, 2, 3]
+
+
+def _cfg(seed):
+    return WorkloadConfig(n_processes=4, ops_per_process=10,
+                          n_variables=3, write_fraction=0.6, seed=seed)
+
+
+def assert_conformant(result):
+    report = check_run(result)
+    assert report.ok, report.summary()
+    assert_causally_convergent(result)
+
+
+def assert_causally_convergent(result):
+    """Divergent final writes for a variable must be ->co-concurrent."""
+    co = result.history.causal_order
+    writes_by_wid = {w.wid: w for w in result.history.writes()}
+    variables = {v for store in result.stores for v in store}
+    for var in variables:
+        finals = {}
+        for p, store in enumerate(result.stores):
+            if var in store:
+                finals[p] = store[var][1]
+        wids = set(finals.values())
+        for w1 in wids:
+            for w2 in wids:
+                if w1 == w2 or w1 not in writes_by_wid or w2 not in writes_by_wid:
+                    continue
+                a, b = writes_by_wid[w1], writes_by_wid[w2]
+                assert not (co.precedes(a, b) or co.precedes(b, a)), (
+                    f"replicas diverge on {var!r} between causally "
+                    f"ordered writes {w1} and {w2}: finals {finals}"
+                )
+
+
+class TestRegistryConformance:
+    @pytest.mark.parametrize("name", sorted(PROTOCOLS))
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_legal_consistent_convergent(self, name, seed):
+        """All protocols on the SAME schedule per seed."""
+        sched = random_schedule(_cfg(seed))
+        r = run_schedule(
+            PROTOCOLS[name], 4, sched,
+            latency=SeededLatency(seed, dist="exponential", mean=2.0),
+            record_state=True,
+        )
+        assert_conformant(r)
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(cfg=workload_configs(max_processes=4, max_ops=8),
+           name=st.sampled_from(sorted(PROTOCOLS)),
+           lseed=latency_seeds)
+    def test_legal_consistent_convergent_on_random_shapes(
+        self, cfg, name, lseed
+    ):
+        sched = random_schedule(cfg)
+        r = run_schedule(PROTOCOLS[name], cfg.n_processes, sched,
+                         latency=SeededLatency(lseed))
+        assert_conformant(r)
+
+
+class TestPartialConformance:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_legal_consistent_convergent(self, seed, k):
+        cfg = _cfg(seed)
+        variables = [f"x{i}" for i in range(cfg.n_variables)]
+        rmap = ReplicationMap.round_robin(variables, cfg.n_processes, k)
+        sched = random_partial_schedule(cfg, rmap)
+        r = run_schedule(
+            partial_factory(rmap), cfg.n_processes, sched,
+            latency=SeededLatency(seed, dist="exponential", mean=2.0),
+        )
+        assert_conformant(r)

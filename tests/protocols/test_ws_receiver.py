@@ -151,8 +151,9 @@ class TestVarPastBookkeeping:
         assert p1.var_past["x"] == [2, 0, 0]
         # p1's next write on a different variable carries VP with x-info
         m3 = the_message(p1.write("y", 3))
-        assert m3.payload["var_past"]["x"] == (2, 0, 0)
-        assert m3.payload["var_past"]["y"] == (0, 1, 0)
+        vp = dict(m3.payload["var_past"])
+        assert vp["x"] == (2, 0, 0)
+        assert vp["y"] == (0, 1, 0)
 
     def test_skip_then_later_chain_stays_consistent(self):
         """After a skip, subsequent messages from the same sender apply

@@ -188,7 +188,7 @@ class TestSizeEstimate:
         plain = estimate_size(msg(payload={"write_co": (1, 2, 3)}))
         ws = estimate_size(
             msg(payload={"write_co": (1, 2, 3),
-                         "var_past": {"x": (1, 0, 0), "y": (0, 2, 0)}})
+                         "var_past": (("x", (1, 0, 0)), ("y", (0, 2, 0)))})
         )
         assert ws > plain
 

@@ -1,6 +1,8 @@
 """Round-trip tests for trace serialization."""
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.analysis import check_run
 from repro.sim import SeededLatency, run_schedule
@@ -8,9 +10,28 @@ from repro.sim.result import RunResult
 from repro.sim.serialize import trace_from_jsonl, trace_to_jsonl
 from repro.workloads import WorkloadConfig, fig3, random_schedule
 
+from tests.strategies import latency_seeds, workload_configs
+
 
 def roundtrip(trace):
     return trace_from_jsonl(trace_to_jsonl(trace))
+
+
+class TestRoundTripProperties:
+    """Serialization is an exact involution on *arbitrary* generated
+    runs, not just the canned ones below."""
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(cfg=workload_configs(max_processes=4, max_ops=8),
+           proto=st.sampled_from(["optp", "anbkh", "ws-receiver",
+                                  "sequencer"]),
+           lseed=latency_seeds)
+    def test_dump_load_dump_is_identity(self, cfg, proto, lseed):
+        r = run_schedule(proto, cfg.n_processes, random_schedule(cfg),
+                         latency=SeededLatency(lseed), record_state=True)
+        text = trace_to_jsonl(r.trace)
+        assert trace_to_jsonl(trace_from_jsonl(text)) == text
 
 
 class TestRoundTrip:

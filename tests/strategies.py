@@ -1,0 +1,105 @@
+"""Shared hypothesis strategies for the property-test suites.
+
+One vocabulary of generated inputs, used by the theory-layer tests
+(``tests/model``), the simulator/serialization tests (``tests/sim``),
+the scheduler differential (``tests/integration``), the protocol
+conformance suite (``tests/protocols``), and the model-checker tests
+(``tests/mck``):
+
+- :func:`histories` -- arbitrary (possibly *inconsistent*) histories,
+  for driving legality/causal-order code with adversarial inputs;
+- :func:`workload_configs` -- random :class:`WorkloadConfig` shapes for
+  full simulated runs;
+- :data:`latency_kinds` / :func:`make_latency` / :data:`latency_seeds`
+  -- the latency regimes runs are exercised under;
+- :func:`mck_workloads` -- small per-process operation scripts sized
+  for the exhaustive model checker (a handful of ops, 2-3 processes:
+  the checker explores *every* interleaving, so size is the budget).
+"""
+
+from hypothesis import strategies as st
+
+from repro.model.history import HistoryBuilder
+from repro.sim import ConstantLatency, SeededLatency
+from repro.workloads import WorkloadConfig
+from repro.workloads.ops import ReadOp, WriteOp
+
+
+@st.composite
+def histories(draw, max_processes=4, max_ops=12, max_vars=3):
+    """A random history: reads read-from any *earlier-generated* write
+    on the same variable (or BOTTOM), so ->co stays acyclic but
+    legality is arbitrary."""
+    n = draw(st.integers(min_value=1, max_value=max_processes))
+    n_ops = draw(st.integers(min_value=0, max_value=max_ops))
+    b = HistoryBuilder(n)
+    wids_by_var = {}
+    for _ in range(n_ops):
+        p = draw(st.integers(min_value=0, max_value=n - 1))
+        var = f"x{draw(st.integers(min_value=0, max_value=max_vars - 1))}"
+        if draw(st.booleans()):
+            wid = b.write(p, var)
+            wids_by_var.setdefault(var, []).append(wid)
+        else:
+            pool = wids_by_var.get(var, [])
+            choice = draw(st.integers(min_value=-1, max_value=len(pool) - 1))
+            b.read(p, var, None if choice < 0 else pool[choice])
+    return b.build()
+
+
+def workload_configs(min_processes=2, max_processes=6, max_ops=15,
+                     max_vars=5, min_write_fraction=0.2):
+    """Random workload shapes for full simulated runs."""
+    return st.builds(
+        WorkloadConfig,
+        n_processes=st.integers(min_value=min_processes,
+                                max_value=max_processes),
+        ops_per_process=st.integers(min_value=2, max_value=max_ops),
+        n_variables=st.integers(min_value=1, max_value=max_vars),
+        write_fraction=st.floats(min_value=min_write_fraction,
+                                 max_value=1.0),
+        zipf_s=st.floats(min_value=0.0, max_value=2.0),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+
+
+latency_seeds = st.integers(min_value=0, max_value=10_000)
+latency_kinds = st.sampled_from(["constant", "uniform", "exponential"])
+
+
+def make_latency(kind: str, seed: int):
+    """A latency model of the given regime (seeded where applicable)."""
+    if kind == "constant":
+        return ConstantLatency(1.0)
+    if kind == "uniform":
+        return SeededLatency(seed, dist="uniform", lo=0.2, hi=4.0)
+    return SeededLatency(seed, dist="exponential", mean=1.5)
+
+
+@st.composite
+def mck_workloads(draw, max_processes=3, max_ops_per_process=3,
+                  max_vars=2):
+    """A small random checker workload (per-process operation scripts).
+
+    Sized for exhaustive exploration: the interleaving count grows
+    factorially in total ops, so the defaults keep DFS in the
+    10^2..10^4 state range.  Values are unique per write so read-from
+    edges stay unambiguous.
+    """
+    from repro.mck.workloads import MckWorkload
+
+    n = draw(st.integers(min_value=2, max_value=max_processes))
+    counter = 0
+    scripts = []
+    for p in range(n):
+        k = draw(st.integers(min_value=0, max_value=max_ops_per_process))
+        ops = []
+        for _ in range(k):
+            var = f"x{draw(st.integers(min_value=0, max_value=max_vars - 1))}"
+            if draw(st.booleans()):
+                ops.append(WriteOp(var, f"v{counter}"))
+                counter += 1
+            else:
+                ops.append(ReadOp(var))
+        scripts.append(tuple(ops))
+    return MckWorkload(name="hyp", scripts=tuple(scripts))
