@@ -1,0 +1,230 @@
+"""Tentpole benchmark: flat struct-of-arrays state engine + sharded mck.
+
+Three measurements, mirroring the two halves of the flat-state PR:
+
+- **Reversed-chain drain, flat vs. indexed** -- the same adversarial
+  single-sender workload as ``test_bench_scheduler.py``, but now the
+  indexed scheduler (PR-1's winner) is the *baseline* and the flat
+  backend the candidate.  The chain's requirement rows are pivot-only
+  (a single-writer chain has no cross-sender deps), so the flat offer
+  path is O(1) per message where the indexed path re-derives the
+  missing-dep set from the n-length vectors -- the gap widens with n.
+- **Batched activation predicate** -- :class:`PendingMatrix.ready_mask`
+  evaluated over a few thousand parked requirement rows, the vectorized
+  form of "which buffered messages are ready?".
+- **Sharded model checking** -- states/s of the exhaustive anbkh /
+  triangle check at 1, 2 and 4 workers via ``check_sharded``.
+
+``test_flatstate_speedup_report`` re-times everything with
+``time.perf_counter`` (pytest-benchmark may run with
+``--benchmark-disable`` in CI smoke), asserts the acceptance bars --
+flat >= 5x indexed on the n=256 chain, sharded mck >= 3x serial at 4
+workers *when the host has >= 4 CPUs* -- and writes
+``BENCH_flatstate.json`` at the repo root.  On smaller hosts (CI
+containers often expose a single core) the mck bar is recorded but not
+enforced: process-pool sharding cannot beat serial without parallel
+hardware, and the count-parity tests in ``tests/mck/test_shard.py``
+already pin its correctness independently of speed.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.flatstate import FlatDeps, FlatProgress, PendingMatrix
+from repro.core.optp import OptPProtocol
+from repro.mck import CheckConfig, check, check_sharded, workload_by_name
+from repro.sim.node import Node
+from repro.sim.trace import FlatTrace, Trace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_flatstate.json"
+
+CHAIN_DEPTH = 1024
+SWEEP_N = [16, 64, 256]
+SPEEDUP_FLOOR_AT_256 = 5.0
+
+MATRIX_ROWS = 4096
+PREDICATE_FLOOR_PER_SEC = 1_000_000.0
+
+MCK_JOBS = [1, 2, 4]
+MCK_SPEEDUP_FLOOR_AT_4 = 3.0
+MCK_MIN_CPUS = 4
+
+
+def reversed_chain(n, depth=CHAIN_DEPTH, flat=False):
+    """One sender, ``depth`` causally chained writes, delivered newest
+    first.  With ``flat=True`` the sender precomputes each message's
+    :class:`FlatDeps` row at write time, as every flat-cluster writer
+    does."""
+    sender = OptPProtocol(0, n)
+    if flat:
+        sender.enable_flat_state()
+    msgs = [sender.write("x", k).outgoing[0].message for k in range(depth)]
+    msgs.reverse()
+    return msgs
+
+
+def drain_reversed(n, mode, msgs):
+    """Feed the reversed chain into one receiver; return applied count.
+
+    ``mode`` picks the production pairing: ``"flat"`` runs the flat
+    state backend (which brings its own scheduler and compact trace),
+    anything else forces that scheduler on the scalar backend.
+    """
+    if mode == "flat":
+        trace = FlatTrace(n)
+        node = Node(OptPProtocol(1, n), trace, clock=lambda: 0.0,
+                    dispatch=lambda *a: None, state_backend="flat")
+    else:
+        trace = Trace(n)
+        node = Node(OptPProtocol(1, n), trace, clock=lambda: 0.0,
+                    dispatch=lambda *a: None, scheduler=mode)
+    for m in msgs:
+        node.receive(m)
+    assert node.buffered_count == 0
+    return len(trace.apply_order(1))
+
+
+@pytest.mark.parametrize("mode", ["indexed", "flat"])
+@pytest.mark.parametrize("n", SWEEP_N)
+def test_bench_flat_reversed_chain(benchmark, n, mode):
+    msgs = reversed_chain(n, flat=(mode == "flat"))
+    applies = benchmark.pedantic(drain_reversed, args=(n, mode, msgs),
+                                 rounds=3, iterations=1)
+    assert applies == CHAIN_DEPTH
+
+
+def _filled_matrix(n_components=64, rows=MATRIX_ROWS):
+    matrix = PendingMatrix(n_components, capacity=rows)
+    for k in range(rows):
+        counts = [0] * n_components
+        counts[k % n_components] = (k // n_components) + 1
+        matrix.add(FlatDeps.from_counts(counts, pivot=k % n_components))
+    progress = FlatProgress([0] * n_components)
+    return matrix, progress
+
+
+def test_bench_flat_ready_mask(benchmark):
+    """The batched activation predicate at 4096 parked rows."""
+    matrix, progress = _filled_matrix()
+    mask = benchmark(lambda: matrix.ready_mask(progress.vec))
+    assert mask.shape == (MATRIX_ROWS,)
+    assert not mask.any()  # nothing satisfied at zero progress
+
+
+def _mck_config():
+    return CheckConfig(protocol="anbkh", workload=workload_by_name("triangle"))
+
+
+def _mck_states_per_sec(jobs):
+    config = _mck_config()
+    t0 = time.perf_counter()
+    if jobs == 1:
+        result = check(config)
+    else:
+        result, _stats = check_sharded(config, jobs=jobs)
+    wall = time.perf_counter() - t0
+    return result.states, wall
+
+
+@pytest.mark.parametrize("jobs", MCK_JOBS)
+def test_bench_mck_sharded(benchmark, jobs):
+    states, _ = benchmark.pedantic(_mck_states_per_sec, args=(jobs,),
+                                   rounds=1, iterations=1)
+    assert states > 10_000
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_flatstate_speedup_report():
+    """Times everything, asserts the acceptance bars, and writes the
+    committed ``BENCH_flatstate.json`` artifact."""
+    chain = {}
+    for n in SWEEP_N:
+        indexed_msgs = reversed_chain(n)
+        flat_msgs = reversed_chain(n, flat=True)
+        indexed = _best_of(lambda: drain_reversed(n, "indexed", indexed_msgs))
+        flat = _best_of(lambda: drain_reversed(n, "flat", flat_msgs))
+        chain[str(n)] = {
+            "indexed_s": round(indexed, 6),
+            "flat_s": round(flat, 6),
+            "speedup": round(indexed / flat, 2),
+            "flat_deliveries_per_sec": round(CHAIN_DEPTH / flat, 1),
+        }
+
+    matrix, progress = _filled_matrix()
+    iters = 200
+    vec = progress.vec
+
+    def sweep():
+        for _ in range(iters):
+            matrix.ready_mask(vec)
+
+    mask_wall = _best_of(sweep)
+    predicate_evals_per_sec = MATRIX_ROWS * iters / mask_wall
+
+    mck = {}
+    for jobs in MCK_JOBS:
+        states, wall = min(
+            (_mck_states_per_sec(jobs) for _ in range(2)),
+            key=lambda pair: pair[1],
+        )
+        mck[str(jobs)] = {
+            "states": states,
+            "wall_s": round(wall, 6),
+            "states_per_sec": round(states / wall, 1),
+        }
+    for jobs in MCK_JOBS[1:]:
+        assert mck[str(jobs)]["states"] == mck["1"]["states"], (
+            "sharded state count diverged from serial -- parity broken")
+
+    cpu_count = os.cpu_count() or 1
+    mck_speedup_at_4 = round(
+        mck["4"]["states_per_sec"] / mck["1"]["states_per_sec"], 2)
+    mck_speedup_enforced = cpu_count >= MCK_MIN_CPUS
+
+    report = {
+        "bench": "flat-array protocol state engine + sharded model checking",
+        "chain": {
+            "shape": "single-sender reversed chain, flat vs indexed",
+            "chain_depth": CHAIN_DEPTH,
+            "n_sweep": SWEEP_N,
+            "results": chain,
+        },
+        "predicate": {
+            "rows": MATRIX_ROWS,
+            "evals_per_sec": round(predicate_evals_per_sec, 1),
+        },
+        "mck": {
+            "config": "anbkh / triangle, exhaustive",
+            "results": mck,
+            "speedup_at_4": mck_speedup_at_4,
+            "cpu_count": cpu_count,
+            "mck_speedup_enforced": mck_speedup_enforced,
+        },
+    }
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    assert predicate_evals_per_sec >= PREDICATE_FLOOR_PER_SEC, (
+        f"ready_mask at only {predicate_evals_per_sec:.0f} evals/s "
+        f"(floor {PREDICATE_FLOOR_PER_SEC:.0f})")
+    speedup_256 = chain["256"]["speedup"]
+    assert speedup_256 >= SPEEDUP_FLOOR_AT_256, (
+        f"flat backend only {speedup_256}x faster than indexed at n=256 "
+        f"(floor {SPEEDUP_FLOOR_AT_256}x): {chain}")
+    if mck_speedup_enforced:
+        assert mck_speedup_at_4 >= MCK_SPEEDUP_FLOOR_AT_4, (
+            f"sharded mck only {mck_speedup_at_4}x serial at 4 workers "
+            f"(floor {MCK_SPEEDUP_FLOOR_AT_4}x on {cpu_count} CPUs): {mck}")

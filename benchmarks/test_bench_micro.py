@@ -53,6 +53,31 @@ def test_bench_q4_vc_join(benchmark):
     benchmark(lambda: vc_join(a, b))
 
 
+def test_bench_q4_vc_join_inplace(benchmark):
+    """The read/apply-path join without the per-call list rebuild
+    (adopted in the ANBKH and ws-receiver apply paths by the flat-state
+    PR): mutates the accumulator instead of allocating a result."""
+    from repro.core.vectorclock import vc_join_inplace
+
+    a, b = _vectors(16, 2, 4)
+    acc = list(a)
+    benchmark(lambda: vc_join_inplace(acc, b))
+
+
+def test_bench_q4_ws_receiver_read_join(benchmark):
+    """ws-receiver's read-time merge (Definition 10 jump): dominated by
+    the per-variable past joins, now in-place via vc_join_inplace."""
+    from repro.protocols.ws_receiver import WSReceiverProtocol
+
+    sender = WSReceiverProtocol(0, 16)
+    receiver = WSReceiverProtocol(1, 16)
+    for k in range(8):
+        msg = sender.write(f"x{k % 4}", k).outgoing[0].message
+        receiver.apply_update(msg)
+
+    benchmark(lambda: receiver.read("x1"))
+
+
 def test_bench_q4_optp_write(benchmark):
     p = OptPProtocol(0, 16)
 

@@ -56,6 +56,13 @@ class UpdateMessage:
     variable: Hashable
     value: Any
     payload: Mapping[str, Any] = field(default_factory=dict)
+    #: Writer-precomputed flat requirement row (``core.flatstate``),
+    #: or None when the writer runs scalar.  Deliberately *outside*
+    #: ``payload`` (and excluded from comparison/repr): it is derived
+    #: metadata over the same numbers the payload already carries, so
+    #: wire-size estimates, message fingerprints, and payload
+    #: immutability scans are unaffected.
+    flat_deps: Any = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"m({self.variable}={self.value!r} from {self.wid})"
@@ -296,6 +303,60 @@ class Protocol(abc.ABC):
         it.  Only consulted when :meth:`missing_deps` is implemented.
         """
         return (msg.sender, msg.wid.seq)
+
+    # -- flat-state backend ----------------------------------------------------
+
+    #: Class-level opt-in to the struct-of-arrays backend
+    #: (:mod:`repro.core.flatstate`).  A protocol that sets this True
+    #: must implement :meth:`enable_flat_state`, :meth:`flat_progress`,
+    #: and :meth:`flat_deps` so the flat delivery scheduler can run its
+    #: counting/vectorized activation predicate; the substrate resolves
+    #: ``state_backend="auto"`` to flat iff this is set.
+    supports_flat_state: ClassVar[bool] = False
+
+    def enable_flat_state(self) -> None:
+        """Switch this instance to flat bookkeeping.
+
+        Called once by the substrate before any operation runs.  Flat
+        protocols start attaching precomputed requirement rows
+        (:class:`~repro.core.flatstate.FlatDeps`) to outgoing updates
+        and routing progress bumps through :meth:`flat_progress`'s
+        view.  Observable behaviour must not change: flat and scalar
+        runs are byte-identical by contract.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support the flat backend"
+        )
+
+    def flat_progress(self):
+        """The node's live progress vector
+        (:class:`~repro.core.flatstate.FlatProgress`) -- a view over
+        the protocol's own apply-count list.  Only called after
+        :meth:`enable_flat_state`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support the flat backend"
+        )
+
+    def flat_deps(self, msg: UpdateMessage):
+        """The message's requirement row
+        (:class:`~repro.core.flatstate.FlatDeps`).
+
+        Receiver-side fallback for messages whose writer did not attach
+        one (``msg.flat_deps is None``) -- e.g. the partial-replication
+        protocol, whose requirement row is receiver-specific.  Must be
+        side-effect free; called at most once per message per receiver
+        (the scheduler caches the result)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support the flat backend"
+        )
+
+    def flat_dep_key(self, component: int, required: int) -> Tuple[int, int]:
+        """Map an unsatisfied flat requirement to the
+        :meth:`apply_event` key whose firing satisfies it.  The default
+        matches protocols whose progress components count per-writer
+        applies in wid order (OptP, ANBKH, partial); the sequencer's
+        one-dimensional stamp overrides it."""
+        return (component, required)
 
     # -- introspection --------------------------------------------------------
 

@@ -57,6 +57,7 @@ from repro.core.base import (
     UpdateMessage,
     WriteOutcome,
 )
+from repro.core.flatstate import FlatDeps, FlatProgress
 from repro.core.vectorclock import vc_join_inplace
 
 #: Payload key under which OptP piggybacks the write's Write_co vector.
@@ -68,6 +69,7 @@ class OptPProtocol(Protocol):
 
     name = "optp"
     in_class_p = True
+    supports_flat_state = True
 
     def __init__(self, process_id: int, n_processes: int):
         super().__init__(process_id, n_processes)
@@ -77,6 +79,7 @@ class OptPProtocol(Protocol):
         # LastWriteOn is keyed by variable name; absent key = [0]*n
         # (every component initialized to zero, Section 4.1).
         self.last_write_on: Dict[Hashable, Tuple[int, ...]] = {}
+        self._fp: Optional[FlatProgress] = None
 
     # -- operations -----------------------------------------------------------
 
@@ -87,15 +90,20 @@ class OptPProtocol(Protocol):
         wid = self.next_wid()
         assert wid.seq == self.write_co[i], "Observation 2 invariant"
         vec = tuple(self.write_co)
+        fp = self._fp
         msg = UpdateMessage(
             sender=i,
             wid=wid,
             variable=variable,
             value=value,
             payload={WRITE_CO_KEY: vec},
+            flat_deps=None if fp is None else self._make_flat_deps(vec, i),
         )                                           # line 2: send event
         self.store_put(variable, value, wid)        # line 3: apply event
-        self.apply_vec[i] += 1                      # line 4
+        if fp is None:                              # line 4
+            self.apply_vec[i] += 1
+        else:
+            fp.advance(i)
         self.last_write_on[variable] = vec          # line 5
         return WriteOutcome(wid=wid, outgoing=(Outgoing(msg, BROADCAST),))
 
@@ -140,8 +148,13 @@ class OptPProtocol(Protocol):
         u = msg.sender
         w_co = msg.payload[WRITE_CO_KEY]
         self.store_put(msg.variable, msg.value, msg.wid)   # line 3
-        self.apply_vec[u] += 1                             # line 4
-        self.last_write_on[msg.variable] = tuple(w_co)     # line 5
+        if self._fp is None:                               # line 4
+            self.apply_vec[u] += 1
+        else:
+            self._fp.advance(u)
+        # line 5: the wire vector is a frozen tuple (payload
+        # immutability contract), so storing it bare is alias-safe.
+        self.last_write_on[msg.variable] = w_co  # reprolint: disable=RL003
 
     def missing_deps(self, msg: UpdateMessage) -> Optional[List[Tuple[int, int]]]:
         """The wait predicate of Figure 5 line 2 as explicit apply events.
@@ -163,6 +176,27 @@ class OptPProtocol(Protocol):
             if t != u and w_co[t] > self.apply_vec[t]:
                 deps.append((t, w_co[t]))
         return deps
+
+    # -- flat-state backend -----------------------------------------------------
+
+    @staticmethod
+    def _make_flat_deps(w_co: Tuple[int, ...], sender: int) -> FlatDeps:
+        """The wait predicate of Figure 5 line 2 as a requirement row:
+        ``Apply[t] >= W_co[t]`` for ``t != u`` and ``Apply[u]`` exactly
+        ``W_co[u] - 1`` (the pivot; overshoot means duplicate)."""
+        counts = list(w_co)
+        counts[sender] -= 1
+        return FlatDeps.from_counts(counts, sender)
+
+    def enable_flat_state(self) -> None:
+        if self._fp is None:
+            self._fp = FlatProgress(self.apply_vec)
+
+    def flat_progress(self) -> FlatProgress:
+        return self._fp
+
+    def flat_deps(self, msg: UpdateMessage) -> FlatDeps:
+        return self._make_flat_deps(msg.payload[WRITE_CO_KEY], msg.sender)
 
     # -- introspection ------------------------------------------------------------
 

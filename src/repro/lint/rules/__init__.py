@@ -8,6 +8,7 @@ does so lazily, so adding a rule module here is the only wiring step.
 from repro.lint.rules import aliasing as _aliasing  # noqa: F401
 from repro.lint.rules import contract as _contract  # noqa: F401
 from repro.lint.rules import determinism as _determinism  # noqa: F401
+from repro.lint.rules import flatalloc as _flatalloc  # noqa: F401
 from repro.lint.rules import isolation as _isolation  # noqa: F401
 from repro.lint.rules import obsgate as _obsgate  # noqa: F401
 from repro.lint.rules import workers as _workers  # noqa: F401
@@ -18,12 +19,14 @@ from repro.lint.rules.determinism import (
     NondeterministicCallRule,
     UnorderedIterationRule,
 )
+from repro.lint.rules.flatalloc import FlatHotAllocRule
 from repro.lint.rules.isolation import CrossNodeIsolationRule
 from repro.lint.rules.obsgate import ObsGatingRule
 from repro.lint.rules.workers import PicklableWorkerRule
 
 __all__ = [
     "CrossNodeIsolationRule",
+    "FlatHotAllocRule",
     "NondeterministicCallRule",
     "ObsGatingRule",
     "PicklableWorkerRule",

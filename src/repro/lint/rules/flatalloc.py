@@ -1,0 +1,97 @@
+"""RL009: no per-message vector allocation in flat-backend hot zones.
+
+The flat state backend (:mod:`repro.core.flatstate`,
+``docs/performance.md``) exists to make the per-delivery path
+allocation-free: dependency rows are built **once per write** by
+``FlatDeps.from_counts``, progress advances in place, and the
+scheduler's predicate evaluation compares against preallocated arrays.
+A ``list(...)``/``tuple(...)`` conversion inside the per-delivery hot
+zone quietly reintroduces the per-message vector rebuild the backend
+was built to eliminate -- the run stays correct, the speedup silently
+evaporates, and only the benchmark sweep would notice.
+
+Flat hot zones (zones ``sim`` / ``core`` / ``protocols``):
+
+- the per-delivery methods of the flat classes (``Flat*``,
+  ``PendingMatrix``): ``offer`` / ``notify_applied`` / ``pump`` /
+  ``advance`` / ``ready_mask`` / ``add`` / ``remove``;
+- any function or method whose name ends with ``_flat`` (the node's
+  ``_receive_update_flat`` / ``_apply_flat`` receive path).
+
+Flagged: any call to ``list`` / ``tuple`` (conversion or empty -- both
+allocate per message).  Tuple *literals* like ``(sender, seq)`` keys
+are fine: small fixed-arity keys, not vector rebuilds.  Constructors
+(``__init__``, ``from_counts``, ``enable_flat_state``) and audit views
+(``pending_matrix``, ``buffered``) run off the per-delivery path and
+are deliberately out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext, dotted_name
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+__all__ = ["FlatHotAllocRule"]
+
+#: Per-delivery methods of the flat-backend classes.
+_HOT_METHODS = {
+    "offer", "notify_applied", "pump", "advance", "ready_mask",
+    "add", "remove",
+}
+
+#: Class-name shapes the flat backend uses.
+_FLAT_CLASS_PREFIX = "Flat"
+_FLAT_CLASS_NAMES = {"PendingMatrix"}
+
+_ALLOC_CALLS = {"list", "tuple"}
+
+
+def _is_flat_class(name: str) -> bool:
+    return name.startswith(_FLAT_CLASS_PREFIX) or name in _FLAT_CLASS_NAMES
+
+
+@register
+class FlatHotAllocRule(Rule):
+    code = "RL009"
+    name = "flat-hot-alloc"
+    summary = (
+        "no per-message list/tuple vector allocation inside "
+        "flat-backend hot zones"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.zone not in ("sim", "core", "protocols"):
+            return
+        for func, where in self._hot_zones(ctx):
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if name not in _ALLOC_CALLS:
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    f"{name}(...) allocates a fresh vector per message "
+                    f"inside flat hot zone {where}; use the "
+                    "preallocated FlatDeps row / advance the progress "
+                    "vector in place (repro.core.flatstate)",
+                )
+
+    def _hot_zones(self, ctx: ModuleContext):
+        """Yield (function node, human-readable zone name) pairs."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if node.name.endswith("_flat"):
+                yield node, f"{node.name}()"
+                continue
+            if node.name not in _HOT_METHODS:
+                continue
+            parent = ctx.parent(node)
+            if isinstance(parent, ast.ClassDef) and _is_flat_class(
+                    parent.name):
+                yield node, f"{parent.name}.{node.name}()"

@@ -24,6 +24,7 @@ from repro.mck.explorer import (
 from repro.mck.faults import NO_FAULTS, FaultSpec, parse_faults
 from repro.mck.invariants import Finding, InvariantTracker, UnnecessaryDelay
 from repro.mck.parallel import run_checks
+from repro.mck.shard import check_sharded, shardable
 from repro.mck.witness import (
     build_witness,
     load_witness,
@@ -55,6 +56,7 @@ __all__ = [
     "Violation",
     "build_witness",
     "check",
+    "check_sharded",
     "independent",
     "load_witness",
     "minimize_witness",
@@ -63,6 +65,7 @@ __all__ = [
     "replay_witness",
     "run_checks",
     "save_witness",
+    "shardable",
     "workload_by_name",
     "workload_from_dict",
     "workload_from_schedule",

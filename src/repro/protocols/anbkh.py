@@ -43,6 +43,7 @@ from repro.core.base import (
     UpdateMessage,
     WriteOutcome,
 )
+from repro.core.flatstate import FlatDeps, FlatProgress
 
 #: Payload key for the Fidge-Mattern timestamp of the send event.
 VT_KEY = "vt"
@@ -53,25 +54,33 @@ class ANBKHProtocol(Protocol):
 
     name = "anbkh"
     in_class_p = True
+    supports_flat_state = True
 
     def __init__(self, process_id: int, n_processes: int):
         super().__init__(process_id, n_processes)
         #: vc[j] = number of writes of p_j applied locally.
         self.vc: List[int] = [0] * n_processes
+        self._fp: Optional[FlatProgress] = None
 
     # -- operations -----------------------------------------------------------
 
     def write(self, variable: Hashable, value: Any) -> WriteOutcome:
         i = self.process_id
-        self.vc[i] += 1
+        fp = self._fp
+        if fp is None:
+            self.vc[i] += 1
+        else:
+            fp.advance(i)
         wid = self.next_wid()
         assert wid.seq == self.vc[i]
+        vt = tuple(self.vc)
         msg = UpdateMessage(
             sender=i,
             wid=wid,
             variable=variable,
             value=value,
-            payload={VT_KEY: tuple(self.vc)},
+            payload={VT_KEY: vt},
+            flat_deps=None if fp is None else self._make_flat_deps(vt, i),
         )
         self.store_put(variable, value, wid)
         return WriteOutcome(wid=wid, outgoing=(Outgoing(msg, BROADCAST),))
@@ -97,7 +106,10 @@ class ANBKHProtocol(Protocol):
 
     def apply_update(self, msg: UpdateMessage) -> None:
         self.store_put(msg.variable, msg.value, msg.wid)
-        self.vc[msg.sender] += 1
+        if self._fp is None:
+            self.vc[msg.sender] += 1
+        else:
+            self._fp.advance(msg.sender)
 
     def missing_deps(self, msg: UpdateMessage) -> Optional[List[Tuple[int, int]]]:
         """The BSS delivery condition as explicit apply events:
@@ -115,6 +127,27 @@ class ANBKHProtocol(Protocol):
             if t != u and vt[t] > self.vc[t]:
                 deps.append((t, vt[t]))
         return deps
+
+    # -- flat-state backend -----------------------------------------------------
+
+    @staticmethod
+    def _make_flat_deps(vt: Tuple[int, ...], sender: int) -> FlatDeps:
+        """The BSS delivery condition as a requirement row:
+        ``VC[t] >= VT[t]`` for ``t != u``, ``VC[u]`` exactly
+        ``VT[u] - 1`` (pivot; overshoot = duplicate)."""
+        counts = list(vt)
+        counts[sender] -= 1
+        return FlatDeps.from_counts(counts, sender)
+
+    def enable_flat_state(self) -> None:
+        if self._fp is None:
+            self._fp = FlatProgress(self.vc)
+
+    def flat_progress(self) -> FlatProgress:
+        return self._fp
+
+    def flat_deps(self, msg: UpdateMessage) -> FlatDeps:
+        return self._make_flat_deps(msg.payload[VT_KEY], msg.sender)
 
     # -- introspection ------------------------------------------------------------
 

@@ -65,6 +65,8 @@ from repro.core.base import (
     UpdateMessage,
     WriteOutcome,
 )
+from repro.core.flatstate import FlatDeps, FlatProgress
+from repro.core.vectorclock import vc_join_inplace
 from repro.model.operations import WriteId
 
 VAR_PAST_KEY = "var_past"
@@ -129,6 +131,7 @@ class PartialReplicationProtocol(Protocol):
 
     name = "partial"
     in_class_p = False
+    supports_flat_state = True
 
     def __init__(self, process_id: int, n_processes: int,
                  replication: ReplicationMap):
@@ -141,8 +144,13 @@ class PartialReplicationProtocol(Protocol):
         self.var_past: Dict[Hashable, List[int]] = {}
         #: writes of p_t applied here (all on held variables)
         self.applied_rel: List[int] = [0] * n_processes
-        self.last_var_past_on: Dict[Hashable, Mapping[Hashable, Tuple[int, ...]]] = {}
+        #: last applied write's VP map per variable, in wire form (the
+        #: sorted immutable pairs tuple shipped in payloads).
+        self.last_var_past_on: Dict[
+            Hashable, Tuple[Tuple[Hashable, Tuple[int, ...]], ...]
+        ] = {}
         self.unreplicated = 0
+        self._fp: Optional[FlatProgress] = None
 
     # -- helpers ---------------------------------------------------------------
 
@@ -198,9 +206,13 @@ class PartialReplicationProtocol(Protocol):
             payload={VAR_PAST_KEY: vp},
         )
         self.store_put(variable, value, wid)
-        self.applied_rel[i] += 1
-        # dict form for the per-variable merge on later reads
-        self.last_var_past_on[variable] = dict(vp)
+        if self._fp is None:
+            self.applied_rel[i] += 1
+        else:
+            self._fp.advance(i)
+        # the wire pairs tuple doubles as the read-merge source; no
+        # per-write dict rebuild (immutable, so sharing is safe)
+        self.last_var_past_on[variable] = vp  # reprolint: disable=RL003
         holders = self.replication.holders(variable)
         self.unreplicated += self.n_processes - len(holders)
         outgoing = tuple(
@@ -212,11 +224,8 @@ class PartialReplicationProtocol(Protocol):
         self._check_held(variable, "read")
         last = self.last_var_past_on.get(variable)
         if last is not None:
-            for var, vec in last.items():
-                row = self._vp_row(var)
-                for t, v in enumerate(vec):
-                    if v > row[t]:
-                        row[t] = v
+            for var, vec in last:
+                vc_join_inplace(self._vp_row(var), vec)
         value, wid = self.store_get(variable)
         return ReadOutcome(value=value, read_from=wid)
 
@@ -260,8 +269,32 @@ class PartialReplicationProtocol(Protocol):
         # we merely applied, reintroducing the false causality the
         # paper eliminates.
         self.store_put(msg.variable, msg.value, msg.wid)
-        self.applied_rel[msg.sender] += 1
-        self.last_var_past_on[msg.variable] = dict(msg.payload[VAR_PAST_KEY])
+        if self._fp is None:
+            self.applied_rel[msg.sender] += 1
+        else:
+            self._fp.advance(msg.sender)
+        # The wire VP is a deeply immutable sorted pairs tuple (payload
+        # contract), so storing it bare is alias-safe -- and drops the
+        # per-delivery dict rebuild this hot path used to pay.
+        self.last_var_past_on[msg.variable] = msg.payload[VAR_PAST_KEY]  # reprolint: disable=RL003
+
+    # -- flat-state backend -------------------------------------------------------
+
+    def enable_flat_state(self) -> None:
+        if self._fp is None:
+            self._fp = FlatProgress(self.applied_rel)
+
+    def flat_progress(self) -> FlatProgress:
+        return self._fp
+
+    def flat_deps(self, msg: UpdateMessage) -> FlatDeps:
+        """Receiver-side requirement row: the held-restricted ``rel``
+        counts.  No pivot -- the scalar predicate is pure ``>=`` (a
+        duplicate that slips past node-level dedup re-applies under
+        both backends, keeping flat byte-identical to scalar)."""
+        return FlatDeps.from_counts(
+            self._rel(msg.payload[VAR_PAST_KEY], msg.sender), None
+        )
 
     # -- introspection ------------------------------------------------------------
 

@@ -52,6 +52,7 @@ from repro.core.base import (
     UpdateMessage,
     WriteOutcome,
 )
+from repro.core.flatstate import FlatDeps, FlatProgress
 from repro.model.operations import WriteId
 
 #: Control kind for write requests travelling to the sequencer.
@@ -67,6 +68,7 @@ class SequencerProtocol(Protocol):
 
     name = "sequencer"
     in_class_p = True
+    supports_flat_state = True
 
     def __init__(self, process_id: int, n_processes: int):
         super().__init__(process_id, n_processes)
@@ -74,6 +76,7 @@ class SequencerProtocol(Protocol):
         self.next_gsn = 0
         #: next stamp to apply locally
         self.next_apply_gsn = 0
+        self._fp: Optional[FlatProgress] = None
         #: sequencer: per-sender next expected write seq (gap handling)
         self.expected_seq: List[int] = [1] * n_processes
         #: sequencer: out-of-order write requests, per sender by seq
@@ -156,10 +159,14 @@ class SequencerProtocol(Protocol):
             variable=variable,
             value=value,
             payload={GSN_KEY: gsn},
+            flat_deps=None if self._fp is None
+            else FlatDeps.from_counts([gsn], 0),
         )
         # The sequencer's own replica applies at stamping time.
         assert gsn == self.next_apply_gsn
         self.store_put(variable, value, wid)
+        if self._fp is not None:
+            self._fp.advance(0)
         self.next_apply_gsn += 1
         if wid.process == SEQUENCER:
             # write(): the WRITE trace event covers this local apply
@@ -193,11 +200,34 @@ class SequencerProtocol(Protocol):
     def apply_update(self, msg: UpdateMessage) -> None:
         assert msg.payload[GSN_KEY] == self.next_apply_gsn
         self.store_put(msg.variable, msg.value, msg.wid)
+        if self._fp is not None:
+            self._fp.advance(0)
         self.next_apply_gsn += 1
         pending = self.pending_own.get(msg.variable)
         if pending is not None and pending[1] == msg.wid:
             # our own write came back stamped; stop forwarding it
             del self.pending_own[msg.variable]
+
+    # -- flat-state backend -------------------------------------------------------------
+
+    def enable_flat_state(self) -> None:
+        # One-component progress: the stamp chain.  next_apply_gsn
+        # stays the authoritative scalar; the flat view mirrors it so
+        # the scheduler's counting index never touches the int attr.
+        if self._fp is None:
+            self._fp = FlatProgress([self.next_apply_gsn])
+
+    def flat_progress(self) -> FlatProgress:
+        return self._fp
+
+    def flat_deps(self, msg: UpdateMessage) -> FlatDeps:
+        return FlatDeps.from_counts([msg.payload[GSN_KEY]], 0)
+
+    def flat_dep_key(self, component: int, required: int) -> Tuple[int, int]:
+        """Requirement ``next_apply_gsn >= gsn`` is satisfied by the
+        apply of stamp ``gsn - 1`` (whose apply_event key is
+        ``(SEQUENCER, gsn - 1)``)."""
+        return (SEQUENCER, required - 1)
 
     # -- introspection ------------------------------------------------------------------
 

@@ -59,7 +59,7 @@ vector per variable written in the causal past (the overhead metric in
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Mapping, Tuple
+from typing import Any, Dict, Hashable, List, Tuple
 
 from repro.model.operations import WriteId
 from repro.core.base import (
@@ -71,6 +71,7 @@ from repro.core.base import (
     UpdateMessage,
     WriteOutcome,
 )
+from repro.core.vectorclock import vc_join_inplace
 
 WRITE_CO_KEY = "write_co"
 VAR_PAST_KEY = "var_past"
@@ -110,7 +111,9 @@ class WSReceiverProtocol(Protocol):
         self.var_past: Dict[Hashable, List[int]] = {}  # my causal past, per var
         self.apply_on: Dict[Hashable, List[int]] = {}  # applied-or-skipped per var
         self.last_write_on: Dict[Hashable, Tuple[int, ...]] = {}
-        self.last_var_past_on: Dict[Hashable, Mapping[Hashable, Tuple[int, ...]]] = {}
+        #: last applied write's VP map per variable, in wire form (the
+        #: sorted immutable pairs tuple shipped in payloads).
+        self.last_var_past_on: Dict[Hashable, VarPastWire] = {}
         self.skipped = 0
         self.discarded = 0
 
@@ -155,21 +158,17 @@ class WSReceiverProtocol(Protocol):
         self.apply_vec[i] += 1
         self._vp_row(self.apply_on, variable)[i] += 1
         self.last_write_on[variable] = w_vec
-        # dict form for the per-variable merge on later reads
-        self.last_var_past_on[variable] = dict(vp)
+        # the wire pairs tuple doubles as the read-merge source; no
+        # per-write dict rebuild (immutable, so sharing is safe)
+        self.last_var_past_on[variable] = vp  # reprolint: disable=RL003
         return WriteOutcome(wid=wid, outgoing=(Outgoing(msg, BROADCAST),))
 
     def read(self, variable: Hashable) -> ReadOutcome:
         lwo = self.last_write_on.get(variable)
         if lwo is not None:
-            for t, v in enumerate(lwo):
-                if v > self.write_co[t]:
-                    self.write_co[t] = v
-            for var, vec in self.last_var_past_on[variable].items():
-                row = self._vp_row(self.var_past, var)
-                for t, v in enumerate(vec):
-                    if v > row[t]:
-                        row[t] = v
+            vc_join_inplace(self.write_co, lwo)
+            for var, vec in self.last_var_past_on[variable]:
+                vc_join_inplace(self._vp_row(self.var_past, var), vec)
         value, wid = self.store_get(variable)
         return ReadOutcome(value=value, read_from=wid)
 
@@ -222,18 +221,16 @@ class WSReceiverProtocol(Protocol):
         self.skipped += sum(missing)
 
         self.store_put(msg.variable, msg.value, msg.wid)
-        apply_x = self._vp_row(self.apply_on, msg.variable)
-        for t in range(self.n_processes):
-            # Jump Apply to cover the skipped prefix plus (for the
-            # sender) the applied write itself.
-            target = w[t]
-            target_x = vp_x[t]
-            if target > self.apply_vec[t]:
-                self.apply_vec[t] = target
-            if target_x > apply_x[t]:
-                apply_x[t] = target_x
-        self.last_write_on[msg.variable] = tuple(w)
-        self.last_var_past_on[msg.variable] = dict(msg.payload[VAR_PAST_KEY])
+        # Jump Apply (and ApplyOn[x]) to cover the skipped prefix plus,
+        # for the sender, the applied write itself -- a componentwise
+        # max against the message's past.
+        vc_join_inplace(self.apply_vec, w)
+        vc_join_inplace(self._vp_row(self.apply_on, msg.variable), vp_x)
+        # Both wire values are deeply immutable (payload contract), so
+        # storing them bare is alias-safe -- and drops the per-delivery
+        # tuple/dict rebuilds this hot path used to pay.
+        self.last_write_on[msg.variable] = w  # reprolint: disable=RL003
+        self.last_var_past_on[msg.variable] = msg.payload[VAR_PAST_KEY]  # reprolint: disable=RL003
 
     def discard_update(self, msg: UpdateMessage) -> None:
         self.discarded += 1

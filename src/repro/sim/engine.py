@@ -158,29 +158,43 @@ class Engine:
         if obs_on:
             m_events = obs.registry.counter("engine.events")
             g_depth = obs.registry.gauge("engine.queue_depth")
-        while self._queue:
-            item = heapq.heappop(self._queue)
-            if item.cancelled:
-                continue
-            if item.time > max_time:
-                raise self._limit_error(
-                    f"exceeded max_time={max_time} (next event at {item.time})"
-                )
-            self.now = item.time
-            item.executed = True
-            self._alive -= 1
-            item.fn()
-            self.events_processed += 1
-            if obs_on:
-                m_events.inc()
-                g_depth.set(self._alive)
-            if self.events_processed >= max_events and self._queue:
-                raise self._limit_error(
-                    f"exceeded max_events={max_events} with "
-                    f"{self.pending} events still pending"
-                )
-            if stop is not None and stop():
-                return
+        # Hot loop: the queue reference, the heappop binding and the
+        # event counter live in locals (the counter is written back
+        # before every exit so exception detail and callers stay
+        # accurate).  ``self.now`` must stay an attribute -- callbacks
+        # read it through their clock closure.
+        queue = self._queue
+        pop = heapq.heappop
+        events = self.events_processed
+        try:
+            while queue:
+                item = pop(queue)
+                if item.cancelled:
+                    continue
+                if item.time > max_time:
+                    self.events_processed = events
+                    raise self._limit_error(
+                        f"exceeded max_time={max_time} "
+                        f"(next event at {item.time})"
+                    )
+                self.now = item.time
+                item.executed = True
+                self._alive -= 1
+                item.fn()
+                events += 1
+                if obs_on:
+                    m_events.inc()
+                    g_depth.set(self._alive)
+                if events >= max_events and queue:
+                    self.events_processed = events
+                    raise self._limit_error(
+                        f"exceeded max_events={max_events} with "
+                        f"{self.pending} events still pending"
+                    )
+                if stop is not None and stop():
+                    return
+        finally:
+            self.events_processed = events
         if stop is not None and not stop():
             raise self._limit_error(
                 "event queue exhausted but the stop condition never "

@@ -23,9 +23,10 @@ from repro.core.base import (
     Protocol,
     UpdateMessage,
 )
+from repro.core.flatstate import resolve_state_backend
 from repro.model.operations import WriteId, fresh_value
 from repro.obs.spans import NULL_OBS, Obs
-from repro.sim.scheduler import make_scheduler
+from repro.sim.scheduler import FlatScheduler, make_scheduler
 from repro.sim.trace import EventKind, Trace
 
 Dispatch = Callable[[int, Sequence[Outgoing]], None]
@@ -47,6 +48,7 @@ class Node:
         on_write: Optional[Callable[[], None]] = None,
         dedup: bool = False,
         scheduler: str = "auto",
+        state_backend: str = "scalar",
         obs: Obs = NULL_OBS,
     ):
         self.protocol = protocol
@@ -55,10 +57,21 @@ class Node:
         self.clock = clock
         self.dispatch = dispatch
         self.record_state = record_state
+        #: flat struct-of-arrays bookkeeping (``core.flatstate``).  The
+        #: node-level default is ``"scalar"``: direct Node constructions
+        #: (the model checker's controlled substrate, existing tests)
+        #: keep the oracle path, and :class:`~repro.sim.cluster.SimCluster`
+        #: resolves its own ``state_backend="auto"`` switch before
+        #: passing the literal down.
+        self._flat = resolve_state_backend(state_backend, protocol)
         #: delivery scheduler owning the pending buffer (see
         #: :mod:`repro.sim.scheduler` for the mode semantics).
-        self.scheduler = make_scheduler(protocol, scheduler, obs=obs,
-                                        clock=clock)
+        if self._flat:
+            protocol.enable_flat_state()
+            self.scheduler = FlatScheduler(protocol, obs=obs, clock=clock)
+        else:
+            self.scheduler = make_scheduler(protocol, scheduler, obs=obs,
+                                            clock=clock)
         #: observability handle; hot-path hooks are gated on
         #: ``obs.enabled`` (instrument handles resolved once, here).
         self._obs = obs
@@ -91,8 +104,14 @@ class Node:
 
     @property
     def scheduler_mode(self) -> str:
-        """The resolved delivery strategy: ``"indexed"`` or ``"legacy"``."""
+        """The resolved delivery strategy: ``"flat"``, ``"indexed"`` or
+        ``"legacy"``."""
         return self.scheduler.mode
+
+    @property
+    def state_backend(self) -> str:
+        """The resolved protocol-state backend: ``"flat"`` or ``"scalar"``."""
+        return "flat" if self._flat else "scalar"
 
     @property
     def pending(self) -> List[UpdateMessage]:
@@ -201,6 +220,9 @@ class Node:
         self._receive_update(message)
 
     def _receive_update(self, msg: UpdateMessage) -> None:
+        if self._flat:
+            self._receive_update_flat(msg)
+            return
         if self.dedup:
             if msg.wid in self._seen_updates:
                 self.duplicates_dropped += 1
@@ -241,6 +263,66 @@ class Node:
             self.scheduler.park(msg)
         else:
             self._discard(msg)
+
+    def _receive_update_flat(self, msg: UpdateMessage) -> None:
+        """Hot-path twin of :meth:`_receive_update`.
+
+        Same events, same order, byte-identical trace -- but the
+        receipt/apply records go through the trace's compact path (no
+        per-event dataclass construction until a reader looks), and
+        classification + parking collapse into one
+        :meth:`~repro.sim.scheduler.FlatScheduler.offer` call against
+        the precomputed requirement row.
+        """
+        if self.dedup:
+            if msg.wid in self._seen_updates:
+                self.duplicates_dropped += 1
+                if self._obs.enabled:
+                    self._m_dups_dropped.inc()
+                return
+            self._seen_updates.add(msg.wid)
+        now = self.clock()
+        trace = self.trace
+        obs_on = self._obs.enabled
+        trace.record_compact(now, self.process_id, EventKind.RECEIPT,
+                             msg.wid, msg.variable, msg.value)
+        if obs_on:
+            self._m_receipts.inc()
+            self._obs.sink.on_receipt(now, self.process_id, msg.wid,
+                                      msg.variable, msg.sender)
+        if self.scheduler.offer(msg) is Disposition.APPLY:
+            self._apply_flat(msg)
+            self.scheduler.pump(self._apply_flat, self._discard)
+        else:
+            # Definition 3: this write suffers a write delay here (the
+            # offer already parked it, or dead-parked a duplicate).
+            trace.record_compact(now, self.process_id, EventKind.BUFFER,
+                                 msg.wid, msg.variable)
+            if obs_on:
+                self._m_buffers.inc()
+
+    def _apply_flat(self, msg: UpdateMessage) -> None:
+        self.protocol.apply_update(msg)
+        now = self.clock()
+        if self.record_state:
+            self.trace.record(
+                now,
+                self.process_id,
+                EventKind.APPLY,
+                wid=msg.wid,
+                variable=msg.variable,
+                value=msg.value,
+                state=self._state(),
+            )
+        else:
+            self.trace.record_compact(now, self.process_id, EventKind.APPLY,
+                                      msg.wid, msg.variable, msg.value)
+        if self._obs.enabled:
+            self._m_applies.inc()
+            self._obs.sink.on_apply(now, self.process_id, msg.wid)
+        self.scheduler.notify_applied(msg)
+        if self._on_remote_apply is not None:
+            self._on_remote_apply()
 
     def _apply(self, msg: UpdateMessage) -> None:
         self.protocol.apply_update(msg)

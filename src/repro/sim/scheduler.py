@@ -50,7 +50,10 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.base import Disposition, Protocol, UpdateMessage
+from repro.core.flatstate import DENSE_THRESHOLD, PendingMatrix
 from repro.obs.spans import NULL_OBS, Obs
 
 ApplyCallback = Callable[[UpdateMessage], None]
@@ -316,3 +319,220 @@ class IndexedScheduler(DeliveryScheduler):
         self._buffered.clear()
         self._parked.clear()
         self._woken.clear()
+
+
+class FlatScheduler(DeliveryScheduler):
+    """Counting wakeups over flat requirement rows (``core.flatstate``).
+
+    The scalar schedulers re-enter :meth:`Protocol.classify` (a Python
+    tuple loop) on receipt and on every wakeup.  The flat scheduler
+    evaluates the activation predicate once, against the protocol's
+    live progress vector, directly from the message's precomputed
+    :class:`~repro.core.flatstate.FlatDeps` row:
+
+    - :meth:`offer` checks the row (a sparse int loop for small
+      fan-outs, one vectorized comparison above ``DENSE_THRESHOLD``)
+      and either reports ``APPLY`` or parks the message under *every*
+      unsatisfied dependency key with an unsatisfied-counter;
+    - :meth:`notify_applied` decrements counters for the fired key --
+      batching the per-delivery wakeup to one dict pop per apply -- and
+      queues messages whose counter hits zero;
+    - :meth:`pump` drains the ready heap oldest-arrival first.  The
+      only recheck needed at pop time is the O(1) pivot test: progress
+      components are monotone, so a satisfied ``>=`` bound stays
+      satisfied, and only the exact-match pivot can *overshoot* (a
+      duplicate raced its original in; dead-park it, mirroring the
+      scalar paths).  An undershoot is impossible -- the counter
+      reaches zero only after the pivot's own key fired.
+
+    Drain order is the same canonical oldest-buffered-actionable-first
+    realized by both scalar schedulers, so flat runs stay
+    byte-identical (``tests/integration/test_flatstate_differential.py``).
+    """
+
+    mode = "flat"
+
+    def __init__(self, protocol: Protocol, **kwargs):
+        super().__init__(protocol, **kwargs)
+        if not type(protocol).supports_flat_state:
+            raise TypeError(
+                f"{type(protocol).__name__} does not support the flat backend"
+            )
+        fp = protocol.flat_progress()
+        if fp is None:
+            raise TypeError(
+                "enable_flat_state() must run before the FlatScheduler "
+                "is constructed"
+            )
+        self._fp = fp
+        #: arrival order -> message; insertion-ordered, O(1) removal.
+        self._buffered: Dict[int, UpdateMessage] = {}
+        #: arrival order -> [msg, deps, unsatisfied-count].
+        self._slots: Dict[int, List] = {}
+        #: wakeup index: apply-event key -> arrival seqs parked under it.
+        self._parked: Dict[Tuple[int, int], List[int]] = {}
+        #: ready-to-apply arrivals, min-heap.
+        self._ready: List[int] = []
+        self._arrivals = 0
+        #: resolved-once fast paths for the default key functions.
+        self._default_apply_key = (
+            type(protocol).apply_event is Protocol.apply_event
+        )
+        self._default_dep_key = (
+            type(protocol).flat_dep_key is Protocol.flat_dep_key
+        )
+        #: counters for tests / benchmarks (IndexedScheduler parity).
+        self.wakeups = 0
+        self.dead_parked = 0
+
+    # -- receipt ---------------------------------------------------------------
+
+    def offer(self, msg: UpdateMessage) -> Disposition:
+        """Classify ``msg`` against the flat predicate; parks on BUFFER.
+
+        Replaces the scalar ``classify`` + ``park`` pair: the caller
+        records its trace events from the returned disposition and, on
+        ``APPLY``, performs the apply and pumps.
+        """
+        deps = msg.flat_deps
+        if deps is None:
+            deps = self.protocol.flat_deps(msg)
+        fast = self._fp.fast
+        pivot = deps.pivot
+        pivot_missing = False
+        if pivot is not None:
+            d = fast[pivot] - deps.pivot_req
+            if d > 0:
+                # Duplicate of an already-applied write: permanently
+                # undeliverable, dead-park (wedged-buffer semantics).
+                self._dead_park(msg)
+                return Disposition.BUFFER
+            pivot_missing = d < 0
+        items = deps.items
+        missing: List[Tuple[int, int]] = []
+        if len(items) <= DENSE_THRESHOLD:
+            for c, req in items:
+                if fast[c] < req:
+                    missing.append((c, req))
+        else:
+            row = deps.row
+            for c in np.flatnonzero(row > self._fp.vec):
+                c = int(c)
+                if c != pivot:
+                    missing.append((c, int(row[c])))
+        if not missing and not pivot_missing:
+            return Disposition.APPLY
+        if pivot_missing:
+            missing.append((pivot, deps.pivot_req))
+        seq = self._arrivals
+        self._arrivals += 1
+        self._buffered[seq] = msg
+        self._slots[seq] = [msg, deps, len(missing)]
+        parked = self._parked
+        if self._default_dep_key:
+            for key in missing:
+                parked.setdefault(key, []).append(seq)
+            first = missing[0]
+        else:
+            dep_key = self.protocol.flat_dep_key
+            first = None
+            for c, req in missing:
+                key = dep_key(c, req)
+                if first is None:
+                    first = key
+                parked.setdefault(key, []).append(seq)
+        if self._obs.enabled:
+            self._m_parks.inc()
+            self._g_buffer_depth.set(len(self._buffered))
+            self._g_index_depth.set(len(parked))
+            self._obs.sink.on_buffer(
+                self._clock(), self.protocol.process_id, msg.wid, first
+            )
+        return Disposition.BUFFER
+
+    def _dead_park(self, msg: UpdateMessage) -> None:
+        seq = self._arrivals
+        self._arrivals += 1
+        self._buffered[seq] = msg
+        self.dead_parked += 1
+        if self._obs.enabled:
+            self._m_parks.inc()
+            self._m_dead_parked.inc()
+            self._g_buffer_depth.set(len(self._buffered))
+            self._obs.sink.on_buffer(
+                self._clock(), self.protocol.process_id, msg.wid, None
+            )
+
+    def park(self, msg: UpdateMessage) -> None:  # pragma: no cover
+        raise NotImplementedError(
+            "the flat path classifies and parks in one offer() call"
+        )
+
+    # -- wakeups ---------------------------------------------------------------
+
+    def notify_applied(self, msg: UpdateMessage) -> None:
+        if self._default_apply_key:
+            key = (msg.sender, msg.wid.seq)
+        else:
+            key = self.protocol.apply_event(msg)
+        seqs = self._parked.pop(key, None)
+        if seqs:
+            slots = self._slots
+            ready = self._ready
+            for seq in seqs:
+                slot = slots[seq]
+                slot[2] -= 1
+                if slot[2] == 0:
+                    heapq.heappush(ready, seq)
+            self.wakeups += len(seqs)
+            if self._obs.enabled:
+                self._m_wakeups.inc(len(seqs))
+                self._g_index_depth.set(len(self._parked))
+
+    def pump(self, apply_cb: ApplyCallback, discard_cb: DiscardCallback) -> None:
+        # discard_cb is part of the scheduler interface but unused: the
+        # flat-capable protocols never classify DISCARD.
+        ready = self._ready
+        fast = self._fp.fast
+        slots = self._slots
+        while ready:
+            seq = heapq.heappop(ready)
+            slot = slots.pop(seq, None)
+            if slot is None:  # pragma: no cover - defensive
+                continue
+            msg, deps, _ = slot
+            pivot = deps.pivot
+            if pivot is not None and fast[pivot] != deps.pivot_req:
+                # Overshoot only (undershoot cannot reach the heap): a
+                # duplicate whose original applied first.  Keep it in
+                # the buffer forever, like the scalar dead-park.
+                self.dead_parked += 1
+                if self._obs.enabled:
+                    self._m_dead_parked.inc()
+                continue
+            del self._buffered[seq]
+            apply_cb(msg)  # re-enters notify_applied -> may refill ready
+
+    # -- batch view --------------------------------------------------------------
+
+    def pending_matrix(self) -> PendingMatrix:
+        """The pending set as a requirement matrix (audit/batch view;
+        built on demand -- the live path keeps the counting index)."""
+        pm = PendingMatrix(len(self._fp))
+        for slot in self._slots.values():
+            pm.add(slot[1])
+        return pm
+
+    # -- introspection -----------------------------------------------------------
+
+    def buffered(self) -> List[UpdateMessage]:
+        return list(self._buffered.values())
+
+    def __len__(self) -> int:
+        return len(self._buffered)
+
+    def clear(self) -> None:
+        self._buffered.clear()
+        self._slots.clear()
+        self._parked.clear()
+        self._ready.clear()

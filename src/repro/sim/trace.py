@@ -87,6 +87,15 @@ class Trace:
         self._apply_index: Dict[Tuple[int, WriteId], TraceEvent] = {}
         self._receipt_index: Dict[Tuple[int, WriteId], TraceEvent] = {}
 
+    def _sync(self) -> None:
+        """Materialize deferred raw records (no-op on the base trace).
+
+        Every reader calls this first, so :class:`FlatTrace`'s compact
+        append path stays invisible to the analyzers: by the time any
+        view is taken, the indexes are complete and identical to what
+        eager recording would have produced.
+        """
+
     # -- recording ----------------------------------------------------------
 
     def record(
@@ -136,6 +145,25 @@ class Trace:
             self._receipt_index.setdefault((process, wid), ev)
         return ev
 
+    def record_compact(
+        self,
+        time: float,
+        process: int,
+        kind: EventKind,
+        wid: Optional[WriteId] = None,
+        variable: Optional[Hashable] = None,
+        value: Any = None,
+    ) -> None:
+        """Record a state-less event with default apply-registration.
+
+        The hot-path entry point of the flat backend: on the base trace
+        it is plain :meth:`record`; :class:`FlatTrace` overrides it with
+        a deferred raw append (no ``TraceEvent`` construction until a
+        reader needs one).
+        """
+        self.record(time, process, kind, wid=wid, variable=variable,
+                    value=value)
+
     # -- branching -----------------------------------------------------------
 
     def clone_shared(self) -> "Trace":
@@ -150,6 +178,7 @@ class Trace:
         the same object in both copies (callers use ``is`` checks to
         tell a registering WRITE from a deferred one).
         """
+        self._sync()
         new = Trace.__new__(Trace)
         new.n_processes = self.n_processes
         new._events = list(self._events)
@@ -162,17 +191,21 @@ class Trace:
 
     @property
     def events(self) -> List[TraceEvent]:
+        self._sync()
         return self._events
 
     def process_events(self, process: int) -> List[TraceEvent]:
         """``E_i``: the event sequence at ``process``."""
+        self._sync()
         return self._per_process[process]
 
     def prefix_before(self, process: int, event: TraceEvent) -> List[TraceEvent]:
         """``E_i|_e``: the prefix of ``E_i`` strictly before ``event``."""
+        self._sync()
         return [ev for ev in self._per_process[process] if ev.seq < event.seq]
 
     def of_kind(self, kind: EventKind) -> Iterator[TraceEvent]:
+        self._sync()
         return (ev for ev in self._events if ev.kind is kind)
 
     # -- write-centric queries --------------------------------------------------
@@ -180,9 +213,11 @@ class Trace:
     def apply_event(self, process: int, wid: WriteId) -> Optional[TraceEvent]:
         """The apply of ``wid`` at ``process`` (the issuer's WRITE event
         doubles as its local apply), or None if never applied."""
+        self._sync()
         return self._apply_index.get((process, wid))
 
     def receipt_event(self, process: int, wid: WriteId) -> Optional[TraceEvent]:
+        self._sync()
         return self._receipt_index.get((process, wid))
 
     def apply_order(self, process: int) -> List[WriteId]:
@@ -191,6 +226,10 @@ class Trace:
         A WRITE event counts only when it actually registered as the
         local apply (i.e. not deferred to a later APPLY event).
         """
+        self._sync()
+        return self._apply_order_synced(process)
+
+    def _apply_order_synced(self, process: int) -> List[WriteId]:
         out = []
         for ev in self._per_process[process]:
             if ev.kind is EventKind.APPLY:
@@ -206,6 +245,7 @@ class Trace:
     def delayed(self, process: Optional[int] = None) -> List[TraceEvent]:
         """BUFFER events (write delays, Definition 3), optionally at one
         process."""
+        self._sync()
         out = []
         for ev in self.of_kind(EventKind.BUFFER):
             if process is None or ev.process == process:
@@ -238,6 +278,7 @@ class Trace:
         :func:`repro.model.legality.check_causal_consistency` checks the
         run end-to-end.
         """
+        self._sync()
         locals_: List[LocalHistory] = []
         for i in range(self.n_processes):
             ops = []
@@ -266,12 +307,157 @@ class Trace:
         return History(locals_)
 
     def __len__(self) -> int:
+        self._sync()
         return len(self._events)
 
     def render(self, *, kinds: Optional[set] = None) -> str:
         """Human-readable dump (used by the paperfigs run renderers)."""
+        self._sync()
         lines = []
         for ev in self._events:
             if kinds is None or ev.kind in kinds:
                 lines.append(str(ev))
         return "\n".join(lines)
+
+
+class FlatTrace(Trace):
+    """A :class:`Trace` with a deferred, allocation-light append path.
+
+    The flat backend records most events through
+    :meth:`record_compact`, which appends a small plain tuple to a raw
+    log instead of constructing a :class:`TraceEvent` and updating four
+    indexes per event.  The first *reader* (any view or query) calls
+    :meth:`_sync`, which materializes the raw log into the exact
+    structures eager recording would have built -- same events, same
+    ``seq`` numbers, same index contents -- so every analyzer and the
+    JSONL serializer see a byte-identical trace.
+
+    Full :meth:`record` calls (state snapshots, read events with
+    ``read_from``, deferred-apply writes) interleave correctly: they
+    are logged as pre-built events in the same raw stream, with ``seq``
+    assigned from the combined materialized+raw length.
+    """
+
+    def __init__(self, n_processes: int):
+        super().__init__(n_processes)
+        #: deferred entries: ("c", time, process, kind, wid, variable,
+        #: value) from record_compact, or ("f", event, registers_apply)
+        #: from record.
+        self._raw: List[tuple] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def record(
+        self,
+        time: float,
+        process: int,
+        kind: EventKind,
+        *,
+        wid: Optional[WriteId] = None,
+        variable: Optional[Hashable] = None,
+        value: Any = None,
+        read_from: Optional[WriteId] = None,
+        state: Optional[Dict[str, Any]] = None,
+        registers_apply: Optional[bool] = None,
+    ) -> TraceEvent:
+        ev = TraceEvent(
+            seq=len(self._events) + len(self._raw),
+            time=time,
+            process=process,
+            kind=kind,
+            wid=wid,
+            variable=variable,
+            value=value,
+            read_from=read_from,
+            state=state,
+        )
+        self._raw.append(("f", ev, registers_apply))
+        return ev
+
+    def record_compact(
+        self,
+        time: float,
+        process: int,
+        kind: EventKind,
+        wid: Optional[WriteId] = None,
+        variable: Optional[Hashable] = None,
+        value: Any = None,
+    ) -> None:
+        self._raw.append(("c", time, process, kind, wid, variable, value))
+
+    # -- materialization -----------------------------------------------------
+
+    def _sync(self) -> None:
+        raw = self._raw
+        if not raw:
+            return
+        events = self._events
+        per_process = self._per_process
+        apply_index = self._apply_index
+        receipt_index = self._receipt_index
+        for entry in raw:
+            if entry[0] == "c":
+                _, time, process, kind, wid, variable, value = entry
+                ev = TraceEvent(
+                    seq=len(events),
+                    time=time,
+                    process=process,
+                    kind=kind,
+                    wid=wid,
+                    variable=variable,
+                    value=value,
+                )
+                registers = kind in (EventKind.APPLY, EventKind.WRITE)
+            else:
+                ev = entry[1]
+                registers = entry[2]
+                if registers is None:
+                    registers = ev.kind in (EventKind.APPLY, EventKind.WRITE)
+                process = ev.process
+                kind = ev.kind
+                wid = ev.wid
+            events.append(ev)
+            per_process[process].append(ev)
+            if registers and wid is not None:
+                key = (process, wid)
+                if key in apply_index:
+                    raise AssertionError(
+                        f"duplicate apply of {wid} at p{process}"
+                    )
+                apply_index[key] = ev
+            if kind is EventKind.RECEIPT and wid is not None:
+                receipt_index.setdefault((process, wid), ev)
+        raw.clear()
+
+    # -- fast queries --------------------------------------------------------
+
+    def apply_order(self, process: int) -> List[WriteId]:
+        """Fast path: answer from the raw log without materializing.
+
+        Benchmarks call this right after a timed drain; a full
+        materialization here would bill TraceEvent construction to the
+        caller even though nothing else reads the trace.  Semantics
+        match the base implementation: compact WRITE/APPLY entries
+        always register their apply, full entries honor their recorded
+        ``registers_apply``.
+        """
+        out = self._apply_order_synced(process)
+        for entry in self._raw:
+            if entry[0] == "c":
+                if entry[2] != process:
+                    continue
+                kind = entry[3]
+                if kind is EventKind.APPLY or kind is EventKind.WRITE:
+                    out.append(entry[4])
+            else:
+                ev = entry[1]
+                if ev.process != process:
+                    continue
+                registers = entry[2]
+                if ev.kind is EventKind.APPLY:
+                    out.append(ev.wid)
+                elif ev.kind is EventKind.WRITE and (
+                    registers is None or registers
+                ):
+                    out.append(ev.wid)
+        return out

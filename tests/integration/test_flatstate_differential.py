@@ -1,0 +1,196 @@
+"""Flat-state differential tests: the struct-of-arrays backend must be
+*observationally identical* to the scalar oracle.
+
+The flat backend (:mod:`repro.core.flatstate`) changes how protocol
+vectors are stored and how activation predicates are evaluated, never
+what gets applied when: for every protocol in the registry (and
+partial replication, which needs its own factory), a seeded workload
+run under ``state_backend="scalar"`` and ``state_backend="flat"`` must
+produce byte-identical serialized traces -- same events, same order,
+same times, same state snapshots -- and identical delay audits.
+
+Protocols that do not opt in (ws-receiver, token, gossip) resolve
+``"flat"`` back to scalar transparently; the comparison is trivially
+exact there but still runs to pin the fallback's transparency.
+
+The reverse-chain block replays the adversarial topology of
+``test_scheduler_repark`` -- a causal chain delivered to an observer in
+every permutation -- because out-of-order chains are exactly where the
+flat scheduler's counting-wakeup bookkeeping can drift from the
+scalar classify/park/wake cycle.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import check_run
+from repro.protocols import PROTOCOLS
+from repro.protocols.partial import ReplicationMap, partial_factory
+from repro.sim import SeededLatency, run_schedule
+from repro.sim.serialize import trace_to_jsonl
+from repro.workloads import WorkloadConfig, random_schedule
+from repro.workloads.generators import random_partial_schedule
+
+from tests.integration.test_scheduler_repark import (
+    SENDS,
+    chain_schedule,
+    scripted,
+)
+from tests.strategies import latency_seeds, workload_configs
+
+#: Protocols that opt into the flat backend; the rest must resolve
+#: ``"auto"``/``"flat"`` back to the scalar path.
+FLAT_PROTOCOLS = {"optp", "anbkh", "sequencer"}
+
+
+def _cfg(seed, n=5):
+    return WorkloadConfig(n_processes=n, ops_per_process=14,
+                          n_variables=4, write_fraction=0.6, seed=seed)
+
+
+def _run_both(factory, n, sched, seed, **kwargs):
+    results = {}
+    for backend in ("scalar", "flat"):
+        latency = SeededLatency(seed, dist="exponential", mean=2.5)
+        results[backend] = run_schedule(
+            factory, n, sched, latency=latency,
+            state_backend=backend, **kwargs)
+    return results["scalar"], results["flat"]
+
+
+def assert_observationally_identical(r_scalar, r_flat):
+    # Strongest check first: the serialized traces are byte-identical,
+    # covering event order, timestamps, buffer/apply/discard events and
+    # per-event protocol state snapshots.
+    assert trace_to_jsonl(r_scalar.trace) == trace_to_jsonl(r_flat.trace)
+    assert r_scalar.stores == r_flat.stores
+    assert r_scalar.messages_sent == r_flat.messages_sent
+    assert r_scalar.write_delays == r_flat.write_delays
+    rep_s, rep_f = check_run(r_scalar), check_run(r_flat)
+    assert rep_s.ok == rep_f.ok
+    assert rep_s.total_delays == rep_f.total_delays
+    assert rep_s.unnecessary_delays == rep_f.unnecessary_delays
+
+
+class TestRegistryProtocols:
+    @pytest.mark.parametrize("name", sorted(PROTOCOLS))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_flat_matches_scalar(self, name, seed):
+        sched = random_schedule(_cfg(seed))
+        r_scalar, r_flat = _run_both(PROTOCOLS[name], 5, sched, seed)
+        assert_observationally_identical(r_scalar, r_flat)
+
+    @pytest.mark.parametrize("name", sorted(PROTOCOLS))
+    def test_backend_resolution_matches_registry_split(self, name):
+        proto = PROTOCOLS[name](0, 4)
+        assert type(proto).supports_flat_state == (
+            name in FLAT_PROTOCOLS), name
+
+    @pytest.mark.parametrize("name", sorted(PROTOCOLS))
+    def test_auto_resolution_is_visible_on_the_cluster(self, name):
+        from repro.sim import SimCluster
+
+        cluster = SimCluster(PROTOCOLS[name], 4)
+        expected = "flat" if name in FLAT_PROTOCOLS else "scalar"
+        assert cluster.state_backend == expected
+
+    def test_forced_scheduler_mode_pins_auto_to_scalar(self):
+        """An explicit scalar scheduler request must actually run that
+        scheduler -- "auto" must not silently swap in the flat one
+        (regression: test_scheduler_repark's counters)."""
+        from repro.sim import SimCluster
+
+        cluster = SimCluster(PROTOCOLS["optp"], 4, scheduler="indexed")
+        assert cluster.state_backend == "scalar"
+        forced = SimCluster(PROTOCOLS["optp"], 4, scheduler="indexed",
+                            state_backend="flat")
+        assert forced.state_backend == "flat"
+
+
+class TestReverseChain:
+    """Every delivery permutation of the causal chain a -> b -> c at
+    the observer, including the full reverse that forces multi-key
+    parks and cascaded wakeups in the flat scheduler."""
+
+    @pytest.mark.parametrize(
+        "order", list(itertools.permutations(sorted(SENDS))),
+        ids=lambda o: "-".join(f"p{w.process}" for w in o),
+    )
+    def test_every_delivery_order_matches_scalar(self, order):
+        results = {}
+        for backend in ("scalar", "flat"):
+            results[backend] = run_schedule(
+                "optp", 4, chain_schedule(), latency=scripted(order),
+                state_backend=backend, record_state=True)
+        assert_observationally_identical(results["scalar"],
+                                         results["flat"])
+        # the chain fully applies everywhere under both backends
+        assert all(len(s) == 3 for s in results["flat"].stores)
+
+
+class TestRandomizedParity:
+    """Hypothesis widens the seed grid above: flat == scalar on
+    arbitrary workload shapes, not just the pinned configurations."""
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(cfg=workload_configs(max_processes=5, max_ops=10),
+           name=st.sampled_from(sorted(FLAT_PROTOCOLS)),
+           lseed=latency_seeds)
+    def test_flat_matches_scalar_on_random_workloads(
+        self, cfg, name, lseed
+    ):
+        sched = random_schedule(cfg)
+        r_scalar, r_flat = _run_both(
+            PROTOCOLS[name], cfg.n_processes, sched, lseed)
+        assert_observationally_identical(r_scalar, r_flat)
+
+
+class TestPartialReplication:
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_round_robin_map(self, seed, k):
+        cfg = _cfg(seed, n=4)
+        variables = [f"x{i}" for i in range(cfg.n_variables)]
+        rmap = ReplicationMap.round_robin(variables, cfg.n_processes, k)
+        sched = random_partial_schedule(cfg, rmap)
+        r_scalar, r_flat = _run_both(
+            partial_factory(rmap), cfg.n_processes, sched, seed)
+        assert_observationally_identical(r_scalar, r_flat)
+
+    def test_full_map(self):
+        cfg = _cfg(7, n=4)
+        variables = [f"x{i}" for i in range(cfg.n_variables)]
+        rmap = ReplicationMap.full(variables, cfg.n_processes)
+        sched = random_partial_schedule(cfg, rmap)
+        r_scalar, r_flat = _run_both(
+            partial_factory(rmap), cfg.n_processes, sched, 7)
+        assert_observationally_identical(r_scalar, r_flat)
+
+
+class TestFaultKnobs:
+    """Duplicates exercise the flat scheduler's dead-park (exact-match
+    pivot) path; dedup'd duplicates exercise the node-level guard.
+    Parity must survive both."""
+
+    @pytest.mark.parametrize("name", sorted(FLAT_PROTOCOLS))
+    def test_duplicates_with_dedup(self, name):
+        sched = random_schedule(_cfg(11))
+        r_scalar, r_flat = _run_both(
+            PROTOCOLS[name], 5, sched, 11,
+            duplicate_prob=0.3, dedup=True)
+        assert_observationally_identical(r_scalar, r_flat)
+
+    def test_duplicates_without_dedup_dead_park_identically(self):
+        # Without dedup, duplicate updates reach the scheduler and must
+        # be dead-parked by the flat pivot recheck exactly where the
+        # scalar classifier discards them; the run never quiesces, so
+        # compare at a deadline.
+        sched = random_schedule(_cfg(3))
+        r_scalar, r_flat = _run_both(
+            PROTOCOLS["anbkh"], 5, sched, 3,
+            duplicate_prob=0.3, deadline=500.0)
+        assert_observationally_identical(r_scalar, r_flat)

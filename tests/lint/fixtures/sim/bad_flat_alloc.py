@@ -1,0 +1,51 @@
+"""BAD: per-message vector allocation inside flat hot zones (RL009)."""
+
+
+class FlatScheduler:
+    def __init__(self, protocol):
+        self.protocol = protocol
+        self.parked = {}
+        self.ready = []
+
+    def offer(self, msg):
+        # BAD: rebuilds the dependency vector for every delivery; the
+        # FlatDeps row already holds it as a preallocated array.
+        deps = list(msg.payload["vc"])
+        missing = tuple(c for c, req in enumerate(deps) if req > 0)
+        if missing:
+            self.parked[msg.wid] = missing
+            return "buffer"
+        return "apply"
+
+    def notify_applied(self, msg):
+        # BAD: snapshots the progress vector per applied message.
+        snapshot = tuple(self.protocol.apply_vec)
+        self.ready.append((msg.wid, snapshot))
+
+    def pump(self, apply_cb, discard_cb):
+        while self.ready:
+            wid, _ = self.ready.pop()
+            apply_cb(wid)
+
+
+class PendingMatrix:
+    def __init__(self, n):
+        self.rows = []
+        self.n = n
+
+    def add(self, counts):
+        # BAD: per-parked-message list rebuild; the matrix preallocates.
+        self.rows.append(list(counts))
+        return len(self.rows) - 1
+
+
+class Node:
+    def __init__(self, scheduler):
+        self.scheduler = scheduler
+        self.applied = []
+
+    def _receive_update_flat(self, msg):
+        # BAD: per-delivery copy of the wire vector in the flat path.
+        wire = tuple(msg.payload["vc"])
+        if self.scheduler.offer(msg) == "apply":
+            self.applied.append((msg.wid, wire))

@@ -1,0 +1,63 @@
+"""GOOD: flat hot zones stay allocation-free; conversions happen in
+constructors and audit views, off the per-delivery path (RL009)."""
+
+
+class FlatScheduler:
+    def __init__(self, protocol):
+        self.protocol = protocol
+        # one-time conversions are fine: __init__ is not a hot zone.
+        self.progress = list(protocol.apply_vec)
+        self.parked = {}
+        self.ready = []
+
+    def offer(self, msg):
+        # GOOD: reads the preallocated FlatDeps row in place; the only
+        # tuples built are small fixed-arity park keys, not vectors.
+        deps = msg.flat_deps
+        missing = 0
+        for c, req in deps.items:
+            if self.progress[c] < req:
+                self.parked.setdefault((c, req), []).append(msg.wid)
+                missing += 1
+        return "buffer" if missing else "apply"
+
+    def notify_applied(self, msg):
+        key = (msg.sender, msg.wid.seq)
+        for wid in self.parked.pop(key, ()):
+            self.ready.append(wid)
+
+    def pump(self, apply_cb, discard_cb):
+        while self.ready:
+            apply_cb(self.ready.pop())
+
+    def buffered(self):
+        # audit view, not a hot zone: allocation on demand is fine.
+        return list(self.parked.values())
+
+
+class PendingMatrix:
+    def __init__(self, n, capacity=64):
+        self.free = list(range(capacity - 1, -1, -1))
+        self.n = n
+        self.live = {}
+
+    def add(self, row):
+        # GOOD: writes into a preallocated slot, no conversion.
+        slot = self.free.pop()
+        self.live[slot] = row
+        return slot
+
+    def remove(self, slot):
+        del self.live[slot]
+        self.free.append(slot)
+
+
+class Node:
+    def __init__(self, scheduler):
+        self.scheduler = scheduler
+        self.applied = []
+
+    def _receive_update_flat(self, msg):
+        # GOOD: the wire vector rides the message untouched.
+        if self.scheduler.offer(msg) == "apply":
+            self.applied.append(msg.wid)

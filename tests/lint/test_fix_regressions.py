@@ -66,9 +66,12 @@ def test_partial_trace_unchanged_by_aliasing_fix(seed):
 
 
 def test_payload_no_longer_aliased_into_state():
-    """Direct check of the fixed hazard: the in-flight payload is deeply
-    immutable (pair-tuple wire form), and the stored per-variable past
-    is a distinct (mutable, private) mapping built from it."""
+    """Direct check of the fixed hazard: the in-flight payload is
+    *deeply immutable* (pair-tuple wire form), so nothing reachable
+    from it can be mutated through protocol state.  The stored
+    per-variable past shares that wire tuple by design (no per-write
+    rebuild; the explicit RL003 suppression at the store site records
+    the argument) -- safe precisely because every level is a tuple."""
     rmap = ReplicationMap.round_robin(["x0", "x1"], 2, 2)
     proto = partial_factory(rmap)(0, 2)
     outcome = proto.write("x0", 41)
@@ -76,5 +79,5 @@ def test_payload_no_longer_aliased_into_state():
     stored_vp = proto.last_var_past_on["x0"]
     assert isinstance(payload_vp, tuple)
     assert all(isinstance(pair, tuple) for pair in payload_vp)
-    assert stored_vp == dict(payload_vp)
-    assert stored_vp is not payload_vp
+    assert all(isinstance(vec, tuple) for _var, vec in payload_vp)
+    assert stored_vp == payload_vp

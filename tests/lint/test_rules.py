@@ -22,6 +22,7 @@ BAD = [
     ("protocols/bad_isolation_protocol.py", "RL007"),
     ("sweep/bad_worker.py", "RL008"),
     ("sweep/bad_determinism.py", "RL001"),
+    ("sim/bad_flat_alloc.py", "RL009"),
 ]
 
 GOOD = [
@@ -33,6 +34,7 @@ GOOD = [
     "hotpath_good/node.py",
     "sim/good_isolation.py",
     "sweep/good_worker.py",
+    "sim/good_flat_alloc.py",
 ]
 
 
@@ -123,6 +125,17 @@ def test_worker_fixture_flags_each_unpicklable_shape():
     # the module-level lambda assignment is unpicklable too
     assert "'double'" in messages
     assert len(findings) == 4
+
+
+def test_flat_alloc_fixture_flags_each_hot_zone():
+    findings = run("sim/bad_flat_alloc.py")
+    messages = "\n".join(f.message for f in findings)
+    assert "FlatScheduler.offer()" in messages
+    assert "FlatScheduler.notify_applied()" in messages
+    assert "PendingMatrix.add()" in messages
+    assert "_receive_update_flat()" in messages
+    assert all(f.code == "RL009" for f in findings)
+    assert len(findings) == 5  # offer fires twice (list + tuple)
 
 
 def test_sweep_zone_inference():

@@ -1,0 +1,155 @@
+"""Sharded exhaustive checking: the parallel verdict is the serial one.
+
+The shards partition the serial DFS recursion tree, so every counter
+-- states, transitions, terminals, prunes, unnecessary delays,
+violations seen -- and the *ordered* recorded-violation list must be
+exactly equal to :func:`repro.mck.explorer.check`, for clean and
+violating runs alike.  This is the count-parity contract the CLI's
+``check --jobs N`` path and the CI parity job rely on.
+"""
+
+import pytest
+
+from repro.mck import (
+    CheckConfig,
+    check,
+    check_sharded,
+    parse_faults,
+    shardable,
+    workload_by_name,
+)
+from repro.mck.shard import (
+    _expand_frontier,
+    execute_shard_spec,
+    shard_digest,
+)
+from repro.sweep import RunCache
+
+COUNTERS = ("states", "transitions", "terminals", "prunes",
+            "violations_seen", "unnecessary_delays", "state_limit_hit")
+
+
+def cfg(protocol="anbkh", workload="pair", faults="none", **kw):
+    return CheckConfig(protocol=protocol,
+                       workload=workload_by_name(workload),
+                       faults=parse_faults(faults), **kw)
+
+
+def assert_verdicts_equal(serial, sharded):
+    for field in COUNTERS:
+        assert getattr(serial, field) == getattr(sharded, field), field
+    assert ([v.to_dict() for v in serial.violations]
+            == [v.to_dict() for v in sharded.violations])
+    assert serial.verdict_dict() == sharded.verdict_dict()
+
+
+class TestCountParity:
+    @pytest.mark.parametrize("protocol,workload", [
+        ("optp", "pair"),
+        ("optp", "chain"),
+        ("anbkh", "pair"),
+        ("sequencer", "chain"),
+    ])
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_clean_runs(self, protocol, workload, jobs):
+        config = cfg(protocol, workload)
+        serial = check(config)
+        sharded, stats = check_sharded(config, jobs=jobs)
+        assert serial.ok and sharded.ok
+        assert_verdicts_equal(serial, sharded)
+
+    def test_unnecessary_delay_counting(self):
+        """ANBKH's false-causality delays are split across shards and
+        must re-sum exactly (triangle produces hundreds)."""
+        config = cfg("anbkh", "triangle")
+        serial = check(config)
+        assert serial.unnecessary_delays > 0
+        sharded, _ = check_sharded(config, jobs=2)
+        assert_verdicts_equal(serial, sharded)
+
+    def test_violating_run_preserves_order(self):
+        """Dropped messages without retransmission violate liveness on
+        many branches; the merged violation list must match the serial
+        one entry for entry, in DFS order."""
+        config = cfg("optp", "pair", faults="drop:1,noretransmit",
+                     max_depth=12)
+        serial = check(config)
+        assert serial.violations_seen > 0
+        sharded, _ = check_sharded(config, jobs=2)
+        assert_verdicts_equal(serial, sharded)
+
+    def test_fault_injection_parity(self):
+        config = cfg("anbkh", "h1", faults="dup:1", max_depth=8)
+        serial = check(config)
+        sharded, _ = check_sharded(config, jobs=2)
+        assert_verdicts_equal(serial, sharded)
+
+
+class TestEligibility:
+    def test_shardable_predicate(self):
+        base = cfg()
+        assert shardable(base, jobs=2)
+        assert not shardable(base, jobs=1)
+        assert not shardable(cfg(mode="walk", walks=4), jobs=2)
+        assert not shardable(
+            cfg(stop_on_violation=True), jobs=2)
+
+    def test_ineligible_configs_fall_back_to_serial(self):
+        config = cfg(mode="walk", walks=8)
+        serial = check(config)
+        sharded, stats = check_sharded(config, jobs=2)
+        assert_verdicts_equal(serial, sharded)
+        assert stats.jobs == 1  # went through the serial cached path
+
+    def test_tiny_space_is_finished_by_the_expansion(self):
+        """When the frontier target is unreachable (more workers than
+        the bounded tree can feed), the expansion deepens past
+        ``max_depth``, exhausts the space itself, and no pool is spun
+        up -- the interior result is the verdict."""
+        config = cfg("optp", "h1", max_depth=2)
+        serial = check(config)
+        sharded, stats = check_sharded(config, jobs=64)
+        assert_verdicts_equal(serial, sharded)
+        assert stats.runs == 0  # nothing was dispatched
+
+
+class TestCache:
+    def test_shard_results_are_cached(self, tmp_path):
+        config = cfg("anbkh", "pair")
+        cache = RunCache(tmp_path)
+        cold, cold_stats = check_sharded(config, jobs=2, cache=cache)
+        assert cold_stats.cache_misses > 0 and cold_stats.cache_hits == 0
+        warm, warm_stats = check_sharded(config, jobs=2, cache=cache)
+        assert warm_stats.cache_misses == 0
+        assert warm_stats.cache_hits == cold_stats.cache_misses
+        assert cold.verdict_dict() == warm.verdict_dict()
+
+
+class TestShardInternals:
+    def test_expansion_partitions_the_tree(self):
+        """Replaying every emitted shard serially and adding the
+        interior must reproduce the serial state count -- the shards
+        partition the recursion tree with no overlap and no gaps."""
+        config = cfg("optp", "pair")
+        exp = _expand_frontier(config, target=6)
+        assert len(exp.frontier) >= 6
+        from repro.mck.witness import config_to_dict
+
+        doc = config_to_dict(config)
+        total = exp.result.states
+        for shard in exp.frontier:
+            verdict, _wall = execute_shard_spec(dict(shard, config=doc))
+            total += verdict["states"]
+        assert total == check(config).states
+
+    def test_digest_distinguishes_shards(self):
+        config = cfg("optp", "pair")
+        exp = _expand_frontier(config, target=6)
+        from repro.mck.witness import config_to_dict
+
+        doc = config_to_dict(config)
+        digests = {shard_digest(dict(s, config=doc))
+                   for s in exp.frontier}
+        assert len(digests) == len(exp.frontier)
+        one = dict(exp.frontier[0], config=doc)
+        assert shard_digest(one) != shard_digest(one, "deadbeef")
