@@ -29,26 +29,36 @@ def percentile(sorted_values: Sequence[float], q: float) -> float:
 
 @dataclass(frozen=True)
 class DelayStats:
-    """Distributional summary of write-delay durations."""
+    """Distributional summary of write-delay durations.
+
+    Quantiles are exact nearest-rank (:func:`percentile`), matching
+    numpy's ``inverted_cdf`` method -- pinned by the hypothesis suite
+    in ``tests/obs/test_quantiles.py``.
+    """
 
     count: int
     mean: float
     p50: float
+    p90: float
     p95: float
     p99: float
+    p999: float
     max: float
 
     @classmethod
     def of(cls, durations: Iterable[float]) -> "DelayStats":
         vals = sorted(durations)
         if not vals:
-            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
+            return cls(count=0, mean=0.0, p50=0.0, p90=0.0, p95=0.0,
+                       p99=0.0, p999=0.0, max=0.0)
         return cls(
             count=len(vals),
             mean=sum(vals) / len(vals),
             p50=percentile(vals, 50),
+            p90=percentile(vals, 90),
             p95=percentile(vals, 95),
             p99=percentile(vals, 99),
+            p999=percentile(vals, 99.9),
             max=vals[-1],
         )
 

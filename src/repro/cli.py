@@ -15,10 +15,15 @@ Subcommands:
   either way, see docs/performance.md);
 - ``scenario NAME``         run an H1 figure scenario and show the
   sequence at p3 plus the delay audit;
+- ``critpath [NAME]``       profile an H1 scenario's write delays:
+  per-dependency blocked-time attribution, necessity split, and the
+  critical dependency chain, per protocol (see docs/observability.md);
 - ``check``                 model-check a protocol over *all* message
   interleavings of small workloads (safety/optimality/liveness/
   convergence/isolation invariants, optional fault injection, witness
   export and byte-identical ``--replay``; see docs/model-checking.md);
+- ``bench compare``         diff the current ``BENCH_*.json`` reports
+  against the committed perf baseline (the CI regression gate);
 - ``lint [PATH ...]``       run the reprolint static analyzer
   (determinism, vector-clock aliasing, protocol contract, obs gating,
   cross-node isolation; see docs/static-analysis.md).
@@ -30,9 +35,11 @@ Examples::
     repro-dsm compare -n 6 --seeds 0 1 2
     repro-dsm sweep processes
     repro-dsm scenario fig3 -p anbkh
+    repro-dsm critpath fig3 --json critpath.json
     repro-dsm check -p optp -w h1 pair chain
     repro-dsm check -p anbkh -w fig3 --stats-out verdicts.json
     repro-dsm check --replay witness.json
+    repro-dsm bench compare --json bench_compare.json
     repro-dsm lint --format json
 """
 
@@ -130,6 +137,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--stats-out", metavar="PATH",
                          help="write runner stats (jobs, cache hits/misses, "
                          "sim seconds) as JSON to PATH")
+    p_sweep.add_argument("--progress", action="store_true",
+                         help="stream live progress snapshots (completions, "
+                         "cache hit rate) to stderr; results unchanged")
 
     p_replay = sub.add_parser(
         "replay", help="re-audit an archived trace (JSON-lines dump)"
@@ -159,6 +169,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_scen.add_argument("-p", "--protocol", default="optp",
                         choices=sorted(PROTOCOLS))
     p_scen.add_argument("--diagram", action="store_true")
+
+    p_crit = sub.add_parser(
+        "critpath",
+        help="critical-path profile of an H1 scenario's write delays",
+    )
+    p_crit.add_argument("scenario", nargs="?", default="fig3",
+                        choices=sorted(ALL_SCENARIOS),
+                        help="H1 scenario (default: fig3, the "
+                        "false-causality run)")
+    p_crit.add_argument("--protocols", nargs="+",
+                        default=["optp", "anbkh"],
+                        choices=sorted(PROTOCOLS),
+                        help="protocols to profile (default: optp anbkh)")
+    p_crit.add_argument("--top", type=int, default=5,
+                        help="blocking edges to list per protocol")
+    p_crit.add_argument("--json", metavar="PATH",
+                        help="write the per-protocol reports as JSON")
 
     p_chk = sub.add_parser(
         "check", help="model-check a protocol over all interleavings"
@@ -204,6 +231,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replay a witness file instead of checking; "
                        "exits 0 iff the recorded run reproduces "
                        "byte-identically")
+    p_chk.add_argument("--progress", action="store_true",
+                       help="stream live progress snapshots (states/s, "
+                       "prune ratio, shard completion) to stderr; the "
+                       "verdict is unchanged")
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark artifact utilities"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bcmp = bench_sub.add_parser(
+        "compare",
+        help="diff current BENCH_*.json reports against the committed "
+        "baseline (exit 1 on regression)",
+    )
+    p_bcmp.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline document (default: "
+                        "artifacts/bench_baseline.json)")
+    p_bcmp.add_argument("--bench-dir", default=".", metavar="DIR",
+                        help="directory holding the BENCH_*.json reports "
+                        "(default: the repo root, where the benchmark "
+                        "suites write them)")
+    p_bcmp.add_argument("--json", metavar="PATH",
+                        help="write the per-metric verdicts as JSON")
+    p_bcmp.add_argument("--update", action="store_true",
+                        help="rewrite the baseline's recorded values from "
+                        "the current reports instead of comparing")
 
     p_lint = sub.add_parser(
         "lint", help="static analysis (determinism & protocol contract)"
@@ -317,17 +370,25 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_runner(args: argparse.Namespace):
+def _make_runner(args: argparse.Namespace, progress=None):
     """A SweepRunner configured from --jobs/--cache-dir/--no-cache."""
     from repro.sweep import RunCache, SweepRunner
 
     cache = None if args.no_cache else RunCache(args.cache_dir)
-    return SweepRunner(jobs=args.jobs, cache=cache)
+    return SweepRunner(jobs=args.jobs, cache=cache, progress=progress)
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    runner = _make_runner(args)
+    progress = None
+    if getattr(args, "progress", False):
+        from repro.obs import ProgressSink
+
+        progress = ProgressSink(label=f"sweep:{args.axis}",
+                                rate_fields=("done",))
+    runner = _make_runner(args, progress=progress)
     rows = SWEEPS[args.axis](seeds=tuple(args.seeds), runner=runner)
+    if progress is not None:
+        progress.close()
     stats = runner.stats.to_dict()
     print(
         f"sweep: jobs={stats['jobs']} runs={stats['runs']} "
@@ -340,7 +401,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         import json
         from pathlib import Path
 
-        Path(args.stats_out).write_text(json.dumps(stats, indent=2) + "\n")
+        doc = dict(stats)
+        if progress is not None:
+            doc["progress"] = progress.snapshot()
+        Path(args.stats_out).write_text(json.dumps(doc, indent=2) + "\n")
     if args.format == "csv":
         from repro.analysis.export import sweep_to_csv
 
@@ -372,6 +436,73 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         print()
         print(render_spacetime(result.trace, result.history))
     return 0 if report.ok else 1
+
+
+def cmd_critpath(args: argparse.Namespace) -> int:
+    """Profile where an H1 scenario's write delays land on the clock.
+
+    Runs each protocol on the same scenario with span recording, then
+    prints blocked-time attribution, the Theorem-4 necessity split, and
+    the critical dependency chain.  On ``fig3`` (the false-causality
+    run) ANBKH attributes unnecessary blocked time while OptP attributes
+    exactly zero -- the paper's optimality claim in milliseconds.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.obs import Obs, analyze_critical_paths
+
+    scen = ALL_SCENARIOS[args.scenario]()
+    print(f"{scen.name}: {scen.description}")
+    print()
+    docs = {}
+    for protocol in args.protocols:
+        obs = Obs.recording()
+        result = run_schedule(protocol, 3, scen.schedule,
+                              latency=scen.latency, record_state=True,
+                              obs=obs)
+        report = analyze_critical_paths(result)
+        print(report.render(top=args.top))
+        print()
+        docs[protocol] = report.to_dict()
+    if args.json:
+        Path(args.json).write_text(json.dumps(
+            {"scenario": scen.name, "reports": docs},
+            indent=2, sort_keys=True) + "\n")
+        print(f"critpath reports written to {args.json}", file=sys.stderr)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``bench compare``: exit 0 when every metric holds, 1 on any
+    regression, 2 when the baseline itself is unreadable."""
+    import json
+    from pathlib import Path
+
+    from repro.obs import compare_benchmarks, load_baseline, update_baseline
+    from repro.obs.benchcmp import DEFAULT_BASELINE
+
+    baseline_path = Path(args.baseline or DEFAULT_BASELINE)
+    try:
+        baseline = load_baseline(baseline_path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read baseline {baseline_path}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.update:
+        refreshed = update_baseline(baseline, Path(args.bench_dir))
+        baseline_path.write_text(
+            json.dumps(refreshed, indent=2, sort_keys=True) + "\n")
+        print(f"baseline values refreshed from {args.bench_dir} -> "
+              f"{baseline_path} (review the diff before committing)")
+        return 0
+    comparison = compare_benchmarks(baseline, Path(args.bench_dir))
+    print(comparison.render())
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(comparison.to_dict(), indent=2, sort_keys=True)
+            + "\n")
+    return 0 if comparison.ok else 1
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -518,15 +649,23 @@ def cmd_check(args: argparse.Namespace) -> int:
         from repro.sweep import RunCache
 
         cache = RunCache(args.cache_dir)
+    progress = None
+    if args.progress:
+        from repro.obs import ProgressSink
+
+        progress = ProgressSink(label=f"check:{args.protocol}")
     if args.jobs > 1 and len(configs) == 1:
         # One big check: shard its DFS across the pool instead of
         # leaving jobs-1 workers idle (repro.mck.shard; verdict is
         # exactly the serial one).
         result, stats = check_sharded(configs[0], jobs=args.jobs,
-                                      cache=cache)
+                                      cache=cache, progress=progress)
         results = [result]
     else:
-        results, stats = run_checks(configs, jobs=args.jobs, cache=cache)
+        results, stats = run_checks(configs, jobs=args.jobs, cache=cache,
+                                    progress=progress)
+    if progress is not None:
+        progress.close()
     failed = False
     for config, r in zip(configs, results):
         verdict = "OK" if r.ok else f"VIOLATED ({r.violations_seen})"
@@ -555,10 +694,14 @@ def cmd_check(args: argparse.Namespace) -> int:
                       f"({len(doc['choices'])} choices, minimized)")
                 args.witness_out = None  # first violation only
     if args.stats_out:
-        Path(args.stats_out).write_text(json.dumps({
+        doc = {
             "checks": [r.verdict_dict() for r in results],
             "stats": stats.to_dict(),
-        }, indent=2, sort_keys=True) + "\n")
+        }
+        if progress is not None:
+            doc["progress"] = progress.snapshot()
+        Path(args.stats_out).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n")
         print(f"verdicts written to {args.stats_out}", file=sys.stderr)
     return 1 if failed else 0
 
@@ -608,7 +751,9 @@ COMMANDS = {
     "report": cmd_report,
     "sweep": cmd_sweep,
     "scenario": cmd_scenario,
+    "critpath": cmd_critpath,
     "check": cmd_check,
+    "bench": cmd_bench,
     "lint": cmd_lint,
 }
 

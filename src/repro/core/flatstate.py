@@ -197,9 +197,10 @@ class PendingMatrix:
     benchmarked directly at scale.
     """
 
-    __slots__ = ("_rows", "_pivot_rows", "_free", "_n", "_len")
+    __slots__ = ("_rows", "_pivot_rows", "_free", "_n", "_len", "_obs",
+                 "_m_adds", "_m_removes", "_m_scans", "_g_rows")
 
-    def __init__(self, n_components: int, capacity: int = 64):
+    def __init__(self, n_components: int, capacity: int = 64, *, obs=None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self._n = n_components
@@ -209,6 +210,15 @@ class PendingMatrix:
         self._pivot_rows = np.full(capacity, -1, dtype=np.int64)
         self._free: List[int] = list(range(capacity - 1, -1, -1))
         self._len = 0
+        #: observability handle (duck-typed to avoid a core -> obs
+        #: import); handles resolved once, every hook one gated branch.
+        self._obs = obs
+        if obs is not None and obs.enabled:
+            reg = obs.registry
+            self._m_adds = reg.counter("flat.pending_adds")
+            self._m_removes = reg.counter("flat.pending_removes")
+            self._m_scans = reg.counter("flat.ready_scans")
+            self._g_rows = reg.gauge("flat.pending_rows")
 
     def __len__(self) -> int:
         return self._len
@@ -236,6 +246,9 @@ class PendingMatrix:
         self._rows[slot] = deps.row
         self._pivot_rows[slot] = -1 if deps.pivot is None else deps.pivot
         self._len += 1
+        if self._obs is not None and self._obs.enabled:
+            self._m_adds.inc()
+            self._g_rows.set(self._len)
         return slot
 
     def remove(self, slot: int) -> None:
@@ -244,6 +257,9 @@ class PendingMatrix:
         self._pivot_rows[slot] = -1
         self._free.append(slot)
         self._len -= 1
+        if self._obs is not None and self._obs.enabled:
+            self._m_removes.inc()
+            self._g_rows.set(self._len)
 
     def ready_mask(self, progress: np.ndarray) -> np.ndarray:
         """Boolean mask over slots: requirement row fully satisfied.
@@ -254,4 +270,6 @@ class PendingMatrix:
         for ``>=`` here -- exact-match (duplicate) classification stays
         with the caller, which knows the per-slot pivot requirement.
         """
+        if self._obs is not None and self._obs.enabled:
+            self._m_scans.inc()
         return np.all(self._rows <= progress, axis=1)

@@ -4,12 +4,15 @@ A :class:`ModuleContext` bundles the parsed AST with everything a rule
 needs to decide applicability and render findings:
 
 - the **zone** the file belongs to (``sim`` / ``core`` / ``protocols``
-  / ``runtime`` / ``obs`` / ``sweep`` / ``other``), inferred from
-  directory parts so fixture trees like
+  / ``runtime`` / ``obs`` / ``sweep`` / ``mck`` / ``other``), inferred
+  from directory parts so fixture trees like
   ``tests/lint/fixtures/sim/...`` are analyzed exactly like
   ``src/repro/sim/...``;
 - whether the file is a **hot-path module** (the obs-gating rule's
-  scope: ``engine.py``, ``scheduler.py``, ``network.py``, ``node.py``);
+  scope: ``engine.py``, ``scheduler.py``, ``network.py``, ``node.py``,
+  ``flatstate.py``, and everything in the ``mck`` zone -- the model
+  checker executes millions of transitions, so its obs hooks carry the
+  same gating contract);
 - a parent map over the AST (``ast`` has no parent links) plus helpers
   for walking enclosing statements/functions.
 """
@@ -23,6 +26,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 __all__ = [
     "DETERMINISM_ZONES",
     "HOT_PATH_MODULES",
+    "HOT_PATH_ZONES",
     "ModuleContext",
     "dotted_name",
     "zone_of",
@@ -36,10 +40,18 @@ DETERMINISM_ZONES = ("sim", "core", "protocols", "sweep")
 
 #: Modules on the per-event hot path: obs instrumentation here must sit
 #: behind an ``obs.enabled`` / ``obs_on`` guard (the 1.05x budget of
-#: ``benchmarks/test_bench_obs_overhead.py``).
-HOT_PATH_MODULES = ("engine.py", "scheduler.py", "network.py", "node.py")
+#: ``benchmarks/test_bench_obs_overhead.py``).  ``flatstate.py`` joined
+#: when the flat backend grew lifecycle telemetry; the whole ``mck``
+#: zone is additionally hot (see :data:`HOT_PATH_ZONES`).
+HOT_PATH_MODULES = ("engine.py", "scheduler.py", "network.py", "node.py",
+                    "flatstate.py")
 
-_ZONES = ("sim", "core", "protocols", "runtime", "obs", "sweep")
+#: Zones whose *every* module is hot-path for the obs-gating rule: the
+#: model checker's inner loop executes each transition thousands of
+#: times across clones, so ungated instrumentation multiplies.
+HOT_PATH_ZONES = ("mck",)
+
+_ZONES = ("sim", "core", "protocols", "runtime", "obs", "sweep", "mck")
 
 
 def zone_of(path: Path) -> str:
@@ -64,7 +76,8 @@ class ModuleContext:
         self.source = source
         self.tree = tree
         self.zone = zone_of(path)
-        self.is_hot_path = path.name in HOT_PATH_MODULES
+        self.is_hot_path = (path.name in HOT_PATH_MODULES
+                            or self.zone in HOT_PATH_ZONES)
         self._parents: Dict[int, ast.AST] = {}
         for parent in ast.walk(tree):
             for child in ast.iter_child_nodes(parent):

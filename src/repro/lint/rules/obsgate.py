@@ -5,9 +5,11 @@ dynamically by ``benchmarks/test_bench_obs_overhead.py``'s 1.05x
 budget) is that a disabled run pays *one branch per hook site*.  That
 only holds if every instrument operation in the per-event hot-path
 modules (``engine.py`` / ``scheduler.py`` / ``network.py`` /
-``node.py``) sits under an ``if <...>.enabled:`` or ``if obs_on:``
-guard -- counter bumps and sink callbacks on an ungated path charge
-every simulation, observed or not.
+``node.py`` / ``flatstate.py``, plus everything in the ``mck`` zone --
+see :data:`repro.lint.context.HOT_PATH_ZONES`) sits under an
+``if <...>.enabled:`` or ``if obs_on:`` guard -- counter bumps and
+sink callbacks on an ungated path charge every simulation, observed
+or not.
 
 Recognized instrument operations:
 

@@ -46,6 +46,7 @@ from repro.mck.cluster import ControlledCluster, Transition, independent
 from repro.mck.faults import NO_FAULTS, FaultSpec
 from repro.mck.invariants import Finding
 from repro.mck.workloads import MCK_WORKLOADS, MckWorkload
+from repro.obs.progress import STATES_PER_TICK
 
 __all__ = [
     "OPTIMAL_PROTOCOLS",
@@ -197,10 +198,16 @@ def _make_root(config: CheckConfig) -> ControlledCluster:
 class _Search:
     """Mutable exploration state shared across the recursion."""
 
-    def __init__(self, config: CheckConfig, result: CheckResult):
+    def __init__(self, config: CheckConfig, result: CheckResult,
+                 progress=None):
         self.config = config
         self.result = result
         self.path: List[Transition] = []
+        #: optional live telemetry (:class:`repro.obs.progress.ProgressSink`);
+        #: ticked every :data:`STATES_PER_TICK` counted states so the
+        #: per-state overhead is one modulo when a sink is attached and
+        #: zero branches-in-the-loop restructuring when it is not.
+        self.progress = progress
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -214,10 +221,20 @@ class _Search:
             raise _StopSearch
 
     def _count_state(self) -> None:
-        self.result.states += 1
-        if self.result.states > self.config.max_states:
+        r = self.result
+        r.states += 1
+        if r.states > self.config.max_states:
             raise StateLimitError(
                 f"max_states={self.config.max_states} exhausted")
+        if self.progress is not None and r.states % STATES_PER_TICK == 0:
+            prunes = r.prunes["sleep"] + r.prunes["cycle"]
+            self.progress.update(
+                states=r.states,
+                transitions=r.transitions,
+                violations=r.violations_seen,
+                prune_ratio=round(prunes / max(1, prunes + r.transitions), 4),
+                frontier_depth=len(self.path),
+            )
 
     def _step(self, cluster: ControlledCluster,
               t: Transition) -> List[Finding]:
@@ -309,8 +326,14 @@ class _Search:
         self.path.clear()
 
 
-def check(config: CheckConfig, *, obs: Obs = NULL_OBS) -> CheckResult:
-    """Explore ``config`` and return the verdict."""
+def check(config: CheckConfig, *, obs: Obs = NULL_OBS,
+          progress=None) -> CheckResult:
+    """Explore ``config`` and return the verdict.
+
+    ``progress`` (a :class:`repro.obs.progress.ProgressSink`) receives a
+    snapshot every :data:`~repro.obs.progress.STATES_PER_TICK` states --
+    live telemetry only; the verdict is unaffected.
+    """
     root = _make_root(config)
     result = CheckResult(
         protocol_name=root.protocol_name,
@@ -319,7 +342,7 @@ def check(config: CheckConfig, *, obs: Obs = NULL_OBS) -> CheckResult:
         mode=config.mode,
         expect_optimal=root.tracker.expect_optimal,
     )
-    search = _Search(config, result)
+    search = _Search(config, result, progress)
     start = time.perf_counter()
     try:
         for finding in root.bootstrap_findings:
@@ -345,6 +368,22 @@ def check(config: CheckConfig, *, obs: Obs = NULL_OBS) -> CheckResult:
         for status, n in result.terminals.items():
             reg.counter("mck.terminals", status=status, **labels).inc(n)
         reg.histogram("mck.states_per_sec").observe(result.states_per_sec)
+    journal = obs.journal
+    if journal is not None and result.violations_seen > 0:
+        journal.note(
+            "mck-violations",
+            protocol=result.protocol_name,
+            workload=result.workload_name,
+            violations_seen=result.violations_seen,
+            states=result.states,
+        )
+        journal.maybe_dump("mck-violations")
+    if progress is not None:
+        progress.update(
+            states=result.states,
+            transitions=result.transitions,
+            violations=result.violations_seen,
+        )
     return result
 
 

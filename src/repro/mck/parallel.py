@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.spans import NULL_OBS, Obs
@@ -69,9 +70,14 @@ def check_digest(config: CheckConfig,
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def execute_check_spec(config: CheckConfig) -> Tuple[Dict, float]:
-    """Worker entry point: run one check, return (verdict, wall)."""
-    result = check(config)
+def execute_check_spec(config: CheckConfig,
+                       progress=None) -> Tuple[Dict, float]:
+    """Worker entry point: run one check, return (verdict, wall).
+
+    ``progress`` is only ever bound on the inline (jobs <= 1) path --
+    pool workers cannot tick the parent's sink.
+    """
+    result = check(config, progress=progress)
     return result.verdict_dict(), result.wall
 
 
@@ -112,15 +118,22 @@ def verdict_from_dict(doc: Dict) -> CheckResult:
 
 
 def make_check_runner(*, jobs: int = 1, cache: Optional[RunCache] = None,
-                      obs: Obs = NULL_OBS,
+                      obs: Obs = NULL_OBS, progress=None,
                       fingerprint: Optional[str] = None) -> SweepRunner:
     """A :class:`SweepRunner` wired for check configs."""
+    worker = execute_check_spec
+    if progress is not None and jobs <= 1:
+        # Inline execution: bind the sink so the explorer streams
+        # per-state ticks.  Pool workers stay with the bare module-level
+        # callable (it must pickle by name).
+        worker = partial(execute_check_spec, progress=progress)
     return SweepRunner(
         jobs=jobs,
         cache=cache,
         obs=obs,
+        progress=progress,
         fingerprint=fingerprint,
-        worker=execute_check_spec,
+        worker=worker,
         digest_fn=check_digest,
         decode=verdict_from_dict,
         fingerprint_packages=MCK_FINGERPRINT_PACKAGES,
@@ -133,7 +146,13 @@ def run_checks(
     jobs: int = 1,
     cache: Optional[RunCache] = None,
     obs: Obs = NULL_OBS,
+    progress=None,
 ) -> Tuple[List[CheckResult], SweepStats]:
-    """Check every config (parallel, cached), in config order."""
-    runner = make_check_runner(jobs=jobs, cache=cache, obs=obs)
+    """Check every config (parallel, cached), in config order.
+
+    ``progress`` (a :class:`repro.obs.progress.ProgressSink`) receives a
+    tick per completed config -- telemetry only, results unaffected.
+    """
+    runner = make_check_runner(jobs=jobs, cache=cache, obs=obs,
+                               progress=progress)
     return runner.run(configs), runner.stats

@@ -308,29 +308,37 @@ def check_sharded(
     jobs: int,
     cache: Optional[RunCache] = None,
     obs: Obs = NULL_OBS,
+    progress=None,
 ) -> Tuple[CheckResult, SweepStats]:
     """Run one check sharded over ``jobs`` workers.
 
     Ineligible configs (see :func:`shardable`) and interiors that hit
     ``max_states`` during expansion fall back to the serial cached
     path; either way the returned verdict matches serial ``check``.
+    ``progress`` receives a tick per completed shard (telemetry only).
     """
     if not shardable(config, jobs):
-        results, stats = run_checks([config], jobs=1, cache=cache, obs=obs)
+        results, stats = run_checks([config], jobs=1, cache=cache, obs=obs,
+                                    progress=progress)
         return results[0], stats
     start = time.perf_counter()
     exp = _expand_frontier(config, target=jobs * FRONTIER_PER_JOB)
     if exp is None:
-        results, stats = run_checks([config], jobs=1, cache=cache, obs=obs)
+        results, stats = run_checks([config], jobs=1, cache=cache, obs=obs,
+                                    progress=progress)
         return results[0], stats
     if exp.frontier:
         config_doc = config_to_dict(config)
         specs = [dict(shard, version=SHARD_SPEC_VERSION, config=config_doc)
                  for shard in exp.frontier]
+        if progress is not None:
+            progress.update(shards=len(specs),
+                            interior_states=exp.result.states)
         runner = SweepRunner(
             jobs=jobs,
             cache=cache,
             obs=obs,
+            progress=progress,
             worker=execute_shard_spec,
             digest_fn=shard_digest,
             decode=verdict_from_dict,
@@ -357,4 +365,14 @@ def check_sharded(
         for status, n in result.terminals.items():
             reg.counter("mck.terminals", status=status, **labels).inc(n)
         reg.histogram("mck.states_per_sec").observe(result.states_per_sec)
+    journal = obs.journal
+    if journal is not None and result.violations_seen > 0:
+        journal.note(
+            "mck-violations",
+            protocol=result.protocol_name,
+            workload=result.workload_name,
+            violations_seen=result.violations_seen,
+            states=result.states,
+        )
+        journal.maybe_dump("mck-violations")
     return result, stats

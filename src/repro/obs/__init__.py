@@ -22,13 +22,32 @@ Quick use::
     result.metrics      # registry snapshot (JSON-ready)
 """
 
+from repro.obs.benchcmp import (
+    BenchComparison,
+    compare_benchmarks,
+    load_baseline,
+    update_baseline,
+)
+from repro.obs.critpath import (
+    Attribution,
+    CritPathReport,
+    DelayChain,
+    analyze_critical_paths,
+)
 from repro.obs.export import (
     chrome_trace,
     summarize_metrics,
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.journal import (
+    FlightRecorder,
+    JournalEvent,
+    JournalSink,
+    events_from_jsonl,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.progress import ProgressSink
 from repro.obs.spans import (
     InMemorySink,
     MessageSpan,
@@ -39,18 +58,31 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "Attribution",
+    "BenchComparison",
     "Counter",
+    "CritPathReport",
+    "DelayChain",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "InMemorySink",
+    "JournalEvent",
+    "JournalSink",
     "MessageSpan",
     "MetricsRegistry",
     "NULL_OBS",
     "NullSink",
     "Obs",
+    "ProgressSink",
     "WaitInterval",
+    "analyze_critical_paths",
     "chrome_trace",
+    "events_from_jsonl",
+    "compare_benchmarks",
+    "load_baseline",
     "summarize_metrics",
+    "update_baseline",
     "validate_chrome_trace",
     "write_chrome_trace",
 ]

@@ -1,0 +1,226 @@
+"""Perf-regression sentinel: diff ``BENCH_*.json`` against a baseline.
+
+Every benchmark suite in ``benchmarks/`` writes a ``BENCH_<name>.json``
+report, but until now nothing compared consecutive reports -- the perf
+trajectory never accumulated.  ``repro-dsm bench compare`` reads the
+committed baseline (``artifacts/bench_baseline.json``), re-reads the
+current reports, and applies a per-metric rule:
+
+- ``exact``  -- deterministic quantities (state counts, delay counts)
+  must equal the baseline bit-for-bit;
+- ``max`` / ``min`` -- absolute bars (the 1.05x obs-overhead ceiling,
+  speedup floors) that must hold regardless of the baseline value;
+- ``ratio`` -- wall-clock-derived quantities compared against the
+  recorded baseline value within ``tolerance`` (generous, because CI
+  hosts are noisy: the sentinel catches collapses, not jitter).
+
+A metric whose source file or JSON path is missing is a *failure* when
+marked ``required``, otherwise a skip (cpu-gated benchmarks legally
+omit sections on small hosts).  ``--update`` rewrites the recorded
+baseline values from the current reports (review the diff before
+committing).  See docs/observability.md, "Bench-compare sentinel".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE",
+    "BenchComparison",
+    "MetricCheck",
+    "compare_benchmarks",
+    "load_baseline",
+    "update_baseline",
+]
+
+BASELINE_VERSION = 1
+
+#: repo-relative default baseline location.
+DEFAULT_BASELINE = "artifacts/bench_baseline.json"
+
+_KINDS = ("exact", "max", "min", "ratio")
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """One metric's verdict."""
+
+    id: str
+    kind: str
+    status: str  # "ok" | "fail" | "skip"
+    baseline: Optional[float]
+    current: Optional[float]
+    detail: str
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "fail"
+
+
+@dataclass
+class BenchComparison:
+    """All verdicts of one compare run."""
+
+    checks: List[MetricCheck]
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    @property
+    def failures(self) -> List[MetricCheck]:
+        return [c for c in self.checks if c.status == "fail"]
+
+    @property
+    def skips(self) -> List[MetricCheck]:
+        return [c for c in self.checks if c.status == "skip"]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "checks": [
+                {
+                    "id": c.id, "kind": c.kind, "status": c.status,
+                    "baseline": c.baseline, "current": c.current,
+                    "detail": c.detail,
+                }
+                for c in self.checks
+            ],
+        }
+
+    def render(self) -> str:
+        lines = []
+        width = max((len(c.id) for c in self.checks), default=0)
+        for c in self.checks:
+            mark = {"ok": "ok  ", "fail": "FAIL", "skip": "skip"}[c.status]
+            lines.append(f"  {mark}  {c.id:<{width}}  {c.detail}")
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"bench compare: {verdict} "
+            f"({len(self.checks)} metrics, {len(self.failures)} failed, "
+            f"{len(self.skips)} skipped)"
+        )
+        return "\n".join(lines)
+
+
+def load_baseline(path: Path) -> Dict[str, Any]:
+    """Read + validate a baseline document (strict, like the caches)."""
+    doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {doc.get('version')!r} in {path}"
+        )
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        raise ValueError(f"baseline {path} has no metrics")
+    for m in metrics:
+        missing = {"id", "file", "path", "kind"} - set(m)
+        if missing:
+            raise ValueError(f"baseline metric {m!r} missing {sorted(missing)}")
+        if m["kind"] not in _KINDS:
+            raise ValueError(
+                f"metric {m['id']}: unknown kind {m['kind']!r}; "
+                f"expected one of {_KINDS}"
+            )
+    return doc
+
+
+def _resolve(doc: Any, dotted: str) -> Optional[float]:
+    """Walk ``a.b.c`` through nested dicts; None when absent or
+    non-numeric (bool excluded: JSON true/false is not a measurement)."""
+    cur = doc
+    for part in dotted.split("."):
+        if not isinstance(cur, dict) or part not in cur:
+            return None
+        cur = cur[part]
+    if isinstance(cur, bool) or not isinstance(cur, (int, float)):
+        return None
+    return cur
+
+
+def _read_report(root: Path, name: str,
+                 cache: Dict[str, Optional[Dict]]) -> Optional[Dict]:
+    if name not in cache:
+        path = root / name
+        try:
+            loaded = json.loads(path.read_text())
+        except (OSError, ValueError):
+            loaded = None
+        cache[name] = loaded if isinstance(loaded, dict) else None
+    return cache[name]
+
+
+def _check_metric(spec: Dict[str, Any], current: Optional[float]) -> MetricCheck:
+    mid = spec["id"]
+    kind = spec["kind"]
+    baseline = spec.get("baseline")
+    required = bool(spec.get("required", False))
+    if current is None:
+        status = "fail" if required else "skip"
+        return MetricCheck(mid, kind, status, baseline, None,
+                           f"{spec['file']}:{spec['path']} missing"
+                           + (" (required)" if required else ""))
+    if kind == "exact":
+        if baseline is None:
+            return MetricCheck(mid, kind, "skip", None, current,
+                               "no baseline value recorded")
+        ok = current == baseline
+        detail = f"current={current:g} baseline={baseline:g}"
+    elif kind == "max":
+        limit = spec["limit"]
+        ok = current <= limit
+        detail = f"current={current:g} <= limit={limit:g}"
+    elif kind == "min":
+        limit = spec["limit"]
+        ok = current >= limit
+        detail = f"current={current:g} >= limit={limit:g}"
+    else:  # ratio
+        tol = spec.get("tolerance", 0.5)
+        direction = spec.get("direction", "higher_better")
+        if baseline is None or baseline == 0:
+            return MetricCheck(mid, kind, "skip", baseline, current,
+                               "no baseline value recorded")
+        if direction == "higher_better":
+            bound = baseline * (1.0 - tol)
+            ok = current >= bound
+            detail = (f"current={current:g} >= "
+                      f"baseline*{1 - tol:g}={bound:g}")
+        else:
+            bound = baseline * (1.0 + tol)
+            ok = current <= bound
+            detail = (f"current={current:g} <= "
+                      f"baseline*{1 + tol:g}={bound:g}")
+    return MetricCheck(mid, kind, "ok" if ok else "fail",
+                       baseline, current, detail)
+
+
+def compare_benchmarks(baseline: Dict[str, Any],
+                       bench_dir: Path) -> BenchComparison:
+    """Apply every baseline metric rule to the reports in ``bench_dir``."""
+    cache: Dict[str, Optional[Dict]] = {}
+    checks = []
+    for spec in baseline["metrics"]:
+        report = _read_report(Path(bench_dir), spec["file"], cache)
+        current = None if report is None else _resolve(report, spec["path"])
+        checks.append(_check_metric(spec, current))
+    return BenchComparison(checks=checks)
+
+
+def update_baseline(baseline: Dict[str, Any],
+                    bench_dir: Path) -> Dict[str, Any]:
+    """A copy of ``baseline`` with recorded values refreshed from the
+    current reports (metrics whose source is absent keep old values)."""
+    cache: Dict[str, Optional[Dict]] = {}
+    out = {"version": BASELINE_VERSION,
+           "metrics": [dict(m) for m in baseline["metrics"]]}
+    for spec in out["metrics"]:
+        report = _read_report(Path(bench_dir), spec["file"], cache)
+        current = None if report is None else _resolve(report, spec["path"])
+        if current is not None:
+            spec["baseline"] = current
+    return out

@@ -1,0 +1,281 @@
+"""Run flight recorder: a bounded ring buffer of lifecycle events.
+
+The metrics registry aggregates and the span sink materializes whole
+lifecycles, but neither answers "what were the last things this run
+did?" when a run wedges (``EngineLimitError``) or a model-checking
+invariant fires.  :class:`FlightRecorder` keeps the newest ``capacity``
+structured events -- send / receipt / buffer / repark / **activate** /
+apply / discard / read -- each carrying the causal edge id (the
+``(process, seq)`` apply-event key of
+:meth:`repro.core.base.Protocol.missing_deps`) that gated it, so a
+stuck-run report is self-contained.
+
+Wiring: :meth:`repro.obs.spans.Obs.recording(journal=True) <repro.obs.spans.Obs.recording>`
+interposes a :class:`JournalSink` between the substrate's hooks and the
+span sink.  The tee adds no scheduler/node hook sites: **activate**
+events (a buffered message released by its final dependency) are
+synthesized from the ``buffer``/``repark``/``apply`` stream the sink
+already receives, with the releasing edge taken from the message's
+current wait dependency.
+
+Dumping: :meth:`FlightRecorder.to_jsonl` renders header + events as
+JSON lines.  Setting :attr:`FlightRecorder.autodump_path` arms
+auto-dump -- the engine dumps on :class:`~repro.sim.engine.EngineLimitError`
+and the model checker dumps when a check records violations (both call
+:meth:`maybe_dump`; with no path armed it is a no-op).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.model.operations import WriteId
+from repro.obs.spans import DepKey, NullSink
+
+__all__ = ["JOURNAL_VERSION", "FlightRecorder", "JournalEvent",
+           "JournalSink", "events_from_jsonl"]
+
+JOURNAL_VERSION = 1
+
+#: Default ring capacity; at ~6 events per delivered message this keeps
+#: the last few hundred deliveries of arbitrarily long runs.
+DEFAULT_CAPACITY = 4096
+
+
+class JournalEvent:
+    """One recorded event.  Plain ``__slots__`` object: a recorder in a
+    hot run appends tens of thousands of these."""
+
+    __slots__ = ("seq", "t", "kind", "process", "wid", "dep", "extra")
+
+    def __init__(
+        self,
+        seq: int,
+        t: float,
+        kind: str,
+        process: int,
+        wid: Optional[WriteId] = None,
+        dep: DepKey = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ):
+        self.seq = seq
+        self.t = t
+        self.kind = kind
+        self.process = process
+        self.wid = wid
+        self.dep = dep
+        self.extra = extra
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "seq": self.seq,
+            "t": self.t,
+            "kind": self.kind,
+            "process": self.process,
+        }
+        if self.wid is not None:
+            doc["wid"] = [self.wid.process, self.wid.seq]
+        if self.dep is not None:
+            doc["dep"] = [self.dep[0], self.dep[1]]
+        if self.extra:
+            doc.update(self.extra)
+        return doc
+
+    def __repr__(self) -> str:  # diagnostics only
+        parts = [f"#{self.seq}", f"t={self.t:g}", self.kind,
+                 f"p{self.process}"]
+        if self.wid is not None:
+            parts.append(f"w{self.wid.process}.{self.wid.seq}")
+        if self.dep is not None:
+            parts.append(f"dep=({self.dep[0]},{self.dep[1]})")
+        return f"<{' '.join(parts)}>"
+
+
+class FlightRecorder:
+    """Bounded ring of :class:`JournalEvent` values, newest-last.
+
+    ``seq`` is a global monotone event number, so a dumped tail makes
+    clear how much history the ring evicted (``dropped`` = events that
+    rotated out).
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        *,
+        autodump_path: Optional[str] = None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self._seq = 0
+        #: armed auto-dump target; None disables the automatic dumps.
+        self.autodump_path = autodump_path
+        #: number of automatic dumps performed (tests / diagnostics).
+        self.autodumps = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def append(
+        self,
+        kind: str,
+        t: float,
+        process: int,
+        wid: Optional[WriteId] = None,
+        dep: DepKey = None,
+        **extra: Any,
+    ) -> None:
+        self._ring.append(
+            JournalEvent(self._seq, t, kind, process, wid, dep,
+                         extra or None)
+        )
+        self._seq += 1
+
+    def note(self, kind: str, **extra: Any) -> None:
+        """An out-of-band annotation (no process/time context)."""
+        self.append(kind, 0.0, -1, **extra)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def total_recorded(self) -> int:
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring bound."""
+        return self._seq - len(self._ring)
+
+    def events(self) -> List[JournalEvent]:
+        return list(self._ring)
+
+    def last(self, k: int) -> List[JournalEvent]:
+        """The newest ``k`` events, oldest-first."""
+        if k <= 0:
+            return []
+        return list(self._ring)[-k:]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- export ------------------------------------------------------------
+
+    def to_jsonl(self, **meta: Any) -> str:
+        """Header line + one JSON object per event."""
+        header = {
+            "journal": True,
+            "version": JOURNAL_VERSION,
+            "capacity": self.capacity,
+            "recorded": self._seq,
+            "dropped": self.dropped,
+            **meta,
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        lines.extend(
+            json.dumps(e.to_dict(), sort_keys=True) for e in self._ring
+        )
+        return "\n".join(lines) + "\n"
+
+    def dump(self, path: str, **meta: Any) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl(**meta))
+
+    def maybe_dump(self, reason: str) -> Optional[str]:
+        """Auto-dump to the armed path; returns the path, or None when
+        auto-dump is not armed.  Never raises: the dump is a diagnostic
+        side channel and must not mask the triggering failure."""
+        path = self.autodump_path
+        if path is None:
+            return None
+        try:
+            self.dump(path, reason=reason)
+        except OSError:
+            return None
+        self.autodumps += 1
+        return path
+
+
+def events_from_jsonl(text: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Parse a dump back into (header, event dicts); strict on shape."""
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        raise ValueError("empty journal dump")
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or not header.get("journal"):
+        raise ValueError("missing journal header line")
+    if header.get("version") != JOURNAL_VERSION:
+        raise ValueError(f"unsupported journal version {header.get('version')!r}")
+    return header, [json.loads(ln) for ln in lines[1:]]
+
+
+class JournalSink(NullSink):
+    """Tee sink: records every lifecycle callback into a
+    :class:`FlightRecorder`, then forwards to the wrapped sink.
+
+    Activation synthesis: the tee tracks each buffered message's
+    *current* blocking dependency (set by ``on_buffer``, advanced by
+    ``on_repark``); when the apply callback arrives for a tracked
+    message, an ``activate`` event carrying that final edge is recorded
+    immediately before the ``apply`` event -- the scheduler wakeup made
+    explicit, with no extra hot-path hook sites.
+    """
+
+    def __init__(self, recorder: FlightRecorder,
+                 inner: Optional[NullSink] = None):
+        self.recorder = recorder
+        self.inner = inner if inner is not None else NullSink()
+        #: (process, wid) -> current blocking dep of a buffered message.
+        self._waiting: Dict[Tuple[int, WriteId], DepKey] = {}
+
+    # the Obs.spans property resolves through the tee transparently
+    @property
+    def records_spans(self) -> bool:
+        return getattr(self.inner, "records_spans", False)
+
+    @property
+    def spans(self):
+        return self.inner.spans
+
+    # -- lifecycle callbacks ----------------------------------------------
+
+    def on_send(self, t, process, wid, variable):
+        self.recorder.append("send", t, process, wid,
+                             variable=str(variable))
+        self.inner.on_send(t, process, wid, variable)
+
+    def on_receipt(self, t, process, wid, variable, sender):
+        self.recorder.append("receipt", t, process, wid, sender=sender)
+        self.inner.on_receipt(t, process, wid, variable, sender)
+
+    def on_buffer(self, t, process, wid, dep):
+        self._waiting[(process, wid)] = dep
+        self.recorder.append("buffer", t, process, wid, dep)
+        self.inner.on_buffer(t, process, wid, dep)
+
+    def on_repark(self, t, process, wid, dep):
+        self._waiting[(process, wid)] = dep
+        self.recorder.append("repark", t, process, wid, dep)
+        self.inner.on_repark(t, process, wid, dep)
+
+    def on_apply(self, t, process, wid):
+        released = self._waiting.pop((process, wid), _MISSING)
+        if released is not _MISSING:
+            self.recorder.append("activate", t, process, wid, released)
+        self.recorder.append("apply", t, process, wid)
+        self.inner.on_apply(t, process, wid)
+
+    def on_discard(self, t, process, wid):
+        self._waiting.pop((process, wid), None)
+        self.recorder.append("discard", t, process, wid)
+        self.inner.on_discard(t, process, wid)
+
+    def on_read(self, t, process, variable, value):
+        self.recorder.append("read", t, process, variable=str(variable))
+        self.inner.on_read(t, process, variable, value)
+
+
+#: sentinel distinguishing "not buffered" from "buffered with dep None"
+_MISSING = object()

@@ -188,8 +188,10 @@ class MetricsRegistry:
                 "sum": h.total,
                 "mean": h.mean,
                 "p50": h.percentile(50),
+                "p90": h.percentile(90),
                 "p95": h.percentile(95),
                 "p99": h.percentile(99),
+                "p999": h.percentile(99.9),
                 "max": max(h.values) if h.values else 0.0,
             })
         return {

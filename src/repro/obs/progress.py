@@ -1,0 +1,121 @@
+"""Live progress telemetry for long-running checks and sweeps.
+
+A :class:`ProgressSink` receives ``update(**fields)`` calls from the
+work loop (the model checker every :data:`STATES_PER_TICK` states, the
+sweep runner on cache consults and shard completions) and throttles
+them to periodic one-line snapshots on a stream -- states/s, POR prune
+ratio, shard completion, cache hit rate.  ``repro-dsm check --progress``
+and ``repro-dsm sweep --progress`` arm it on stderr.
+
+Determinism: progress lives entirely in the observability side channel.
+The sink reads wall clocks (this module is in the ``obs`` zone, outside
+reprolint's determinism zones) but never feeds anything back into
+results; ``--stats-out`` gains only the final :meth:`snapshot`, whose
+rate fields are explicitly marked non-deterministic.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO
+
+__all__ = ["ProgressSink", "STATES_PER_TICK"]
+
+#: The model checker calls ``update`` every this-many explored states
+#: (a power of two so the modulo folds to a mask-like check).
+STATES_PER_TICK = 4096
+
+
+class ProgressSink:
+    """Throttled progress snapshots: merge fields, emit periodically.
+
+    ``update`` merges keyword fields into the latest snapshot and, at
+    most once per ``interval`` wall seconds, renders a line to
+    ``stream``.  Rates are derived by the sink: for every numeric field
+    named in ``rate_fields`` a ``<field>/s`` is computed from the delta
+    since the previous emission.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        *,
+        interval: float = 0.5,
+        label: str = "",
+        rate_fields: tuple = ("states",),
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self.label = label
+        self.rate_fields = rate_fields
+        self.latest: Dict[str, Any] = {}
+        self.updates = 0
+        self.emissions = 0
+        self._t0 = time.perf_counter()
+        self._last_emit = 0.0  # relative to _t0; 0 = never
+        self._last_rate_vals: Dict[str, float] = {}
+        self._last_rate_t = self._t0
+        self.rates: Dict[str, float] = {}
+
+    # -- ingestion ---------------------------------------------------------
+
+    def update(self, **fields: Any) -> None:
+        self.latest.update(fields)
+        self.updates += 1
+        now = time.perf_counter()
+        if self._last_emit and now - self._t0 - self._last_emit < self.interval:
+            return
+        self._emit(now)
+
+    def close(self) -> None:
+        """Final snapshot line (always emitted when anything arrived)."""
+        if self.updates:
+            self._emit(time.perf_counter(), final=True)
+
+    # -- rendering ---------------------------------------------------------
+
+    def _emit(self, now: float, *, final: bool = False) -> None:
+        self._update_rates(now)
+        parts = [f"[progress{'' if not self.label else ' ' + self.label}]"]
+        if final:
+            parts.append("done")
+        for key in sorted(self.latest):
+            value = self.latest[key]
+            if isinstance(value, float):
+                parts.append(f"{key}={value:.4g}")
+            else:
+                parts.append(f"{key}={value}")
+        for key, rate in sorted(self.rates.items()):
+            parts.append(f"{key}/s={rate:,.0f}")
+        print(" ".join(parts), file=self.stream, flush=True)
+        self.emissions += 1
+        self._last_emit = now - self._t0
+
+    def _update_rates(self, now: float) -> None:
+        dt = now - self._last_rate_t
+        if dt <= 0:
+            return
+        for key in self.rate_fields:
+            value = self.latest.get(key)
+            if not isinstance(value, (int, float)):
+                continue
+            prev = self._last_rate_vals.get(key)
+            if prev is not None:
+                self.rates[key] = (value - prev) / dt
+            self._last_rate_vals[key] = float(value)
+        self._last_rate_t = now
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The final merged fields for ``--stats-out``.  Rate fields are
+        wall-clock derived and hence non-deterministic; they are nested
+        under ``"rates"`` so deterministic consumers can ignore them."""
+        return {
+            "updates": self.updates,
+            "emissions": self.emissions,
+            "fields": dict(self.latest),
+            "rates": {f"{k}/s": round(v, 1) for k, v in self.rates.items()},
+            "wall_seconds": round(time.perf_counter() - self._t0, 6),
+        }

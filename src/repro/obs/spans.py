@@ -126,6 +126,10 @@ class NullSink:
     def on_discard(self, t: float, process: int, wid: WriteId) -> None:
         pass
 
+    def on_read(self, t: float, process: int, variable: Hashable,
+                value: Any) -> None:
+        pass
+
 
 class InMemorySink(NullSink):
     """Materializes spans for :class:`~repro.sim.result.RunResult` and
@@ -195,21 +199,40 @@ class Obs:
     benchmarked overhead budget (see docs/observability.md).
     """
 
-    __slots__ = ("enabled", "registry", "sink")
+    __slots__ = ("enabled", "registry", "sink", "journal")
 
     def __init__(self, sink: Optional[NullSink] = None,
-                 enabled: Optional[bool] = None) -> None:
-        self.sink = sink if sink is not None else NullSink()
+                 enabled: Optional[bool] = None,
+                 journal: Optional["FlightRecorder"] = None) -> None:
+        base = sink if sink is not None else NullSink()
+        #: optional :class:`~repro.obs.journal.FlightRecorder`; when set,
+        #: a tee sink records every lifecycle callback into the ring
+        #: before forwarding to ``sink``.
+        self.journal = journal
+        if journal is not None:
+            from repro.obs.journal import JournalSink
+
+            self.sink = JournalSink(journal, base)
+        else:
+            self.sink = base
         self.enabled = bool(
             enabled if enabled is not None
-            else type(self.sink) is not NullSink
+            else (type(base) is not NullSink or journal is not None)
         )
         self.registry = MetricsRegistry()
 
     @classmethod
-    def recording(cls) -> "Obs":
-        """An enabled handle with an :class:`InMemorySink`."""
-        return cls(InMemorySink())
+    def recording(cls, *, journal: bool = False,
+                  journal_capacity: int = 4096) -> "Obs":
+        """An enabled handle with an :class:`InMemorySink`; pass
+        ``journal=True`` to also arm a flight recorder
+        (:mod:`repro.obs.journal`)."""
+        recorder = None
+        if journal:
+            from repro.obs.journal import FlightRecorder
+
+            recorder = FlightRecorder(journal_capacity)
+        return cls(InMemorySink(), journal=recorder)
 
     @property
     def spans(self) -> Optional[List[MessageSpan]]:

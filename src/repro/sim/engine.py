@@ -35,6 +35,12 @@ class EngineLimitError(RuntimeError):
     and any substrate-provided ``detail`` (the cluster contributes
     per-node buffered-message counts) -- so a liveness failure is
     debuggable from the exception alone.
+
+    When the run carried a flight recorder (``Obs.recording(journal=
+    True)``), ``journal_tail`` holds its last events -- the protocol
+    actions leading *into* the wedge -- and, if the recorder was armed
+    with ``autodump_path``, the full journal has already been dumped
+    there by the time the exception propagates.
     """
 
     def __init__(
@@ -45,12 +51,14 @@ class EngineLimitError(RuntimeError):
         now: Optional[float] = None,
         queue_depth: Optional[int] = None,
         detail: Optional[Dict[str, Any]] = None,
+        journal_tail: Optional[list] = None,
     ) -> None:
         self.reason = reason
         self.events_processed = events_processed
         self.now = now
         self.queue_depth = queue_depth
         self.detail = dict(detail or {})
+        self.journal_tail = list(journal_tail or [])
         parts = [reason]
         if events_processed is not None:
             parts.append(f"events_processed={events_processed}")
@@ -60,6 +68,8 @@ class EngineLimitError(RuntimeError):
             parts.append(f"queue_depth={queue_depth}")
         for key, value in self.detail.items():
             parts.append(f"{key}={value}")
+        if self.journal_tail:
+            parts.append(f"journal_tail={len(self.journal_tail)} events")
         super().__init__("; ".join(parts))
 
 
@@ -93,13 +103,26 @@ class Engine:
         #: reports per-node buffered-message counts).
         self.diag_context: Optional[Callable[[], Dict[str, Any]]] = None
 
+    #: Number of trailing flight-recorder events attached to an
+    #: :class:`EngineLimitError` (the full journal goes to the
+    #: autodump file; the exception carries just the lead-in).
+    JOURNAL_TAIL_EVENTS = 32
+
     def _limit_error(self, reason: str) -> EngineLimitError:
+        journal = self._obs.journal
+        tail = None
+        if journal is not None:
+            journal.note("engine-limit", reason=reason,
+                         events_processed=self.events_processed)
+            tail = journal.last(self.JOURNAL_TAIL_EVENTS)
+            journal.maybe_dump("engine-limit")
         return EngineLimitError(
             reason,
             events_processed=self.events_processed,
             now=self.now,
             queue_depth=self._alive,
             detail=self.diag_context() if self.diag_context else None,
+            journal_tail=tail,
         )
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> _Scheduled:

@@ -185,8 +185,9 @@ class Node:
         if self.crashed:
             return None
         outcome = self.protocol.read(variable)
+        now = self.clock()
         self.trace.record(
-            self.clock(),
+            now,
             self.process_id,
             EventKind.RETURN,
             variable=variable,
@@ -196,6 +197,8 @@ class Node:
         )
         if self._obs.enabled:
             self._m_reads.inc()
+            self._obs.sink.on_read(now, self.process_id, variable,
+                                   outcome.value)
         return outcome.value
 
     # -- message reception --------------------------------------------------------

@@ -338,12 +338,16 @@ class FlatScheduler(DeliveryScheduler):
       batching the per-delivery wakeup to one dict pop per apply -- and
       queues messages whose counter hits zero;
     - :meth:`pump` drains the ready heap oldest-arrival first.  The
-      only recheck needed at pop time is the O(1) pivot test: progress
-      components are monotone, so a satisfied ``>=`` bound stays
-      satisfied, and only the exact-match pivot can *overshoot* (a
-      duplicate raced its original in; dead-park it, mirroring the
-      scalar paths).  An undershoot is impossible -- the counter
-      reaches zero only after the pivot's own key fired.
+      only *behavioural* recheck needed at pop time is the O(1) pivot
+      test: progress components are monotone, so a satisfied ``>=``
+      bound stays satisfied, and only the exact-match pivot can
+      *overshoot* (a duplicate raced its original in; dead-park it,
+      mirroring the scalar paths).  An undershoot is impossible -- the
+      counter reaches zero only after the pivot's own key fired.  With
+      obs on, the heap additionally carries flagged *recheck* entries
+      so repark telemetry is decided at pop time, exactly where the
+      indexed scheduler decides it (span parity:
+      ``tests/integration/test_flat_obs_parity.py``).
 
     Drain order is the same canonical oldest-buffered-actionable-first
     realized by both scalar schedulers, so flat runs stay
@@ -399,7 +403,7 @@ class FlatScheduler(DeliveryScheduler):
             deps = self.protocol.flat_deps(msg)
         fast = self._fp.fast
         pivot = deps.pivot
-        pivot_missing = False
+        missing: List[Tuple[int, int]] = []
         if pivot is not None:
             d = fast[pivot] - deps.pivot_req
             if d > 0:
@@ -407,9 +411,14 @@ class FlatScheduler(DeliveryScheduler):
                 # undeliverable, dead-park (wedged-buffer semantics).
                 self._dead_park(msg)
                 return Disposition.BUFFER
-            pivot_missing = d < 0
+            if d < 0:
+                # Pivot first: missing_deps() of every flat-capable
+                # protocol lists the pivot dependency before the plain
+                # >= bounds, and span wait-interval sequences must match
+                # the indexed scheduler's dep order exactly
+                # (tests/integration/test_flat_obs_parity.py).
+                missing.append((pivot, deps.pivot_req))
         items = deps.items
-        missing: List[Tuple[int, int]] = []
         if len(items) <= DENSE_THRESHOLD:
             for c, req in items:
                 if fast[c] < req:
@@ -420,33 +429,31 @@ class FlatScheduler(DeliveryScheduler):
                 c = int(c)
                 if c != pivot:
                     missing.append((c, int(row[c])))
-        if not missing and not pivot_missing:
+        if not missing:
             return Disposition.APPLY
-        if pivot_missing:
-            missing.append((pivot, deps.pivot_req))
         seq = self._arrivals
         self._arrivals += 1
         self._buffered[seq] = msg
-        self._slots[seq] = [msg, deps, len(missing)]
         parked = self._parked
         if self._default_dep_key:
-            for key in missing:
+            keys = missing
+            for key in keys:
                 parked.setdefault(key, []).append(seq)
-            first = missing[0]
         else:
             dep_key = self.protocol.flat_dep_key
-            first = None
-            for c, req in missing:
-                key = dep_key(c, req)
-                if first is None:
-                    first = key
+            keys = [dep_key(c, req) for c, req in missing]
+            for key in keys:
                 parked.setdefault(key, []).append(seq)
+        # slot[3] is the ordered still-unsatisfied key list; only span
+        # emission reads it (notify_applied advances it when obs is on).
+        # slot[4] marks a pending obs recheck entry in the ready heap.
+        self._slots[seq] = [msg, deps, len(missing), keys, False]
         if self._obs.enabled:
             self._m_parks.inc()
             self._g_buffer_depth.set(len(self._buffered))
             self._g_index_depth.set(len(parked))
             self._obs.sink.on_buffer(
-                self._clock(), self.protocol.process_id, msg.wid, first
+                self._clock(), self.protocol.process_id, msg.wid, keys[0]
             )
         return Disposition.BUFFER
 
@@ -479,13 +486,34 @@ class FlatScheduler(DeliveryScheduler):
         if seqs:
             slots = self._slots
             ready = self._ready
+            obs_on = self._obs.enabled
             for seq in seqs:
                 slot = slots[seq]
                 slot[2] -= 1
                 if slot[2] == 0:
                     heapq.heappush(ready, seq)
+                elif obs_on:
+                    # Head-advance == the indexed scheduler's repark:
+                    # that path parks under only the first missing dep,
+                    # so a satisfied head there means wake + re-park
+                    # under the next still-missing dep.  Components are
+                    # monotone, so "not yet fired" == "still missing"
+                    # and the surviving original order matches a fresh
+                    # missing_deps() enumeration.  The repark itself is
+                    # *not* emitted here: the indexed scheduler only
+                    # reparks a woken message when its pump pops it (in
+                    # arrival order, interleaved with the cascade), and
+                    # by then a same-instant apply may have cleared the
+                    # dep entirely.  Queue a flagged recheck entry and
+                    # let pump() make the same pop-time decision.
+                    keys = slot[3]
+                    was_head = keys[0] == key
+                    keys.remove(key)
+                    if was_head and not slot[4]:
+                        slot[4] = True
+                        heapq.heappush(ready, seq)
             self.wakeups += len(seqs)
-            if self._obs.enabled:
+            if obs_on:
                 self._m_wakeups.inc(len(seqs))
                 self._g_index_depth.set(len(self._parked))
 
@@ -497,18 +525,40 @@ class FlatScheduler(DeliveryScheduler):
         slots = self._slots
         while ready:
             seq = heapq.heappop(ready)
-            slot = slots.pop(seq, None)
-            if slot is None:  # pragma: no cover - defensive
+            slot = slots.get(seq)
+            if slot is None:
+                # A recheck entry whose message applied before the pop
+                # reached it (its counter hit zero later in the same
+                # cascade), or the stale twin of such a pair.
                 continue
-            msg, deps, _ = slot
+            if slot[2]:
+                # Obs recheck entry: woken by its head dependency but
+                # still blocked now that the cascade reached it -- emit
+                # the repark the indexed scheduler would emit from its
+                # pop-time classify, under the surviving head dep.
+                slot[4] = False
+                if self._obs.enabled:
+                    self._m_reparks.inc()
+                    self._obs.sink.on_repark(
+                        self._clock(), self.protocol.process_id,
+                        slot[0].wid, slot[3][0],
+                    )
+                continue
+            del slots[seq]
+            msg, deps = slot[0], slot[1]
             pivot = deps.pivot
             if pivot is not None and fast[pivot] != deps.pivot_req:
                 # Overshoot only (undershoot cannot reach the heap): a
                 # duplicate whose original applied first.  Keep it in
-                # the buffer forever, like the scalar dead-park.
+                # the buffer forever, like the scalar dead-park (which
+                # reports the terminal wait as a dependency-less repark).
                 self.dead_parked += 1
                 if self._obs.enabled:
                     self._m_dead_parked.inc()
+                    self._m_reparks.inc()
+                    self._obs.sink.on_repark(
+                        self._clock(), self.protocol.process_id, msg.wid, None
+                    )
                 continue
             del self._buffered[seq]
             apply_cb(msg)  # re-enters notify_applied -> may refill ready
@@ -518,7 +568,7 @@ class FlatScheduler(DeliveryScheduler):
     def pending_matrix(self) -> PendingMatrix:
         """The pending set as a requirement matrix (audit/batch view;
         built on demand -- the live path keeps the counting index)."""
-        pm = PendingMatrix(len(self._fp))
+        pm = PendingMatrix(len(self._fp), obs=self._obs)
         for slot in self._slots.values():
             pm.add(slot[1])
         return pm

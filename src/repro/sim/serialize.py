@@ -41,7 +41,8 @@ _BOTTOM_MARKER = {"__bottom__": True}
 #: Schema version of the RunMetrics summary dict.
 METRICS_FORMAT_VERSION = 1
 
-_DELAY_STATS_FIELDS = ("count", "mean", "p50", "p95", "p99", "max")
+_DELAY_STATS_FIELDS = ("count", "mean", "p50", "p90", "p95", "p99",
+                       "p999", "max")
 _METRICS_FIELDS = (
     "protocol", "n_processes", "writes", "reads", "delays",
     "unnecessary_delays", "messages", "bytes_estimate", "remote_applies",

@@ -79,6 +79,12 @@ class SweepRunner:
     fingerprint:
         Override for the code fingerprint (tests use this to model
         code changes); None computes the real one on first use.
+    progress:
+        Optional :class:`repro.obs.progress.ProgressSink`; receives
+        completion ticks (specs done, cache hit rate) during cache
+        consult and parallel execution.  Telemetry only: results are
+        still merged by index, so output stays byte-identical whether
+        or not a sink is attached.
     worker / digest_fn / decode / fingerprint_packages:
         The pluggable work kind.  The defaults run simulation specs
         (:func:`~repro.sweep.worker.execute_spec`); the model checker
@@ -94,6 +100,7 @@ class SweepRunner:
     jobs: int = 1
     cache: Optional[RunCache] = None
     obs: Obs = NULL_OBS
+    progress: Optional[Any] = None
     fingerprint: Optional[str] = None
     worker: Callable[[Any], Tuple[Dict, float]] = None  # type: ignore[assignment]
     digest_fn: Callable[[Any, Optional[str]], str] = None  # type: ignore[assignment]
@@ -144,6 +151,14 @@ class SweepRunner:
             self.stats.cache_misses += len(misses)
         else:
             misses = list(range(len(specs)))
+        if self.progress is not None:
+            hits = len(specs) - len(misses)
+            self.progress.update(
+                total=len(specs),
+                cache_hits=hits,
+                cache_hit_rate=round(hits / max(1, len(specs)), 4),
+                done=hits,
+            )
 
         fresh = self._execute([specs[i] for i in misses])
         obs_on = self.obs.enabled
@@ -171,9 +186,15 @@ class SweepRunner:
         """(payload dict, wall seconds) per spec, in spec order."""
         if not specs:
             return []
+        progress = self.progress
         if self.jobs <= 1:
-            return [self.worker(spec) for spec in specs]
-        from concurrent.futures import ProcessPoolExecutor
+            out = []
+            for spec in specs:
+                out.append(self.worker(spec))
+                if progress is not None:
+                    self._tick_progress(progress, len(out))
+            return out
+        from concurrent.futures import ProcessPoolExecutor, as_completed
 
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             # Submission order is spec order; collecting each future by
@@ -182,7 +203,22 @@ class SweepRunner:
             # self.worker is a dataclass field holding a module-level
             # function (never a bound method), so it pickles by name.
             futures = [pool.submit(self.worker, spec) for spec in specs]  # reprolint: disable=RL008
+            if progress is not None:
+                # Completion ticks only: nothing is *read* out of order,
+                # so the positional merge below is untouched.
+                for n_done, _ in enumerate(as_completed(futures), 1):
+                    self._tick_progress(progress, n_done)
             return [f.result() for f in futures]
+
+    def _tick_progress(self, progress, executed: int) -> None:
+        hits = self.stats.cache_hits
+        total = self.stats.runs
+        progress.update(
+            done=hits + executed,
+            executed=executed,
+            total=total,
+            cache_hit_rate=round(hits / max(1, total), 4),
+        )
 
 
 def run_specs(

@@ -1,0 +1,161 @@
+"""Flat-backend observability parity.
+
+Two commitments, stacked on top of the flat/scalar *trace* parity of
+``test_flatstate_differential``:
+
+1. **Span parity** -- with recording obs armed, the flat scheduler must
+   report the same message lifecycles as the indexed scalar scheduler:
+   same waits, same dep order within each wait sequence (the pivot-first
+   ordering pinned in ``FlatScheduler.offer``), same apply/discard
+   times.  Telemetry is only as trustworthy as this equivalence.
+
+2. **Byte identity with obs disabled** -- the pinned sha256 digests
+   assert the flat backend's disabled-obs runs produce exactly the
+   traces they produced when this PR landed, and that arming obs
+   changes no trace bytes (telemetry never perturbs the run).
+"""
+
+import hashlib
+import itertools
+
+import pytest
+
+from repro.obs import Obs
+from repro.protocols import PROTOCOLS
+from repro.sim import SeededLatency, run_schedule
+from repro.sim.serialize import trace_to_jsonl
+from repro.workloads import WorkloadConfig, random_schedule
+
+from tests.integration.test_flatstate_differential import FLAT_PROTOCOLS
+from tests.integration.test_scheduler_repark import (
+    SENDS,
+    chain_schedule,
+    scripted,
+)
+
+
+def _cfg(seed, n=5):
+    return WorkloadConfig(n_processes=n, ops_per_process=14,
+                          n_variables=4, write_fraction=0.6, seed=seed)
+
+
+def _run(name, n, sched, seed, *, backend, obs=None, **kwargs):
+    if backend == "scalar":
+        kwargs.setdefault("scheduler", "indexed")
+    latency = SeededLatency(seed, dist="exponential", mean=2.5)
+    if obs is None:
+        obs = Obs.recording()
+    result = run_schedule(PROTOCOLS[name], n, sched, latency=latency,
+                          state_backend=backend, obs=obs, **kwargs)
+    return result
+
+
+def normalized_spans(result):
+    """Span lifecycles as comparable tuples.  Wait intervals keep their
+    recorded order: the flat scheduler owes the indexed scheduler's dep
+    sequence, not just the same set."""
+    return sorted(
+        (s.process, (s.wid.process, s.wid.seq), s.sender, str(s.variable),
+         s.send_time, s.receipt_time, s.apply_time, s.discard_time,
+         tuple((w.start, w.dep, w.end) for w in s.waits))
+        for s in result.spans
+    )
+
+
+def assert_span_parity(r_scalar, r_flat):
+    assert normalized_spans(r_scalar) == normalized_spans(r_flat)
+    assert trace_to_jsonl(r_scalar.trace) == trace_to_jsonl(r_flat.trace)
+
+
+class TestSpanParity:
+    @pytest.mark.parametrize("name", sorted(FLAT_PROTOCOLS))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_workloads(self, name, seed):
+        sched = random_schedule(_cfg(seed))
+        r_scalar = _run(name, 5, sched, seed, backend="scalar")
+        r_flat = _run(name, 5, sched, seed, backend="flat")
+        assert_span_parity(r_scalar, r_flat)
+        # the workloads actually exercise buffering, not just sends
+        assert any(s.waits for s in r_flat.spans)
+
+    @pytest.mark.parametrize(
+        "order", list(itertools.permutations(sorted(SENDS))),
+        ids=lambda o: "-".join(f"p{w.process}" for w in o),
+    )
+    def test_reverse_chain_wait_sequences(self, order):
+        """Out-of-order chains force multi-key parks and reparks: the
+        flat head-advance must report the same wait-interval sequences
+        as the indexed scheduler's classify/park/wake cycle."""
+        results = {}
+        for backend in ("scalar", "flat"):
+            obs = Obs.recording()
+            kwargs = {"scheduler": "indexed"} if backend == "scalar" else {}
+            results[backend] = run_schedule(
+                "optp", 4, chain_schedule(), latency=scripted(order),
+                state_backend=backend, record_state=True, obs=obs,
+                **kwargs)
+        assert_span_parity(results["scalar"], results["flat"])
+
+    @pytest.mark.parametrize("name", sorted(FLAT_PROTOCOLS))
+    def test_duplicates_with_dedup(self, name):
+        sched = random_schedule(_cfg(11))
+        r_scalar = _run(name, 5, sched, 11, backend="scalar",
+                        duplicate_prob=0.3, dedup=True)
+        r_flat = _run(name, 5, sched, 11, backend="flat",
+                      duplicate_prob=0.3, dedup=True)
+        assert_span_parity(r_scalar, r_flat)
+
+    def test_duplicates_without_dedup_dead_park_spans(self):
+        """Dead-parked duplicates wedge forever: without dedup the
+        duplicate's dep-less open wait lands on the original's span
+        (same (process, wid) key), and both backends must report it
+        identically at the comparison deadline."""
+        sched = random_schedule(_cfg(3))
+        r_scalar = _run("anbkh", 5, sched, 3, backend="scalar",
+                        duplicate_prob=0.3, deadline=500.0)
+        r_flat = _run("anbkh", 5, sched, 3, backend="flat",
+                      duplicate_prob=0.3, deadline=500.0)
+        assert_span_parity(r_scalar, r_flat)
+        wedged = [s for s in r_flat.spans
+                  if s.waits and s.waits[-1].dep is None
+                  and s.waits[-1].end is None]
+        assert wedged  # the scenario actually produced dead-parks
+
+
+def _digest(name, seed, obs):
+    sched = random_schedule(_cfg(seed))
+    result = _run(name, 5, sched, seed, backend="flat", obs=obs)
+    return hashlib.sha256(
+        trace_to_jsonl(result.trace).encode()).hexdigest()
+
+
+#: sha256(trace_to_jsonl(...)) of the disabled-obs flat runs, pinned at
+#: the PR that instrumented the flat backend.  A digest drift means the
+#: obs wiring changed scheduling behaviour -- investigate, never repin
+#: casually.
+PINNED_DIGESTS = {
+    ("anbkh", 0):
+        "e9a466f5ef662b059c317b36c91c2c87ec60d2d82304c65a2cd9d50985b14513",
+    ("anbkh", 1):
+        "2174d433265eacce9a92c6e3ec85ec1ec1d0df3304bb016db38ba930b5287056",
+    ("optp", 0):
+        "8ca9f50e23f0e18025d30864c4744d5bf121be1dada9c98b478b9ba4c8f84350",
+    ("optp", 1):
+        "82541a1aab949a910cd5bfa6a5227ce6447fc993497c2623cafe8be6ad74feb3",
+    ("sequencer", 0):
+        "a45503e1018caad7cff2a0263a2f8057ee50ab4419c30fa0f7fe78f7c15a060b",
+    ("sequencer", 1):
+        "74dcfd37cbbd37937c4e6ff3740e0d18f854168e32e4bdaf948e890044705b4f",
+}
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("name,seed", sorted(PINNED_DIGESTS))
+    def test_disabled_obs_digest_pinned(self, name, seed):
+        assert _digest(name, seed, Obs()) == PINNED_DIGESTS[(name, seed)]
+
+    @pytest.mark.parametrize("name,seed", sorted(PINNED_DIGESTS))
+    def test_enabled_obs_same_bytes(self, name, seed):
+        """Arming spans + journal changes zero trace bytes."""
+        assert _digest(name, seed, Obs.recording(journal=True)) \
+            == PINNED_DIGESTS[(name, seed)]

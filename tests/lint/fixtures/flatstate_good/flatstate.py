@@ -1,0 +1,15 @@
+"""RL006 good fixture: flat-backend hooks gated, ``and``-chain form."""
+
+
+class PendingMatrix:
+    def __init__(self, n_components, obs=None):
+        self._obs = obs
+        if obs is not None and obs.enabled:
+            reg = obs.registry
+            self._m_adds = reg.counter("flat.pending_adds")
+            self._g_rows = reg.gauge("flat.pending_rows")
+
+    def add(self, deps):
+        if self._obs is not None and self._obs.enabled:
+            self._m_adds.inc()
+            self._g_rows.set(1)

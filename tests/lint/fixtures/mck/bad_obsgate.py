@@ -1,0 +1,15 @@
+"""RL006 bad fixture: ungated instrumentation in the ``mck`` zone.
+
+The directory (``mck``) makes every module here hot-path: the search
+inner loop revisits each transition across thousands of cloned states.
+"""
+
+
+class Search:
+    def __init__(self, obs):
+        self._obs = obs
+        self._m_states = obs.registry.counter("mck.states")  # ungated lookup
+
+    def count_state(self, state):
+        self._m_states.inc()  # ungated bump in the inner loop
+        self._obs.sink.on_apply(0.0, 0, state)  # ungated sink callback

@@ -1,0 +1,14 @@
+"""RL006 good fixture: mck-zone instrumentation under obs guards."""
+
+
+class Search:
+    def __init__(self, obs):
+        self._obs = obs
+        if obs.enabled:
+            self._m_states = obs.registry.counter("mck.states")
+
+    def count_state(self, state):
+        obs_on = self._obs.enabled  # hoisted guard
+        if obs_on:
+            self._m_states.inc()
+            self._obs.sink.on_apply(0.0, 0, state)

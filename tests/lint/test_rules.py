@@ -23,6 +23,8 @@ BAD = [
     ("sweep/bad_worker.py", "RL008"),
     ("sweep/bad_determinism.py", "RL001"),
     ("sim/bad_flat_alloc.py", "RL009"),
+    ("flatstate_bad/flatstate.py", "RL006"),
+    ("mck/bad_obsgate.py", "RL006"),
 ]
 
 GOOD = [
@@ -35,6 +37,8 @@ GOOD = [
     "sim/good_isolation.py",
     "sweep/good_worker.py",
     "sim/good_flat_alloc.py",
+    "flatstate_good/flatstate.py",
+    "mck/good_obsgate.py",
 ]
 
 
@@ -141,6 +145,35 @@ def test_flat_alloc_fixture_flags_each_hot_zone():
 def test_sweep_zone_inference():
     assert zone_of(FIXTURES / "sweep" / "bad_worker.py") == "sweep"
     assert zone_of(Path("src/repro/sweep/worker.py")) == "sweep"
+
+
+def test_hot_path_covers_flatstate_and_mck_zone():
+    from repro.lint.context import ModuleContext
+
+    flat = ModuleContext.parse(FIXTURES / "flatstate_bad" / "flatstate.py")
+    assert flat.is_hot_path  # by filename, regardless of zone
+    mck = ModuleContext.parse(FIXTURES / "mck" / "good_obsgate.py")
+    assert mck.zone == "mck" and mck.is_hot_path  # by zone
+    assert zone_of(Path("src/repro/mck/explorer.py")) == "mck"
+
+
+def test_flatstate_obs_fixture_flags_each_site():
+    findings = run("flatstate_bad/flatstate.py")
+    messages = "\n".join(f.message for f in findings)
+    assert "registry lookup .counter()" in messages
+    assert "registry lookup .gauge()" in messages
+    assert "instrument update .inc()" in messages
+    assert "instrument update .set()" in messages
+    assert len(findings) == 4
+
+
+def test_mck_obs_fixture_flags_each_site():
+    findings = run("mck/bad_obsgate.py")
+    messages = "\n".join(f.message for f in findings)
+    assert "registry lookup .counter()" in messages
+    assert "instrument update .inc()" in messages
+    assert "sink callback .on_apply()" in messages
+    assert len(findings) == 3
 
 
 def test_isolation_fixture_flags_reads_and_writes():

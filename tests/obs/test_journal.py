@@ -1,0 +1,250 @@
+"""Flight-recorder tests: ring bound, activate synthesis, JSONL dumps,
+and the ``EngineLimitError.journal_tail`` integration.
+
+The recorder is the run's black box: bounded, structured, and armed to
+dump itself exactly when something goes wrong (an engine limit or a
+model-checking violation) -- so these tests exercise the failure paths
+on purpose.
+"""
+
+import json
+
+import pytest
+
+from repro.model.operations import WriteId
+from repro.obs import (
+    FlightRecorder,
+    InMemorySink,
+    JournalSink,
+    Obs,
+    events_from_jsonl,
+)
+from repro.obs.journal import JOURNAL_VERSION
+from repro.sim import SeededLatency, run_schedule
+from repro.sim.engine import Engine, EngineLimitError
+from repro.workloads import ALL_SCENARIOS
+
+
+class TestRingBuffer:
+    def test_capacity_bound_and_dropped(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.append("apply", float(i), 0, WriteId(0, i + 1))
+        assert len(rec) == 4
+        assert rec.total_recorded == 10
+        assert rec.dropped == 6
+        # newest-last, global seq preserved across eviction
+        assert [e.seq for e in rec.events()] == [6, 7, 8, 9]
+
+    def test_last_k(self):
+        rec = FlightRecorder(capacity=8)
+        for i in range(5):
+            rec.append("apply", float(i), 0)
+        assert [e.seq for e in rec.last(2)] == [3, 4]
+        assert rec.last(0) == []
+        assert len(rec.last(100)) == 5
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_note_records_out_of_band(self):
+        rec = FlightRecorder()
+        rec.note("engine-limit", reason="max_events")
+        (e,) = rec.events()
+        assert e.kind == "engine-limit"
+        assert e.process == -1
+        assert e.extra == {"reason": "max_events"}
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        rec = FlightRecorder(capacity=16)
+        rec.append("buffer", 1.0, 2, WriteId(0, 3), (0, 2))
+        rec.append("apply", 2.0, 2, WriteId(0, 3))
+        header, events = events_from_jsonl(rec.to_jsonl(run="t"))
+        assert header["version"] == JOURNAL_VERSION
+        assert header["recorded"] == 2
+        assert header["dropped"] == 0
+        assert header["run"] == "t"
+        assert events[0] == {"seq": 0, "t": 1.0, "kind": "buffer",
+                             "process": 2, "wid": [0, 3], "dep": [0, 2]}
+        assert events[1]["kind"] == "apply"
+
+    def test_parse_rejects_missing_header(self):
+        with pytest.raises(ValueError, match="header"):
+            events_from_jsonl('{"seq": 0}\n')
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            events_from_jsonl("\n\n")
+
+    def test_parse_rejects_unknown_version(self):
+        bad = json.dumps({"journal": True, "version": 99}) + "\n"
+        with pytest.raises(ValueError, match="version"):
+            events_from_jsonl(bad)
+
+    def test_dump_writes_file(self, tmp_path):
+        rec = FlightRecorder()
+        rec.append("send", 0.0, 0, WriteId(0, 1))
+        path = tmp_path / "j.jsonl"
+        rec.dump(str(path), reason="manual")
+        header, events = events_from_jsonl(path.read_text())
+        assert header["reason"] == "manual"
+        assert len(events) == 1
+
+
+class TestMaybeDump:
+    def test_unarmed_is_noop(self):
+        rec = FlightRecorder()
+        assert rec.maybe_dump("whatever") is None
+        assert rec.autodumps == 0
+
+    def test_armed_dumps_with_reason(self, tmp_path):
+        path = tmp_path / "auto.jsonl"
+        rec = FlightRecorder(autodump_path=str(path))
+        rec.append("apply", 0.0, 0, WriteId(0, 1))
+        assert rec.maybe_dump("engine-limit") == str(path)
+        assert rec.autodumps == 1
+        header, _ = events_from_jsonl(path.read_text())
+        assert header["reason"] == "engine-limit"
+
+    def test_dump_failure_never_raises(self, tmp_path):
+        rec = FlightRecorder(autodump_path=str(tmp_path / "nope" / "x"))
+        assert rec.maybe_dump("engine-limit") is None
+        assert rec.autodumps == 0
+
+
+class TestActivateSynthesis:
+    """The tee synthesizes ``activate`` from buffer/repark/apply alone."""
+
+    def test_buffered_apply_emits_activate_with_final_edge(self):
+        rec = FlightRecorder()
+        sink = JournalSink(rec)
+        wid = WriteId(0, 2)
+        sink.on_buffer(1.0, 1, wid, (0, 1))
+        sink.on_repark(2.0, 1, wid, (2, 1))
+        sink.on_apply(3.0, 1, wid)
+        kinds = [(e.kind, e.dep) for e in rec.events()]
+        assert kinds == [("buffer", (0, 1)), ("repark", (2, 1)),
+                         ("activate", (2, 1)), ("apply", None)]
+
+    def test_unbuffered_apply_has_no_activate(self):
+        rec = FlightRecorder()
+        sink = JournalSink(rec)
+        sink.on_apply(1.0, 0, WriteId(0, 1))
+        assert [e.kind for e in rec.events()] == ["apply"]
+
+    def test_dep_none_buffer_still_activates(self):
+        """A dep of None (legacy scheduling) is distinct from 'not
+        buffered' -- the sentinel, not falsiness, decides."""
+        rec = FlightRecorder()
+        sink = JournalSink(rec)
+        sink.on_buffer(1.0, 1, WriteId(0, 2), None)
+        sink.on_apply(2.0, 1, WriteId(0, 2))
+        kinds = [e.kind for e in rec.events()]
+        assert kinds == ["buffer", "activate", "apply"]
+
+    def test_discard_clears_tracking(self):
+        rec = FlightRecorder()
+        sink = JournalSink(rec)
+        wid = WriteId(0, 2)
+        sink.on_buffer(1.0, 1, wid, (0, 1))
+        sink.on_discard(2.0, 1, wid)
+        sink.on_apply(3.0, 1, wid)  # hypothetical re-delivery
+        kinds = [e.kind for e in rec.events()]
+        assert kinds == ["buffer", "discard", "apply"]  # no activate
+
+    def test_tee_forwards_to_inner_sink(self):
+        inner = InMemorySink()
+        sink = JournalSink(FlightRecorder(), inner)
+        wid = WriteId(0, 1)
+        sink.on_receipt(0.0, 1, wid, "x", 0)
+        sink.on_apply(1.0, 1, wid)
+        assert sink.records_spans is True
+        assert len(inner.spans) == 1
+
+
+class TestRunIntegration:
+    def test_recording_journal_captures_fig3_lifecycle(self):
+        obs = Obs.recording(journal=True)
+        scen = ALL_SCENARIOS["fig3"]()
+        run_schedule("anbkh", 3, scen.schedule, latency=scen.latency,
+                     record_state=True, obs=obs)
+        events = obs.journal.events()
+        kinds = {e.kind for e in events}
+        assert {"send", "receipt", "buffer", "activate",
+                "apply", "read"} <= kinds
+        # every activate carries the releasing causal edge and is
+        # immediately followed by its apply
+        for i, e in enumerate(events):
+            if e.kind == "activate":
+                assert e.dep is not None
+                nxt = events[i + 1]
+                assert nxt.kind == "apply" and nxt.wid == e.wid
+        # activate count == spans that were buffered and applied
+        buffered_applied = sum(
+            1 for s in obs.spans if s.waits and s.apply_time is not None)
+        assert sum(1 for e in events
+                   if e.kind == "activate") == buffered_applied == 1
+
+    def test_journal_capacity_kwarg(self):
+        obs = Obs.recording(journal=True, journal_capacity=2)
+        assert obs.journal.capacity == 2
+        assert Obs.recording().journal is None
+
+
+class TestEngineLimitTail:
+    def _wedge(self, obs):
+        engine = Engine(obs=obs)
+        engine.schedule_at(0.0, lambda: None)
+        with pytest.raises(EngineLimitError) as exc_info:
+            engine.run(stop=lambda: False)
+        return exc_info.value
+
+    def test_error_carries_journal_tail(self, tmp_path):
+        path = tmp_path / "wedge.jsonl"
+        rec = FlightRecorder(autodump_path=str(path))
+        obs = Obs(InMemorySink(), journal=rec)
+        err = self._wedge(obs)
+        assert err.journal_tail
+        last = err.journal_tail[-1]
+        assert last.kind == "engine-limit"
+        assert "liveness" in last.extra["reason"]
+        assert "journal_tail=" in str(err)
+        # the armed auto-dump fired before the exception propagated
+        header, _ = events_from_jsonl(path.read_text())
+        assert header["reason"] == "engine-limit"
+        assert rec.autodumps == 1
+
+    def test_error_without_journal_has_empty_tail(self):
+        err = self._wedge(Obs.recording())
+        assert err.journal_tail == []
+        assert "journal_tail" not in str(err)
+
+    def test_tail_is_bounded(self):
+        rec = FlightRecorder()
+        for i in range(200):
+            rec.append("apply", float(i), 0)
+        obs = Obs(InMemorySink(), journal=rec)
+        err = self._wedge(obs)
+        assert len(err.journal_tail) == Engine.JOURNAL_TAIL_EVENTS
+
+    def test_wedged_cluster_run_dumps_journal(self, tmp_path):
+        """End-to-end: a run that cannot quiesce dumps its journal."""
+        from repro.sim.cluster import SimCluster
+        from repro.workloads.ops import Schedule, ScheduledOp, WriteOp
+
+        path = tmp_path / "cluster.jsonl"
+        rec = FlightRecorder(autodump_path=str(path))
+        obs = Obs(InMemorySink(), journal=rec)
+        # second-seq write shipped alone: receivers buffer it forever
+        sender = SimCluster("optp", 3, obs=obs)
+        sender.nodes[0].protocol.write("x", 0)  # swallow seq 1
+        sched = Schedule([ScheduledOp(0.0, 0, WriteOp("x", 1))])
+        with pytest.raises(EngineLimitError) as exc_info:
+            sender.run_schedule(sched)
+        assert path.exists()
+        kinds = [e.kind for e in exc_info.value.journal_tail]
+        assert "buffer" in kinds
+        assert kinds[-1] == "engine-limit"

@@ -1,0 +1,145 @@
+"""ProgressSink tests: throttling, field merging, rates, snapshots --
+plus the checker/sweep integration that feeds it.
+
+Progress is telemetry-only: the integration tests assert both that
+ticks arrive and that arming a sink changes no verdicts.
+"""
+
+import io
+
+from repro.obs import ProgressSink
+from repro.obs.progress import STATES_PER_TICK
+
+
+def sink(**kwargs):
+    stream = io.StringIO()
+    return ProgressSink(stream, **kwargs), stream
+
+
+class TestEmission:
+    def test_first_update_emits_immediately(self):
+        s, stream = sink(interval=3600.0)
+        s.update(states=10)
+        assert s.emissions == 1
+        assert "states=10" in stream.getvalue()
+
+    def test_throttle_suppresses_until_interval(self):
+        s, stream = sink(interval=3600.0)
+        for i in range(50):
+            s.update(states=i)
+        assert s.updates == 50
+        assert s.emissions == 1  # only the unthrottled first one
+
+    def test_zero_interval_emits_every_update(self):
+        s, _ = sink(interval=0.0)
+        for i in range(5):
+            s.update(states=i)
+        assert s.emissions == 5
+
+    def test_fields_merge_across_updates(self):
+        s, stream = sink(interval=0.0)
+        s.update(states=1)
+        s.update(shards=3)
+        line = stream.getvalue().splitlines()[-1]
+        assert "states=1" in line and "shards=3" in line
+
+    def test_label_and_float_formatting(self):
+        s, stream = sink(interval=0.0, label="check:optp")
+        s.update(prune_ratio=0.56874)
+        line = stream.getvalue()
+        assert "[progress check:optp]" in line
+        assert "prune_ratio=0.5687" in line
+
+    def test_close_emits_final_line(self):
+        s, stream = sink(interval=3600.0)
+        s.update(states=1)
+        s.update(states=99)  # throttled
+        s.close()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "done" in lines[-1] and "states=99" in lines[-1]
+
+    def test_close_without_updates_is_silent(self):
+        s, stream = sink()
+        s.close()
+        assert stream.getvalue() == ""
+        assert s.emissions == 0
+
+
+class TestRates:
+    def test_rate_computed_from_emission_deltas(self):
+        s, stream = sink(interval=0.0, rate_fields=("states",))
+        s.update(states=0)
+        s.update(states=1000)
+        assert "states" in s.rates
+        assert s.rates["states"] > 0
+        assert "states/s=" in stream.getvalue().splitlines()[-1]
+
+    def test_non_numeric_rate_field_skipped(self):
+        s, _ = sink(interval=0.0, rate_fields=("states",))
+        s.update(states="n/a")
+        s.update(states="n/a")
+        assert "states" not in s.rates
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        s, _ = sink(interval=0.0)
+        s.update(states=4096, shards=2)
+        s.close()
+        snap = s.snapshot()
+        assert snap["fields"] == {"states": 4096, "shards": 2}
+        assert snap["updates"] == 1
+        assert snap["emissions"] == 2
+        assert isinstance(snap["rates"], dict)
+        assert snap["wall_seconds"] >= 0
+
+
+class TestCheckerIntegration:
+    def test_check_ticks_and_verdict_unchanged(self):
+        from repro.mck.explorer import CheckConfig, check, workload_by_name
+
+        config = CheckConfig(protocol="optp",
+                             workload=workload_by_name("pair"))
+        s, stream = sink(interval=0.0)
+        with_progress = check(config, progress=s)
+        bare = check(config)
+        assert with_progress.verdict_dict() == bare.verdict_dict()
+        assert s.updates >= 1  # the final flush always ticks
+        assert s.latest["states"] == bare.states
+        assert "states=" in stream.getvalue()
+
+    def test_run_checks_inline_passes_progress_through(self):
+        from repro.mck.explorer import CheckConfig, workload_by_name
+        from repro.mck.parallel import run_checks
+
+        configs = [CheckConfig(protocol=p, workload=workload_by_name("pair"))
+                   for p in ("optp", "anbkh")]
+        s, _ = sink(interval=0.0)
+        results, _stats = run_checks(configs, jobs=1, progress=s)
+        assert [r.ok for r in results] == [True, True]
+        assert s.updates >= 2
+
+    def test_states_per_tick_is_power_of_two(self):
+        assert STATES_PER_TICK & (STATES_PER_TICK - 1) == 0
+
+
+class TestSweepIntegration:
+    def test_sweep_runner_ticks_per_spec(self):
+        from repro.sweep import LatencySpec, RunSpec, SweepRunner
+        from repro.workloads.generators import WorkloadConfig
+
+        specs = [
+            RunSpec(protocol="optp", n_processes=3,
+                    config=WorkloadConfig(n_processes=3, ops_per_process=4,
+                                          seed=s),
+                    latency=LatencySpec.seeded(s))
+            for s in range(3)
+        ]
+        s, stream = sink(interval=0.0, rate_fields=("done",))
+        runner = SweepRunner(progress=s)
+        out = runner.run(specs)
+        assert len(out) == 3
+        assert s.latest["done"] == 3
+        assert s.latest["total"] == 3
+        assert "done=3" in stream.getvalue()

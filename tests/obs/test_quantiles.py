@@ -1,0 +1,106 @@
+"""Exact-quantile property tests: nearest-rank == numpy inverted_cdf.
+
+``DelayStats``/``Histogram`` quantiles feed the critical-path and
+overhead reports, so they are pinned to an external definition:
+:func:`repro.analysis.metrics.percentile` must agree bit-for-bit with
+``numpy.percentile(..., method="inverted_cdf")`` on arbitrary data.
+Hypothesis explores the space; a few hand cases anchor the edges.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import DelayStats, percentile
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+# finite, no NaN: a NaN duration is a bug upstream, not a quantile input
+values_st = st.lists(
+    st.floats(min_value=-1e12, max_value=1e12,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=200)
+
+q_st = st.one_of(
+    st.sampled_from([0.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0]),
+    st.floats(min_value=0.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False))
+
+
+def np_inverted_cdf(vals, q):
+    return float(np.percentile(np.asarray(vals, dtype=float), q,
+                               method="inverted_cdf"))
+
+
+class TestPercentile:
+    @settings(max_examples=300, deadline=None)
+    @given(vals=values_st, q=q_st)
+    def test_matches_numpy_inverted_cdf(self, vals, q):
+        ours = percentile(sorted(vals), q)
+        assert ours == np_inverted_cdf(vals, q)
+
+    @settings(deadline=None)
+    @given(vals=values_st, q=q_st)
+    def test_result_is_an_observed_value(self, vals, q):
+        """Nearest-rank never interpolates: the quantile is a datum."""
+        assert percentile(sorted(vals), q) in vals
+
+    def test_empty_returns_zero(self):
+        assert percentile([], 99.9) == 0.0
+
+    @pytest.mark.parametrize("q", [-0.1, 100.1])
+    def test_out_of_range_q_rejected(self, q):
+        with pytest.raises(ValueError):
+            percentile([1.0], q)
+
+    def test_p999_needs_a_thousand_samples_to_leave_the_max_bucket(self):
+        """p99.9 first drops below the max at n=1001 observations."""
+        vals = sorted(float(i) for i in range(1001))
+        assert percentile(vals, 99.9) == 999.0 == np_inverted_cdf(vals, 99.9)
+        assert percentile(vals, 100.0) == 1000.0
+
+
+class TestDelayStats:
+    def test_empty_is_all_zero(self):
+        s = DelayStats.of([])
+        assert (s.count, s.mean, s.p50, s.p90, s.p95, s.p99, s.p999,
+                s.max) == (0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(vals=values_st)
+    def test_fields_match_numpy(self, vals):
+        s = DelayStats.of(vals)
+        assert s.count == len(vals)
+        assert s.max == max(vals)
+        for field, q in [("p50", 50), ("p90", 90), ("p95", 95),
+                         ("p99", 99), ("p999", 99.9)]:
+            assert getattr(s, field) == np_inverted_cdf(vals, q), field
+
+    @settings(deadline=None)
+    @given(vals=values_st)
+    def test_quantiles_monotone(self, vals):
+        s = DelayStats.of(vals)
+        assert s.p50 <= s.p90 <= s.p95 <= s.p99 <= s.p999 <= s.max
+
+
+class TestHistogram:
+    @settings(max_examples=100, deadline=None)
+    @given(vals=values_st, q=q_st)
+    def test_percentile_matches_numpy(self, vals, q):
+        h = Histogram()
+        for v in vals:
+            h.observe(v)
+        assert h.percentile(q) == np_inverted_cdf(vals, q)
+
+    @settings(max_examples=50, deadline=None)
+    @given(vals=values_st)
+    def test_registry_snapshot_quantiles_exact(self, vals):
+        reg = MetricsRegistry()
+        h = reg.histogram("delay.duration", protocol="optp")
+        for v in vals:
+            h.observe(v)
+        (series,) = reg.collect()["histograms"]["delay.duration"]
+        assert series["count"] == len(vals)
+        assert series["p90"] == np_inverted_cdf(vals, 90)
+        assert series["p999"] == np_inverted_cdf(vals, 99.9)
+        assert series["max"] == max(vals)
