@@ -272,6 +272,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip these rule codes, comma-separated")
     p_lint.add_argument("--catalog", action="store_true",
                         help="print the rule catalog and exit")
+    p_lint.add_argument("--flow", action="store_true",
+                        help="enable the interprocedural flow rules "
+                        "(RL101-RL104: payload escape, VC monotonicity, "
+                        "transitive nondeterminism, transitive hot-path "
+                        "allocation)")
 
     return parser
 
@@ -731,7 +736,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     try:
         report = lint_paths(paths, select=codes(args.select),
-                            ignore=codes(args.ignore))
+                            ignore=codes(args.ignore), flow=args.flow)
     except ValueError as exc:  # unknown rule codes
         print(str(exc), file=sys.stderr)
         return 2

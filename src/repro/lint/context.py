@@ -78,6 +78,10 @@ class ModuleContext:
         self.zone = zone_of(path)
         self.is_hot_path = (path.name in HOT_PATH_MODULES
                             or self.zone in HOT_PATH_ZONES)
+        #: shared :class:`repro.lint.flow.FlowAnalysis`, attached by the
+        #: runner when a ``requires_flow`` rule is selected; None in
+        #: plain syntactic runs (flow rules then stay silent).
+        self.flow = None
         self._parents: Dict[int, ast.AST] = {}
         for parent in ast.walk(tree):
             for child in ast.iter_child_nodes(parent):

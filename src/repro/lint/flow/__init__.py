@@ -1,0 +1,63 @@
+"""repro.lint.flow: interprocedural, flow- and alias-aware analysis.
+
+The package layers three pieces on top of the syntactic rule
+framework (docs/static-analysis.md, "Flow analysis"):
+
+- :mod:`repro.lint.flow.cfg` -- per-function control-flow graphs;
+- :mod:`repro.lint.flow.callgraph` -- module-granular call graph with
+  per-function summaries and zone-aware transitive queries;
+- :mod:`repro.lint.flow.dataflow` / :mod:`repro.lint.flow.escape` --
+  a forward dataflow engine over a frozen/mutable/escaped-into-payload
+  abstract domain, plus the whole-program payload key summary.
+
+:class:`FlowAnalysis` bundles them for one lint run.  The runner
+builds it once over every parseable file in the run and attaches it to
+each module's context as ``ctx.flow``; rules marked
+``requires_flow = True`` read it from there and stay silent when it is
+absent (non-flow runs).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Sequence
+
+from repro.lint.context import ModuleContext
+from repro.lint.flow.callgraph import CallGraph, FuncInfo, ModuleInfo
+from repro.lint.flow.cfg import CFG, Block, build_cfg
+from repro.lint.flow.dataflow import ForwardAnalysis, State
+from repro.lint.flow.escape import EscapeAnalysis, PayloadSummary
+
+__all__ = [
+    "Block", "CFG", "CallGraph", "EscapeAnalysis", "FlowAnalysis",
+    "ForwardAnalysis", "FuncInfo", "ModuleInfo", "PayloadSummary",
+    "State", "build_cfg", "build_flow",
+]
+
+
+class FlowAnalysis:
+    """Whole-run flow facts shared by every ``requires_flow`` rule."""
+
+    def __init__(self, contexts: Sequence[ModuleContext]):
+        self.modules: Dict[str, ModuleInfo] = {}
+        infos = []
+        for ctx in contexts:
+            info = ModuleInfo(ctx)
+            self.modules[str(ctx.path)] = info
+            infos.append(info)
+        self.graph = CallGraph(infos)
+        self.payload_keys = PayloadSummary.build(infos, self.graph)
+
+    def module_for(self, ctx: ModuleContext) -> Optional[ModuleInfo]:
+        return self.modules.get(str(ctx.path))
+
+    def escape_states(self, fn: FuncInfo, model):
+        """``(before-states, cfg)`` of ``fn`` under the escape domain."""
+        cfg = build_cfg(fn.node)
+        analysis = EscapeAnalysis(model, fn, self.graph, self.payload_keys)
+        return analysis.run(cfg), cfg
+
+
+def build_flow(contexts: Sequence[ModuleContext]) -> FlowAnalysis:
+    """Build the shared :class:`FlowAnalysis` for a set of modules."""
+    return FlowAnalysis(contexts)

@@ -1,0 +1,239 @@
+"""Per-function control-flow graphs for the flow-aware lint rules.
+
+A :class:`CFG` is a graph of basic blocks over the *statements* of one
+function body.  It is deliberately lint-grade:
+
+- expressions never split blocks -- a comprehension or ternary stays
+  inside the statement that contains it;
+- nested ``def``/``class`` statements are ordinary statements of the
+  enclosing block (they bind a name; their bodies get their own CFG
+  when analyzed);
+- ``try`` bodies conservatively assume an exception can occur after
+  any statement, so every block of the ``try`` suite gets an edge to
+  every handler;
+- ``finally`` suites are routed on *all* exits of the protected
+  region, so a dataflow fact established in ``finally`` dominates the
+  statements after the ``try``.
+
+Compound statements (``if``/``for``/``while``/``with``/``try``) are
+*not* appended to any block; only their simple-statement leaves are.
+The one exception is ``for``: the loop statement itself is placed in
+its header block so a transfer function can model the target binding
+(``for x in xs`` assigns ``x`` once per iteration).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+__all__ = ["Block", "CFG", "build_cfg"]
+
+
+class Block:
+    """A basic block: straight-line statements plus graph edges."""
+
+    def __init__(self, bid: int):
+        self.bid = bid
+        self.stmts: List[ast.stmt] = []
+        self.succs: List["Block"] = []
+        self.preds: List["Block"] = []
+
+    def add_edge(self, other: "Block") -> None:
+        if other not in self.succs:
+            self.succs.append(other)
+            other.preds.append(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Block({self.bid}, stmts={len(self.stmts)})"
+
+
+class CFG:
+    """Control-flow graph of one function definition."""
+
+    def __init__(self, func: ast.AST):
+        self.func = func
+        self.blocks: List[Block] = []
+        builder = _Builder(self)
+        self.entry, self.exit = builder.build(func)
+
+    def new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+
+class _Builder:
+    """Recursive CFG construction with loop/finally context stacks."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        #: (continue target, break target) per enclosing loop.
+        self._loops: List[Tuple[Block, Block]] = []
+
+    def build(self, func: ast.AST) -> Tuple[Block, Block]:
+        entry = self.cfg.new_block()
+        exit_block = self.cfg.new_block()
+        self._exit = exit_block
+        end = self.visit_body(func.body, entry)
+        if end is not None:
+            end.add_edge(exit_block)
+        return entry, exit_block
+
+    def visit_body(
+        self, stmts: List[ast.stmt], cur: Optional[Block]
+    ) -> Optional[Block]:
+        """Thread ``stmts`` through the graph; None means unreachable
+        (the previous statement left the block via return/break/...)."""
+        for stmt in stmts:
+            if cur is None:
+                # Unreachable suffix; keep building so every statement
+                # still belongs to some block (with no predecessors).
+                cur = self.cfg.new_block()
+            cur = self.visit_stmt(stmt, cur)
+        return cur
+
+    def visit_stmt(self, stmt: ast.stmt, cur: Block) -> Optional[Block]:
+        if isinstance(stmt, ast.If):
+            return self._visit_if(stmt, cur)
+        if isinstance(stmt, (ast.While,)):
+            return self._visit_while(stmt, cur)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._visit_for(stmt, cur)
+        if isinstance(stmt, ast.Try):
+            return self._visit_try(stmt, cur)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            cur.stmts.append(stmt)  # models optional `as name` binding
+            return self.visit_body(stmt.body, cur)
+        if isinstance(stmt, ast.Match):
+            return self._visit_match(stmt, cur)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cur.stmts.append(stmt)
+            cur.add_edge(self._exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            cur.stmts.append(stmt)
+            if self._loops:
+                cur.add_edge(self._loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            cur.stmts.append(stmt)
+            if self._loops:
+                cur.add_edge(self._loops[-1][0])
+            return None
+        cur.stmts.append(stmt)
+        return cur
+
+    def _visit_if(self, stmt: ast.If, cur: Block) -> Optional[Block]:
+        then_entry = self.cfg.new_block()
+        cur.add_edge(then_entry)
+        then_end = self.visit_body(stmt.body, then_entry)
+        if stmt.orelse:
+            else_entry = self.cfg.new_block()
+            cur.add_edge(else_entry)
+            else_end = self.visit_body(stmt.orelse, else_entry)
+        else:
+            else_end = cur  # fallthrough when the test is false
+        if then_end is None and else_end is None:
+            return None
+        after = self.cfg.new_block()
+        for end in (then_end, else_end):
+            if end is not None:
+                end.add_edge(after)
+        return after
+
+    def _visit_while(self, stmt: ast.While, cur: Block) -> Block:
+        header = self.cfg.new_block()
+        after = self.cfg.new_block()
+        cur.add_edge(header)
+        header.add_edge(after)  # loop may not run / exits
+        self._loops.append((header, after))
+        body_entry = self.cfg.new_block()
+        header.add_edge(body_entry)
+        body_end = self.visit_body(stmt.body, body_entry)
+        if body_end is not None:
+            body_end.add_edge(header)  # back edge
+        self._loops.pop()
+        if stmt.orelse:
+            else_entry = self.cfg.new_block()
+            header.add_edge(else_entry)
+            else_end = self.visit_body(stmt.orelse, else_entry)
+            if else_end is not None:
+                else_end.add_edge(after)
+        return after
+
+    def _visit_for(self, stmt: ast.AST, cur: Block) -> Block:
+        header = self.cfg.new_block()
+        header.stmts.append(stmt)  # transfer models the target binding
+        after = self.cfg.new_block()
+        cur.add_edge(header)
+        header.add_edge(after)
+        self._loops.append((header, after))
+        body_entry = self.cfg.new_block()
+        header.add_edge(body_entry)
+        body_end = self.visit_body(stmt.body, body_entry)
+        if body_end is not None:
+            body_end.add_edge(header)
+        self._loops.pop()
+        if stmt.orelse:
+            else_entry = self.cfg.new_block()
+            header.add_edge(else_entry)
+            else_end = self.visit_body(stmt.orelse, else_entry)
+            if else_end is not None:
+                else_end.add_edge(after)
+        return after
+
+    def _visit_try(self, stmt: ast.Try, cur: Block) -> Optional[Block]:
+        body_entry = self.cfg.new_block()
+        cur.add_edge(body_entry)
+        first_body_block = len(self.cfg.blocks) - 1
+        body_end = self.visit_body(stmt.body, body_entry)
+        body_blocks = self.cfg.blocks[first_body_block:]
+
+        handler_ends: List[Optional[Block]] = []
+        for handler in stmt.handlers:
+            h_entry = self.cfg.new_block()
+            if handler.name:
+                h_entry.stmts.append(handler)  # models `as name`
+            # an exception may fire after any statement of the suite
+            for block in body_blocks:
+                block.add_edge(h_entry)
+            handler_ends.append(self.visit_body(handler.body, h_entry))
+
+        if stmt.orelse and body_end is not None:
+            body_end = self.visit_body(stmt.orelse, body_end)
+
+        ends = [e for e in [body_end] + handler_ends if e is not None]
+        if stmt.finalbody:
+            fin_entry = self.cfg.new_block()
+            for end in ends:
+                end.add_edge(fin_entry)
+            if not ends:
+                # all paths return/raise; finally still runs on the way
+                for block in body_blocks:
+                    block.add_edge(fin_entry)
+            return self.visit_body(stmt.finalbody, fin_entry)
+        if not ends:
+            return None
+        after = self.cfg.new_block()
+        for end in ends:
+            end.add_edge(after)
+        return after
+
+    def _visit_match(self, stmt: ast.Match, cur: Block) -> Optional[Block]:
+        ends = []
+        for case in stmt.cases:
+            c_entry = self.cfg.new_block()
+            cur.add_edge(c_entry)
+            ends.append(self.visit_body(case.body, c_entry))
+        after = self.cfg.new_block()
+        cur.add_edge(after)  # no case may match
+        for end in ends:
+            if end is not None:
+                end.add_edge(after)
+        return after
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """CFG of a ``FunctionDef`` / ``AsyncFunctionDef``."""
+    return CFG(func)

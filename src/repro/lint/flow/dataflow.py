@@ -1,0 +1,74 @@
+"""A small forward dataflow engine over :mod:`repro.lint.flow.cfg`.
+
+The engine is generic: a client subclasses :class:`ForwardAnalysis`,
+provides the entry state and a per-statement transfer function, and
+gets back the fixpoint *before*-state of every statement (keyed by
+statement identity).  States are ``{name: frozenset(flags)}`` maps;
+the join is pointwise set union, so the lattice has finite height
+(``|names| x |flags|``) and the worklist terminates.
+
+Used by :mod:`repro.lint.flow.escape` to track frozen / mutable /
+escaped-into-payload facts through branches and loops -- e.g. a vector
+that escapes into a payload inside a loop body is already ESCAPED when
+the next iteration mutates it, which a single linear scan would miss.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List
+
+from repro.lint.flow.cfg import CFG, Block
+
+__all__ = ["ForwardAnalysis", "State", "join_states"]
+
+#: Abstract state: local name -> set of domain flags.
+State = Dict[str, FrozenSet[str]]
+
+
+def join_states(a: State, b: State) -> State:
+    """Pointwise union -- the may-analysis join."""
+    out = dict(a)
+    for name, flags in b.items():
+        prev = out.get(name)
+        out[name] = flags if prev is None else prev | flags
+    return out
+
+
+class ForwardAnalysis:
+    """Worklist fixpoint over a CFG; subclasses define the transfer."""
+
+    def entry_state(self, func: ast.AST) -> State:
+        return {}
+
+    def transfer(self, stmt: ast.stmt, state: State) -> State:
+        raise NotImplementedError
+
+    def run(self, cfg: CFG) -> Dict[int, State]:
+        """Fixpoint; returns ``id(stmt) -> state before stmt``."""
+        block_in: Dict[int, State] = {cfg.entry.bid: self.entry_state(cfg.func)}
+        block_out: Dict[int, State] = {}
+        worklist: List[Block] = [cfg.entry]
+        while worklist:
+            block = worklist.pop()
+            state = block_in.get(block.bid, {})
+            for stmt in block.stmts:
+                state = self.transfer(stmt, state)
+            old_out = block_out.get(block.bid)
+            if old_out == state and old_out is not None:
+                continue
+            block_out[block.bid] = state
+            for succ in block.succs:
+                merged = join_states(block_in.get(succ.bid, {}), state)
+                if merged != block_in.get(succ.bid):
+                    block_in[succ.bid] = merged
+                    if succ not in worklist:
+                        worklist.append(succ)
+        # second pass: record the before-state of every statement
+        before: Dict[int, State] = {}
+        for block in cfg.blocks:
+            state = block_in.get(block.bid, {})
+            for stmt in block.stmts:
+                before[id(stmt)] = state
+                state = self.transfer(stmt, state)
+        return before

@@ -1,0 +1,388 @@
+"""Frozen / mutable / escaped-into-payload abstract domain.
+
+The domain tracks, per local name, a set of flags:
+
+``FROZEN``
+    provably immutable (constants, tuple literals, ``tuple(...)`` /
+    ``frozenset(...)``, calls whose summary says every return value is
+    frozen);
+``MUTABLE``
+    a list/dict/set (literal, comprehension, ``[0] * n``, ``list()``,
+    ``sorted()``, ``.copy()``...);
+``LIVE``
+    aliases live protocol state (``self.attr`` bound to a mutable
+    container in ``__init__`` -- the same class model RL003 uses);
+``ESCAPED``
+    reachable from an in-flight message payload (placed bare into a
+    ``payload={...}`` dict or stored through ``<msg>.payload[...]``);
+``PAYLOAD``
+    derived from an *incoming* payload access.
+
+Escaping **live** mutable state is a finding at the escape site (the
+receiver and the sender would share one object).  Escaping a *fresh*
+mutable is only a finding if the function later mutates it -- the
+flow-sensitive part: rebinding the name (``vec = tuple(vec)``) clears
+the taint, and an escape inside a loop body taints the next iteration
+through the back edge.
+
+The module also builds the whole-program **payload key summary**: for
+every key ever stored into a payload, the join of the abstract values
+shipped under it.  The receive-side check only fires when a key can
+actually carry a mutable object -- which is how the analysis *proves*
+the repo's tuple-on-the-wire discipline safe instead of re-flagging
+every suppressed RL003 site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    Dict, Iterator, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING,
+)
+
+from repro.lint.context import dotted_name
+from repro.lint.flow.dataflow import ForwardAnalysis, State
+
+if TYPE_CHECKING:  # annotation-only: breaks the callgraph import cycle
+    from repro.lint.flow.callgraph import CallGraph, FuncInfo, ModuleInfo
+from repro.lint.rules.aliasing import (
+    _ClassModel,
+    _is_payload_access,
+    _MESSAGE_CTORS,
+)
+
+__all__ = [
+    "ESCAPED", "FROZEN", "LIVE", "MUTABLE", "PAYLOAD",
+    "EscapeAnalysis", "PayloadSummary", "classify_expr",
+    "iter_local_mutations", "iter_payload_placements", "key_token",
+]
+
+FROZEN = "frozen"
+MUTABLE = "mutable"
+LIVE = "live"
+ESCAPED = "escaped"
+PAYLOAD = "payload"
+
+_FRESH_MUTABLE_CALLS = {"list", "dict", "set", "sorted"}
+_FROZEN_CALLS = {"tuple", "frozenset"}
+
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "update", "setdefault", "pop",
+    "popitem", "clear", "remove", "sort", "reverse", "add", "discard",
+}
+
+
+def key_token(expr: ast.AST) -> Optional[str]:
+    """Stable identity of a payload key expression.
+
+    String constants key by value; names and attributes key by their
+    identifier (``VT_KEY`` on both the send and receive side), which
+    matches without resolving the constant's value.
+    """
+    if isinstance(expr, ast.Constant):
+        return repr(expr.value)
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def _is_mutable_container(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        return isinstance(node.left, ast.List) \
+            or isinstance(node.right, ast.List)
+    return False
+
+
+def classify_expr(
+    expr: ast.AST,
+    env: State,
+    model: Optional[_ClassModel],
+    fn: Optional[FuncInfo],
+    graph: Optional[CallGraph],
+    payload_keys: Optional["PayloadSummary"] = None,
+) -> frozenset:
+    """Abstract value of ``expr`` under local environment ``env``."""
+    if isinstance(expr, (ast.Constant, ast.Tuple)):
+        return frozenset((FROZEN,))
+    if _is_mutable_container(expr):
+        return frozenset((MUTABLE,))
+    if isinstance(expr, ast.IfExp):
+        return classify_expr(expr.body, env, model, fn, graph,
+                             payload_keys) \
+            | classify_expr(expr.orelse, env, model, fn, graph,
+                            payload_keys)
+    if isinstance(expr, ast.Name):
+        return frozenset(env.get(expr.id, ()))
+    if _is_payload_access(expr):
+        flags = {PAYLOAD}
+        if payload_keys is not None:
+            verdict = payload_keys.lookup(_payload_key_of(expr))
+            if verdict == MUTABLE:
+                flags.add(MUTABLE)
+            elif verdict == FROZEN:
+                flags.add(FROZEN)
+        return frozenset(flags)
+    if isinstance(expr, ast.Attribute):
+        name = dotted_name(expr)
+        if name and name.startswith("self.") and model is not None \
+                and model.is_mutable_vec(expr):
+            return frozenset((MUTABLE, LIVE))
+        return frozenset()
+    if isinstance(expr, ast.Call):
+        name = dotted_name(expr.func)
+        if name in _FROZEN_CALLS:
+            return frozenset((FROZEN,))
+        if name in _FRESH_MUTABLE_CALLS or name in ("copy.copy",
+                                                    "copy.deepcopy"):
+            return frozenset((MUTABLE,))
+        if isinstance(expr.func, ast.Attribute) \
+                and expr.func.attr == "copy":
+            return frozenset((MUTABLE,))
+        callee = _resolve_call(expr, fn, graph)
+        if callee is not None and callee.returns_frozen:
+            return frozenset((FROZEN,))
+        return frozenset()
+    return frozenset()
+
+
+def _payload_key_of(expr: ast.AST) -> Optional[str]:
+    """The key token of a ``payload[...]`` / ``payload.get(...)``."""
+    if isinstance(expr, ast.Subscript):
+        return key_token(expr.slice)
+    if isinstance(expr, ast.Call) and expr.args:
+        return key_token(expr.args[0])
+    return None
+
+
+def _resolve_call(
+    call: ast.Call, fn: Optional[FuncInfo], graph: Optional[CallGraph]
+) -> Optional[FuncInfo]:
+    if fn is None or graph is None:
+        return None
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    if name.startswith("self.") and name.count(".") == 1:
+        return graph.resolve(fn, "self", name.split(".", 1)[1])
+    if "." not in name or not name.startswith("self."):
+        return graph.resolve(fn, "plain", name)
+    return None
+
+
+# -- payload placements and mutations (shared by transfer + rule) -----------
+
+def iter_payload_placements(
+    stmt: ast.AST,
+) -> Iterator[Tuple[Optional[str], ast.AST, ast.AST]]:
+    """(key token, value expression, anchor node) for every spot where
+    ``stmt`` places a value into an outgoing payload: message-ctor
+    ``payload={...}`` dicts and ``<msg>.payload[key] = value`` stores."""
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Subscript) \
+                    and isinstance(target.value, ast.Attribute) \
+                    and target.value.attr == "payload":
+                yield key_token(target.slice), stmt.value, stmt
+    for node in ast.walk(stmt):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _MESSAGE_CTORS):
+            continue
+        for kw in node.keywords:
+            if kw.arg != "payload" or not isinstance(kw.value, ast.Dict):
+                continue
+            for key, value in zip(kw.value.keys, kw.value.values):
+                yield (key_token(key) if key is not None else None,
+                       value, value)
+
+
+def iter_local_mutations(
+    stmt: ast.AST, fn: Optional[FuncInfo], graph: Optional[CallGraph]
+) -> Iterator[Tuple[str, ast.AST]]:
+    """(local name, anchor node) for in-place mutations of locals:
+    mutating method calls, subscript/attribute stores, and calls into
+    summarized functions that mutate the argument position."""
+    targets: Sequence[ast.AST] = ()
+    if isinstance(stmt, ast.Assign):
+        targets = stmt.targets
+    elif isinstance(stmt, ast.AugAssign):
+        targets = (stmt.target,)
+    for target in targets:
+        if isinstance(target, (ast.Subscript, ast.Attribute)) \
+                and isinstance(target.value, ast.Name):
+            yield target.value.id, stmt
+    for node in ast.walk(stmt):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _MUTATING_METHODS \
+                and isinstance(node.func.value, ast.Name):
+            yield node.func.value.id, node
+        callee = _resolve_call(node, fn, graph)
+        if callee is not None and callee.mutates_params:
+            for idx in callee.mutates_params:
+                if idx < len(node.args) \
+                        and isinstance(node.args[idx], ast.Name):
+                    yield node.args[idx].id, node
+
+
+# -- the dataflow client ----------------------------------------------------
+
+class EscapeAnalysis(ForwardAnalysis):
+    """Forward may-analysis binding the domain to one function."""
+
+    def __init__(self, model: Optional[_ClassModel], fn: Optional[FuncInfo],
+                 graph: Optional[CallGraph],
+                 payload_keys: Optional["PayloadSummary"]):
+        self.model = model
+        self.fn = fn
+        self.graph = graph
+        self.payload_keys = payload_keys
+
+    def transfer(self, stmt: ast.stmt, state: State) -> State:
+        out = dict(state)
+        if isinstance(stmt, ast.Assign):
+            value_flags = classify_expr(
+                stmt.value, out, self.model, self.fn, self.graph,
+                self.payload_keys)
+            for target in stmt.targets:
+                self._bind(target, value_flags, out)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value_flags = classify_expr(
+                stmt.value, out, self.model, self.fn, self.graph,
+                self.payload_keys)
+            self._bind(stmt.target, value_flags, out)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind(stmt.target, frozenset(), out)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, frozenset(), out)
+        elif isinstance(stmt, ast.ExceptHandler) and stmt.name:
+            out[stmt.name] = frozenset()
+        # escape marking: any bare non-frozen local placed in a payload
+        for _key, value, _anchor in iter_payload_placements(stmt):
+            if isinstance(value, ast.Name):
+                flags = out.get(value.id, frozenset())
+                if FROZEN not in flags:
+                    out[value.id] = frozenset(flags) | {ESCAPED}
+        return out
+
+    @staticmethod
+    def _bind(target: ast.AST, flags: frozenset, out: State) -> None:
+        if isinstance(target, ast.Name):
+            out[target.id] = flags
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                EscapeAnalysis._bind(elt, frozenset(), out)
+        # subscript/attribute targets mutate, they don't bind
+
+
+# -- whole-program payload key summary --------------------------------------
+
+class PayloadSummary:
+    """Join of the abstract values ever shipped under each payload key."""
+
+    def __init__(self):
+        self._keys: Dict[str, str] = {}
+
+    def record(self, token: Optional[str], verdict: str) -> None:
+        if token is None:
+            return
+        prev = self._keys.get(token)
+        self._keys[token] = _join_verdict(prev, verdict)
+
+    def lookup(self, token: Optional[str]) -> Optional[str]:
+        """``mutable`` / ``frozen`` / ``unknown`` / None (never seen).
+
+        Never-seen keys are treated leniently by callers: a single-file
+        lint cannot see the sender, and an absent sender must not turn
+        every receive into a finding.
+        """
+        if token is None:
+            return None
+        return self._keys.get(token)
+
+    @classmethod
+    def build(cls, modules: Sequence[ModuleInfo],
+              graph: CallGraph) -> "PayloadSummary":
+        summary = cls()
+        for mod in modules:
+            models = {
+                name: _ClassModel(node)
+                for name, node in mod.classes.items()
+            }
+            for fn in mod.functions.values():
+                model = models.get(fn.cls_name) if fn.cls_name else None
+                for node in ast.walk(fn.node):
+                    if not isinstance(node, ast.stmt):
+                        continue
+                    for token, value, _anchor in \
+                            iter_payload_placements(node):
+                        summary.record(
+                            token,
+                            _coarse_verdict(value, fn, model, graph))
+        return summary
+
+
+def _join_verdict(prev: Optional[str], new: str) -> str:
+    order = {FROZEN: 0, "unknown": 1, MUTABLE: 2}
+    if prev is None:
+        return new
+    return prev if order[prev] >= order[new] else new
+
+
+def _coarse_verdict(
+    value: ast.AST, fn: FuncInfo, model: Optional[_ClassModel],
+    graph: CallGraph, _depth: int = 0,
+) -> str:
+    """Flow-insensitive classification used for the key summary."""
+    if _depth > 4:
+        return "unknown"
+    if isinstance(value, (ast.Constant, ast.Tuple)):
+        return FROZEN
+    if _is_mutable_container(value):
+        return MUTABLE
+    if isinstance(value, ast.Attribute):
+        if model is not None and model.is_mutable_vec(value):
+            return MUTABLE
+        return "unknown"
+    if isinstance(value, ast.Call):
+        name = dotted_name(value.func)
+        if name in _FROZEN_CALLS:
+            return FROZEN
+        if name in _FRESH_MUTABLE_CALLS:
+            return MUTABLE
+        callee = _resolve_call(value, fn, graph)
+        if callee is not None and callee.returns_frozen:
+            return FROZEN
+        return "unknown"
+    if isinstance(value, ast.Name):
+        verdicts: List[str] = []
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) \
+                            and target.id == value.id \
+                            and node.value is not value:
+                        verdicts.append(_coarse_verdict(
+                            node.value, fn, model, graph, _depth + 1))
+            elif isinstance(node, ast.AnnAssign) \
+                    and node.value is not None \
+                    and node.value is not value \
+                    and isinstance(node.target, ast.Name) \
+                    and node.target.id == value.id:
+                verdicts.append(_coarse_verdict(
+                    node.value, fn, model, graph, _depth + 1))
+        if not verdicts:
+            return "unknown"
+        out: Optional[str] = None
+        for v in verdicts:
+            out = _join_verdict(out, v)
+        return out
+    return "unknown"

@@ -34,6 +34,10 @@ class Rule:
     name: str = ""
     #: one-line description for ``repro-dsm lint --catalog`` and docs.
     summary: str = ""
+    #: True for rules that consume the interprocedural flow analysis
+    #: (``ctx.flow``); excluded from default runs unless ``--flow`` is
+    #: passed or the code is explicitly selected.
+    requires_flow: bool = False
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -64,32 +68,44 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
 def all_rules(
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    flow: bool = False,
 ) -> List[Rule]:
     """The registered rules, filtered by code, sorted by code.
 
     ``select`` keeps only the listed codes; ``ignore`` drops the listed
     codes (applied after ``select``).  Unknown codes raise so typos in
     CI configuration fail loudly instead of silently disabling checks.
+
+    Rules with ``requires_flow`` are excluded unless ``flow`` is true
+    or their code is explicitly selected -- selecting ``RL101`` by hand
+    is an unambiguous request for the flow analysis.
     """
     import repro.lint.rules  # noqa: F401  (registration side effect)
 
     known = set(_REGISTRY)
     chosen = set(known)
+    explicit: set = set()
     if select is not None:
         requested = set(select)
         unknown = requested - known
         if unknown:
             raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
         chosen = requested
+        explicit = requested
     if ignore is not None:
         dropped = set(ignore)
         unknown = dropped - known
         if unknown:
             raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
         chosen -= dropped
+    if not flow:
+        chosen = {
+            code for code in chosen
+            if not _REGISTRY[code].requires_flow or code in explicit
+        }
     return [_REGISTRY[code] for code in sorted(chosen)]
 
 
 def rule_catalog() -> List[Rule]:
     """Every registered rule (unfiltered), sorted by code."""
-    return all_rules()
+    return all_rules(flow=True)

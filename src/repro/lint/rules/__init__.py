@@ -9,6 +9,7 @@ from repro.lint.rules import aliasing as _aliasing  # noqa: F401
 from repro.lint.rules import contract as _contract  # noqa: F401
 from repro.lint.rules import determinism as _determinism  # noqa: F401
 from repro.lint.rules import flatalloc as _flatalloc  # noqa: F401
+from repro.lint.rules import flowrules as _flowrules  # noqa: F401
 from repro.lint.rules import isolation as _isolation  # noqa: F401
 from repro.lint.rules import obsgate as _obsgate  # noqa: F401
 from repro.lint.rules import workers as _workers  # noqa: F401
@@ -20,6 +21,12 @@ from repro.lint.rules.determinism import (
     UnorderedIterationRule,
 )
 from repro.lint.rules.flatalloc import FlatHotAllocRule
+from repro.lint.rules.flowrules import (
+    InterproceduralAllocRule,
+    PayloadEscapeRule,
+    TransitiveNondetRule,
+    VectorClockMonotonicityRule,
+)
 from repro.lint.rules.isolation import CrossNodeIsolationRule
 from repro.lint.rules.obsgate import ObsGatingRule
 from repro.lint.rules.workers import PicklableWorkerRule
@@ -27,11 +34,15 @@ from repro.lint.rules.workers import PicklableWorkerRule
 __all__ = [
     "CrossNodeIsolationRule",
     "FlatHotAllocRule",
+    "InterproceduralAllocRule",
     "NondeterministicCallRule",
     "ObsGatingRule",
+    "PayloadEscapeRule",
     "PicklableWorkerRule",
     "ProtocolHooksRule",
     "ProtocolPairRule",
+    "TransitiveNondetRule",
     "UnorderedIterationRule",
     "VectorAliasingRule",
+    "VectorClockMonotonicityRule",
 ]

@@ -41,6 +41,9 @@ __all__ = ["ProtocolHooksRule", "ProtocolPairRule"]
 
 _MANDATORY = ("write", "read", "classify", "apply_update")
 _SCHEDULING = ("missing_deps", "apply_event")
+#: The PR-6/7 flat-backend hook surface a ``supports_flat_state = True``
+#: declaration promises (see ``repro.core.base.Protocol``).
+_FLAT_HOOKS = ("enable_flat_state", "flat_progress", "flat_deps")
 
 
 def _base_names(cls: ast.ClassDef) -> Set[str]:
@@ -123,6 +126,39 @@ class ProtocolPairRule(Rule):
                         f"{cls.name}.{hook} must keep the (self, msg) "
                         "signature the delivery scheduler calls it with",
                     )
+            yield from self._check_flat_surface(ctx, cls, methods)
+
+    def _check_flat_surface(self, ctx, cls, methods) -> Iterator[Finding]:
+        """``supports_flat_state`` must match the implemented hooks."""
+        declared = _class_var(cls, "supports_flat_state")
+        declares_flat = (
+            isinstance(declared, ast.Constant) and declared.value is True
+        )
+        implemented = [h for h in _FLAT_HOOKS if h in methods]
+        if declares_flat:
+            missing = [h for h in _FLAT_HOOKS if h not in methods]
+            if missing:
+                yield self.finding(
+                    ctx, declared,
+                    f"{cls.name} declares supports_flat_state = True but "
+                    f"is missing flat hook(s): {', '.join(missing)}; the "
+                    "FlatScheduler would fail at construction",
+                )
+            elif "missing_deps" not in methods:
+                yield self.finding(
+                    ctx, declared,
+                    f"{cls.name} declares supports_flat_state = True "
+                    "without missing_deps; flat wakeup keys mirror the "
+                    "missing_deps enumeration (span parity) -- define it",
+                )
+        elif implemented:
+            yield self.finding(
+                ctx, methods[implemented[0]],
+                f"{cls.name} implements flat hook(s) "
+                f"{', '.join(implemented)} without declaring "
+                "supports_flat_state = True; make_scheduler would never "
+                "select the flat backend",
+            )
 
     @staticmethod
     def _signature_ok(fn: ast.FunctionDef) -> bool:

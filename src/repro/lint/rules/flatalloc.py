@@ -35,7 +35,7 @@ from repro.lint.context import ModuleContext, dotted_name
 from repro.lint.findings import Finding
 from repro.lint.registry import Rule, register
 
-__all__ = ["FlatHotAllocRule"]
+__all__ = ["FlatHotAllocRule", "iter_hot_zones"]
 
 #: Per-delivery methods of the flat-backend classes.
 _HOT_METHODS = {
@@ -52,6 +52,22 @@ _ALLOC_CALLS = {"list", "tuple"}
 
 def _is_flat_class(name: str) -> bool:
     return name.startswith(_FLAT_CLASS_PREFIX) or name in _FLAT_CLASS_NAMES
+
+
+def iter_hot_zones(ctx: ModuleContext):
+    """Yield (function node, human-readable zone name) for every flat
+    hot zone in the module -- shared with interprocedural RL104."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if node.name.endswith("_flat"):
+            yield node, f"{node.name}()"
+            continue
+        if node.name not in _HOT_METHODS:
+            continue
+        parent = ctx.parent(node)
+        if isinstance(parent, ast.ClassDef) and _is_flat_class(parent.name):
+            yield node, f"{parent.name}.{node.name}()"
 
 
 @register
@@ -83,15 +99,4 @@ class FlatHotAllocRule(Rule):
 
     def _hot_zones(self, ctx: ModuleContext):
         """Yield (function node, human-readable zone name) pairs."""
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.FunctionDef):
-                continue
-            if node.name.endswith("_flat"):
-                yield node, f"{node.name}()"
-                continue
-            if node.name not in _HOT_METHODS:
-                continue
-            parent = ctx.parent(node)
-            if isinstance(parent, ast.ClassDef) and _is_flat_class(
-                    parent.name):
-                yield node, f"{parent.name}.{node.name}()"
+        yield from iter_hot_zones(ctx)

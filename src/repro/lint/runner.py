@@ -6,6 +6,20 @@ the self-check test: it expands files/directory trees to ``.py`` files
 every selected rule per module, applies inline suppressions, and folds
 unused-suppression findings (RL900) back into the report.
 
+When any selected rule ``requires_flow`` (RL101-RL104), the runner
+first parses *every* file of the run, builds one shared
+:class:`repro.lint.flow.FlowAnalysis` (call graph, function summaries,
+payload key summary) over the parseable ones, and attaches it to each
+module context as ``ctx.flow`` before rules execute.  Unparseable
+files still produce their RL000 finding and are simply absent from the
+flow graph.
+
+Output is deterministic: findings sort by (path, line, col, code), and
+:func:`_dedup` drops exact duplicates plus flow findings whose
+syntactic sibling already reported the same (path, line) -- RL101/
+RL102 sites RL003 caught, RL103 sites RL001/RL002 caught, RL104 sites
+RL009 caught -- so CI diffs never show one defect twice.
+
 Unparseable files are reported as findings (code ``RL000``) rather
 than aborting the run: a syntax error in one fixture must not mask
 findings elsewhere.
@@ -14,7 +28,7 @@ findings elsewhere.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding, LintReport
@@ -28,6 +42,15 @@ PARSE_ERROR = "RL000"
 
 #: Directory names never descended into.
 _SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "build", "dist"}
+
+#: Flow rule -> syntactic rules that report the same defect class; a
+#: flow finding is dropped when its sibling already fired on the line.
+_SHADOWED_BY = {
+    "RL101": {"RL003"},
+    "RL102": {"RL003"},
+    "RL103": {"RL001", "RL002"},
+    "RL104": {"RL009"},
+}
 
 
 def collect_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
@@ -45,12 +68,77 @@ def collect_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
     return sorted(set(out))
 
 
+def _parse_finding(path: Path, exc: SyntaxError) -> Finding:
+    return Finding(
+        path=str(path),
+        line=exc.lineno or 1,
+        col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+        code=PARSE_ERROR,
+        rule="parse",
+        message=f"syntax error: {exc.msg}",
+    )
+
+
+def _dedup(findings: List[Finding]) -> List[Finding]:
+    """Exact-duplicate removal plus flow-vs-syntactic shadowing."""
+    on_line = {(f.path, f.line, f.code) for f in findings}
+    seen: Set[Tuple[str, int, int, str]] = set()
+    out: List[Finding] = []
+    for finding in sorted(findings):
+        key = (finding.path, finding.line, finding.col, finding.code)
+        if key in seen:
+            continue
+        seen.add(key)
+        shadows = _SHADOWED_BY.get(finding.code)
+        if shadows and any(
+            (finding.path, finding.line, sib) in on_line for sib in shadows
+        ):
+            continue
+        out.append(finding)
+    return out
+
+
+def _check_one(
+    ctx: ModuleContext,
+    rules: Sequence[Rule],
+    source: str,
+    active: Optional[Set[str]],
+) -> Tuple[List[Finding], List[Finding]]:
+    table = parse_suppressions(str(ctx.path), source)
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if table.suppresses(finding):
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+    kept = _dedup(kept)
+    kept.extend(table.unused(active))
+    return sorted(kept), suppressed
+
+
+def _needs_flow(rules: Sequence[Rule]) -> bool:
+    return any(r.requires_flow for r in rules)
+
+
+def _build_flow(contexts: Sequence[ModuleContext]):
+    from repro.lint.flow import build_flow  # local: keep non-flow runs lean
+
+    return build_flow(contexts)
+
+
 def lint_file(
     path: Path,
     rules: Sequence[Rule],
     source: Optional[str] = None,
 ) -> List[Finding]:
-    """All surviving findings for one file (suppressions applied)."""
+    """All surviving findings for one file (suppressions applied).
+
+    When ``rules`` contains flow rules, the flow analysis is built over
+    this single module -- callees outside the file stay unresolved,
+    exactly the conservative behavior the rules are written for.
+    """
     findings, _ = _lint_one(path, rules, source)
     return findings
 
@@ -65,41 +153,46 @@ def _lint_one(
     try:
         ctx = ModuleContext.parse(path, source)
     except SyntaxError as exc:
-        parse_finding = Finding(
-            path=str(path),
-            line=exc.lineno or 1,
-            col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
-            code=PARSE_ERROR,
-            rule="parse",
-            message=f"syntax error: {exc.msg}",
-        )
-        return [parse_finding], []
-
-    table = parse_suppressions(str(path), source)
-    kept: List[Finding] = []
-    suppressed: List[Finding] = []
-    for rule in rules:
-        for finding in rule.check(ctx):
-            if table.suppresses(finding):
-                suppressed.append(finding)
-            else:
-                kept.append(finding)
-    kept.extend(table.unused())
-    return kept, suppressed
+        return [_parse_finding(path, exc)], []
+    if _needs_flow(rules):
+        ctx.flow = _build_flow([ctx])
+    return _check_one(ctx, rules, source, {r.code for r in rules})
 
 
 def lint_paths(
     paths: Iterable[Union[str, Path]],
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    flow: bool = False,
 ) -> LintReport:
     """Lint files/trees and return the aggregate report."""
-    rules = all_rules(select=select, ignore=ignore)
+    rules = all_rules(select=select, ignore=ignore, flow=flow)
+    active = {r.code for r in rules}
     files = collect_files(paths)
     findings: List[Finding] = []
     suppressed: List[Finding] = []
+
+    sources: Dict[Path, str] = {}
+    contexts: Dict[Path, ModuleContext] = {}
     for path in files:
-        file_findings, file_suppressed = _lint_one(path, rules)
+        source = path.read_text()
+        sources[path] = source
+        try:
+            contexts[path] = ModuleContext.parse(path, source)
+        except SyntaxError as exc:
+            findings.append(_parse_finding(path, exc))
+
+    if _needs_flow(rules) and contexts:
+        flow_analysis = _build_flow(list(contexts.values()))
+        for ctx in contexts.values():
+            ctx.flow = flow_analysis
+
+    for path in files:
+        ctx = contexts.get(path)
+        if ctx is None:
+            continue  # RL000 already recorded
+        file_findings, file_suppressed = _check_one(
+            ctx, rules, sources[path], active)
         findings.extend(file_findings)
         suppressed.extend(file_suppressed)
     return LintReport(

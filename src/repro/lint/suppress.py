@@ -14,7 +14,7 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.lint.findings import Finding
 
@@ -63,11 +63,25 @@ class SuppressionTable:
             return True
         return False
 
-    def unused(self) -> List[Finding]:
-        """RL900 findings for directives (or codes) that silenced nothing."""
+    def entries(self):
+        """Iterate ``(line, codes)`` pairs (read-only introspection)."""
+        for line, entry in self._by_line.items():
+            yield line, set(entry.codes)
+
+    def unused(self, active: Optional[Set[str]] = None) -> List[Finding]:
+        """RL900 findings for directives (or codes) that silenced nothing.
+
+        ``active`` is the set of rule codes this run actually checked;
+        a directive for a code outside it (e.g. ``disable=RL101`` in a
+        run without ``--flow``, or under ``--select``) is not stale --
+        the rule never had the chance to fire.  ``None`` keeps the
+        historical behavior of judging every code.
+        """
         out = []
         for entry in sorted(self._by_line.values(), key=lambda e: e.line):
             stale = sorted(entry.codes - entry.used)
+            if active is not None:
+                stale = [c for c in stale if c in active or c == "all"]
             if stale:
                 out.append(Finding(
                     path=self.path,

@@ -1,0 +1,12 @@
+"""RL103 bad fixture: a sim-zone driver reaching the wall clock
+through a helper module (one finding: the ``now_ms`` call)."""
+
+from flowproj.util.helpers import now_ms, span
+
+
+def stamp(events):
+    return [(now_ms(), event) for event in events]
+
+
+def lanes(n):
+    return span(n)

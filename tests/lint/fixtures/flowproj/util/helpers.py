@@ -1,0 +1,15 @@
+"""Zone-neutral helpers for the RL103 fixture tree.
+
+The wall-clock read lives *outside* the determinism zones, so RL001
+never fires here -- only the call graph can carry the fact into sim.
+"""
+
+import time
+
+
+def now_ms():
+    return time.time() * 1000.0
+
+
+def span(n):
+    return tuple(range(n))

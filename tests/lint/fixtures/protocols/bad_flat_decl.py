@@ -1,0 +1,35 @@
+"""RL004 bad fixture: ``supports_flat_state`` out of sync with hooks.
+
+Three desynchronization shapes: declared but hooks missing, declared
+with hooks but no ``missing_deps``, and hooks implemented without the
+declaration (the flat backend would silently never be selected).
+"""
+
+
+class BaseProtocol:
+    supports_flat_state = False
+
+
+class DeclaredButHollow(BaseProtocol):
+    supports_flat_state = True
+
+
+class DeclaredWithoutDeps(BaseProtocol):
+    supports_flat_state = True
+
+    def enable_flat_state(self, deps):
+        self._flat = deps
+
+    def flat_progress(self):
+        return 0
+
+    def flat_deps(self, wid):
+        return ()
+
+
+class ImplementsButSilent(BaseProtocol):
+    def flat_progress(self):
+        return 0
+
+    def flat_deps(self, wid):
+        return ()

@@ -1,0 +1,48 @@
+"""RL101 bad fixture: the three escape shapes RL003 cannot see.
+
+None of these place a bare ``self.attr`` inside a payload dict or
+store a payload access into ``self`` state, so the syntactic aliasing
+rule stays silent -- only the flow-sensitive escape domain catches
+them.
+"""
+
+from repro.core.base import Outgoing, UpdateMessage, WriteOutcome
+
+
+class SievedProtocol:
+    name = "sieved"
+
+    def __init__(self, process_id, n_processes):
+        self.process_id = process_id
+        self.n_processes = n_processes
+        self._row = [0] * n_processes
+        self._scratch = []
+
+    def write_aliased(self, variable, value, wid):
+        # a *local* alias of live mutable state escapes into the payload
+        row = self._row
+        msg = UpdateMessage(
+            sender=self.process_id, wid=wid, variable=variable, value=value,
+            payload={"row": row},
+        )
+        return WriteOutcome(wid=wid, outgoing=(Outgoing(msg),))
+
+    def write_posthoc(self, outcome):
+        # post-construction payload store of live state (the LeakyOptP
+        # mutant shape): the assignment target is not `self.`, so the
+        # syntactic rule never looks at it
+        self._scratch.append(len(self._scratch))
+        for out in outcome.outgoing:
+            out.message.payload["scratch"] = self._scratch
+        return outcome
+
+    def write_then_mutate(self, variable, value, wid):
+        # a fresh vector is fine to ship -- until it is mutated after
+        # the send, changing the in-flight message under the receiver
+        pending = [0] * self.n_processes
+        msg = UpdateMessage(
+            sender=self.process_id, wid=wid, variable=variable, value=value,
+            payload={"pending": pending},
+        )
+        pending.append(wid)
+        return WriteOutcome(wid=wid, outgoing=(Outgoing(msg),))

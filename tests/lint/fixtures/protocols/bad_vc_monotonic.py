@@ -1,0 +1,33 @@
+"""RL102 bad fixture: every non-monotone vector-clock shape.
+
+Decrement, negative increment, component reset, whole-vector rebind,
+and the BrokenANBKH delivery loop that skips component 0.
+"""
+
+VT_KEY = "vt"
+
+
+class SaggingClock:
+    def __init__(self, process_id, n_processes):
+        self.process_id = process_id
+        self.n_processes = n_processes
+        self.vc = [0] * n_processes
+
+    def retire(self, u):
+        self.vc[u] -= 1
+
+    def backdate(self, u):
+        self.vc[u] += -1
+
+    def reset(self, u):
+        self.vc[u] = 0
+
+    def adopt(self, incoming):
+        self.vc = incoming
+
+    def can_deliver(self, msg, u):
+        vt = msg.payload[VT_KEY]
+        for t in range(1, self.n_processes):
+            if t != u and vt[t] > self.vc[t]:
+                return False
+        return True

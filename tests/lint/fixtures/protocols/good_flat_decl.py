@@ -1,0 +1,26 @@
+"""RL004 good fixture: flat declarations in sync with the hooks."""
+
+
+class BaseProtocol:
+    supports_flat_state = False
+
+
+class FullyFlat(BaseProtocol):
+    supports_flat_state = True
+
+    def enable_flat_state(self, deps):
+        self._flat = deps
+
+    def flat_progress(self):
+        return 0
+
+    def flat_deps(self, wid):
+        return ()
+
+    def missing_deps(self, msg):
+        return ()
+
+
+class PlainDeliverer(BaseProtocol):
+    def classify(self, msg):
+        return None

@@ -1,0 +1,46 @@
+"""RL101 good fixture: the same shapes, escape-free.
+
+Rebinding to a tuple clears the taint (flow-sensitivity), mutating a
+fresh vector *before* the send is fine, and receive-side stores copy.
+"""
+
+from repro.core.base import Outgoing, UpdateMessage, WriteOutcome
+
+
+class SnapshotProtocol:
+    name = "snapshot"
+
+    def __init__(self, process_id, n_processes):
+        self.process_id = process_id
+        self.n_processes = n_processes
+        self._row = [0] * n_processes
+        self._scratch = []
+
+    def write_snapshotted(self, variable, value, wid):
+        row = tuple(self._row)  # frozen snapshot of the live vector
+        msg = UpdateMessage(
+            sender=self.process_id, wid=wid, variable=variable, value=value,
+            payload={"row": row},
+        )
+        return WriteOutcome(wid=wid, outgoing=(Outgoing(msg),))
+
+    def write_posthoc_copy(self, outcome):
+        self._scratch.append(len(self._scratch))
+        for out in outcome.outgoing:
+            out.message.payload["scratch"] = tuple(self._scratch)
+        return outcome
+
+    def write_mutate_then_freeze(self, variable, value, wid):
+        pending = [0] * self.n_processes
+        pending[self.process_id] = wid  # mutation before the send: fine
+        pending = tuple(pending)  # rebind clears the mutable taint
+        msg = UpdateMessage(
+            sender=self.process_id, wid=wid, variable=variable, value=value,
+            payload={"pending": pending},
+        )
+        return WriteOutcome(wid=wid, outgoing=(Outgoing(msg),))
+
+    def apply_update(self, msg):
+        # receive-side stores copy; and the senders above only ever
+        # ship frozen values, so the key summary proves them safe too
+        self.last_row = tuple(msg.payload["row"])

@@ -1,0 +1,42 @@
+"""RL102 good fixture: the sanctioned monotone update idioms.
+
+Increment, read-modify-write, component-wise max, guarded max, a join
+helper, and a full-range delivery loop.
+"""
+
+VT_KEY = "vt"
+
+
+class MonotoneClock:
+    def __init__(self, process_id, n_processes):
+        self.process_id = process_id
+        self.n_processes = n_processes
+        self.vc = [0] * n_processes
+
+    def tick(self):
+        self.vc[self.process_id] += 1
+
+    def bump(self):
+        self.vc[self.process_id] = self.vc[self.process_id] + 1
+
+    def join_max(self, vt):
+        for t in range(self.n_processes):
+            self.vc[t] = max(self.vc[t], vt[t])
+
+    def join_guarded(self, vt):
+        for t in range(0, self.n_processes):
+            if vt[t] > self.vc[t]:
+                self.vc[t] = vt[t]
+
+    def rejoin(self, vt):
+        self.vc = self._join(vt)
+
+    def _join(self, vt):
+        return [max(a, b) for a, b in zip(self.vc, vt)]
+
+    def can_deliver(self, msg, u):
+        vt = msg.payload[VT_KEY]
+        for t in range(self.n_processes):
+            if t != u and vt[t] > self.vc[t]:
+                return False
+        return True

@@ -1,0 +1,25 @@
+"""RL101 receive-side + dedup fixture.
+
+The sender ships a live mutable vector under ``"row"``; the receiver
+stores the payload access bare.  Under the full rule set RL003 flags
+both lines and the runner's dedup drops the RL101 twins; under
+``--select RL101`` the flow rule reports both on its own.
+"""
+
+from repro.core.base import UpdateMessage
+
+
+class RowSender:
+    def __init__(self, n_processes):
+        self.row = [0] * n_processes
+
+    def emit(self, wid):
+        return UpdateMessage(
+            sender=0, wid=wid, variable="x", value=1,
+            payload={"row": self.row},
+        )
+
+
+class RowReceiver:
+    def apply_update(self, msg):
+        self.latest = msg.payload["row"]

@@ -1,0 +1,22 @@
+"""RL104 bad fixture: flat hot zones allocating *through* a helper.
+
+RL009 sees no ``list``/``tuple`` call inside the hot methods
+themselves; the call graph finds the allocation one hop away.
+"""
+
+
+def _snapshot(row):
+    return list(row)
+
+
+class FlatRouter:
+    def __init__(self, n):
+        self.progress = [0] * n
+
+    def offer(self, key, row):
+        view = _snapshot(row)
+        return view
+
+
+def pump_flat(router, row):
+    return _snapshot(row)

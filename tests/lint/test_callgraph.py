@@ -1,0 +1,196 @@
+"""Call graph + function summary unit tests: summaries, resolution
+(plain / import / self with base walk), ambiguity, cycles, suppression
+waivers, and zone-aware reachability."""
+
+from pathlib import Path
+
+from repro.lint.context import ModuleContext
+from repro.lint.flow.callgraph import CallGraph, ModuleInfo
+
+
+def module(path, src):
+    return ModuleInfo(ModuleContext.parse(Path(path), src))
+
+
+# -- per-function summaries -------------------------------------------------
+
+def test_summary_records_sources_allocs_and_frozen_returns():
+    mod = module("proj/util/helpers.py", """
+import time
+
+def now_ms():
+    return time.time() * 1000.0
+
+def snapshot(row):
+    return tuple(row)
+
+def rebuild(row):
+    return list(row)
+""")
+    assert mod.functions["now_ms"].sources
+    assert mod.functions["now_ms"].allocs == []
+    assert mod.functions["snapshot"].returns_frozen
+    # tuple(...) is frozen for the escape domain but still an
+    # allocation for the hot-path query
+    assert mod.functions["snapshot"].allocs == [(8, "tuple")]
+    assert not mod.functions["rebuild"].returns_frozen
+    assert mod.functions["rebuild"].allocs == [(11, "list")]
+
+
+def test_summary_mutated_param_positions_respect_posonly_order():
+    mod = module("proj/util/vecs.py", """
+def join(row, /, other, *, scale):
+    row[0] = other
+    other.append(scale)
+""")
+    assert mod.functions["join"].mutates_params == {0, 1}
+
+
+def test_summary_ignores_nested_function_bodies():
+    mod = module("proj/util/outer.py", """
+import time
+
+def outer():
+    def inner():
+        return time.time()
+    return inner
+""")
+    assert mod.functions["outer"].sources == []
+    assert "inner" not in mod.functions
+
+
+def test_summary_counts_set_iteration_in_comprehensions():
+    mod = module("proj/util/sets.py", """
+PENDING = {1, 2, 3}
+
+def drain():
+    return [x for x in PENDING]
+""")
+    assert any("set iteration" in d
+               for _line, d in mod.functions["drain"].sources)
+
+
+def test_suppression_waives_the_source_line():
+    mod = module("proj/util/waived.py", """
+import time
+
+def stamp():
+    return time.time()  # reprolint: disable=RL103
+""")
+    assert mod.functions["stamp"].sources == []
+
+
+# -- resolution -------------------------------------------------------------
+
+def test_resolution_plain_import_and_self_with_base_walk():
+    helpers = module("proj/util/helpers.py", """
+import time
+
+def now_ms():
+    return time.time()
+""")
+    driver = module("proj/sim/driver.py", """
+from proj.util.helpers import now_ms
+
+def local(n):
+    return n
+
+class Base:
+    def helper(self):
+        return list(self.row)
+
+class Child(Base):
+    def offer(self):
+        return self.helper()
+
+    def tick(self):
+        return now_ms() + local(1)
+""")
+    graph = CallGraph([helpers, driver])
+    tick = driver.functions["Child.tick"]
+    offer = driver.functions["Child.offer"]
+    assert graph.resolve(tick, "plain", "now_ms") \
+        is helpers.functions["now_ms"]
+    assert graph.resolve(tick, "plain", "local") \
+        is driver.functions["local"]
+    # self.helper resolves through the base-class walk
+    assert graph.resolve(offer, "self", "helper") \
+        is driver.functions["Base.helper"]
+    assert graph.resolve(tick, "plain", "unknown_fn") is None
+
+
+def test_ambiguous_module_suffix_resolves_to_nothing():
+    a = module("proj/a/util.py", "def f():\n    return 1\n")
+    b = module("proj/b/util.py", "def f():\n    return 2\n")
+    graph = CallGraph([a, b])
+    assert graph.by_suffix["util"] is None
+    assert graph.module_by_ref("a.util") is a
+    assert graph.module_by_ref("b.util") is b
+
+
+# -- transitive queries -----------------------------------------------------
+
+def test_nondet_path_reports_the_chain():
+    helpers = module("proj/util/helpers.py", """
+import time
+
+def now_ms():
+    return time.time()
+
+def wrapper():
+    return now_ms()
+""")
+    driver = module("proj/sim/driver.py", """
+from proj.util.helpers import wrapper
+
+def run():
+    return wrapper()
+""")
+    graph = CallGraph([helpers, driver])
+    hit = graph.nondet_path(helpers.functions["wrapper"])
+    assert hit is not None
+    desc, chain = hit
+    assert "time.time" in desc
+    assert chain == ["helpers.py:wrapper", "helpers.py:now_ms"]
+
+
+def test_nondet_path_skips_sources_inside_determinism_zones():
+    # a source in a sim module is RL001's site; the transitive query
+    # must not double-report it
+    simmod = module("proj/sim/clocky.py", """
+import time
+
+def stamp():
+    return time.time()
+""")
+    graph = CallGraph([simmod])
+    assert graph.nondet_path(simmod.functions["stamp"]) is None
+
+
+def test_recursive_call_cycles_terminate():
+    mod = module("proj/util/cyclic.py", """
+def a(n):
+    return b(n)
+
+def b(n):
+    return a(n - 1)
+""")
+    graph = CallGraph([mod])
+    assert graph.nondet_path(mod.functions["a"]) is None
+    assert graph.alloc_path(mod.functions["a"]) is None
+
+
+def test_alloc_path_reports_the_chain():
+    mod = module("proj/sim/flatty.py", """
+def _snapshot(row):
+    return list(row)
+
+def pump_flat(row):
+    return _snapshot(row)
+""")
+    graph = CallGraph([mod])
+    hit = graph.alloc_path(mod.functions["pump_flat"])
+    assert hit is not None
+    desc, chain = hit
+    assert "list(...)" in desc
+    assert chain == ["flatty.py:pump_flat", "flatty.py:_snapshot"]

@@ -1,0 +1,200 @@
+"""CFG builder + dataflow engine unit tests on the tricky shapes:
+branch joins, loop back edges, break/continue, try/except/finally,
+dead code, comprehensions, and nested defs."""
+
+import ast
+import textwrap
+
+from repro.lint.flow import build_cfg
+from repro.lint.flow.escape import ESCAPED, FROZEN, MUTABLE, EscapeAnalysis
+
+
+def func_of(src):
+    return ast.parse(textwrap.dedent(src)).body[0]
+
+
+def cfg_of(src):
+    return build_cfg(func_of(src))
+
+
+def before_states(src):
+    func = func_of(src)
+    cfg = build_cfg(func)
+    return EscapeAnalysis(None, None, None, None).run(cfg), func
+
+
+def assign_to(func, name):
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) \
+                and isinstance(node.targets[0], ast.Name) \
+                and node.targets[0].id == name:
+            return node
+    raise AssertionError(f"no assignment to {name}")
+
+
+def reachable(cfg):
+    seen, stack = set(), [cfg.entry]
+    while stack:
+        block = stack.pop()
+        if block.bid in seen:
+            continue
+        seen.add(block.bid)
+        stack.extend(block.succs)
+    return seen
+
+
+# -- structure --------------------------------------------------------------
+
+def test_straight_line_is_one_block():
+    cfg = cfg_of("""
+        def f(n):
+            a = 1
+            b = a + n
+            return b
+    """)
+    assert len(cfg.entry.stmts) == 3
+    assert cfg.entry.succs == [cfg.exit]
+
+
+def test_comprehensions_and_ternaries_do_not_split_blocks():
+    cfg = cfg_of("""
+        def f(items, flag):
+            rows = [x for x in items if x]
+            pick = rows[0] if flag else None
+            return pick
+    """)
+    assert len(cfg.entry.stmts) == 3
+
+
+def test_nested_def_is_an_ordinary_statement():
+    cfg = cfg_of("""
+        def f(n):
+            def inner():
+                return n + 1
+            return inner
+    """)
+    # the nested def binds a name; its body statements are not threaded
+    # into the enclosing graph
+    assert len(cfg.entry.stmts) == 2
+    assert isinstance(cfg.entry.stmts[0], ast.FunctionDef)
+
+
+def test_dead_code_after_return_has_no_predecessors():
+    cfg = cfg_of("""
+        def f():
+            return 1
+            dead = 2
+    """)
+    dead_blocks = [
+        b for b in cfg.blocks
+        if any(isinstance(s, ast.Assign) for s in b.stmts)
+    ]
+    assert len(dead_blocks) == 1
+    assert dead_blocks[0].preds == []
+    assert dead_blocks[0].bid not in reachable(cfg)
+
+
+def test_break_and_continue_target_the_loop_edges():
+    cfg = cfg_of("""
+        def f(items):
+            for x in items:
+                if x:
+                    break
+                continue
+            tail = 1
+            return tail
+    """)
+    # every statement-bearing block except none is reachable: break
+    # exits to the after-block, continue returns to the header
+    live = reachable(cfg)
+    for block in cfg.blocks:
+        if block.stmts:
+            assert block.bid in live
+    assert cfg.exit.bid in live
+
+
+def test_while_loop_has_back_edge_and_exit_edge():
+    cfg = cfg_of("""
+        def f(n):
+            while n:
+                n = n - 1
+            return n
+    """)
+    body_blocks = [
+        b for b in cfg.blocks
+        if any(isinstance(s, ast.Assign) for s in b.stmts)
+    ]
+    assert len(body_blocks) == 1
+    header = body_blocks[0].succs[0]
+    assert body_blocks[0] in header.succs  # back edge closes the loop
+
+
+# -- dataflow over the graph ------------------------------------------------
+
+def test_branch_join_unions_both_facts():
+    before, func = before_states("""
+        def f(n):
+            if n:
+                x = [0] * n
+            else:
+                x = tuple(n)
+            y = x
+    """)
+    flags = before[id(assign_to(func, "y"))]["x"]
+    assert MUTABLE in flags and FROZEN in flags
+
+
+def test_loop_back_edge_carries_escape_into_next_iteration():
+    # the payload placement happens *after* the mutation in source
+    # order; only the back edge makes the taint visible at the append
+    before, func = before_states("""
+        def f(n, vec):
+            vec = [0] * n
+            while n:
+                vec.append(1)
+                msg = UpdateMessage(
+                    sender=0, wid=1, variable="x", value=1,
+                    payload={"v": vec},
+                )
+    """)
+    append_stmt = next(
+        s for s in ast.walk(func)
+        if isinstance(s, ast.Expr) and isinstance(s.value, ast.Call)
+    )
+    assert ESCAPED in before[id(append_stmt)]["vec"]
+
+
+def test_except_handler_sees_partial_try_state():
+    before, func = before_states("""
+        def f(n):
+            try:
+                x = [0] * n
+            except ValueError as exc:
+                x = ()
+            y = x
+    """)
+    flags = before[id(assign_to(func, "y"))]["x"]
+    assert MUTABLE in flags and FROZEN in flags
+
+
+def test_finally_fact_dominates_statements_after_try():
+    before, func = before_states("""
+        def f(n, maybe):
+            x = [0] * n
+            try:
+                x = maybe(n)
+            finally:
+                x = tuple(x)
+            y = x
+    """)
+    assert before[id(assign_to(func, "y"))]["x"] == frozenset({FROZEN})
+
+
+def test_rebinding_clears_the_mutable_taint():
+    before, func = before_states("""
+        def f(n):
+            vec = [0] * n
+            vec = tuple(vec)
+            done = vec
+    """)
+    assert before[id(assign_to(func, "done"))]["vec"] == frozenset({FROZEN})

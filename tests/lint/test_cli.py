@@ -82,3 +82,30 @@ def test_lint_default_path_is_the_package(capsys):
     assert main(["lint"]) == 0
     out = capsys.readouterr().out
     assert "0 finding(s)" in out
+
+
+def test_lint_flow_gate_is_clean_and_selects_flow_rules(capsys):
+    """The CI lint-flow gate in miniature: ``lint --flow src/repro``
+    exits 0 and the JSON report shows RL101-RL104 were applied."""
+    rc = main(["lint", "--flow", "--format", "json", "src/repro"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is True
+    applied = set(doc["rules_applied"])
+    assert {"RL101", "RL102", "RL103", "RL104"} <= applied
+
+
+def test_lint_flow_flags_seeded_payload_escape(capsys):
+    """Mirror of the CI mutant self-check: the flow rules must flag
+    the LeakyOptP-style payload mutation on a fixture copy."""
+    rc = main(["lint", "--flow",
+               "tests/lint/fixtures/protocols/bad_payload_escape.py"])
+    assert rc == 1
+    assert "RL101" in capsys.readouterr().out
+
+
+def test_lint_without_flow_skips_flow_rules(capsys):
+    rc = main(["lint",
+               "tests/lint/fixtures/protocols/bad_payload_escape.py"])
+    assert rc == 0
+    capsys.readouterr()

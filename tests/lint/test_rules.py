@@ -25,6 +25,7 @@ BAD = [
     ("sim/bad_flat_alloc.py", "RL009"),
     ("flatstate_bad/flatstate.py", "RL006"),
     ("mck/bad_obsgate.py", "RL006"),
+    ("protocols/bad_flat_decl.py", "RL004"),
 ]
 
 GOOD = [
@@ -39,6 +40,7 @@ GOOD = [
     "sim/good_flat_alloc.py",
     "flatstate_good/flatstate.py",
     "mck/good_obsgate.py",
+    "protocols/good_flat_decl.py",
 ]
 
 
@@ -98,6 +100,17 @@ def test_contract_fixture_names_missing_hooks():
     assert "missing mandatory hook(s): read, classify, apply_update" in messages
     assert "only consulted when missing_deps is implemented" in messages
     assert "must keep the (self, msg) signature" in messages
+    assert len(findings) == 3
+
+
+def test_flat_decl_fixture_names_each_mismatch():
+    findings = run("protocols/bad_flat_decl.py")
+    messages = "\n".join(f.message for f in findings)
+    assert ("missing flat hook(s): enable_flat_state, flat_progress, "
+            "flat_deps") in messages
+    assert "without missing_deps" in messages
+    assert ("implements flat hook(s) flat_progress, flat_deps without "
+            "declaring supports_flat_state = True") in messages
     assert len(findings) == 3
 
 

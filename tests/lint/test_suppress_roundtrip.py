@@ -1,0 +1,90 @@
+"""Property test: suppression comments round-trip through the flow
+runner -- every directive either silences exactly its finding or is
+reported stale (RL900), for syntactic and flow rules alike."""
+
+from pathlib import Path
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.lint import all_rules, lint_file  # noqa: E402
+
+FAKE = Path("tests/lint/fixtures/protocols/_hypo_snippet.py")
+
+#: (method body line, the code it violates; None = clean)
+LINES = [
+    ("return time.time()", "RL001"),
+    ("self.vc[u] -= 1", "RL102"),
+    ("return u", None),
+]
+
+#: suppression applied to the body line: no directive, the correct
+#: code, a wrong-but-active code, or the catch-all.
+DIRECTIVES = [None, "correct", "RL009", "all"]
+
+
+def build_module(specs):
+    lines = [
+        "import time",
+        "",
+        "class C:",
+        "    def __init__(self, n):",
+        "        self.vc = [0] * n",
+    ]
+    expected = {}  # lineno -> set of expected finding codes
+    for i, (line_idx, directive) in enumerate(specs):
+        body, code = LINES[line_idx]
+        lines.append(f"    def m{i}(self, u):")
+        stmt = f"        {body}"
+        if directive == "correct":
+            directive = code  # clean line: no directive to attach
+        if directive is not None:
+            stmt += f"  # reprolint: disable={directive}"
+        lines.append(stmt)
+        lineno = len(lines)
+        want = set()
+        if directive is None:
+            if code:
+                want.add(code)
+        elif directive == "all":
+            if not code:
+                want.add("RL900")  # catch-all silencing nothing is stale
+        elif directive == code:
+            pass  # silenced, directive used
+        else:  # wrong-but-active code: finding survives, directive stale
+            if code:
+                want.add(code)
+            want.add("RL900")
+        if want:
+            expected[lineno] = want
+    return "\n".join(lines) + "\n", expected
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, len(LINES) - 1),
+            st.sampled_from(DIRECTIVES),
+        ),
+        min_size=1, max_size=6,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_suppressions_round_trip_through_the_flow_runner(specs):
+    source, expected = build_module(specs)
+    findings = lint_file(FAKE, all_rules(flow=True), source=source)
+    assert findings == sorted(findings)  # stable ordering invariant
+    got = {}
+    for f in findings:
+        got.setdefault(f.line, set()).add(f.code)
+    assert got == expected, source
+
+
+def test_flow_only_suppression_is_not_stale_without_flow():
+    # `disable=RL102` in a plain run must not be RL900: the rule never
+    # had the chance to fire, so the directive cannot be judged stale
+    source, _ = build_module([(1, "correct")])
+    assert lint_file(FAKE, all_rules(), source=source) == []
+    assert lint_file(FAKE, all_rules(flow=True), source=source) == []
