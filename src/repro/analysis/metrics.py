@@ -116,6 +116,7 @@ _COLUMNS = [
     ("p95-dur", "{:>8}"),
     ("msgs", "{:>6}"),
     ("kbytes", "{:>7}"),
+    ("B/msg", "{:>7}"),
     ("skip", "{:>5}"),
     ("suppr", "{:>6}"),
 ]
@@ -138,6 +139,7 @@ def comparison_table(metrics: Sequence[RunMetrics], *, title: str = "") -> str:
             f"{m.delay_stats.p95:.3f}",
             m.messages,
             f"{m.bytes_estimate / 1024:.1f}",
+            f"{m.bytes_estimate / m.messages:.1f}" if m.messages else "-",
             m.skipped,
             m.suppressed,
         ]

@@ -22,6 +22,12 @@ Subcommands:
   interleavings of small workloads (safety/optimality/liveness/
   convergence/isolation invariants, optional fault injection, witness
   export and byte-identical ``--replay``; see docs/model-checking.md);
+- ``serve``                 boot a multi-process causally consistent
+  KV deployment (one OS process per replica, binary wire protocol,
+  key-space sharding; ``--duration`` runs a one-shot load + drain +
+  conformance cycle, see docs/serving.md);
+- ``loadgen``               drive open-loop load against an
+  already-running ``serve`` deployment and report ops/s + p50/p99;
 - ``bench compare``         diff the current ``BENCH_*.json`` reports
   against the committed perf baseline (the CI regression gate);
 - ``lint [PATH ...]``       run the reprolint static analyzer
@@ -277,6 +283,66 @@ def build_parser() -> argparse.ArgumentParser:
                         "(RL101-RL104: payload escape, VC monotonicity, "
                         "transitive nondeterminism, transitive hot-path "
                         "allocation)")
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="boot a multi-process causally consistent KV deployment",
+    )
+    p_srv.add_argument("-p", "--protocol", default="optp",
+                       help="protocol to serve (must support live serving; "
+                       "see repro.serve.SERVABLE_PROTOCOLS)")
+    p_srv.add_argument("--group-size", type=int, default=3, metavar="N",
+                       help="replicas per shard group (default 3)")
+    p_srv.add_argument("--shards", type=int, default=1,
+                       help="replica groups the key space is sharded over")
+    p_srv.add_argument("--rundir", required=True, metavar="DIR",
+                       help="run directory (sockets, cluster.json, logs)")
+    p_srv.add_argument("--transport", choices=["unix", "tcp"],
+                       default="unix")
+    p_srv.add_argument("--port-base", type=int, default=7400,
+                       help="first TCP port (tcp transport only)")
+    p_srv.add_argument("--duration", type=float, default=0.0,
+                       help="one-shot mode: drive the built-in load "
+                       "generator for this many seconds, then drain and "
+                       "stop (0 = serve until interrupted)")
+    p_srv.add_argument("--workers", type=int, default=1,
+                       help="load-generator processes (one-shot mode)")
+    p_srv.add_argument("--batch", type=int, default=64,
+                       help="ops per REQUEST frame")
+    p_srv.add_argument("--pipeline", type=int, default=4,
+                       help="concurrent sessions per load worker")
+    p_srv.add_argument("--read-fraction", type=float, default=0.9)
+    p_srv.add_argument("--keys", type=int, default=64)
+    p_srv.add_argument("--rate", type=float, default=0.0,
+                       help="target ops/s per worker (0 = saturate)")
+    p_srv.add_argument("--record", action="store_true",
+                       help="record per-node event logs for conformance "
+                       "replay (costs throughput)")
+    p_srv.add_argument("--verify", action="store_true",
+                       help="after the run, merge the recorded logs and "
+                       "replay the paper's checkers (implies --record)")
+    p_srv.add_argument("--json", metavar="PATH", dest="json_out",
+                       help="write the full run report as JSON")
+    p_srv.add_argument("--trace-out", metavar="PATH",
+                       help="write a Perfetto/Chrome trace of the merged "
+                       "group-0 event log (implies --record)")
+
+    p_lg = sub.add_parser(
+        "loadgen",
+        help="drive load against an already-running serve deployment",
+    )
+    p_lg.add_argument("--spec", required=True, metavar="PATH",
+                      help="cluster.json written by `repro-dsm serve`")
+    p_lg.add_argument("--duration", type=float, default=3.0)
+    p_lg.add_argument("--workers", type=int, default=1)
+    p_lg.add_argument("--batch", type=int, default=64)
+    p_lg.add_argument("--pipeline", type=int, default=4)
+    p_lg.add_argument("--read-fraction", type=float, default=0.9)
+    p_lg.add_argument("--keys", type=int, default=64)
+    p_lg.add_argument("--rate", type=float, default=0.0,
+                      help="target ops/s per worker (0 = saturate)")
+    p_lg.add_argument("--json", metavar="PATH", dest="json_out",
+                      help="write the summary as JSON")
 
     return parser
 
@@ -747,6 +813,124 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _print_load_summary(load: dict) -> None:
+    print(f"ops          {load['ops']}  "
+          f"({load['reads']} reads / {load['writes']} writes, "
+          f"{load['batches']} batches)")
+    print(f"elapsed      {load['elapsed']}s")
+    print(f"throughput   {load['ops_per_sec']} ops/s")
+    print(f"read  p50/p99   {load['read_p50_ms']} / "
+          f"{load['read_p99_ms']} ms")
+    print(f"write p50/p99   {load['write_p50_ms']} / "
+          f"{load['write_p99_ms']} ms")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.serve.harness import ServedCluster, serve_and_load
+    from repro.serve.loadgen import LoadgenConfig
+    from repro.serve.server import SERVABLE_PROTOCOLS
+
+    if args.protocol not in SERVABLE_PROTOCOLS:
+        print(f"protocol {args.protocol!r} is not servable; pick one of "
+              f"{sorted(SERVABLE_PROTOCOLS)}", file=sys.stderr)
+        return 2
+    verify = args.verify or bool(args.trace_out)
+    record = args.record or verify
+    rundir = Path(args.rundir)
+    cfg = LoadgenConfig(
+        duration=args.duration, batch=args.batch, pipeline=args.pipeline,
+        read_fraction=args.read_fraction, keys=args.keys, rate=args.rate,
+    )
+
+    if args.duration > 0:
+        report = serve_and_load(
+            args.protocol, group_size=args.group_size, shards=args.shards,
+            rundir=rundir, duration=args.duration, workers=args.workers,
+            record=record, verify=verify, transport=args.transport,
+            port_base=args.port_base, loadgen=cfg,
+        )
+        _print_load_summary(report["load"])
+    else:
+        cluster = ServedCluster.start(
+            args.protocol, group_size=args.group_size, shards=args.shards,
+            rundir=rundir, record=record, transport=args.transport,
+            port_base=args.port_base,
+        )
+        print(f"serving {args.protocol}: {args.shards} shard(s) x "
+              f"{args.group_size} replicas (spec: {rundir / 'cluster.json'})")
+        for g in range(cluster.spec.n_shards):
+            for i in range(cluster.spec.group_size):
+                print(f"  g{g}n{i}  {cluster.spec.endpoint(g, i)}")
+        print("Ctrl-C to drain and stop.")
+        try:
+            import time
+
+            while True:
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            try:
+                cluster.quiesce()
+                cluster.stop()
+            finally:
+                cluster.kill()
+        report = {
+            "protocol": args.protocol,
+            "group_size": args.group_size,
+            "shards": args.shards,
+            "node_stats": [s["stats"] for s in cluster.statuses],
+        }
+        if verify:
+            report["conformance"] = cluster.verify()
+
+    if verify:
+        conf = report["conformance"]
+        print(f"conformance  {'OK' if conf['ok'] else 'FAILED'} "
+              f"({len(conf['groups'])} group(s) replayed)")
+    if args.trace_out:
+        from repro.obs.export import write_chrome_trace
+        from repro.sim.serialize import trace_from_jsonl
+
+        trace = trace_from_jsonl(
+            Path(report["conformance"]["groups"][0]["trace_path"]).read_text()
+        )
+        write_chrome_trace(args.trace_out, trace, protocol=args.protocol)
+        print(f"perfetto trace -> {args.trace_out}")
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(report, indent=2,
+                                                  default=str))
+    return 0 if (not verify or report["conformance"]["ok"]) else 1
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.serve.harness import drive_load
+    from repro.serve.loadgen import LoadgenConfig
+    from repro.serve.shard import ClusterSpec
+
+    spec_path = Path(args.spec)
+    if not spec_path.exists():
+        print(f"no such spec: {spec_path}", file=sys.stderr)
+        return 2
+    spec = ClusterSpec.load(spec_path)
+    cfg = LoadgenConfig(
+        duration=args.duration, batch=args.batch, pipeline=args.pipeline,
+        read_fraction=args.read_fraction, keys=args.keys, rate=args.rate,
+    )
+    load = drive_load(spec, cfg, workers=args.workers,
+                      rundir=spec_path.parent)
+    _print_load_summary(load)
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(load, indent=2))
+    return 0
+
+
 COMMANDS = {
     "artifacts": cmd_artifacts,
     "run": cmd_run,
@@ -760,6 +944,8 @@ COMMANDS = {
     "check": cmd_check,
     "bench": cmd_bench,
     "lint": cmd_lint,
+    "serve": cmd_serve,
+    "loadgen": cmd_loadgen,
 }
 
 

@@ -36,22 +36,29 @@ __all__ = [
 #: gating tests pin traces byte-for-byte over code in these packages;
 #: ``sweep`` is in because its cached results must be byte-identical to
 #: fresh runs -- its worker timing lines carry explicit suppressions).
-DETERMINISM_ZONES = ("sim", "core", "protocols", "sweep")
+#: ``serve`` is in because live-trace conformance replay and the
+#: deterministic load generator both forbid ad-hoc clocks: all wall
+#: reads must route through ``repro.serve.timebase`` (the one
+#: suppressed site).
+DETERMINISM_ZONES = ("sim", "core", "protocols", "sweep", "serve")
 
 #: Modules on the per-event hot path: obs instrumentation here must sit
 #: behind an ``obs.enabled`` / ``obs_on`` guard (the 1.05x budget of
 #: ``benchmarks/test_bench_obs_overhead.py``).  ``flatstate.py`` joined
-#: when the flat backend grew lifecycle telemetry; the whole ``mck``
-#: zone is additionally hot (see :data:`HOT_PATH_ZONES`).
+#: when the flat backend grew lifecycle telemetry; ``server.py`` and
+#: ``codec.py`` joined with the serving layer (per-request / per-byte
+#: paths); the whole ``mck`` zone is additionally hot (see
+#: :data:`HOT_PATH_ZONES`).
 HOT_PATH_MODULES = ("engine.py", "scheduler.py", "network.py", "node.py",
-                    "flatstate.py")
+                    "flatstate.py", "server.py", "codec.py")
 
 #: Zones whose *every* module is hot-path for the obs-gating rule: the
 #: model checker's inner loop executes each transition thousands of
 #: times across clones, so ungated instrumentation multiplies.
 HOT_PATH_ZONES = ("mck",)
 
-_ZONES = ("sim", "core", "protocols", "runtime", "obs", "sweep", "mck")
+_ZONES = ("sim", "core", "protocols", "runtime", "obs", "sweep", "mck",
+          "serve")
 
 
 def zone_of(path: Path) -> str:

@@ -1,13 +1,17 @@
-"""RL008: process-pool entry points must be picklable (zone ``sweep``).
+"""RL008: process entry points must be picklable (zones ``sweep``,
+``serve``).
 
 ``ProcessPoolExecutor`` pickles the submitted callable **by qualified
 name**: only module-level functions survive the trip.  Lambdas, nested
 functions, and bound methods raise ``PicklingError`` at runtime -- but
 only on the parallel path, so a serial test suite never sees it.  This
-rule fails the lint instead.
+rule fails the lint instead.  The same contract binds spawn-context
+``Process(target=...)`` construction, which is how the serving layer
+boots replica and load-generator processes
+(:mod:`repro.serve.worker`).
 
 Flagged as the callable argument of ``<pool>.submit(fn, ...)`` /
-``<pool>.map(fn, ...)``:
+``<pool>.map(fn, ...)`` and as the ``target=`` of ``Process(...)``:
 
 - a ``lambda`` expression;
 - a name bound to a function *defined inside another function or
@@ -15,9 +19,9 @@ Flagged as the callable argument of ``<pool>.submit(fn, ...)`` /
 - an attribute rooted at ``self`` / ``cls`` (a bound method).
 
 Module-level ``def``s and imported names pass.  The receiver is not
-type-checked -- any ``.submit``/``.map`` call in the sweep zone is
-held to the contract, which is exactly the discipline
-:mod:`repro.sweep.worker` documents.
+type-checked -- any ``.submit``/``.map``/``Process`` call in a covered
+zone is held to the contract, which is exactly the discipline
+:mod:`repro.sweep.worker` and :mod:`repro.serve.worker` document.
 """
 
 from __future__ import annotations
@@ -32,6 +36,9 @@ from repro.lint.registry import Rule, register
 __all__ = ["PicklableWorkerRule"]
 
 _POOL_METHODS = ("submit", "map")
+
+#: Zones under the picklable-entry-point contract.
+_ZONES = ("sweep", "serve")
 
 
 def _nonmodule_callables(tree: ast.Module):
@@ -63,29 +70,48 @@ class PicklableWorkerRule(Rule):
     code = "RL008"
     name = "picklable-workers"
     summary = (
-        "pool.submit/map entry points in sweep code must be module-level "
-        "functions"
+        "pool.submit/map and Process(target=...) entry points in "
+        "sweep/serve code must be module-level functions"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        if ctx.zone != "sweep":
+        if ctx.zone not in _ZONES:
             return
         nested, lambdas = _nonmodule_callables(ctx.tree)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
-            if not isinstance(node.func, ast.Attribute):
+            fn_node = self._entry_point(node)
+            if fn_node is None:
                 continue
-            if node.func.attr not in _POOL_METHODS or not node.args:
-                continue
-            message = self._violation(node.args[0], nested, lambdas)
+            message = self._violation(fn_node, nested, lambdas)
             if message:
+                label = (f".{node.func.attr}()"
+                         if isinstance(node.func, ast.Attribute)
+                         and node.func.attr in _POOL_METHODS
+                         else "Process(target=...)")
                 yield self.finding(
-                    ctx, node.args[0],
-                    f"{message} passed to .{node.func.attr}(); process-pool "
-                    "entry points are pickled by qualified name -- use a "
-                    "module-level function",
+                    ctx, fn_node,
+                    f"{message} passed to {label}; process entry points "
+                    "are pickled by qualified name -- use a module-level "
+                    "function",
                 )
+
+    @staticmethod
+    def _entry_point(node: ast.Call) -> Optional[ast.AST]:
+        """The callable being shipped to another process, if any."""
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _POOL_METHODS and node.args):
+            return node.args[0]
+        callee = node.func
+        callee_name = (callee.id if isinstance(callee, ast.Name)
+                       else callee.attr if isinstance(callee, ast.Attribute)
+                       else None)
+        if callee_name == "Process":
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    return kw.value
+        return None
 
     def _violation(
         self, fn: ast.AST, nested: Set[str], lambdas: Set[str]

@@ -8,7 +8,12 @@ end-to-end sanity check that nothing in the protocols depends on the
 simulator's determinism.
 """
 
-from repro.runtime.cluster import AsyncCluster, run_programs_async
+from repro.runtime.cluster import (
+    AsyncCluster,
+    ClusterQuiesceError,
+    run_programs_async,
+)
 from repro.runtime.interactive import CausalKV
 
-__all__ = ["AsyncCluster", "CausalKV", "run_programs_async"]
+__all__ = ["AsyncCluster", "CausalKV", "ClusterQuiesceError",
+           "run_programs_async"]

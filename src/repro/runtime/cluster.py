@@ -20,7 +20,7 @@ liveness), not timings -- which is what
 from __future__ import annotations
 
 import asyncio
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.base import BROADCAST, Message, Outgoing, Protocol
 from repro.sim.latency import ConstantLatency, LatencyModel
@@ -36,6 +36,49 @@ from repro.workloads.ops import (
 )
 
 ProtocolFactory = Union[str, Callable[[int, int], Protocol]]
+
+
+class ClusterQuiesceError(TimeoutError):
+    """The cluster failed to drain within ``quiesce_timeout``.
+
+    Like :class:`repro.sim.engine.EngineLimitError`, the exception
+    carries the substrate's state at the moment of failure so a
+    liveness bug is debuggable from the exception alone: in-flight
+    update count, expected vs. observed remote applies, and per-node
+    queue depths (buffered messages + outstanding applies).
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        timeout: Optional[float] = None,
+        in_flight_updates: Optional[int] = None,
+        expected_applies: Optional[int] = None,
+        observed_applies: Optional[int] = None,
+        per_node: Optional[List[Dict[str, Any]]] = None,
+    ) -> None:
+        self.reason = reason
+        self.timeout = timeout
+        self.in_flight_updates = in_flight_updates
+        self.expected_applies = expected_applies
+        self.observed_applies = observed_applies
+        self.per_node = list(per_node or [])
+        parts = [reason]
+        if timeout is not None:
+            parts.append(f"timeout={timeout:.6g}s")
+        if in_flight_updates is not None:
+            parts.append(f"in_flight_updates={in_flight_updates}")
+        if expected_applies is not None:
+            parts.append(f"expected_applies={expected_applies}")
+        if observed_applies is not None:
+            parts.append(f"observed_applies={observed_applies}")
+        for entry in self.per_node:
+            parts.append(
+                "p{node}: buffered={buffered} "
+                "missing_applies={missing_applies}".format(**entry)
+            )
+        super().__init__("; ".join(parts))
 
 
 class AsyncCluster:
@@ -168,6 +211,28 @@ class AsyncCluster:
             node.fire_timer()
             await asyncio.sleep(interval * self.time_scale)
 
+    def _quiesce_error(self) -> ClusterQuiesceError:
+        expected = (
+            self._writes_issued * (self.n_processes - 1)
+            + self._deferred_local_applies
+        )
+        per_node = [
+            {
+                "node": node.process_id,
+                "buffered": node.buffered_count,
+                "missing_applies": node.protocol.missing_applies(),
+            }
+            for node in self.nodes
+        ]
+        return ClusterQuiesceError(
+            "cluster failed to quiesce (liveness bug?)",
+            timeout=self.quiesce_timeout,
+            in_flight_updates=self._in_flight_updates,
+            expected_applies=expected,
+            observed_applies=self._remote_applies,
+            per_node=per_node,
+        )
+
     def _quiescent(self) -> bool:
         if self._in_flight_updates > 0:
             return False
@@ -196,22 +261,28 @@ class AsyncCluster:
             for node in self.nodes
             if node.protocol.timer_interval is not None
         ]
-        await asyncio.gather(
-            *(self._run_program(i, p) for i, p in enumerate(programs))
-        )
-        deadline = self._loop.time() + self.quiesce_timeout
-        while not self._quiescent():
-            if self._loop.time() > deadline:
-                raise TimeoutError(
-                    "cluster failed to quiesce within "
-                    f"{self.quiesce_timeout}s (liveness bug?)"
-                )
-            await asyncio.sleep(self.time_scale)
-        # Tear down whatever is still flying (token rounds, timers etc.).
-        for task in timer_tasks:
-            task.cancel()
-        for task in list(self._message_tasks):
-            task.cancel()
+        try:
+            await asyncio.gather(
+                *(self._run_program(i, p) for i, p in enumerate(programs))
+            )
+            deadline = self._loop.time() + self.quiesce_timeout
+            while not self._quiescent():
+                if self._loop.time() > deadline:
+                    raise self._quiesce_error()
+                await asyncio.sleep(self.time_scale)
+        finally:
+            # Tear down whatever is still flying (token rounds, timers
+            # etc.) -- and *await* the cancellations, so no half-dead
+            # task outlives the run to fire a "was never retrieved"
+            # warning (or deliver into a dismantled node) later.
+            for task in timer_tasks:
+                task.cancel()
+            for task in list(self._message_tasks):
+                task.cancel()
+            await asyncio.gather(
+                *timer_tasks, *self._message_tasks,
+                return_exceptions=True,
+            )
         return RunResult(
             protocol_name=self.protocol_name,
             n_processes=self.n_processes,

@@ -1,0 +1,41 @@
+"""Multi-process networked serving of the causal-memory protocols.
+
+Turns the in-process protocol engines into a real causally consistent
+key-value store: each replica is a standalone OS process running an
+asyncio server (:mod:`repro.serve.server`) speaking a compact binary
+wire protocol (:mod:`repro.serve.codec`), with key-space sharding
+across replica groups (:mod:`repro.serve.shard`), session-consistent
+clients (:mod:`repro.serve.client`), deterministic open-loop load
+generation (:mod:`repro.serve.loadgen`), and a deployment harness
+(:mod:`repro.serve.harness`) whose recorded runs replay byte-for-byte
+through the paper's conformance oracles
+(:mod:`repro.serve.merge` + :mod:`repro.serve.conformance`).
+
+See ``docs/serving.md`` for the wire format and operational guide.
+"""
+
+from repro.serve.client import AsyncSessionClient, SessionClient
+from repro.serve.codec import CodecError, encoded_size
+from repro.serve.harness import ServedCluster, serve_and_load
+from repro.serve.loadgen import LoadgenConfig, run_worker, summarize_workers
+from repro.serve.merge import MergeError, merge_node_logs
+from repro.serve.server import SERVABLE_PROTOCOLS, ReplicaServer
+from repro.serve.shard import ClusterSpec, shard_of
+
+__all__ = [
+    "AsyncSessionClient",
+    "ClusterSpec",
+    "CodecError",
+    "LoadgenConfig",
+    "MergeError",
+    "ReplicaServer",
+    "SERVABLE_PROTOCOLS",
+    "ServedCluster",
+    "SessionClient",
+    "encoded_size",
+    "merge_node_logs",
+    "run_worker",
+    "serve_and_load",
+    "shard_of",
+    "summarize_workers",
+]

@@ -1,0 +1,228 @@
+"""Client library: sharded, pipelined, session-consistent access.
+
+A :class:`SessionClient` owns one connection per replica group (to a
+configurable replica affinity) and one *session vector* per group --
+``session[j]`` = the highest write-sequence of group-node j this
+session has observed.  The guarantees, in the classic Terry et al.
+vocabulary:
+
+- **read-your-writes**: a write's response carries the server's
+  applied vector including that write; it is folded into the session
+  vector, so any later read (even via another replica) waits until the
+  serving replica has applied it.
+- **monotonic reads**: every response's progress vector is folded in
+  the same way, so a session can never observe a replica state older
+  than one it has already seen.
+
+Causal consistency *across* sessions is the protocol's job (OptP
+applies remote writes only after their causal past); the session
+vector only bridges the client's moves between replicas, which the
+paper's single-process model never has to face.
+
+Ops are pipelined: :meth:`SessionClient.batch` ships one REQUEST frame
+with many ops and multiple frames may be in flight per connection
+(responses return in order).  The sync facade wraps its own event
+loop per call -- use :class:`AsyncSessionClient` directly inside a
+running loop (the load generator does).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.serve import codec
+from repro.serve.codec import (
+    FRAME_HELLO,
+    OP_READ,
+    OP_WRITE,
+    ROLE_CLIENT,
+    CodecError,
+    VarWriter,
+    read_frame,
+    write_frame,
+)
+from repro.serve.shard import ClusterSpec, parse_endpoint
+
+__all__ = ["AsyncSessionClient", "SessionClient"]
+
+
+class _GroupConn:
+    """One pipelined connection into one replica group."""
+
+    def __init__(self, group: int, replica: int) -> None:
+        self.group = group
+        self.replica = replica
+        self.reader = None
+        self.writer = None
+        #: response futures in request order (frame-level pipelining).
+        self.inflight: "asyncio.Queue[asyncio.Future]" = None  # type: ignore
+        self.reader_task: Optional[asyncio.Task] = None
+
+    async def connect(self, endpoint: str) -> None:
+        scheme, addr = parse_endpoint(endpoint)
+        if scheme == "unix":
+            self.reader, self.writer = await asyncio.open_unix_connection(addr)
+        else:
+            self.reader, self.writer = await asyncio.open_connection(*addr)
+        hello = VarWriter()
+        hello.u8(FRAME_HELLO)
+        hello.u8(ROLE_CLIENT)
+        hello.uvarint(0)
+        write_frame(self.writer, hello.getvalue())
+        self.inflight = asyncio.Queue()
+        self.reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                body = await read_frame(self.reader)
+                if body is None:
+                    break
+                fut = self.inflight.get_nowait()
+                if not fut.done():
+                    fut.set_result(codec.decode_response(body))
+        except (CodecError, ConnectionError, asyncio.QueueEmpty) as exc:
+            self._fail(exc)
+            return
+        self._fail(ConnectionError("server closed the connection"))
+
+    def _fail(self, exc: Exception) -> None:
+        while True:
+            try:
+                fut = self.inflight.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            if not fut.done():
+                fut.set_exception(exc)
+
+    async def request(self, session: Tuple[int, ...],
+                     ops: List[Tuple[int, Any, Any]]):
+        fut = asyncio.get_running_loop().create_future()
+        self.inflight.put_nowait(fut)
+        write_frame(self.writer, codec.encode_request(session, ops))
+        await self.writer.drain()
+        return await fut
+
+    async def close(self) -> None:
+        if self.reader_task is not None:
+            self.reader_task.cancel()
+            try:
+                await self.reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self.writer is not None:
+            self.writer.close()
+
+    def abort(self) -> None:
+        """Tear the transport down without goodbye (tests: mid-session
+        client death)."""
+        if self.reader_task is not None:
+            self.reader_task.cancel()
+        if self.writer is not None and self.writer.transport is not None:
+            self.writer.transport.abort()
+        # the reader task dies by cancellation, so it will never fail
+        # the in-flight futures itself
+        self._fail(ConnectionError("session aborted"))
+
+
+class AsyncSessionClient:
+    """The asyncio client; one instance = one session."""
+
+    def __init__(self, spec: ClusterSpec, *, replica: int = 0):
+        if not 0 <= replica < spec.group_size:
+            raise ValueError(f"replica {replica} out of range")
+        self.spec = spec
+        self.replica = replica
+        #: per-group session vectors (see module docstring).
+        self.sessions: List[List[int]] = [
+            [0] * spec.group_size for _ in range(spec.n_shards)
+        ]
+        self._conns: List[Optional[_GroupConn]] = [None] * spec.n_shards
+
+    async def connect(self) -> "AsyncSessionClient":
+        for group in range(self.spec.n_shards):
+            await self._conn(group)
+        return self
+
+    async def _conn(self, group: int) -> _GroupConn:
+        conn = self._conns[group]
+        if conn is None:
+            conn = _GroupConn(group, self.replica)
+            await conn.connect(self.spec.endpoint(group, self.replica))
+            self._conns[group] = conn
+        return conn
+
+    def _merge(self, group: int, progress: Sequence[int]) -> None:
+        session = self.sessions[group]
+        for j, seen in enumerate(progress):
+            if seen > session[j]:
+                session[j] = seen
+
+    # -- operations ---------------------------------------------------------
+
+    async def put(self, variable: Hashable, value: Any) -> int:
+        """Write; returns the issued write's sequence number."""
+        (result,) = await self.batch([(OP_WRITE, variable, value)],
+                                     group=self.spec.group_for(variable))
+        return result[1]
+
+    async def get(self, variable: Hashable) -> Any:
+        """Session-consistent read (BOTTOM when never written)."""
+        (result,) = await self.batch([(OP_READ, variable, None)],
+                                     group=self.spec.group_for(variable))
+        return result[1]
+
+    async def batch(self, ops: List[Tuple[int, Any, Any]],
+                    *, group: int) -> List[Tuple[int, Any]]:
+        """Ship one REQUEST frame of ops against one group."""
+        conn = await self._conn(group)
+        progress, results = await conn.request(tuple(self.sessions[group]),
+                                               ops)
+        self._merge(group, progress)
+        return results
+
+    def split_ops(self, ops: List[Tuple[int, Any, Any]]
+                  ) -> Dict[int, List[Tuple[int, Any, Any]]]:
+        """Group a mixed op list by owning shard (helper for callers
+        that batch across the key space)."""
+        grouped: Dict[int, List[Tuple[int, Any, Any]]] = {}
+        for op in ops:
+            grouped.setdefault(self.spec.group_for(op[1]), []).append(op)
+        return grouped
+
+    async def close(self) -> None:
+        for conn in self._conns:
+            if conn is not None:
+                await conn.close()
+
+    def abort(self) -> None:
+        for conn in self._conns:
+            if conn is not None:
+                conn.abort()
+
+
+class SessionClient:
+    """Blocking facade over :class:`AsyncSessionClient` for scripts and
+    doc examples; runs a private event loop."""
+
+    def __init__(self, spec: ClusterSpec, *, replica: int = 0):
+        self._loop = asyncio.new_event_loop()
+        self._client = AsyncSessionClient(spec, replica=replica)
+        self._loop.run_until_complete(self._client.connect())
+
+    def put(self, variable: Hashable, value: Any) -> int:
+        return self._loop.run_until_complete(self._client.put(variable, value))
+
+    def get(self, variable: Hashable) -> Any:
+        return self._loop.run_until_complete(self._client.get(variable))
+
+    def close(self) -> None:
+        self._loop.run_until_complete(self._client.close())
+        self._loop.close()
+
+    def __enter__(self) -> "SessionClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,218 @@
+"""Open-loop load generation against a served deployment.
+
+One *worker* (one process) drives one :class:`ClusterSpec` deployment
+through ``pipeline`` independent lanes; each lane is its own session
+(own connections, own session vectors) issuing REQUEST frames of
+``batch`` ops.  Two pacing modes:
+
+- ``rate == 0`` -- saturation: every lane keeps exactly one frame in
+  flight, so the worker applies constant back-to-back pressure and the
+  measured rate is the deployment's capacity for this worker count.
+- ``rate > 0`` -- open loop: batch k has a *scheduled* issue time
+  ``t0 + k*batch/rate`` regardless of completions, and latency is
+  measured from that scheduled time.  A deployment that cannot keep up
+  shows queueing delay in its tail latencies instead of silently
+  slowing the generator (the coordinated-omission trap).
+
+The op mix and key choice are deterministic (error-accumulator for the
+read fraction, Knuth multiplicative hashing over the key space) so two
+runs of the same config issue the identical op sequence -- randomness
+would buy nothing and costs reproducibility (reprolint RL001 zone).
+
+Latency samples are decimated deterministically (every 2nd sample once
+the cap is hit) to bound worker-result size; percentiles come from the
+existing :class:`repro.obs.metrics.Histogram` (exact nearest-rank on
+the retained samples).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.client import AsyncSessionClient
+from repro.serve.codec import OP_READ, OP_WRITE
+from repro.serve.shard import ClusterSpec
+from repro.serve.timebase import monotonic
+
+__all__ = ["LoadgenConfig", "run_worker", "summarize_workers"]
+
+#: Retained latency samples per (worker, op kind) before decimation.
+SAMPLE_CAP = 16384
+
+_KNUTH = 2654435761
+
+
+@dataclass
+class LoadgenConfig:
+    duration: float = 5.0
+    batch: int = 64
+    pipeline: int = 4
+    read_fraction: float = 0.9
+    keys: int = 64
+    value_size: int = 8
+    rate: float = 0.0       #: target ops/s for this worker; 0 = saturate
+    replica_spread: bool = True  #: lanes fan out over group replicas
+    key_prefix: str = "k"
+
+
+class _Samples:
+    """Bounded latency log with deterministic decimation.
+
+    Once full, every second retained sample is dropped and the keep
+    stride doubles -- the survivors stay uniformly spread over time.
+    """
+
+    __slots__ = ("values", "stride", "_phase", "count")
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+        self.stride = 1
+        self._phase = 0
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self._phase += 1
+        if self._phase >= self.stride:
+            self._phase = 0
+            self.values.append(value)
+            if len(self.values) >= SAMPLE_CAP:
+                self.values = self.values[::2]
+                self.stride *= 2
+
+
+def _op_stream(cfg: LoadgenConfig, lane: int):
+    """Deterministic infinite (kind, variable, value) generator."""
+    acc = 0.0
+    i = lane * 7919  # offset lanes so they do not hit keys in lockstep
+    value = "v" * max(1, cfg.value_size)
+    while True:
+        i += 1
+        key = f"{cfg.key_prefix}{(i * _KNUTH) % cfg.keys}"
+        acc += cfg.read_fraction
+        if acc >= 1.0:
+            acc -= 1.0
+            yield (OP_READ, key, None)
+        else:
+            yield (OP_WRITE, key, f"{value}.{lane}.{i}")
+
+
+async def _run_lane(spec: ClusterSpec, cfg: LoadgenConfig, lane: int,
+                    deadline: float, reads: _Samples,
+                    writes: _Samples) -> Tuple[int, int]:
+    """One session issuing batches until the deadline; returns
+    (ops_done, batches_done)."""
+    replica = lane % spec.group_size if cfg.replica_spread else 0
+    client = AsyncSessionClient(spec, replica=replica)
+    await client.connect()
+    stream = _op_stream(cfg, lane)
+    ops_done = 0
+    batches = 0
+    lane_count = max(1, cfg.pipeline)
+    batch_interval = (
+        cfg.batch * lane_count / cfg.rate if cfg.rate > 0 else 0.0
+    )
+    t0 = monotonic()
+    k = 0
+    try:
+        while True:
+            now = monotonic()
+            if now >= deadline:
+                break
+            if batch_interval:
+                scheduled = t0 + k * batch_interval
+                if scheduled > now:
+                    await asyncio.sleep(scheduled - now)
+                    if monotonic() >= deadline:
+                        break
+                issue_ref = scheduled
+            else:
+                issue_ref = now
+            ops = [next(stream) for _ in range(cfg.batch)]
+            by_group = client.split_ops(ops)
+            for group in sorted(by_group):
+                group_ops = by_group[group]
+                await client.batch(group_ops, group=group)
+            done = monotonic()
+            latency_ms = (done - issue_ref) * 1000.0
+            for kind, _, _ in ops:
+                if kind == OP_READ:
+                    reads.add(latency_ms)
+                else:
+                    writes.add(latency_ms)
+            ops_done += len(ops)
+            batches += 1
+            k += 1
+    finally:
+        await client.close()
+    return ops_done, batches
+
+
+async def run_worker(spec: ClusterSpec, cfg: LoadgenConfig,
+                     *, worker_id: int = 0) -> Dict[str, Any]:
+    """Drive one worker's lanes; returns a JSON-able result dict."""
+    reads = _Samples()
+    writes = _Samples()
+    start = monotonic()
+    deadline = start + cfg.duration
+    lane_results = await asyncio.gather(*(
+        _run_lane(spec, cfg, worker_id * cfg.pipeline + lane, deadline,
+                  reads, writes)
+        for lane in range(max(1, cfg.pipeline))
+    ))
+    elapsed = monotonic() - start
+    ops = sum(r[0] for r in lane_results)
+    batches = sum(r[1] for r in lane_results)
+    return {
+        "worker": worker_id,
+        "ops": ops,
+        "batches": batches,
+        "elapsed": elapsed,
+        "reads": reads.count,
+        "writes": writes.count,
+        "read_samples_ms": reads.values,
+        "write_samples_ms": writes.values,
+    }
+
+
+def summarize_workers(results: List[Dict[str, Any]],
+                      registry: Optional[MetricsRegistry] = None
+                      ) -> Dict[str, Any]:
+    """Merge per-worker results into the report the benchmarks emit.
+
+    Feeds every retained sample through ``repro.obs`` histograms, so
+    the percentile math is the registry's (exact nearest-rank), and the
+    same numbers are exportable via ``registry.to_json()``.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    h_read = reg.histogram("serve.read_latency_ms")
+    h_write = reg.histogram("serve.write_latency_ms")
+    for result in results:
+        for sample in result["read_samples_ms"]:
+            h_read.observe(sample)
+        for sample in result["write_samples_ms"]:
+            h_write.observe(sample)
+    ops = sum(r["ops"] for r in results)
+    elapsed = max((r["elapsed"] for r in results), default=0.0)
+    c_ops = reg.counter("serve.loadgen_ops")
+    c_ops.inc(ops)
+
+    def pct(h, q):
+        return round(h.percentile(q), 4) if h.count else None
+
+    return {
+        "workers": len(results),
+        "ops": ops,
+        "reads": sum(r["reads"] for r in results),
+        "writes": sum(r["writes"] for r in results),
+        "batches": sum(r["batches"] for r in results),
+        "elapsed": round(elapsed, 4),
+        "ops_per_sec": round(ops / elapsed, 1) if elapsed else 0.0,
+        "read_p50_ms": pct(h_read, 50),
+        "read_p99_ms": pct(h_read, 99),
+        "write_p50_ms": pct(h_write, 50),
+        "write_p99_ms": pct(h_write, 99),
+    }

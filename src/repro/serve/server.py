@@ -1,0 +1,514 @@
+"""One replica as a standalone asyncio server.
+
+A :class:`ReplicaServer` hosts exactly the simulator's substrate -- a
+:class:`repro.sim.node.Node` wrapping one registry protocol instance --
+behind real sockets:
+
+- **peer plane**: one outgoing connection per group peer carrying
+  :data:`~repro.serve.codec.FRAME_MSG_BATCH` frames.  Protocol
+  broadcasts are *micro-batched* Nagle-style: an update is appended to
+  the per-peer buffer and the frame ships when either the batch window
+  elapses (one ``call_later`` per open window) or the buffer hits its
+  message/byte cap -- so the syscall count grows with *batches*, not
+  ops, and stays sublinear in op count under load.
+- **client plane**: pipelined REQUEST/RESPONSE frames.  A request
+  carries the client session vector; writes execute immediately, reads
+  first await local dominance of that vector (read-your-writes +
+  monotonic reads, Section "session guarantees" of docs/serving.md)
+  and responses return the server's applied vector for the client to
+  fold into its session.
+- **admin plane**: quiesce polling and two-phase shutdown, so a parent
+  can drain the deployment before asking nodes to dump their event
+  logs (which keeps the Theorem-5 liveness check meaningful).
+
+Everything protocol-visible reuses the existing substrate unchanged:
+buffering goes through the dependency-indexed scheduler, events land
+in a real :class:`~repro.sim.trace.Trace` (or a no-op trace when not
+recording), and the recorded log replays through every checker via
+:mod:`repro.serve.merge` / :mod:`repro.serve.conformance`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.base import BROADCAST, Outgoing
+from repro.obs.spans import NULL_OBS, Obs
+from repro.serve import codec
+from repro.serve.codec import (
+    FRAME_HELLO,
+    FRAME_MSG_BATCH,
+    FRAME_STOP,
+    FRAME_STOPPED,
+    OP_READ,
+    OP_WRITE,
+    ROLE_ADMIN,
+    ROLE_CLIENT,
+    ROLE_PEER,
+    CodecError,
+    InternDecoder,
+    InternEncoder,
+    VarReader,
+    VarWriter,
+    read_frame,
+    write_frame,
+)
+from repro.serve.merge import dump_node_log
+from repro.serve.shard import ClusterSpec, parse_endpoint
+from repro.serve.timebase import monotonic
+from repro.sim.node import Node
+from repro.sim.trace import Trace
+
+__all__ = ["NullTrace", "ReplicaServer", "SERVABLE_PROTOCOLS"]
+
+#: Protocols the serving layer supports: immediate local apply, pure
+#: update-broadcast propagation, no timers or control traffic.  (The
+#: sequencer defers local applies behind a round trip and the token /
+#: gossip baselines need timers; they stay simulator-only.)
+SERVABLE_PROTOCOLS = ("optp", "anbkh")
+
+#: STOP modes (admin plane).
+STOP_QUERY = 0     #: report queue depth + applied vector, keep serving
+STOP_SHUTDOWN = 1  #: flush, dump, acknowledge, exit
+
+_PEER_CONNECT_TIMEOUT = 15.0
+_DRAIN_HIGH_WATER = 1 << 20
+
+
+class NullTrace(Trace):
+    """A trace that drops every event (non-recording servers).
+
+    Satisfies the :class:`~repro.sim.node.Node` contract at zero cost;
+    the scheduler and protocol state are unaffected, only the event
+    log is absent.
+    """
+
+    def record(self, *args, **kwargs):  # type: ignore[override]
+        return None
+
+    def record_compact(self, *args, **kwargs):  # type: ignore[override]
+        return None
+
+
+class _ServedNode(Node):
+    """A :class:`Node` that reports each remote apply's message, so the
+    server can maintain its applied vector (the session/progress
+    vector) without touching protocol internals."""
+
+    def __init__(self, *args, on_apply_msg=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._on_apply_msg = on_apply_msg
+
+    def _apply(self, msg):
+        super()._apply(msg)
+        if self._on_apply_msg is not None:
+            self._on_apply_msg(msg)
+
+
+class _PeerLink:
+    """Outgoing half-connection to one peer with micro-batching."""
+
+    __slots__ = ("dest", "writer", "intern", "bodies", "pending_bytes",
+                 "flush_handle", "draining", "server")
+
+    def __init__(self, server: "ReplicaServer", dest: int, writer) -> None:
+        self.server = server
+        self.dest = dest
+        self.writer = writer
+        self.intern = InternEncoder()
+        self.bodies: List[bytes] = []
+        self.pending_bytes = 0
+        self.flush_handle: Optional[asyncio.TimerHandle] = None
+        self.draining = False
+
+    def enqueue(self, message) -> None:
+        w = VarWriter()
+        codec.encode_message_into(w, message, self.intern)
+        body = w.getvalue()
+        self.bodies.append(body)
+        self.pending_bytes += len(body)
+        srv = self.server
+        if (len(self.bodies) >= srv.batch_max_msgs
+                or self.pending_bytes >= srv.batch_max_bytes):
+            self.flush()
+        elif self.flush_handle is None:
+            self.flush_handle = srv._loop.call_later(srv.batch_window,
+                                                     self.flush)
+
+    def flush(self) -> None:
+        if self.flush_handle is not None:
+            self.flush_handle.cancel()
+            self.flush_handle = None
+        if not self.bodies:
+            return
+        w = VarWriter()
+        w.u8(FRAME_MSG_BATCH)
+        w.uvarint(len(self.bodies))
+        for body in self.bodies:
+            w.raw(body)
+        payload = w.getvalue()
+        write_frame(self.writer, payload)
+        srv = self.server
+        srv.stats["peer_batches"] += 1
+        srv.stats["peer_msgs"] += len(self.bodies)
+        srv.stats["peer_bytes"] += len(payload) + 4
+        if srv._obs.enabled:
+            srv._m_batches.inc()
+            srv._m_batch_msgs.inc(len(self.bodies))
+        self.bodies.clear()
+        self.pending_bytes = 0
+        transport = self.writer.transport
+        if (transport is not None
+                and transport.get_write_buffer_size() > _DRAIN_HIGH_WATER
+                and not self.draining):
+            self.draining = True
+            asyncio.ensure_future(self._drain())
+
+    async def _drain(self) -> None:
+        try:
+            await self.writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            self.draining = False
+
+    def close(self) -> None:
+        if self.flush_handle is not None:
+            self.flush_handle.cancel()
+            self.flush_handle = None
+        try:
+            self.writer.close()
+        except RuntimeError:  # loop already closing
+            pass
+
+
+class ReplicaServer:
+    """One group-replica process: protocol node + sockets + sessions."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        group: int,
+        node_id: int,
+        *,
+        record: bool = False,
+        rundir: Optional[Path] = None,
+        batch_window: float = 0.0005,
+        batch_max_msgs: int = 256,
+        batch_max_bytes: int = 64 << 10,
+        obs: Obs = NULL_OBS,
+    ):
+        if spec.protocol not in SERVABLE_PROTOCOLS:
+            raise ValueError(
+                f"protocol {spec.protocol!r} is not servable "
+                f"(supported: {', '.join(SERVABLE_PROTOCOLS)})"
+            )
+        from repro.sim.cluster import _resolve_factory
+
+        self.spec = spec
+        self.group = group
+        self.node_id = node_id
+        self.n = spec.group_size
+        self.record = record
+        self.rundir = Path(rundir) if rundir is not None else None
+        self.batch_window = batch_window
+        self.batch_max_msgs = batch_max_msgs
+        self.batch_max_bytes = batch_max_bytes
+        self._obs = obs
+
+        self._t0 = monotonic()
+        factory = _resolve_factory(spec.protocol)
+        self.trace: Trace = Trace(self.n) if record else NullTrace(self.n)
+        self.node = _ServedNode(
+            factory(node_id, self.n),
+            self.trace,
+            clock=self._now,
+            dispatch=self._dispatch,
+            on_apply_msg=self._count_remote_apply,
+            scheduler="auto",
+            state_backend="scalar",
+        )
+        #: applied[j] = writes issued by group-peer j applied locally;
+        #: grows monotonically, so ``tuple(applied)`` is the progress
+        #: vector clients fold into their session vectors.
+        self.applied: List[int] = [0] * self.n
+        self._links: Dict[int, _PeerLink] = {}
+        self._waiters: List[asyncio.Future] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop = asyncio.Event()
+        self._conn_tasks: List[asyncio.Task] = []
+        self.stats: Dict[str, int] = {
+            "writes": 0, "reads": 0, "read_waits": 0, "requests": 0,
+            "peer_batches": 0, "peer_msgs": 0, "peer_bytes": 0,
+            "frames_in": 0, "client_conns": 0, "client_aborts": 0,
+        }
+        if obs.enabled:
+            reg = obs.registry
+            label = dict(group=group, node=node_id)
+            self._m_writes = reg.counter("serve.writes", **label)
+            self._m_reads = reg.counter("serve.reads", **label)
+            self._m_waits = reg.counter("serve.read_waits", **label)
+            self._m_batches = reg.counter("serve.peer_batches", **label)
+            self._m_batch_msgs = reg.counter("serve.peer_msgs", **label)
+
+    # -- clock / progress ---------------------------------------------------
+
+    def _now(self) -> float:
+        return monotonic() - self._t0
+
+    def _count_remote_apply(self, msg) -> None:
+        self.applied[msg.sender] += 1
+        if self._waiters:
+            self._wake_waiters()
+
+    def _wake_waiters(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for fut in waiters:
+            if not fut.done():
+                fut.set_result(None)
+
+    def _dominates(self, session: Sequence[int]) -> bool:
+        applied = self.applied
+        for j, wanted in enumerate(session):
+            if applied[j] < wanted:
+                return False
+        return True
+
+    async def _await_session(self, session: Tuple[int, ...]) -> None:
+        while not self._dominates(session):
+            fut = self._loop.create_future()
+            self._waiters.append(fut)
+            await fut
+
+    # -- protocol plumbing --------------------------------------------------
+
+    def _dispatch(self, sender: int, outgoing: Sequence[Outgoing]) -> None:
+        for out in outgoing:
+            if out.dest == BROADCAST:
+                for dest in range(self.n):
+                    if dest != sender:
+                        self._links[dest].enqueue(out.message)
+            else:
+                self._links[out.dest].enqueue(out.message)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def run(self, *, ready_path: Optional[Path] = None) -> None:
+        """Listen, link up with peers, serve until shutdown.
+
+        ``ready_path`` is touched once the listener is bound AND every
+        peer link is up -- a client arriving after the ready file
+        exists can never catch the replica without its broadcast
+        links.  (Every replica listens before dialing, so gating ready
+        on the dials cannot deadlock.)
+        """
+        self._loop = asyncio.get_running_loop()
+        await self._listen()
+        await self._connect_peers()
+        self.node.start()
+        if ready_path is not None:
+            Path(ready_path).write_text("ready\n")
+        await self._stop.wait()
+        await self._teardown()
+
+    async def _listen(self) -> None:
+        scheme, addr = parse_endpoint(self.spec.endpoint(self.group,
+                                                         self.node_id))
+        if scheme == "unix":
+            self._server = await asyncio.start_unix_server(
+                self._on_connection, path=addr)
+        else:
+            host, port = addr
+            self._server = await asyncio.start_server(
+                self._on_connection, host=host, port=port)
+
+    async def _connect_peers(self) -> None:
+        deadline = monotonic() + _PEER_CONNECT_TIMEOUT
+        for dest in range(self.n):
+            if dest == self.node_id:
+                continue
+            scheme, addr = parse_endpoint(self.spec.endpoint(self.group,
+                                                             dest))
+            while True:
+                try:
+                    if scheme == "unix":
+                        _, writer = await asyncio.open_unix_connection(addr)
+                    else:
+                        _, writer = await asyncio.open_connection(*addr)
+                    break
+                except (ConnectionError, FileNotFoundError, OSError):
+                    if monotonic() > deadline:
+                        raise TimeoutError(
+                            f"g{self.group}n{self.node_id}: peer {dest} "
+                            f"unreachable within {_PEER_CONNECT_TIMEOUT}s"
+                        )
+                    await asyncio.sleep(0.02)
+            hello = VarWriter()
+            hello.u8(FRAME_HELLO)
+            hello.u8(ROLE_PEER)
+            hello.uvarint(self.node_id)
+            write_frame(writer, hello.getvalue())
+            self._links[dest] = _PeerLink(self, dest, writer)
+
+    async def _teardown(self) -> None:
+        for dest in sorted(self._links):
+            self._links[dest].close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._conn_tasks:
+            task.cancel()
+        await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    # -- connection handling ------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.append(task)
+        try:
+            body = await read_frame(reader)
+            if body is None:
+                return
+            r = VarReader(body)
+            if r.u8() != FRAME_HELLO:
+                raise CodecError("expected HELLO")
+            role = r.u8()
+            sender = r.uvarint()
+            if role == ROLE_PEER:
+                await self._serve_peer(reader, sender)
+            elif role == ROLE_CLIENT:
+                await self._serve_client(reader, writer)
+            elif role == ROLE_ADMIN:
+                await self._serve_admin(reader, writer)
+            else:
+                raise CodecError(f"unknown role {role}")
+        except (CodecError, ConnectionError):
+            # a torn or misbehaving connection must never take the
+            # replica down; sessions on other connections are unharmed
+            self.stats["client_aborts"] += 1
+        except asyncio.CancelledError:
+            # teardown cancels connection tasks; asyncio.Server's
+            # done-callback would re-raise this as an event-loop error
+            pass
+        finally:
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+            if task is not None and task in self._conn_tasks:
+                self._conn_tasks.remove(task)
+
+    async def _serve_peer(self, reader, sender: int) -> None:
+        intern = InternDecoder()
+        node = self.node
+        while True:
+            body = await read_frame(reader)
+            if body is None:
+                return
+            self.stats["frames_in"] += 1
+            r = VarReader(body)
+            if r.u8() != FRAME_MSG_BATCH:
+                raise CodecError("expected MSG_BATCH on peer plane")
+            count = r.uvarint()
+            for _ in range(count):
+                node.receive(codec.decode_message_from(r, intern))
+
+    async def _serve_client(self, reader, writer) -> None:
+        self.stats["client_conns"] += 1
+        node = self.node
+        obs_on = self._obs.enabled
+        while True:
+            body = await read_frame(reader)
+            if body is None:
+                return
+            session, ops = codec.decode_request(body)
+            if len(session) != self.n:
+                raise CodecError(
+                    f"session vector has {len(session)} components, "
+                    f"group size is {self.n}"
+                )
+            self.stats["requests"] += 1
+            results: List[Tuple[int, Any]] = []
+            for kind, variable, value in ops:
+                if kind == OP_WRITE:
+                    wid = node.do_write(variable, value)
+                    self.applied[self.node_id] = wid.seq
+                    self.stats["writes"] += 1
+                    if obs_on:
+                        self._m_writes.inc()
+                    results.append((OP_WRITE, wid.seq))
+                else:
+                    if not self._dominates(session):
+                        self.stats["read_waits"] += 1
+                        if obs_on:
+                            self._m_waits.inc()
+                        await self._await_session(session)
+                    results.append((OP_READ, node.do_read(variable)))
+                    self.stats["reads"] += 1
+                    if obs_on:
+                        self._m_reads.inc()
+            write_frame(writer,
+                        codec.encode_response(tuple(self.applied), results))
+            await writer.drain()
+
+    async def _serve_admin(self, reader, writer) -> None:
+        while True:
+            body = await read_frame(reader)
+            if body is None:
+                return
+            r = VarReader(body)
+            if r.u8() != FRAME_STOP:
+                raise CodecError("expected STOP on admin plane")
+            mode = r.u8()
+            if mode == STOP_QUERY:
+                self._flush_links()
+                write_frame(writer, self._stopped_frame())
+                await writer.drain()
+            elif mode == STOP_SHUTDOWN:
+                self._flush_links()
+                self._dump()
+                write_frame(writer, self._stopped_frame())
+                await writer.drain()
+                self._stop.set()
+                return
+            else:
+                raise CodecError(f"unknown STOP mode {mode}")
+
+    # -- admin helpers ------------------------------------------------------
+
+    def _flush_links(self) -> None:
+        for dest in sorted(self._links):
+            self._links[dest].flush()
+
+    def _status(self) -> Dict[str, Any]:
+        return {
+            "group": self.group,
+            "node": self.node_id,
+            "applied": tuple(self.applied),
+            "buffered": self.node.buffered_count,
+            "writes_issued": self.node.protocol.writes_issued,
+            "stats": dict(self.stats),
+        }
+
+    def _stopped_frame(self) -> bytes:
+        w = VarWriter()
+        w.u8(FRAME_STOPPED)
+        codec.encode_value(w, self._status())
+        return w.getvalue()
+
+    def _dump(self) -> None:
+        if self.rundir is None:
+            return
+        stem = self.rundir / f"node-g{self.group}n{self.node_id}"
+        if self.record:
+            stem.with_suffix(".log.jsonl").write_text(
+                dump_node_log(self.trace, self.node_id, self.spec.protocol)
+            )
+        stem.with_suffix(".stats.json").write_text(
+            json.dumps(self._status(), indent=2, sort_keys=True, default=str)
+        )

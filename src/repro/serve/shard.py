@@ -1,0 +1,147 @@
+"""Key-space sharding: variables -> replica groups.
+
+One *replica group* is a full causal replica set running the chosen
+protocol among themselves (group-internal n-process broadcast, exactly
+the paper's system model).  A deployment is one or more groups; each
+variable is owned by exactly one group, chosen by a stable hash of its
+name.  Causal consistency is therefore per-key-range across groups and
+full within a group -- the standard sharded-causal deployment shape
+(see ROADMAP item 2 / Xiang & Vaidya for the cross-shard story).
+
+:class:`ClusterSpec` is the deployment descriptor shared by servers,
+clients, and the load generator: protocol, group topology, and one
+endpoint string per node (``unix:/path/to.sock`` or
+``tcp:host:port``).  It round-trips through JSON so ``repro-dsm
+serve`` can publish it for ``repro-dsm loadgen``.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Hashable, List, Tuple, Union
+
+__all__ = ["ClusterSpec", "parse_endpoint", "shard_of"]
+
+
+def shard_of(variable: Hashable, n_shards: int) -> int:
+    """Stable shard index for a variable (crc32 of its spelling).
+
+    Deterministic across processes and runs -- clients and servers must
+    agree on ownership without coordination, so nothing here may depend
+    on ``PYTHONHASHSEED``.
+    """
+    if n_shards == 1:
+        return 0
+    name = variable if isinstance(variable, str) else repr(variable)
+    return zlib.crc32(name.encode("utf-8")) % n_shards
+
+
+def parse_endpoint(endpoint: str) -> Tuple[str, Union[str, Tuple[str, int]]]:
+    """``"unix:/p.sock"`` -> ``("unix", "/p.sock")``;
+    ``"tcp:host:port"`` -> ``("tcp", (host, port))``."""
+    scheme, _, rest = endpoint.partition(":")
+    if scheme == "unix" and rest:
+        return "unix", rest
+    if scheme == "tcp":
+        host, _, port = rest.rpartition(":")
+        if host and port.isdigit():
+            return "tcp", (host, int(port))
+    raise ValueError(f"bad endpoint {endpoint!r} "
+                     "(want unix:/path or tcp:host:port)")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The deployment: protocol + per-group node endpoints."""
+
+    protocol: str
+    #: ``groups[g][i]`` is node i of replica group g.
+    groups: Tuple[Tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ValueError("a deployment needs at least one group")
+        sizes = {len(g) for g in self.groups}
+        if len(sizes) != 1:
+            raise ValueError(f"uneven group sizes {sorted(sizes)}")
+        if min(sizes) < 1:
+            raise ValueError("empty replica group")
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.groups)
+
+    @property
+    def group_size(self) -> int:
+        return len(self.groups[0])
+
+    @property
+    def total_nodes(self) -> int:
+        return self.n_shards * self.group_size
+
+    def group_for(self, variable: Hashable) -> int:
+        return shard_of(variable, self.n_shards)
+
+    def endpoint(self, group: int, node: int) -> str:
+        return self.groups[group][node]
+
+    # -- persistence --------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": 1,
+                "protocol": self.protocol,
+                "groups": [list(g) for g in self.groups],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClusterSpec":
+        doc = json.loads(text)
+        if doc.get("version") != 1:
+            raise ValueError(f"unknown cluster spec version {doc.get('version')!r}")
+        return cls(
+            protocol=doc["protocol"],
+            groups=tuple(tuple(g) for g in doc["groups"]),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ClusterSpec":
+        return cls.from_json(Path(path).read_text())
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def local_uds(cls, rundir: Union[str, Path], protocol: str,
+                  n_shards: int, group_size: int) -> "ClusterSpec":
+        """Predetermined socket paths under ``rundir`` (no port races)."""
+        root = Path(rundir)
+        groups: List[Tuple[str, ...]] = []
+        for g in range(n_shards):
+            groups.append(tuple(
+                f"unix:{root / f'g{g}n{i}.sock'}" for i in range(group_size)
+            ))
+        return cls(protocol=protocol, groups=tuple(groups))
+
+    @classmethod
+    def local_tcp(cls, protocol: str, n_shards: int, group_size: int,
+                  *, host: str = "127.0.0.1",
+                  port_base: int = 7400) -> "ClusterSpec":
+        groups: List[Tuple[str, ...]] = []
+        port = port_base
+        for _ in range(n_shards):
+            row = []
+            for _ in range(group_size):
+                row.append(f"tcp:{host}:{port}")
+                port += 1
+            groups.append(tuple(row))
+        return cls(protocol=protocol, groups=tuple(groups))

@@ -1,0 +1,53 @@
+"""Module-level process entry points for the serving layer.
+
+Replica and load-generator processes are spawned with the ``spawn``
+multiprocessing context, so every entry point here must be a plain
+importable top-level function with picklable arguments (reprolint
+RL008 checks exactly this for the ``serve`` zone).  Results travel
+through files rather than pipes: each child writes JSON under the run
+directory and exits, which keeps the parent's collection logic
+identical whether a child is alive, finished, or crashed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.serve.loadgen import LoadgenConfig, run_worker
+from repro.serve.server import ReplicaServer
+from repro.serve.shard import ClusterSpec
+
+__all__ = ["loadgen_main", "node_main"]
+
+
+def node_main(spec_json: str, group: int, node_id: int, rundir: str,
+              record: bool, batch_window: float) -> None:
+    """Run one replica server until an admin shutdown."""
+    # A terminal Ctrl-C signals the whole foreground process group.
+    # Replicas must survive it: the parent catches the interrupt and
+    # coordinates the two-phase drain/shutdown over the admin plane.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    spec = ClusterSpec.from_json(spec_json)
+    root = Path(rundir)
+    server = ReplicaServer(
+        spec, group, node_id,
+        record=record,
+        rundir=root,
+        batch_window=batch_window,
+    )
+    ready = root / f"node-g{group}n{node_id}.ready"
+    asyncio.run(server.run(ready_path=ready))
+
+
+def loadgen_main(spec_json: str, cfg: Dict[str, Any], worker_id: int,
+                 out_path: str) -> None:
+    """Run one load-generator worker; write its result JSON."""
+    spec = ClusterSpec.from_json(spec_json)
+    result = asyncio.run(
+        run_worker(spec, LoadgenConfig(**cfg), worker_id=worker_id)
+    )
+    Path(out_path).write_text(json.dumps(result))

@@ -143,19 +143,35 @@ class Network:
 
 
 def estimate_size(message: Message) -> int:
-    """A crude wire-size estimate (bytes) for overhead metrics.
+    """Exact wire size (bytes) of a message for overhead metrics.
 
-    Counts 8 bytes per integer-ish scalar and per payload vector
-    component, so the metadata cost of OptP (one vector), ANBKH (one
-    vector), and the WS-receiver variant (one vector per variable
-    written in the causal past) become comparable.
+    Sizes come from the serving layer's binary codec
+    (:func:`repro.serve.codec.encoded_size`): the number returned here
+    is the length of the canonical encoded frame body that
+    ``repro-dsm serve`` would actually put on the wire, so simulated
+    bytes/message columns and live deployments agree byte-for-byte.
+    Messages the codec cannot represent (exotic payload values outside
+    the tagged-value universe) fall back to the historical heuristic
+    (8 bytes per scalar / vector component).
     """
+    global _codec_size
+    if _codec_size is None:
+        # deferred: repro.serve pulls in repro.sim at package level
+        from repro.serve.codec import encoded_size
+
+        _codec_size = encoded_size
+    exact = _codec_size(message)
+    if exact is not None:
+        return exact
     base = 24  # headers: sender, kind, identity
     payload = getattr(message, "payload", {})
     size = base
     for value in payload.values():
         size += _estimate_value(value)
     return size
+
+
+_codec_size = None
 
 
 def _estimate_value(value) -> int:

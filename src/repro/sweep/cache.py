@@ -29,14 +29,16 @@ __all__ = ["CACHE_VERSION", "FINGERPRINT_PACKAGES", "RunCache",
            "code_fingerprint"]
 
 #: Entry schema version; bumped on incompatible payload changes.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: Packages hashed into the code fingerprint.  The issue's floor is
 #: {core, protocols, sim, workloads}; ``model`` and ``analysis`` are
 #: included as a safety superset because cached *metrics* also depend
-#: on the legality/safety checkers and the metric definitions.
+#: on the legality/safety checkers and the metric definitions, and
+#: ``serve`` because ``sim.network.estimate_size`` delegates to the
+#: serving layer's wire codec for exact byte counts.
 FINGERPRINT_PACKAGES = (
-    "analysis", "core", "model", "protocols", "sim", "workloads",
+    "analysis", "core", "model", "protocols", "serve", "sim", "workloads",
 )
 
 _fingerprint_memo: Dict[Tuple[str, ...], str] = {}

@@ -1,0 +1,9 @@
+"""BAD: ad-hoc wall clock inside the serve zone; RL001 fires (the real
+serving layer routes every clock read through ``repro.serve.timebase``,
+the single suppressed site)."""
+
+import time
+
+
+def stamp_request(ops):
+    return time.monotonic(), ops

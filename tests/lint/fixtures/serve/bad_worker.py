@@ -1,0 +1,28 @@
+"""BAD: unpicklable spawn entry points in the serve zone; RL008 (and
+only RL008) fires -- on ``Process(target=...)`` as well as pool calls."""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+boot = lambda spec: spec  # noqa: E731
+
+
+class Launcher:
+    def node_main(self, spec):
+        return spec
+
+    def start(self, specs):
+        ctx = multiprocessing.get_context("spawn")
+
+        def local_main(spec):
+            return spec
+
+        procs = [
+            ctx.Process(target=lambda: None),
+            ctx.Process(target=local_main, args=(specs[0],)),
+            ctx.Process(target=self.node_main, args=(specs[0],)),
+            multiprocessing.Process(target=boot, args=(specs[0],)),
+        ]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            fut = pool.submit(local_main, specs[0])
+        return procs, fut

@@ -1,0 +1,7 @@
+"""GOOD: clock reads routed through the sanctioned timebase; silent."""
+
+from repro.serve.timebase import monotonic
+
+
+def stamp_request(ops):
+    return monotonic(), ops

@@ -1,0 +1,18 @@
+"""GOOD: module-level spawn entry points; nothing should fire."""
+
+import multiprocessing
+
+
+def node_main(spec):
+    return spec
+
+
+def start(specs):
+    ctx = multiprocessing.get_context("spawn")
+    procs = [
+        ctx.Process(target=node_main, args=(spec,), name="replica")
+        for spec in specs
+    ]
+    for proc in procs:
+        proc.start()
+    return procs

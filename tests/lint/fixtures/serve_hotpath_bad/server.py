@@ -1,0 +1,16 @@
+"""RL006 bad fixture: ungated instrumentation on the serving hot path.
+
+The filename (``server.py``) is what makes this a hot-path module.
+"""
+
+
+class ReplicaServer:
+    def __init__(self, obs):
+        self._obs = obs
+        reg = obs.registry
+        self._m_requests = reg.counter("serve.requests")  # ungated lookup
+        self._g_inflight = reg.gauge("serve.inflight")
+
+    def on_request(self, ops, inflight):
+        self._m_requests.inc()  # ungated counter bump
+        self._g_inflight.set(len(inflight))  # ungated gauge set

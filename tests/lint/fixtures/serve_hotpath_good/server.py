@@ -1,0 +1,18 @@
+"""RL006 good fixture: serving hot-path instrumentation under guards."""
+
+
+class ReplicaServer:
+    def __init__(self, obs):
+        self._obs = obs
+        if obs.enabled:
+            reg = obs.registry
+            self._m_requests = reg.counter("serve.requests")
+            self._g_inflight = reg.gauge("serve.inflight")
+
+    def on_request(self, ops, inflight):
+        obs_on = self._obs.enabled  # hoisted guard
+        for _ in ops:
+            if obs_on:
+                self._m_requests.inc()
+        if self._obs.enabled:
+            self._g_inflight.set(len(inflight))

@@ -26,6 +26,9 @@ BAD = [
     ("flatstate_bad/flatstate.py", "RL006"),
     ("mck/bad_obsgate.py", "RL006"),
     ("protocols/bad_flat_decl.py", "RL004"),
+    ("serve/bad_worker.py", "RL008"),
+    ("serve/bad_determinism.py", "RL001"),
+    ("serve_hotpath_bad/server.py", "RL006"),
 ]
 
 GOOD = [
@@ -41,6 +44,9 @@ GOOD = [
     "flatstate_good/flatstate.py",
     "mck/good_obsgate.py",
     "protocols/good_flat_decl.py",
+    "serve/good_worker.py",
+    "serve/good_determinism.py",
+    "serve_hotpath_good/server.py",
 ]
 
 
@@ -158,6 +164,47 @@ def test_flat_alloc_fixture_flags_each_hot_zone():
 def test_sweep_zone_inference():
     assert zone_of(FIXTURES / "sweep" / "bad_worker.py") == "sweep"
     assert zone_of(Path("src/repro/sweep/worker.py")) == "sweep"
+
+
+def test_serve_zone_inference():
+    assert zone_of(FIXTURES / "serve" / "bad_worker.py") == "serve"
+    assert zone_of(Path("src/repro/serve/loadgen.py")) == "serve"
+    # the hot-path fixtures deliberately sit outside the serve zone so
+    # RL006 coverage is proven to come from the filename alone
+    assert zone_of(FIXTURES / "serve_hotpath_bad" / "server.py") == "other"
+
+
+def test_serve_hot_path_covers_server_and_codec():
+    from repro.lint.context import ModuleContext
+
+    srv = ModuleContext.parse(FIXTURES / "serve_hotpath_bad" / "server.py")
+    assert srv.is_hot_path  # by filename, regardless of zone
+    assert zone_of(Path("src/repro/serve/codec.py")) == "serve"
+
+
+def test_serve_worker_fixture_flags_each_unpicklable_shape():
+    findings = run("serve/bad_worker.py")
+    messages = "\n".join(f.message for f in findings)
+    assert "lambda" in messages
+    assert "nested function 'local_main'" in messages
+    assert "bound method 'self.node_main'" in messages
+    assert "'boot'" in messages  # module-level lambda assignment
+    # Process(target=...) and pool.submit() are both covered
+    labels = "\n".join(f.message for f in findings)
+    assert "Process(target=...)" in labels
+    assert ".submit()" in labels
+    assert all(f.code == "RL008" for f in findings)
+    assert len(findings) == 5
+
+
+def test_serve_obs_fixture_flags_each_site():
+    findings = run("serve_hotpath_bad/server.py")
+    messages = "\n".join(f.message for f in findings)
+    assert "registry lookup .counter()" in messages
+    assert "registry lookup .gauge()" in messages
+    assert "instrument update .inc()" in messages
+    assert "instrument update .set()" in messages
+    assert len(findings) == 4
 
 
 def test_hot_path_covers_flatstate_and_mck_zone():

@@ -7,7 +7,7 @@ run *properties* -- legality, safety, liveness -- never exact times.
 import pytest
 
 from repro.model.legality import is_causally_consistent
-from repro.runtime import AsyncCluster, run_programs_async
+from repro.runtime import AsyncCluster, ClusterQuiesceError, run_programs_async
 from repro.sim.latency import ConstantLatency, UniformLatency
 from repro.workloads.ops import Program, ReadStep, WaitReadStep, WriteStep
 
@@ -82,3 +82,57 @@ class TestAsyncRuns:
                                latency=ConstantLatency(1.0), **FAST)
         # at least one message hop of simulated length 1.0 must have elapsed
         assert r.duration >= 0.9
+
+
+class TestShutdown:
+    def test_no_pending_tasks_after_run(self):
+        """Teardown must await its cancellations: nothing the cluster
+        started may still be alive when run_programs returns."""
+        import asyncio
+
+        async def go():
+            cluster = AsyncCluster("jimenez-token", 3, **FAST)
+            before = {t for t in asyncio.all_tasks() if not t.done()}
+            await cluster.run_programs([
+                Program.of(WriteStep("x", 1)),
+                Program.of(ReadStep("x", delay=0.2)),
+                Program.of(),
+            ])
+            leaked = [
+                t for t in asyncio.all_tasks()
+                if not t.done() and t not in before
+            ]
+            assert leaked == []
+
+        asyncio.run(go())
+
+    def test_quiesce_timeout_carries_diagnostics(self):
+        """A quiesce failure must be debuggable from the exception
+        alone: per-node queue depths, expected vs. observed applies."""
+
+        class BlackHole(ConstantLatency):
+            """Counts a send but never lets an update arrive in time."""
+
+            def latency(self, s, d, m):
+                return 10_000.0
+
+        programs = [
+            Program.of(WriteStep("x", 1)),
+            Program.of(),
+        ]
+        with pytest.raises(ClusterQuiesceError) as exc_info:
+            run_programs_async(
+                "optp", 2, programs,
+                latency=BlackHole(1.0),
+                time_scale=0.002, quiesce_timeout=0.2,
+            )
+        err = exc_info.value
+        assert isinstance(err, TimeoutError)  # backward compatible
+        assert err.in_flight_updates == 1
+        assert err.expected_applies == 1
+        assert err.observed_applies == 0
+        assert [e["node"] for e in err.per_node] == [0, 1]
+        for entry in err.per_node:
+            assert "buffered" in entry and "missing_applies" in entry
+        assert "in_flight_updates=1" in str(err)
+        assert "p0: buffered=" in str(err)

@@ -1,0 +1,234 @@
+"""Wire-codec round-trip tests.
+
+Two layers: hypothesis property tests over the tagged value universe,
+and an end-to-end capture -- every message every registry protocol
+actually emits on a random workload must round-trip byte-for-byte
+through the codec (this is what makes ``sim.network.estimate_size``'s
+exact sizing sound for all protocols).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sim.network as network_mod
+from repro.core.base import ControlMessage, UpdateMessage
+from repro.model.operations import WriteId
+from repro.protocols import PROTOCOLS
+from repro.serve.codec import (
+    MAX_FRAME,
+    CodecError,
+    InternDecoder,
+    InternEncoder,
+    VarReader,
+    VarWriter,
+    decode_message,
+    decode_message_from,
+    decode_request,
+    decode_response,
+    decode_value,
+    encode_message,
+    encode_message_into,
+    encode_request,
+    encode_response,
+    encode_value,
+    encoded_size,
+    frame,
+)
+from repro.sim import SeededLatency, run_schedule
+from repro.workloads import WorkloadConfig, random_schedule
+
+# -- value universe ----------------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+    st.builds(WriteId, st.integers(0, 100), st.integers(1, 2**31)),
+)
+
+values = st.recursive(
+    scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=5),
+        st.lists(inner, max_size=5).map(tuple),
+        st.dictionaries(st.text(max_size=10), inner, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+def roundtrip_value(value):
+    w = VarWriter()
+    encode_value(w, value)
+    r = VarReader(w.getvalue())
+    out = decode_value(r)
+    assert r.done()
+    return out
+
+
+class TestValueRoundtrip:
+    @given(values)
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_identity(self, value):
+        assert roundtrip_value(value) == value
+
+    @given(values)
+    @settings(max_examples=100, deadline=None)
+    def test_types_preserved(self, value):
+        # bool vs int, tuple vs list, bytes vs str must not collapse
+        out = roundtrip_value(value)
+        assert type(out) is type(value)
+
+    def test_vector_fast_path(self):
+        for vec in [(0,), (1, 2, 3), (2**40, 0, 5)]:
+            assert roundtrip_value(vec) == vec
+
+    def test_bottom_sentinel(self):
+        from repro.core.base import BOTTOM
+
+        assert roundtrip_value(BOTTOM) is BOTTOM
+
+    def test_unencodable_rejected(self):
+        w = VarWriter()
+        with pytest.raises(CodecError):
+            encode_value(w, object())
+
+    @given(st.binary(max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_garbage_never_crashes(self, blob):
+        # decoding attacker-controlled bytes must raise CodecError (or
+        # succeed), never IndexError/KeyError/MemoryError
+        try:
+            decode_value(VarReader(blob))
+        except CodecError:
+            pass
+
+
+# -- interning ----------------------------------------------------------------
+
+class TestInterning:
+    def test_second_reference_is_smaller(self):
+        enc = InternEncoder()
+        w1 = VarWriter()
+        enc.write(w1, "some-long-variable-name")
+        w2 = VarWriter()
+        enc.write(w2, "some-long-variable-name")
+        assert len(w2.getvalue()) < len(w1.getvalue())
+        dec = InternDecoder()
+        assert dec.read(VarReader(w1.getvalue())) == "some-long-variable-name"
+        assert dec.read(VarReader(w2.getvalue())) == "some-long-variable-name"
+
+    def test_stateless_encoding_is_canonical(self):
+        m = UpdateMessage(sender=0, wid=WriteId(0, 1), variable="x",
+                          value=1, payload={"write_co": (1, 0)})
+        assert encode_message(m) == encode_message(m)
+        assert encoded_size(m) == len(encode_message(m))
+
+
+# -- messages from every registry protocol ------------------------------------
+
+def capture_protocol_messages(proto, monkeypatch):
+    """Run a real workload and capture every message the protocol
+    put on the (simulated) wire."""
+    captured = []
+    orig = network_mod.estimate_size
+
+    def spy(message):
+        captured.append(message)
+        return orig(message)
+
+    monkeypatch.setattr(network_mod, "estimate_size", spy)
+    cfg = WorkloadConfig(n_processes=3, ops_per_process=12,
+                        n_variables=3, write_fraction=0.6, seed=5)
+    run_schedule(proto, 3, random_schedule(cfg),
+                 latency=SeededLatency(seed=7))
+    return captured
+
+
+class TestProtocolMessageRoundtrip:
+    @pytest.mark.parametrize("proto", sorted(PROTOCOLS))
+    def test_all_emitted_messages_roundtrip(self, proto, monkeypatch):
+        captured = capture_protocol_messages(proto, monkeypatch)
+        assert captured, f"{proto} sent no messages?"
+        for message in captured:
+            blob = encode_message(message)
+            back = decode_message(blob)
+            assert back == message  # frozen dataclass field equality
+            assert type(back) is type(message)
+            assert encoded_size(message) == len(blob)
+
+    @pytest.mark.parametrize("proto", sorted(PROTOCOLS))
+    def test_streamed_interning_roundtrip(self, proto, monkeypatch):
+        """Per-connection interned stream (what peers actually ship)."""
+        captured = capture_protocol_messages(proto, monkeypatch)
+        w = VarWriter()
+        enc = InternEncoder()
+        for message in captured:
+            encode_message_into(w, message, enc)
+        r = VarReader(w.getvalue())
+        dec = InternDecoder()
+        back = [decode_message_from(r, dec) for _ in captured]
+        assert r.done()
+        assert back == captured
+
+
+# -- request / response planes ------------------------------------------------
+
+class TestRequestResponse:
+    def test_request_roundtrip(self):
+        from repro.serve.codec import OP_READ, OP_WRITE
+
+        session = (3, 0, 7)
+        ops = [(OP_WRITE, "x", "hello"), (OP_READ, "y", None),
+               (OP_WRITE, "z", (1, 2))]
+        back_session, back_ops = decode_request(
+            encode_request(session, ops))
+        assert back_session == session
+        assert back_ops == ops
+
+    def test_response_roundtrip(self):
+        from repro.serve.codec import OP_READ, OP_WRITE
+
+        progress = (5, 2, 9)
+        results = [(OP_WRITE, 6), (OP_READ, "v"), (OP_READ, None)]
+        back_progress, back_results = decode_response(
+            encode_response(progress, results))
+        assert back_progress == progress
+        assert back_results == results
+
+
+# -- framing ------------------------------------------------------------------
+
+class TestFraming:
+    def test_frame_layout(self):
+        body = b"hello"
+        blob = frame(body)
+        assert blob[:4] == len(body).to_bytes(4, "big")
+        assert blob[4:] == body
+
+    def test_oversize_frame_rejected(self):
+        with pytest.raises(CodecError):
+            frame(b"x" * (MAX_FRAME + 1))
+
+    def test_truncated_reader_raises(self):
+        r = VarReader(b"\x05")
+        with pytest.raises(CodecError):
+            r.take(4)
+
+    def test_control_payload_int_keys_ok(self):
+        # generic dict encoding covers non-string keys on the control
+        # plane (update payload keys are the strict ones)
+        m = ControlMessage(sender=0, kind="k", payload={1: (2, 3)})
+        assert decode_message(encode_message(m)) == m
+
+    def test_update_payload_keys_must_be_strings(self):
+        m = UpdateMessage(sender=0, wid=WriteId(0, 1), variable="x",
+                          value=1, payload={1: 2})
+        w = VarWriter()
+        with pytest.raises(CodecError):
+            encode_message_into(w, m, InternEncoder())
+        assert encoded_size(m) is None  # -> heuristic fallback

@@ -1,0 +1,110 @@
+"""Live run -> merged trace -> full oracle replay.
+
+The tentpole's correctness claim: a trace recorded by real networked
+replicas replays byte-for-byte through the same checkers that verify
+simulator runs (causal legality, OptP safety/liveness/optimality, mck
+invariants).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.analysis import check_run
+from repro.serve.client import AsyncSessionClient
+from repro.serve.conformance import verify_live_trace
+from repro.serve.merge import load_node_log, merge_node_logs
+from repro.serve.server import SERVABLE_PROTOCOLS
+
+from .test_session import Group
+
+
+async def _drive(group, ops=40, keys=4):
+    """A deterministic little workload with cross-replica sessions."""
+    clients = [
+        AsyncSessionClient(group.spec, replica=i % group.spec.group_size)
+        for i in range(3)
+    ]
+    for i in range(ops):
+        client = clients[i % len(clients)]
+        key = f"k{i % keys}"
+        if i % 3 == 0:
+            await client.put(key, f"val{i}")
+        else:
+            await client.get(key)
+    for client in clients:
+        await client.close()
+
+
+def _merged_trace_after_run(tmp_path, protocol, quiesce_rounds=200):
+    async def go():
+        async with Group(tmp_path, protocol=protocol, record=True) as group:
+            await _drive(group)
+            # settle: wait until every replica applied every write
+            for _ in range(quiesce_rounds):
+                applied = [tuple(s.applied) for s in group.servers]
+                target = tuple(applied[j][j] for j in range(len(applied)))
+                if all(a == target for a in applied) and all(
+                        s.node.buffered_count == 0 for s in group.servers):
+                    break
+                await asyncio.sleep(0.01)
+            else:
+                raise AssertionError(f"group never quiesced: {applied}")
+            await group.stop_gracefully()
+
+    asyncio.run(go())
+    logs = [
+        load_node_log((tmp_path / f"node-g0n{i}.log.jsonl").read_text())
+        for i in range(3)
+    ]
+    return merge_node_logs(logs)
+
+
+@pytest.mark.parametrize("protocol", sorted(SERVABLE_PROTOCOLS))
+class TestLiveConformance:
+    def test_live_trace_passes_all_oracles(self, tmp_path, protocol):
+        trace = _merged_trace_after_run(tmp_path, protocol)
+        report = verify_live_trace(
+            trace,
+            protocol_name=protocol,
+            expect_optimal=protocol == "optp",
+            quiescent=True,
+        )
+        assert report["checker_problems"] == []
+        assert report["invariant_findings"] == []
+        assert report["ok"], report
+        assert report["writes"] > 0 and report["reads"] > 0
+
+    def test_live_trace_jsonl_roundtrip(self, tmp_path, protocol):
+        """The merged trace serializes and replays byte-identically
+        through the existing JSONL pipeline (what `repro-dsm replay`
+        consumes)."""
+        from repro.sim.serialize import trace_from_jsonl, trace_to_jsonl
+
+        trace = _merged_trace_after_run(tmp_path, protocol)
+        text = trace_to_jsonl(trace)
+        back = trace_from_jsonl(text)
+        assert trace_to_jsonl(back) == text
+        assert len(back.events) == len(trace.events)
+
+
+class TestVerifyLiveTrace:
+    def test_checker_agrees_with_direct_check_run(self, tmp_path):
+        """verify_live_trace's RunResult scaffolding must not change
+        the checker verdict vs. calling check_run by hand."""
+        trace = _merged_trace_after_run(tmp_path, "optp")
+        from repro.sim.result import RunResult
+
+        result = RunResult(
+            protocol_name="optp",
+            n_processes=trace.n_processes,
+            trace=trace,
+            duration=trace.events[-1].time if trace.events else 0.0,
+            messages_sent=0,
+            bytes_estimate=0,
+            stores=[{} for _ in range(trace.n_processes)],
+            protocol_stats=[{} for _ in range(trace.n_processes)],
+        )
+        direct = check_run(result)
+        assert bool(direct.legality)
+        assert not direct.safety_violations

@@ -1,0 +1,66 @@
+"""ClusterSpec / sharding tests."""
+
+import pytest
+
+from repro.serve.shard import ClusterSpec, parse_endpoint, shard_of
+
+
+class TestShardOf:
+    def test_deterministic_and_hashseed_independent(self):
+        # crc32-based: these values must never change across runs or
+        # PYTHONHASHSEED settings (clients and servers must agree)
+        assert shard_of("x", 1) == 0
+        assert [shard_of(f"k{i}", 4) for i in range(8)] == [
+            shard_of(f"k{i}", 4) for i in range(8)
+        ]
+
+    def test_spreads_keys(self):
+        groups = {shard_of(f"key-{i}", 4) for i in range(64)}
+        assert groups == {0, 1, 2, 3}
+
+    def test_non_string_variables(self):
+        assert 0 <= shard_of(42, 3) < 3
+        assert shard_of(42, 3) == shard_of(42, 3)
+
+
+class TestParseEndpoint:
+    def test_unix(self):
+        assert parse_endpoint("unix:/tmp/x.sock") == ("unix", "/tmp/x.sock")
+
+    def test_tcp(self):
+        assert parse_endpoint("tcp:127.0.0.1:7400") == (
+            "tcp", ("127.0.0.1", 7400))
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_endpoint("http://nope")
+
+
+class TestClusterSpec:
+    def test_json_roundtrip(self, tmp_path):
+        spec = ClusterSpec.local_uds(tmp_path, "optp", 2, 3)
+        back = ClusterSpec.from_json(spec.to_json())
+        assert back == spec
+        path = tmp_path / "cluster.json"
+        spec.save(path)
+        assert ClusterSpec.load(path) == spec
+
+    def test_shape_properties(self, tmp_path):
+        spec = ClusterSpec.local_uds(tmp_path, "optp", 2, 3)
+        assert spec.n_shards == 2
+        assert spec.group_size == 3
+        assert spec.total_nodes == 6
+
+    def test_group_for_uses_shard_of(self, tmp_path):
+        spec = ClusterSpec.local_uds(tmp_path, "optp", 2, 3)
+        for key in ["a", "b", "c", "d"]:
+            assert spec.group_for(key) == shard_of(key, 2)
+
+    def test_unequal_groups_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec("optp", (("unix:/a", "unix:/b"), ("unix:/c",)))
+
+    def test_tcp_ports_distinct(self):
+        spec = ClusterSpec.local_tcp("optp", 2, 3, port_base=7500)
+        endpoints = [spec.endpoint(g, i) for g in range(2) for i in range(3)]
+        assert len(set(endpoints)) == 6

@@ -193,5 +193,16 @@ class TestSizeEstimate:
         assert ws > plain
 
     def test_handles_strings_and_unknowns(self):
-        assert estimate_size(msg(payload={"s": "hello"})) > 24
-        assert estimate_size(msg(payload={"o": object()})) > 24
+        base = estimate_size(msg(payload={}))
+        # exact codec sizing: the string's bytes show up in the size
+        assert estimate_size(msg(payload={"s": "hello"})) >= base + 5
+        # values outside the codec's tagged universe fall back to the
+        # heuristic (base 24 + 16 per opaque value)
+        assert estimate_size(msg(payload={"o": object()})) == 40
+
+    def test_exact_sizes_match_codec(self):
+        from repro.serve.codec import encode_message
+
+        for payload in ({}, {"write_co": (1, 2, 3)}, {"s": "hello"}):
+            m = msg(payload=payload)
+            assert estimate_size(m) == len(encode_message(m))
