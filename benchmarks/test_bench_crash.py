@@ -1,0 +1,115 @@
+"""Crash-recovery benchmark: model-checked crash coverage + a live
+kill-and-recover drill, with the recovery duration as the headline.
+
+Two measurements, mirroring the fault-tolerance PR's claims:
+
+- **Exhaustive crash checking** -- OptP under the ``crash`` adversary
+  on two workloads: every placement of a crash + recovery across the
+  full interleaving space, zero violations, with the deterministic
+  state counts pinned exactly (a count drift means the crash adversary
+  changed shape).
+- **Serve chaos drill** -- a 3-replica durable deployment under load,
+  the middle replica SIGKILLed and restarted mid-run.  Reports the
+  victim's WAL+snapshot replay time (``recovery_us``), the wall-clock
+  kill-to-ready window, and the throughput that rode through the
+  outage; the merged trace must replay through every conformance
+  oracle with exact-zero problems.
+
+``test_crash_recovery_report`` writes ``BENCH_crash.json`` at the repo
+root (wired into ``repro-dsm bench compare`` via
+``artifacts/bench_baseline.json``).  The recovery-time bar is generous
+(2 s for a sub-second WAL) because CI containers stall arbitrarily;
+the exact-zero conformance and violation gates apply everywhere.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.mck import CheckConfig, check, parse_faults, workload_by_name
+from repro.serve import LoadgenConfig
+from repro.serve.harness import serve_chaos
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_crash.json"
+
+MCK_WORKLOADS = ("pair", "chain")
+CHAOS_SECONDS = 3.0
+CHAOS_RATE = 300.0
+#: replaying a few seconds of WAL must be far under this on any host.
+RECOVERY_US_CEILING = 2_000_000
+
+
+def _mck_section():
+    out = {}
+    for workload in MCK_WORKLOADS:
+        r = check(CheckConfig(
+            protocol="optp",
+            workload=workload_by_name(workload),
+            faults=parse_faults("crash"),
+        ))
+        assert r.ok, [str(v.finding) for v in r.violations]
+        assert not r.state_limit_hit
+        out[workload] = {
+            "states": r.states,
+            "violations": len(r.violations),
+            "stuck": r.terminals["stuck"],
+        }
+    return out
+
+
+def _chaos_section(rundir):
+    cfg = LoadgenConfig(batch=8, pipeline=2, read_fraction=0.7,
+                        keys=8, rate=CHAOS_RATE)
+    report = serve_chaos(
+        "optp",
+        group_size=3,
+        rundir=rundir,
+        duration=CHAOS_SECONDS,
+        kill_after=1.0,
+        down_time=0.5,
+        victim=1,
+        workers=1,
+        record=True,
+        verify=True,
+        loadgen=cfg,
+    )
+    group = report["conformance"]["groups"][0]
+    return {
+        "recovered": report["recovered"],
+        "recovery_us": report["recovery_us"],
+        "restart_wall_s": report["restart_wall_s"],
+        "wal_records": report["wal_records"],
+        "ops": report["load"]["ops"],
+        "ops_per_sec": report["load"]["ops_per_sec"],
+        "conformance_ok": report["conformance"]["ok"],
+        "checker_problems": len(group["checker_problems"]),
+        "invariant_findings": len(group["invariant_findings"]),
+        "unnecessary_delays": group["unnecessary_delays"],
+    }
+
+
+def test_crash_recovery_report(tmp_path):
+    """Runs both measurements, asserts the bars, writes the artifact."""
+    mck = _mck_section()
+    chaos = _chaos_section(tmp_path / "chaos")
+
+    report = {
+        "bench": "crash-stop / crash-recovery (durable OptP replicas)",
+        "cpu_count": os.cpu_count() or 1,
+        "mck": mck,
+        "chaos": chaos,
+    }
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    # the victim must actually have died, recovered from disk, and
+    # resynced -- and the served history must stay exactly causal.
+    assert chaos["recovered"] == 1
+    assert chaos["recovery_us"] > 0
+    assert chaos["recovery_us"] <= RECOVERY_US_CEILING
+    assert chaos["wal_records"] > 0
+    assert chaos["ops"] > 0
+    assert chaos["conformance_ok"]
+    assert chaos["checker_problems"] == 0
+    assert chaos["invariant_findings"] == 0
+    assert chaos["unnecessary_delays"] == 0

@@ -204,8 +204,11 @@ def build_parser() -> argparse.ArgumentParser:
                        "docs/model-checking.md (default: h1)")
     p_chk.add_argument("--faults", default="none", metavar="SPEC",
                        help="fault adapters: none | dup:N,drop:N"
-                       "[,noretransmit][,dedup|nodedup] "
-                       "(default: %(default)s)")
+                       "[,noretransmit][,dedup|nodedup],crash[:N]"
+                       "[,norecover][,snap:N][,losetail:N] -- crash "
+                       "explores process crashes; recovery replays the "
+                       "durable snapshot+WAL (losetail:N injects the "
+                       "BrokenRecovery mutation) (default: %(default)s)")
     p_chk.add_argument("--mode", choices=["exhaustive", "walk"],
                        default="exhaustive")
     p_chk.add_argument("--max-states", type=int, default=200_000)
@@ -315,6 +318,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--keys", type=int, default=64)
     p_srv.add_argument("--rate", type=float, default=0.0,
                        help="target ops/s per worker (0 = saturate)")
+    p_srv.add_argument("--wal-dir", metavar="DIR",
+                       help="make replicas durable: journal every op to "
+                       "a write-ahead log + snapshots under DIR; a "
+                       "restarted replica recovers its pre-crash state "
+                       "(docs/fault-tolerance.md)")
+    p_srv.add_argument("--chaos", action="store_true",
+                       help="one-shot kill-and-recover drill: SIGKILL "
+                       "one replica mid-load, restart it, verify "
+                       "recovery (implies --wal-dir under the rundir; "
+                       "needs --duration > 0)")
+    p_srv.add_argument("--kill-after", type=float, default=1.0,
+                       help="chaos: seconds of load before the kill")
+    p_srv.add_argument("--down-time", type=float, default=0.5,
+                       help="chaos: seconds the victim stays down")
     p_srv.add_argument("--record", action="store_true",
                        help="record per-node event logs for conformance "
                        "replay (costs throughput)")
@@ -829,7 +846,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from repro.serve.harness import ServedCluster, serve_and_load
+    from repro.serve.harness import ServedCluster, serve_and_load, serve_chaos
     from repro.serve.loadgen import LoadgenConfig
     from repro.serve.server import SERVABLE_PROTOCOLS
 
@@ -840,24 +857,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
     verify = args.verify or bool(args.trace_out)
     record = args.record or verify
     rundir = Path(args.rundir)
+    wal_dir = Path(args.wal_dir) if args.wal_dir else None
     cfg = LoadgenConfig(
         duration=args.duration, batch=args.batch, pipeline=args.pipeline,
         read_fraction=args.read_fraction, keys=args.keys, rate=args.rate,
     )
 
-    if args.duration > 0:
+    if args.chaos:
+        if args.duration <= 0:
+            print("--chaos needs --duration > 0", file=sys.stderr)
+            return 2
+        report = serve_chaos(
+            args.protocol, group_size=args.group_size, rundir=rundir,
+            duration=args.duration, kill_after=args.kill_after,
+            down_time=args.down_time, workers=args.workers,
+            record=record, verify=verify, transport=args.transport,
+            port_base=args.port_base, loadgen=cfg,
+        )
+        _print_load_summary(report["load"])
+        print(f"victim g0n{report['victim']}: recovered="
+              f"{report['recovered']} recovery={report['recovery_us']}us "
+              f"wal_records={report['wal_records']} "
+              f"restart_wall={report['restart_wall_s']}s")
+    elif args.duration > 0:
         report = serve_and_load(
             args.protocol, group_size=args.group_size, shards=args.shards,
             rundir=rundir, duration=args.duration, workers=args.workers,
             record=record, verify=verify, transport=args.transport,
-            port_base=args.port_base, loadgen=cfg,
+            port_base=args.port_base, loadgen=cfg, wal_dir=wal_dir,
         )
         _print_load_summary(report["load"])
     else:
         cluster = ServedCluster.start(
             args.protocol, group_size=args.group_size, shards=args.shards,
             rundir=rundir, record=record, transport=args.transport,
-            port_base=args.port_base,
+            port_base=args.port_base, wal_dir=wal_dir,
         )
         print(f"serving {args.protocol}: {args.shards} shard(s) x "
               f"{args.group_size} replicas (spec: {rundir / 'cluster.json'})")

@@ -304,6 +304,36 @@ class Protocol(abc.ABC):
         """
         return (msg.sender, msg.wid.seq)
 
+    # -- durability ------------------------------------------------------------
+
+    #: Class-level opt-in to crash durability (:mod:`repro.durability`).
+    #: A protocol that sets this True must implement
+    #: :meth:`snapshot_state` / :meth:`restore_state` as exact inverses
+    #: over the codec value vocabulary (:mod:`repro.serve.codec`), on
+    #: both the scalar and the flat state backend.  Only
+    #: snapshot-capable protocols can be crash-checked or served with a
+    #: write-ahead log.
+    supports_snapshot: ClassVar[bool] = False
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """The protocol's complete durable state as a codec-encodable
+        document.  Must capture everything :meth:`restore_state` needs
+        to make a fresh instance behaviorally identical: the store, the
+        write counter, and all control vectors.  Values must be
+        snapshots, not live references."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support snapshots"
+        )
+
+    def restore_state(self, doc: Dict[str, Any]) -> None:
+        """Inverse of :meth:`snapshot_state` on a freshly constructed
+        instance.  Must mutate existing vectors in place (the flat
+        backend's :class:`~repro.core.flatstate.FlatProgress` wraps the
+        protocol's own list) and mark flat mirrors dirty."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support snapshots"
+        )
+
     # -- flat-state backend ----------------------------------------------------
 
     #: Class-level opt-in to the struct-of-arrays backend

@@ -70,6 +70,7 @@ class OptPProtocol(Protocol):
     name = "optp"
     in_class_p = True
     supports_flat_state = True
+    supports_snapshot = True
 
     def __init__(self, process_id: int, n_processes: int):
         super().__init__(process_id, n_processes)
@@ -197,6 +198,39 @@ class OptPProtocol(Protocol):
 
     def flat_deps(self, msg: UpdateMessage) -> FlatDeps:
         return self._make_flat_deps(msg.payload[WRITE_CO_KEY], msg.sender)
+
+    # -- durability ---------------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Section 4.1's three structures plus the store, in codec
+        vocabulary.  Store and ``LastWriteOn`` entries keep insertion
+        order so a restored instance is indistinguishable from the
+        original (dict order shows up in debug snapshots)."""
+        return {
+            "store": [(var, value, wid)
+                      for var, (value, wid) in self._store.items()],
+            "write_seq": self._write_seq,
+            "apply": tuple(self.apply_vec),
+            "write_co": tuple(self.write_co),
+            "last_write_on": [(var, vec)
+                              for var, vec in self.last_write_on.items()],
+        }
+
+    def restore_state(self, doc: Dict[str, Any]) -> None:
+        self._store.clear()
+        for var, value, wid in doc["store"]:
+            self._store[var] = (value, wid)
+        self._write_seq = doc["write_seq"]
+        # in place: the flat backend's FlatProgress wraps these lists.
+        # Snapshot restore legitimately rewrites the whole vectors --
+        # the monotonicity discipline applies to live protocol steps.
+        self.apply_vec[:] = doc["apply"]  # reprolint: disable=RL102
+        self.write_co[:] = doc["write_co"]  # reprolint: disable=RL102
+        self.last_write_on.clear()
+        for var, vec in doc["last_write_on"]:
+            self.last_write_on[var] = tuple(vec)
+        if self._fp is not None:
+            self._fp.mark_dirty()
 
     # -- introspection ------------------------------------------------------------
 

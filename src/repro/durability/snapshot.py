@@ -1,0 +1,66 @@
+"""Whole-node snapshots over the protocol snapshot hooks.
+
+A protocol snapshot (:meth:`repro.core.base.Protocol.snapshot_state`)
+covers the paper's per-process structures; a *node* additionally owns
+delivery state that must survive a crash for recovery to be exact:
+
+- the scheduler's buffered messages (received but blocked on the
+  Figure 5 wait predicate) -- volatile in the crash model, but any
+  message whose receipt was WAL-logged before the crash is re-buffered
+  by replay, and any message *folded into a snapshot* must travel with
+  it or it is lost to both replay and retransmission;
+- the at-least-once dedup guard (``_seen_updates`` /
+  ``duplicates_dropped``), without which a recovered replica would
+  re-apply retransmitted updates it already absorbed pre-snapshot.
+
+Documents stay inside the codec value vocabulary
+(:mod:`repro.serve.codec`), so :func:`repro.durability.wal.encode_snapshot`
+round-trips them byte-stably.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.serve.codec import decode_message, encode_message
+
+__all__ = ["restore_node", "snapshot_node"]
+
+
+def snapshot_node(node) -> Dict[str, Any]:
+    """Capture ``node`` (a :class:`repro.sim.node.Node`) as a document.
+
+    Buffered messages are stored oldest-first in canonical message
+    encoding; seen write-ids are sorted so the document is independent
+    of set iteration order (snapshot bytes feed state fingerprints).
+    """
+    return {
+        "protocol": node.protocol.snapshot_state(),
+        "pending": [encode_message(m) for m in node.pending],
+        "seen": sorted(node._seen_updates),
+        "dups": node.duplicates_dropped,
+    }
+
+
+def restore_node(node, doc: Dict[str, Any]) -> None:
+    """Inverse of :func:`snapshot_node`, onto a freshly built node.
+
+    Protocol state first (parking re-evaluates the wait predicate
+    against it), then the buffer, then the dedup guard.  Works on both
+    state backends: the flat scheduler classifies-and-parks in one
+    ``offer`` call, the scalar schedulers park directly -- a message
+    that was buffered under the snapshotted state classifies BUFFER
+    again under the restored state, so ``offer`` cannot spuriously
+    apply.
+    """
+    node.protocol.restore_state(doc["protocol"])
+    flat = node.scheduler.mode == "flat"
+    for raw in doc["pending"]:
+        msg = decode_message(raw)
+        if flat:
+            node.scheduler.offer(msg)
+        else:
+            node.scheduler.park(msg)
+    node._seen_updates.clear()
+    node._seen_updates.update(doc["seen"])
+    node.duplicates_dropped = doc["dups"]

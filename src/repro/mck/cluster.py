@@ -16,6 +16,20 @@ Transition vocabulary (all JSON-serializable 2-tuples):
 - ``("timer", p)``    -- fire ``p``'s periodic hook (budgeted)
 - ``("dup", mid)``    -- clone a pending update (fault, budgeted)
 - ``("drop", mid)``   -- drop a pending update (fault, budgeted)
+- ``("crash", p)``    -- crash process ``p`` (fault, budgeted): volatile
+  state -- including the buffer of blocked messages -- is lost; while
+  down, ``p`` takes no ops/timers and receives no deliveries (the
+  unordered pool holds its traffic, modelling connected channels)
+- ``("recover", p)``  -- rebuild ``p`` from its durable snapshot + WAL
+  (:mod:`repro.durability`) and resume
+
+Crash/recover are semantic no-ops on the *trace*: recovery replays the
+journaled inputs through a :class:`~repro.sim.trace.NullTrace`, so a
+recovered process carries exactly its pre-crash protocol state and the
+ordinary invariants (legality, Theorem 3 safety, causal convergence,
+class-𝒫 liveness) are required to hold on every crash path unchanged.
+Under ``recover=False`` (crash-stop) the terminal conditions are judged
+over the surviving processes instead.
 
 Message ids are *interleaving-independent*: ``u:{origin}.{seq}>{dest}``
 with a per-origin emission counter, so two independent transitions
@@ -58,7 +72,7 @@ from repro.model.operations import WriteId
 from repro.obs.spans import NULL_OBS
 from repro.sim.cluster import ProtocolFactory, _resolve_factory
 from repro.sim.node import Node
-from repro.sim.trace import Trace
+from repro.sim.trace import EventKind, Trace
 from repro.workloads.ops import ReadOp, WriteOp
 
 from repro.mck.faults import NO_FAULTS, FaultSpec
@@ -112,8 +126,8 @@ def _dest(mid: str) -> int:
 
 def transition_actor(t: Transition) -> Optional[int]:
     """The process whose local state a transition touches (None for
-    fault transitions, which only touch the pool + budgets)."""
-    if t[0] in ("op", "timer"):
+    channel-fault transitions, which only touch the pool + budgets)."""
+    if t[0] in ("op", "timer", "crash", "recover"):
         return t[1]  # type: ignore[return-value]
     if t[0] == "deliver":
         return _dest(t[1])  # type: ignore[arg-type]
@@ -127,10 +141,17 @@ def independent(a: Transition, b: Transition) -> bool:
     - op/timer/deliver transitions mutate exactly one node's state plus
       that node's emission counter; different actors touch disjoint
       state (the pool is a dict keyed by ids that embed the origin).
-    - fault transitions touch only the pool entry for their ``mid`` and
-      the fault budgets, so they commute with anything that neither
-      consumes the same ``mid`` nor spends a budget.  Fault-vs-fault is
-      conservatively declared dependent (shared budgets).
+    - channel-fault transitions (dup/drop) touch only the pool entry
+      for their ``mid`` and the fault budgets, so they commute with
+      anything that neither consumes the same ``mid`` nor spends a
+      budget.  Fault-vs-fault is conservatively declared dependent
+      (shared budgets).
+    - crash/recover touch one node plus the crash budget: two crashes
+      contend for the budget (dependent -- spending it may disable the
+      other), while crash/recover on *different* processes neither
+      share mutable state nor affect each other's enabledness.
+      Same-process pairs fall out of the actor comparison, including
+      crash-vs-deliver-to-p (a crash disables the delivery).
     """
     a_fault = a[0] in ("dup", "drop")
     b_fault = b[0] in ("dup", "drop")
@@ -141,6 +162,8 @@ def independent(a: Transition, b: Transition) -> bool:
         if other[0] == "deliver" and other[1] == fault[1]:
             return False
         return True
+    if a[0] == "crash" and b[0] == "crash":
+        return False
     return transition_actor(a) != transition_actor(b)
 
 
@@ -174,6 +197,9 @@ class ControlledCluster:
         self.n_processes = n
         self.workload = workload
         self.faults = faults
+        #: kept for crash recovery: rebuilding a node needs a fresh
+        #: protocol instance of the same kind.
+        self._factory = factory
         self._now = 0
         self.trace = Trace(n)
         self._seen_events = 0
@@ -193,6 +219,17 @@ class ControlledCluster:
         self._drop_budget = faults.drop
         self._duped: Set[str] = set()
         self._lost: List[_Pending] = []
+        self._crash_budget = faults.crash
+        self._crashed = [False] * n
+        #: per-process remote-apply counts (trace APPLY events), needed
+        #: for survivor-only quiescence accounting under crash-stop.
+        self._remote_applies_by = [0] * n
+        #: simulated snapshot + WAL pair per process (crash mode only).
+        self._durable: Optional[List[Any]] = None
+        if faults.crash > 0:
+            from repro.durability.recovery import DurableLog
+            self._durable = [DurableLog(snap_every=faults.snap_every)
+                             for _ in range(n)]
         self.check_convergence = check_convergence
         self.tracker = InvariantTracker(n, expect_optimal=expect_optimal)
         #: whether the last executed transition recorded trace events
@@ -213,6 +250,19 @@ class ControlledCluster:
         ]
         self.protocol_name = self.nodes[0].protocol.name
         self.in_class_p = type(self.nodes[0].protocol).in_class_p
+        if faults.crash > 0:
+            if not type(self.nodes[0].protocol).supports_snapshot:
+                raise ValueError(
+                    f"protocol {self.protocol_name!r} does not support "
+                    "snapshots; crash faults need snapshot_state/"
+                    "restore_state"
+                )
+            if self.nodes[0].protocol.timer_interval is not None:
+                raise ValueError(
+                    f"protocol {self.protocol_name!r} uses timers, which "
+                    "the WAL does not journal; crash faults are limited "
+                    "to timer-free protocols"
+                )
         self._timer_budget = [
             timer_budget if node.protocol.timer_interval is not None else 0
             for node in self.nodes
@@ -277,15 +327,27 @@ class ControlledCluster:
     def enabled(self) -> List[Transition]:
         """All enabled transitions, in a deterministic order."""
         ts: List[Transition] = []
+        crashed = self._crashed
         for p in range(self.n_processes):
+            if crashed[p]:
+                continue
             if self.pc[p] < len(self.workload.scripts[p]):
                 ts.append(("op", p))
         for p in range(self.n_processes):
-            if self._timer_budget[p] > 0:
+            if self._timer_budget[p] > 0 and not crashed[p]:
                 ts.append(("timer", p))
         mids = sorted(self._pool)
         for mid in mids:
-            ts.append(("deliver", mid))
+            if not crashed[_dest(mid)]:
+                ts.append(("deliver", mid))
+        if self._crash_budget > 0:
+            for p in range(self.n_processes):
+                if not crashed[p]:
+                    ts.append(("crash", p))
+        if self.faults.recover:
+            for p in range(self.n_processes):
+                if crashed[p]:
+                    ts.append(("recover", p))
         if self._dup_budget > 0:
             for mid in mids:
                 entry = self._pool[mid]
@@ -308,6 +370,12 @@ class ControlledCluster:
         elif kind == "timer":
             self._timer_budget[arg] -= 1
             self.nodes[arg].fire_timer()
+        elif kind == "crash":
+            self._crash_budget -= 1
+            self._crashed[arg] = True
+            self.nodes[arg].crash()
+        elif kind == "recover":
+            self._exec_recover(arg)
         elif kind == "dup":
             entry = self._pool[arg]
             self._dup_budget -= 1
@@ -344,6 +412,18 @@ class ControlledCluster:
             node.do_read(op.variable)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown op {op!r}")
+        if self._durable is not None:
+            # Journal the *scripted* value: value=None replays as the
+            # same deterministic fresh_value the original produced.
+            from repro.durability.wal import (
+                encode_read_record, encode_write_record,
+            )
+            t = float(self._now)
+            if isinstance(op, WriteOp):
+                body = encode_write_record(t, op.variable, op.value)
+            else:
+                body = encode_read_record(t, op.variable)
+            self._durable[p].append(body, node)
 
     def _exec_deliver(self, mid: str) -> None:
         entry = self._pool.pop(mid)
@@ -354,12 +434,48 @@ class ControlledCluster:
                 detail=f"message {mid} mutated between send and delivery",
             ))
         self.nodes[entry.dest].receive(entry.message)
+        if self._durable is not None:
+            from repro.durability.wal import encode_recv_record
+            self._durable[entry.dest].append(
+                encode_recv_record(float(self._now), entry.message),
+                self.nodes[entry.dest],
+            )
+
+    def _exec_recover(self, p: int) -> None:
+        """Rebuild ``p`` from its snapshot + WAL and wire it back in.
+
+        The rebuilt node replayed against a null trace, a zero clock
+        and a sink dispatch (its pre-crash effects are already on the
+        trace and in the pool); here the live callbacks are rebound --
+        bound methods, so subsequent clones rebind them again."""
+        from repro.durability.recovery import rebuild_node
+        log = self._durable[p]
+        doc = None
+        if log.snapshot is not None:
+            from repro.durability.wal import decode_snapshot
+            doc = decode_snapshot(log.snapshot)
+        node = rebuild_node(
+            self._factory, p, self.n_processes, doc, log.bodies,
+            dedup=self.faults.dedup_effective,
+            lose_tail=self.faults.wal_lose_tail,
+        )
+        node.trace = self.trace
+        node.clock = self._clock
+        node.dispatch = self._dispatch
+        node._on_remote_apply = self._count_remote_apply
+        node._on_write = self._count_write
+        node.scheduler._clock = self._clock
+        self.nodes[p] = node
+        self._crashed[p] = False
 
     def _absorb(self) -> List[Finding]:
         """Feed newly recorded trace events to the invariant tracker."""
         events = self.trace.events[self._seen_events:]
         self._seen_events += len(events)
         self.last_trace_grew = bool(events)
+        for event in events:
+            if event.kind is EventKind.APPLY:
+                self._remote_applies_by[event.process] += 1
         findings = self._pending_findings
         self._pending_findings = []
         findings.extend(self.tracker.observe(self.trace, events))
@@ -371,7 +487,17 @@ class ControlledCluster:
     def quiescent(self) -> bool:
         """Mirror of ``SimCluster._quiescent``: workload done, no update
         in flight, apply accounting satisfied (skips credited via
-        ``missing_applies``)."""
+        ``missing_applies``).
+
+        A crashed process under crash-*recovery* blocks quiescence (its
+        recover transition is always enabled, so such paths keep
+        running); under crash-*stop* the accounting is judged over the
+        survivors only -- see :meth:`_quiescent_crash_stop`.
+        """
+        if any(self._crashed):
+            if self.faults.recover:
+                return False
+            return self._quiescent_crash_stop()
         for p in range(self.n_processes):
             if self.pc[p] < len(self.workload.scripts[p]):
                 return False
@@ -381,6 +507,32 @@ class ControlledCluster:
                     + self._deferred_local_applies)
         missing = sum(n.protocol.missing_applies() for n in self.nodes)
         return self._remote_applies + missing >= expected
+
+    def _quiescent_crash_stop(self) -> bool:
+        """Survivor-only quiescence: live scripts done, no update in
+        flight *to a live process*, and every scripted write has reached
+        every live process other than its (live) writer.
+
+        Writes issued by a now-crashed process still count: their
+        broadcasts sit in the pool (connected channels) and the
+        survivors must apply them -- paper liveness (Theorem 5)
+        restricted to the correct processes.
+        """
+        live = [p for p in range(self.n_processes) if not self._crashed[p]]
+        for p in live:
+            if self.pc[p] < len(self.workload.scripts[p]):
+                return False
+        if any(e.is_update and not self._crashed[e.dest]
+               for e in self._pool.values()):
+            return False
+        n_live = len(live)
+        expected = sum(
+            n_live if self._crashed[wid.process] else n_live - 1
+            for wid in self.writes
+        )
+        got = sum(self._remote_applies_by[p] for p in live)
+        missing = sum(self.nodes[p].protocol.missing_applies() for p in live)
+        return got + missing >= expected
 
     def status(self) -> str:
         """``running`` | ``quiescent`` | ``stuck`` | ``truncated``.
@@ -410,13 +562,20 @@ class ControlledCluster:
                 ))
         if status == "quiescent":
             if self.in_class_p:
-                findings.extend(self.tracker.liveness_findings(self.writes))
+                findings.extend(
+                    f for f in self.tracker.liveness_findings(self.writes)
+                    if not self._crashed[f.process]
+                )
             if self.check_convergence:
                 findings.extend(self._convergence_findings())
             # Quiescence is judged by apply accounting; a message still
             # buffered here is wedged junk (e.g. a duplicate admitted
             # without the dedup guard) that no future apply can free.
+            # Crashed processes (crash-stop) are exempt throughout:
+            # liveness only binds the correct processes.
             for p, node in enumerate(self.nodes):
+                if self._crashed[p]:
+                    continue
                 for msg in node.pending:
                     findings.append(Finding(
                         kind="stuck_message", process=p, wid=msg.wid,
@@ -452,8 +611,11 @@ class ControlledCluster:
         final write is in the causal past of another -- the replica
         holding the causally older write either missed an apply
         (liveness) or applied out of order (safety), and this check is
-        the store-level witness of that."""
-        stores = [node.protocol.store_snapshot() for node in self.nodes]
+        the store-level witness of that.  Crash-stop terminals compare
+        the surviving replicas only."""
+        stores = [node.protocol.store_snapshot()
+                  for p, node in enumerate(self.nodes)
+                  if not self._crashed[p]]
         variables = sorted({v for s in stores for v in s}, key=repr)
         past = self.tracker.past
         findings = []
@@ -489,7 +651,12 @@ class ControlledCluster:
             self._dup_budget,
             self._drop_budget,
             tuple(sorted(self._pool)),
+            tuple(self._crashed),
+            self._crash_budget,
         ]
+        if self._durable is not None:
+            parts.append(tuple((log.snap_seq, len(log.bodies))
+                               for log in self._durable))
         for node in self.nodes:
             store = node.protocol.store_snapshot()
             parts.append((
@@ -533,6 +700,12 @@ class ControlledCluster:
         new._drop_budget = self._drop_budget
         new._duped = set(self._duped)
         new._lost = list(self._lost)          # entries frozen
+        new._factory = self._factory          # shared callable
+        new._crash_budget = self._crash_budget
+        new._crashed = list(self._crashed)
+        new._remote_applies_by = list(self._remote_applies_by)
+        new._durable = (None if self._durable is None
+                        else [log.clone() for log in self._durable])
         new.check_convergence = self.check_convergence
         new.tracker = self.tracker.clone()
         new.last_trace_grew = self.last_trace_grew

@@ -20,11 +20,25 @@ the state space finite):
   later") while exercising message accounting; with
   ``retransmit=False`` the message is lost for good and the checker
   must report the resulting liveness violation.
+- ``crash``: up to N processes may crash (once each).  A crashed
+  process loses its volatile state -- including its buffer of
+  received-but-blocked messages -- and stops taking transitions.  With
+  ``recover=True`` (the default, the crash-*recovery* model) a
+  ``("recover", p)`` transition rebuilds the process from its durable
+  snapshot + write-ahead log (:mod:`repro.durability`) and the usual
+  safety/liveness/convergence invariants must hold on every path;
+  with ``recover=False`` (crash-*stop*) the process stays down and
+  the terminal conditions are judged over the survivors only.
+  ``snap_every`` sets the simulated snapshot cadence (records between
+  snapshots; 0 = replay the whole log from the initial state) and
+  ``wal_lose_tail`` injects the ``BrokenRecovery`` mutation -- the
+  recovery replay silently forgets the last N logged records, which a
+  sound checker must reject.
 
-Faults only target *update* messages: control traffic (token, batches,
-digests, write requests) carries protocol-internal sequencing whose
-loss models process failure, not channel failure -- out of scope for
-the failure-free model being checked.
+Channel faults only target *update* messages: control traffic (token,
+batches, digests, write requests) carries protocol-internal sequencing
+whose loss models process failure, not channel failure.  Process
+failure proper is what the ``crash`` budget models.
 """
 
 from __future__ import annotations
@@ -49,10 +63,20 @@ class FaultSpec:
     #: exactly when ``duplicate > 0``, the paper's exactly-once model
     #: otherwise needs no guard).
     dedup: Optional[bool] = None
+    #: total processes that may crash (once each).
+    crash: int = 0
+    #: crash-recovery (True) vs crash-stop (False).
+    recover: bool = True
+    #: records between simulated snapshots (0 = never snapshot).
+    snap_every: int = 2
+    #: BrokenRecovery mutation: recovery forgets the last N WAL records.
+    wal_lose_tail: int = 0
 
     def __post_init__(self) -> None:
-        if self.duplicate < 0 or self.drop < 0:
+        if self.duplicate < 0 or self.drop < 0 or self.crash < 0:
             raise ValueError("fault budgets must be >= 0")
+        if self.snap_every < 0 or self.wal_lose_tail < 0:
+            raise ValueError("snap_every and wal_lose_tail must be >= 0")
 
     @property
     def dedup_effective(self) -> bool:
@@ -62,7 +86,7 @@ class FaultSpec:
 
     @property
     def any(self) -> bool:
-        return self.duplicate > 0 or self.drop > 0
+        return self.duplicate > 0 or self.drop > 0 or self.crash > 0
 
     def to_dict(self) -> Dict:
         """Canonical JSON form (witness + cache key material)."""
@@ -71,11 +95,17 @@ class FaultSpec:
             "drop": self.drop,
             "retransmit": self.retransmit,
             "dedup": self.dedup,
+            "crash": self.crash,
+            "recover": self.recover,
+            "snap_every": self.snap_every,
+            "wal_lose_tail": self.wal_lose_tail,
         }
 
     @classmethod
     def from_dict(cls, doc: Dict) -> "FaultSpec":
-        extra = set(doc) - {"duplicate", "drop", "retransmit", "dedup"}
+        extra = set(doc) - {"duplicate", "drop", "retransmit", "dedup",
+                            "crash", "recover", "snap_every",
+                            "wal_lose_tail"}
         if extra:
             raise ValueError(f"unknown fault fields {sorted(extra)}")
         return cls(
@@ -83,6 +113,10 @@ class FaultSpec:
             drop=int(doc.get("drop", 0)),
             retransmit=bool(doc.get("retransmit", True)),
             dedup=doc.get("dedup"),
+            crash=int(doc.get("crash", 0)),
+            recover=bool(doc.get("recover", True)),
+            snap_every=int(doc.get("snap_every", 2)),
+            wal_lose_tail=int(doc.get("wal_lose_tail", 0)),
         )
 
 
@@ -91,15 +125,19 @@ NO_FAULTS = FaultSpec()
 
 def parse_faults(text: str) -> FaultSpec:
     """Parse the CLI grammar: ``none`` or a comma-separated list of
-    ``dup:N``, ``drop:N``, ``noretransmit``, ``dedup``, ``nodedup``.
+    ``dup:N``, ``drop:N``, ``noretransmit``, ``dedup``, ``nodedup``,
+    ``crash[:N]``, ``norecover``, ``snap:N``, ``losetail:N``.
 
-    Examples: ``dup:1``; ``drop:1,noretransmit``; ``dup:2,nodedup``.
+    Examples: ``dup:1``; ``drop:1,noretransmit``; ``crash``;
+    ``crash:1,norecover``; ``crash,losetail:1``.
     """
     text = text.strip().lower()
     if text in ("", "none"):
         return NO_FAULTS
-    duplicate = drop = 0
+    duplicate = drop = crash = wal_lose_tail = 0
     retransmit = True
+    recover = True
+    snap_every = 2
     dedup: Optional[bool] = None
     for part in text.split(","):
         part = part.strip()
@@ -113,10 +151,23 @@ def parse_faults(text: str) -> FaultSpec:
             dedup = True
         elif part == "nodedup":
             dedup = False
+        elif part == "crash":
+            crash = 1
+        elif part.startswith("crash:"):
+            crash = int(part[6:])
+        elif part == "norecover":
+            recover = False
+        elif part.startswith("snap:"):
+            snap_every = int(part[5:])
+        elif part.startswith("losetail:"):
+            wal_lose_tail = int(part[9:])
         else:
             raise ValueError(
                 f"unknown fault token {part!r} (want dup:N, drop:N, "
-                "noretransmit, dedup, nodedup, or none)"
+                "noretransmit, dedup, nodedup, crash[:N], norecover, "
+                "snap:N, losetail:N, or none)"
             )
     return FaultSpec(duplicate=duplicate, drop=drop,
-                     retransmit=retransmit, dedup=dedup)
+                     retransmit=retransmit, dedup=dedup,
+                     crash=crash, recover=recover, snap_every=snap_every,
+                     wal_lose_tail=wal_lose_tail)

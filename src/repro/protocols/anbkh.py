@@ -55,6 +55,7 @@ class ANBKHProtocol(Protocol):
     name = "anbkh"
     in_class_p = True
     supports_flat_state = True
+    supports_snapshot = True
 
     def __init__(self, process_id: int, n_processes: int):
         super().__init__(process_id, n_processes)
@@ -148,6 +149,28 @@ class ANBKHProtocol(Protocol):
 
     def flat_deps(self, msg: UpdateMessage) -> FlatDeps:
         return self._make_flat_deps(msg.payload[VT_KEY], msg.sender)
+
+    # -- durability ---------------------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {
+            "store": [(var, value, wid)
+                      for var, (value, wid) in self._store.items()],
+            "write_seq": self._write_seq,
+            "vc": tuple(self.vc),
+        }
+
+    def restore_state(self, doc: Dict[str, Any]) -> None:
+        self._store.clear()
+        for var, value, wid in doc["store"]:
+            self._store[var] = (value, wid)
+        self._write_seq = doc["write_seq"]
+        # in place: the flat backend's FlatProgress wraps this list.
+        # Snapshot restore legitimately rewrites the whole vector --
+        # the monotonicity discipline applies to live protocol steps.
+        self.vc[:] = doc["vc"]  # reprolint: disable=RL102
+        if self._fp is not None:
+            self._fp.mark_dirty()
 
     # -- introspection ------------------------------------------------------------
 

@@ -16,7 +16,7 @@ See ``docs/serving.md`` for the wire format and operational guide.
 
 from repro.serve.client import AsyncSessionClient, SessionClient
 from repro.serve.codec import CodecError, encoded_size
-from repro.serve.harness import ServedCluster, serve_and_load
+from repro.serve.harness import ServedCluster, serve_and_load, serve_chaos
 from repro.serve.loadgen import LoadgenConfig, run_worker, summarize_workers
 from repro.serve.merge import MergeError, merge_node_logs
 from repro.serve.server import SERVABLE_PROTOCOLS, ReplicaServer
@@ -36,6 +36,7 @@ __all__ = [
     "merge_node_logs",
     "run_worker",
     "serve_and_load",
+    "serve_chaos",
     "shard_of",
     "summarize_workers",
 ]

@@ -196,6 +196,17 @@ class AsyncSessionClient:
             if conn is not None:
                 await conn.close()
 
+    async def reset(self) -> None:
+        """Drop every connection but keep the session vectors; each
+        group re-dials lazily on next use.  This is how a load
+        generator rides through a replica kill/restart: the preserved
+        session vector makes the recovered replica prove it has caught
+        up before serving this session's reads."""
+        conns, self._conns = self._conns, [None] * self.spec.n_shards
+        for conn in conns:
+            if conn is not None:
+                await conn.close()
+
     def abort(self) -> None:
         for conn in self._conns:
             if conn is not None:

@@ -44,6 +44,7 @@ __all__ = [
     "CodecError",
     "FRAME_HELLO",
     "FRAME_MSG_BATCH",
+    "FRAME_PEER_WELCOME",
     "FRAME_REQUEST",
     "FRAME_RESPONSE",
     "FRAME_STOP",
@@ -77,6 +78,7 @@ FRAME_REQUEST = 0x03    #: client->server: session vector + n ops
 FRAME_RESPONSE = 0x04   #: server->client: progress vector + n results
 FRAME_STOP = 0x05       #: admin->server: flush, dump, shut down
 FRAME_STOPPED = 0x06    #: server->admin: shutdown acknowledged
+FRAME_PEER_WELCOME = 0x07  #: peer HELLO reply: applied count for the dialer
 
 #: Connection roles carried by HELLO.
 ROLE_CLIENT = 0

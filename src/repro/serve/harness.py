@@ -47,7 +47,7 @@ from repro.serve.shard import ClusterSpec, parse_endpoint
 from repro.serve.timebase import monotonic
 from repro.serve.worker import loadgen_main, node_main
 
-__all__ = ["ServedCluster", "drive_load", "serve_and_load"]
+__all__ = ["ServedCluster", "drive_load", "serve_and_load", "serve_chaos"]
 
 _READY_TIMEOUT = 30.0
 _QUIESCE_TIMEOUT = 30.0
@@ -125,14 +125,31 @@ class ServedCluster:
 
     def __init__(self, spec: ClusterSpec, rundir: Path,
                  procs: List[multiprocessing.process.BaseProcess],
-                 record: bool):
+                 record: bool, *,
+                 wal_dir: Optional[Path] = None,
+                 batch_window: float = 0.0005):
         self.spec = spec
         self.rundir = rundir
         self.procs = procs
         self.record = record
+        self.wal_dir = wal_dir
+        self.batch_window = batch_window
         self.statuses: List[Dict[str, Any]] = []
 
     # -- boot ---------------------------------------------------------------
+
+    def _spawn_node(self, group: int, node: int
+                    ) -> multiprocessing.process.BaseProcess:
+        ctx = multiprocessing.get_context("spawn")
+        proc = ctx.Process(
+            target=node_main,
+            args=(self.spec.to_json(), group, node, str(self.rundir),
+                  self.record, self.batch_window,
+                  str(self.wal_dir) if self.wal_dir is not None else None),
+            name=f"repro-serve-g{group}n{node}",
+        )
+        proc.start()
+        return proc
 
     @classmethod
     def start(
@@ -146,6 +163,7 @@ class ServedCluster:
         transport: str = "unix",
         port_base: int = 7400,
         batch_window: float = 0.0005,
+        wal_dir: Optional[Path] = None,
     ) -> "ServedCluster":
         from repro.serve.server import SERVABLE_PROTOCOLS
 
@@ -164,19 +182,12 @@ class ServedCluster:
         else:
             raise ValueError(f"unknown transport {transport!r}")
         spec.save(rundir / "cluster.json")
-        ctx = multiprocessing.get_context("spawn")
-        spec_json = spec.to_json()
-        procs: List[multiprocessing.process.BaseProcess] = []
+        cluster = cls(spec, rundir, [], record,
+                      wal_dir=Path(wal_dir) if wal_dir is not None else None,
+                      batch_window=batch_window)
         for g in range(shards):
             for i in range(group_size):
-                proc = ctx.Process(
-                    target=node_main,
-                    args=(spec_json, g, i, str(rundir), record, batch_window),
-                    name=f"repro-serve-g{g}n{i}",
-                )
-                proc.start()
-                procs.append(proc)
-        cluster = cls(spec, rundir, procs, record)
+                cluster.procs.append(cluster._spawn_node(g, i))
         try:
             cluster._wait_ready()
         except Exception:
@@ -284,6 +295,25 @@ class ServedCluster:
                 proc.kill()
                 proc.join(timeout=2.0)
 
+    # -- crash injection ----------------------------------------------------
+
+    def kill_node(self, group: int, node: int) -> None:
+        """SIGKILL one replica mid-flight: no flush, no goodbye, no
+        dump -- the crash-stop model, for real."""
+        proc = self.procs[group * self.spec.group_size + node]
+        proc.kill()
+        proc.join(timeout=_JOIN_TIMEOUT)
+        (self.rundir / f"node-g{group}n{node}.ready").unlink(missing_ok=True)
+
+    def restart_node(self, group: int, node: int) -> None:
+        """Respawn a killed replica; returns once it reports ready,
+        i.e. recovered from its WAL and re-linked with its peers."""
+        idx = group * self.spec.group_size + node
+        if self.procs[idx].exitcode is None:
+            raise RuntimeError(f"replica g{group}n{node} is still running")
+        self.procs[idx] = self._spawn_node(group, node)
+        self._wait_ready()
+
     # -- verification -------------------------------------------------------
 
     def verify(self) -> Dict[str, Any]:
@@ -328,6 +358,7 @@ def serve_and_load(
     port_base: int = 7400,
     batch_window: float = 0.0005,
     loadgen: Optional[LoadgenConfig] = None,
+    wal_dir: Optional[Path] = None,
 ) -> Dict[str, Any]:
     """Boot, load, drain, stop -- and verify when recording."""
     cfg = loadgen if loadgen is not None else LoadgenConfig()
@@ -341,6 +372,7 @@ def serve_and_load(
         transport=transport,
         port_base=port_base,
         batch_window=batch_window,
+        wal_dir=wal_dir,
     )
     try:
         load_report = cluster.run_load(cfg, workers=workers)
@@ -356,6 +388,102 @@ def serve_and_load(
         "nodes": group_size * shards,
         "workers": workers,
         "cpu_count": os.cpu_count(),
+        "load": load_report,
+        "node_stats": [s["stats"] for s in statuses],
+    }
+    if record and verify:
+        report["conformance"] = cluster.verify()
+    return report
+
+
+def serve_chaos(
+    protocol: str = "optp",
+    *,
+    group_size: int = 3,
+    rundir: Path,
+    duration: float = 4.0,
+    kill_after: float = 1.0,
+    down_time: float = 0.5,
+    victim: int = 1,
+    workers: int = 1,
+    record: bool = True,
+    verify: bool = True,
+    transport: str = "unix",
+    port_base: int = 7400,
+    loadgen: Optional[LoadgenConfig] = None,
+) -> Dict[str, Any]:
+    """Kill-and-recover drill: boot a *durable* deployment, drive
+    load, SIGKILL the ``victim`` replica mid-run, restart it, let it
+    recover from its WAL and resync from its peers, then drain and
+    (when recording) replay the merged trace through every oracle.
+
+    The load generators run with ``reconnect=True`` so lanes pinned to
+    the victim ride through the outage: failed batches are dropped,
+    session vectors are kept, and the next batch re-establishes the
+    session guarantees against the recovered replica.
+    """
+    rundir = Path(rundir)
+    cfg = loadgen if loadgen is not None else LoadgenConfig()
+    cfg.duration = duration
+    cfg.reconnect = True
+    cluster = ServedCluster.start(
+        protocol,
+        group_size=group_size,
+        shards=1,
+        rundir=rundir,
+        record=record,
+        transport=transport,
+        port_base=port_base,
+        wal_dir=rundir / "wal",
+    )
+    import time
+
+    try:
+        ctx = multiprocessing.get_context("spawn")
+        spec_json = cluster.spec.to_json()
+        outs: List[Path] = []
+        lprocs = []
+        for w in range(max(1, workers)):
+            out = rundir / f"loadgen-{w}.json"
+            outs.append(out)
+            proc = ctx.Process(
+                target=loadgen_main,
+                args=(spec_json, cfg.__dict__, w, str(out)),
+                name=f"repro-loadgen-{w}",
+            )
+            proc.start()
+            lprocs.append(proc)
+        time.sleep(kill_after)
+        t_kill = monotonic()
+        cluster.kill_node(0, victim)
+        time.sleep(down_time)
+        cluster.restart_node(0, victim)
+        restart_wall = monotonic() - t_kill
+        for proc in lprocs:
+            proc.join(timeout=duration + 60.0)
+            if proc.exitcode != 0:
+                raise RuntimeError(
+                    f"{proc.name} failed (exit {proc.exitcode})"
+                )
+        load_report = summarize_workers(
+            [json.loads(out.read_text()) for out in outs]
+        )
+        cluster.quiesce()
+        statuses = cluster.stop()
+    except Exception:
+        cluster.kill()
+        raise
+    recovered = statuses[victim]["stats"]
+    report: Dict[str, Any] = {
+        "protocol": protocol,
+        "group_size": group_size,
+        "victim": victim,
+        "kill_after_s": kill_after,
+        "down_time_s": down_time,
+        "restart_wall_s": round(restart_wall, 4),
+        "recovery_us": recovered.get("recovery_us", 0),
+        "recovered": recovered.get("recovered", 0),
+        "wal_records": recovered.get("wal_records", 0),
         "load": load_report,
         "node_stats": [s["stats"] for s in statuses],
     }

@@ -56,6 +56,9 @@ class LoadgenConfig:
     rate: float = 0.0       #: target ops/s for this worker; 0 = saturate
     replica_spread: bool = True  #: lanes fan out over group replicas
     key_prefix: str = "k"
+    #: ride through replica kill/restart: drop the failed batch, reset
+    #: the connections (sessions survive), retry after a short pause
+    reconnect: bool = False
 
 
 class _Samples:
@@ -133,9 +136,22 @@ async def _run_lane(spec: ClusterSpec, cfg: LoadgenConfig, lane: int,
                 issue_ref = now
             ops = [next(stream) for _ in range(cfg.batch)]
             by_group = client.split_ops(ops)
-            for group in sorted(by_group):
-                group_ops = by_group[group]
-                await client.batch(group_ops, group=group)
+            try:
+                for group in sorted(by_group):
+                    group_ops = by_group[group]
+                    await client.batch(group_ops, group=group)
+            except (ConnectionError, OSError):
+                if not cfg.reconnect:
+                    raise
+                # the serving replica died mid-batch: the batch is
+                # dropped (its latency would measure the outage, not
+                # the store), the session vectors survive, and the
+                # next batch re-establishes the session guarantees
+                # against whatever the restarted replica recovered
+                await client.reset()
+                await asyncio.sleep(0.1)
+                k += 1
+                continue
             done = monotonic()
             latency_ms = (done - issue_ref) * 1000.0
             for kind, _, _ in ops:

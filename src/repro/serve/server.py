@@ -26,12 +26,25 @@ buffering goes through the dependency-indexed scheduler, events land
 in a real :class:`~repro.sim.trace.Trace` (or a no-op trace when not
 recording), and the recorded log replays through every checker via
 :mod:`repro.serve.merge` / :mod:`repro.serve.conformance`.
+
+With ``wal_dir`` set the replica is *durable* (crash-recovery model,
+``docs/fault-tolerance.md``): every client write, client read (OptP
+reads mutate ``Write_co``, Figure 5 line 1) and peer receipt is
+journaled to a CRC-framed write-ahead log before it executes, the log
+is fsynced before any effect externalizes (peer flush or client
+response -- group commit), and the log is periodically folded into an
+atomic snapshot.  A restarted replica rebuilds its exact pre-crash
+state by snapshot restore + WAL replay, re-announces its progress to
+peers via :data:`~repro.serve.codec.FRAME_PEER_WELCOME`, and receives
+the update suffix it missed; peer links are supervised and redial on
+EOF, so the surviving replicas resync a recovered one the same way.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -41,6 +54,7 @@ from repro.serve import codec
 from repro.serve.codec import (
     FRAME_HELLO,
     FRAME_MSG_BATCH,
+    FRAME_PEER_WELCOME,
     FRAME_STOP,
     FRAME_STOPPED,
     OP_READ,
@@ -60,7 +74,7 @@ from repro.serve.merge import dump_node_log
 from repro.serve.shard import ClusterSpec, parse_endpoint
 from repro.serve.timebase import monotonic
 from repro.sim.node import Node
-from repro.sim.trace import Trace
+from repro.sim.trace import NullTrace, Trace
 
 __all__ = ["NullTrace", "ReplicaServer", "SERVABLE_PROTOCOLS"]
 
@@ -76,21 +90,6 @@ STOP_SHUTDOWN = 1  #: flush, dump, acknowledge, exit
 
 _PEER_CONNECT_TIMEOUT = 15.0
 _DRAIN_HIGH_WATER = 1 << 20
-
-
-class NullTrace(Trace):
-    """A trace that drops every event (non-recording servers).
-
-    Satisfies the :class:`~repro.sim.node.Node` contract at zero cost;
-    the scheduler and protocol state are unaffected, only the event
-    log is absent.
-    """
-
-    def record(self, *args, **kwargs):  # type: ignore[override]
-        return None
-
-    def record_compact(self, *args, **kwargs):  # type: ignore[override]
-        return None
 
 
 class _ServedNode(Node):
@@ -144,6 +143,12 @@ class _PeerLink:
             self.flush_handle = None
         if not self.bodies:
             return
+        srv = self.server
+        # Group commit: never externalize an update whose WAL record is
+        # not yet durable -- a crashed-and-recovered replica must never
+        # reissue a write-id a peer has already applied.
+        if srv._wal is not None:
+            srv._wal.sync()
         w = VarWriter()
         w.u8(FRAME_MSG_BATCH)
         w.uvarint(len(self.bodies))
@@ -151,7 +156,6 @@ class _PeerLink:
             w.raw(body)
         payload = w.getvalue()
         write_frame(self.writer, payload)
-        srv = self.server
         srv.stats["peer_batches"] += 1
         srv.stats["peer_msgs"] += len(self.bodies)
         srv.stats["peer_bytes"] += len(payload) + 4
@@ -196,6 +200,9 @@ class ReplicaServer:
         *,
         record: bool = False,
         rundir: Optional[Path] = None,
+        wal_dir: Optional[Path] = None,
+        fsync_every: int = 256,
+        snapshot_every: int = 4096,
         batch_window: float = 0.0005,
         batch_max_msgs: int = 256,
         batch_max_bytes: int = 64 << 10,
@@ -214,6 +221,9 @@ class ReplicaServer:
         self.n = spec.group_size
         self.record = record
         self.rundir = Path(rundir) if rundir is not None else None
+        self.wal_dir = Path(wal_dir) if wal_dir is not None else None
+        self.fsync_every = fsync_every
+        self.snapshot_every = snapshot_every
         self.batch_window = batch_window
         self.batch_max_msgs = batch_max_msgs
         self.batch_max_bytes = batch_max_bytes
@@ -230,12 +240,33 @@ class ReplicaServer:
             on_apply_msg=self._count_remote_apply,
             scheduler="auto",
             state_backend="scalar",
+            # Links redial on EOF and retransmit the unacked suffix;
+            # the ack only covers *applied* updates, so a retransmitted
+            # update may race its buffered twin -- the at-least-once
+            # guard drops it before it can double-apply.
+            dedup=True,
         )
         #: applied[j] = writes issued by group-peer j applied locally;
         #: grows monotonically, so ``tuple(applied)`` is the progress
         #: vector clients fold into their session vectors.
         self.applied: List[int] = [0] * self.n
+        #: own broadcast updates in issue order: ``_sent[k]`` is write
+        #: k+1's update message, so a peer whose WELCOME acknowledged K
+        #: applied writes needs exactly the suffix ``_sent[K:]``.
+        self._sent: List[Any] = []
+        self._replaying = False
+        self._replay_now = 0.0
+        self._wal = None
+        self._wal_total = 0
+        self._snap_covered = 0
+        self._snap_path: Optional[Path] = None
+        self._dur = None
         self._links: Dict[int, _PeerLink] = {}
+        self._link_up: Dict[int, asyncio.Event] = {
+            dest: asyncio.Event()
+            for dest in range(self.n) if dest != node_id
+        }
+        self._peer_tasks: List[asyncio.Task] = []
         self._waiters: List[asyncio.Future] = []
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -245,6 +276,8 @@ class ReplicaServer:
             "writes": 0, "reads": 0, "read_waits": 0, "requests": 0,
             "peer_batches": 0, "peer_msgs": 0, "peer_bytes": 0,
             "frames_in": 0, "client_conns": 0, "client_aborts": 0,
+            "peer_dials": 0, "wal_records": 0, "snapshots": 0,
+            "recovered": 0, "recovery_us": 0,
         }
         if obs.enabled:
             reg = obs.registry
@@ -254,10 +287,17 @@ class ReplicaServer:
             self._m_waits = reg.counter("serve.read_waits", **label)
             self._m_batches = reg.counter("serve.peer_batches", **label)
             self._m_batch_msgs = reg.counter("serve.peer_msgs", **label)
+            self._m_wal = reg.counter("serve.wal_records", **label)
+            self._h_recovery = reg.histogram("serve.recovery_seconds",
+                                             **label)
+        if self.wal_dir is not None:
+            self._open_durable()
 
     # -- clock / progress ---------------------------------------------------
 
     def _now(self) -> float:
+        if self._replaying:
+            return self._replay_now
         return monotonic() - self._t0
 
     def _count_remote_apply(self, msg) -> None:
@@ -284,16 +324,134 @@ class ReplicaServer:
             self._waiters.append(fut)
             await fut
 
+    # -- durability ---------------------------------------------------------
+
+    def _open_durable(self) -> None:
+        """Recover from ``wal_dir``'s snapshot + WAL, then arm the WAL.
+
+        :mod:`repro.durability` is imported lazily: it depends on the
+        serve codec, so a module-level import here would dereference a
+        partially initialized package when durability is imported
+        first.
+        """
+        from repro import durability as dur
+        self._dur = dur
+        self.wal_dir.mkdir(parents=True, exist_ok=True)
+        stem = self.wal_dir / f"node-g{self.group}n{self.node_id}"
+        wal_path = stem.with_suffix(".wal")
+        self._snap_path = stem.with_suffix(".snap")
+        t_start = monotonic()
+        # In record mode the full trace must be rebuilt with original
+        # timestamps, so the snapshot is ignored (the WAL is never
+        # compacted; full replay is always possible) and no further
+        # snapshots are taken.
+        raw_snap = (None if self.record
+                    else dur.read_framed_file(self._snap_path))
+        res = dur.read_wal(wal_path)
+        if raw_snap is not None or res.bodies:
+            self._replay(dur, raw_snap, res)
+            self.stats["recovered"] = 1
+            self.stats["recovery_us"] = int((monotonic() - t_start) * 1e6)
+            if self._obs.enabled:
+                self._h_recovery.observe(monotonic() - t_start)
+        if res.tail_bytes:
+            # appending after a torn tail would wedge every later
+            # record behind an unreadable prefix
+            os.truncate(wal_path, res.valid_bytes)
+        self._wal_total = len(res.bodies)
+        self._snap_covered = self._wal_total
+        self._wal = dur.WalWriter(wal_path, fsync_every=self.fsync_every)
+
+    def _replay(self, dur, raw_snap: Optional[bytes], res) -> None:
+        """Rebuild pre-crash state through the *live* node: replayed
+        events land on the real trace (record mode) and replayed
+        receipts advance ``applied`` via the normal apply hook, while
+        ``_replaying`` suppresses re-externalization in
+        :meth:`_dispatch` (broadcasts still append to ``_sent``, which
+        is how the retransmission buffer is rebuilt)."""
+        skip = 0
+        last_t = 0.0
+        self._replaying = True
+        try:
+            if raw_snap is not None:
+                doc = dur.decode_snapshot(raw_snap)
+                dur.restore_node(self.node, doc["node"])
+                self.applied = [int(x) for x in doc["applied"]]
+                self._sent = [codec.decode_message(raw)
+                              for raw in doc["sent"]]
+                skip = int(doc["wal_records"])
+                last_t = float(doc["t"])
+                self._replay_now = last_t
+            for body in res.bodies[skip:]:
+                rec = dur.decode_record(body)
+                last_t = rec[1]
+                self._replay_now = rec[1]
+                dur.apply_record(self.node, rec)
+            self.applied[self.node_id] = self.node.protocol.writes_issued
+        except dur.RecoveryError:
+            raise
+        except Exception as exc:
+            raise dur.RecoveryError(
+                "serving-layer recovery failed",
+                snapshot_seq=skip, wal_records=len(res.bodies),
+                wal_tail_bytes=res.tail_bytes, detail=repr(exc)) from exc
+        finally:
+            self._replaying = False
+        # resume the timebase where the journal left off so the
+        # replica's post-recovery timestamps stay monotone
+        self._t0 = monotonic() - last_t
+
+    def _wal_append(self, body: bytes) -> None:
+        self._wal.append(body)
+        self._wal_total += 1
+        self.stats["wal_records"] += 1
+        if self._obs.enabled:
+            self._m_wal.inc()
+
+    def _maybe_snapshot(self) -> None:
+        """Fold the WAL into a fresh snapshot when due.
+
+        Callers invoke this only *between* operations -- a WAL record
+        is appended before its op executes, so mid-operation the node
+        lags the log by one record and a snapshot taken there would
+        silently drop that op on recovery.
+        """
+        if (self._wal is None or self.record or not self.snapshot_every
+                or self._wal_total - self._snap_covered
+                < self.snapshot_every):
+            return
+        dur = self._dur
+        doc = {
+            "node": dur.snapshot_node(self.node),
+            "applied": list(self.applied),
+            "t": self._now(),
+            "sent": [codec.encode_message(m) for m in self._sent],
+            "wal_records": self._wal_total,
+        }
+        self._wal.sync()
+        dur.write_framed_file(self._snap_path, dur.encode_snapshot(doc))
+        self._snap_covered = self._wal_total
+        self.stats["snapshots"] += 1
+
     # -- protocol plumbing --------------------------------------------------
 
     def _dispatch(self, sender: int, outgoing: Sequence[Outgoing]) -> None:
         for out in outgoing:
             if out.dest == BROADCAST:
+                self._sent.append(out.message)
+                if self._replaying:
+                    continue
                 for dest in range(self.n):
                     if dest != sender:
-                        self._links[dest].enqueue(out.message)
+                        link = self._links.get(dest)
+                        if link is not None:
+                            link.enqueue(out.message)
             else:
-                self._links[out.dest].enqueue(out.message)
+                if self._replaying:
+                    continue
+                link = self._links.get(out.dest)
+                if link is not None:
+                    link.enqueue(out.message)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -319,6 +477,11 @@ class ReplicaServer:
         scheme, addr = parse_endpoint(self.spec.endpoint(self.group,
                                                          self.node_id))
         if scheme == "unix":
+            # a restarted replica inherits its predecessor's socket path
+            try:
+                os.unlink(addr)
+            except OSError:
+                pass
             self._server = await asyncio.start_unix_server(
                 self._on_connection, path=addr)
         else:
@@ -327,42 +490,92 @@ class ReplicaServer:
                 self._on_connection, host=host, port=port)
 
     async def _connect_peers(self) -> None:
+        for dest in sorted(self._link_up):
+            self._peer_tasks.append(
+                self._loop.create_task(self._peer_supervisor(dest)))
         deadline = monotonic() + _PEER_CONNECT_TIMEOUT
-        for dest in range(self.n):
-            if dest == self.node_id:
-                continue
-            scheme, addr = parse_endpoint(self.spec.endpoint(self.group,
-                                                             dest))
-            while True:
-                try:
-                    if scheme == "unix":
-                        _, writer = await asyncio.open_unix_connection(addr)
-                    else:
-                        _, writer = await asyncio.open_connection(*addr)
-                    break
-                except (ConnectionError, FileNotFoundError, OSError):
-                    if monotonic() > deadline:
-                        raise TimeoutError(
-                            f"g{self.group}n{self.node_id}: peer {dest} "
-                            f"unreachable within {_PEER_CONNECT_TIMEOUT}s"
-                        )
-                    await asyncio.sleep(0.02)
-            hello = VarWriter()
-            hello.u8(FRAME_HELLO)
-            hello.u8(ROLE_PEER)
-            hello.uvarint(self.node_id)
-            write_frame(writer, hello.getvalue())
-            self._links[dest] = _PeerLink(self, dest, writer)
+        for dest in sorted(self._link_up):
+            try:
+                await asyncio.wait_for(
+                    self._link_up[dest].wait(),
+                    timeout=max(0.01, deadline - monotonic()))
+            except asyncio.TimeoutError:
+                raise TimeoutError(
+                    f"g{self.group}n{self.node_id}: peer {dest} "
+                    f"unreachable within {_PEER_CONNECT_TIMEOUT}s"
+                ) from None
+
+    async def _peer_supervisor(self, dest: int) -> None:
+        """Own the outgoing link to ``dest``: dial (with retry), resync
+        against the peer's WELCOME ack, then watch for EOF and redial.
+
+        Registration and suffix retransmission happen with no ``await``
+        between them: a broadcast dispatched while the WELCOME was in
+        flight missed the not-yet-registered link but was appended to
+        ``_sent``, so the acked suffix covers it exactly once.
+        """
+        scheme, addr = parse_endpoint(self.spec.endpoint(self.group, dest))
+        while not self._stop.is_set():
+            writer = None
+            try:
+                if scheme == "unix":
+                    reader, writer = await asyncio.open_unix_connection(addr)
+                else:
+                    reader, writer = await asyncio.open_connection(*addr)
+                hello = VarWriter()
+                hello.u8(FRAME_HELLO)
+                hello.u8(ROLE_PEER)
+                hello.uvarint(self.node_id)
+                write_frame(writer, hello.getvalue())
+                body = await read_frame(reader)
+                if body is None:
+                    raise ConnectionError("peer closed before WELCOME")
+                r = VarReader(body)
+                if r.u8() != FRAME_PEER_WELCOME:
+                    raise CodecError("expected PEER_WELCOME")
+                acked = r.uvarint()
+                link = _PeerLink(self, dest, writer)
+                self._links[dest] = link
+                for message in self._sent[acked:]:
+                    link.enqueue(message)
+                self._link_up[dest].set()
+                self.stats["peer_dials"] += 1
+                while True:  # nothing follows WELCOME; EOF = peer died
+                    chunk = await reader.read(4096)
+                    if not chunk:
+                        break
+            except (CodecError, ConnectionError, OSError):
+                pass
+            finally:
+                current = self._links.get(dest)
+                if current is not None and current.writer is writer:
+                    self._link_up[dest].clear()
+                    del self._links[dest]
+                    current.close()
+                elif writer is not None:
+                    try:
+                        writer.close()
+                    except RuntimeError:
+                        pass
+            if not self._stop.is_set():
+                await asyncio.sleep(0.05)
 
     async def _teardown(self) -> None:
+        for task in self._peer_tasks:
+            task.cancel()
+        await asyncio.gather(*self._peer_tasks, return_exceptions=True)
         for dest in sorted(self._links):
             self._links[dest].close()
+        self._links.clear()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
         for task in self._conn_tasks:
             task.cancel()
         await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._wal is not None:
+            self._wal.sync()
+            self._wal.close()
 
     # -- connection handling ------------------------------------------------
 
@@ -380,7 +593,7 @@ class ReplicaServer:
             role = r.u8()
             sender = r.uvarint()
             if role == ROLE_PEER:
-                await self._serve_peer(reader, sender)
+                await self._serve_peer(reader, writer, sender)
             elif role == ROLE_CLIENT:
                 await self._serve_client(reader, writer)
             elif role == ROLE_ADMIN:
@@ -403,7 +616,14 @@ class ReplicaServer:
             if task is not None and task in self._conn_tasks:
                 self._conn_tasks.remove(task)
 
-    async def _serve_peer(self, reader, sender: int) -> None:
+    async def _serve_peer(self, reader, writer, sender: int) -> None:
+        # WELCOME tells the dialing peer how many of its writes we have
+        # applied, so it retransmits exactly the suffix we are missing.
+        w = VarWriter()
+        w.u8(FRAME_PEER_WELCOME)
+        w.uvarint(self.applied[sender])
+        write_frame(writer, w.getvalue())
+        await writer.drain()
         intern = InternDecoder()
         node = self.node
         while True:
@@ -416,7 +636,15 @@ class ReplicaServer:
                 raise CodecError("expected MSG_BATCH on peer plane")
             count = r.uvarint()
             for _ in range(count):
-                node.receive(codec.decode_message_from(r, intern))
+                message = codec.decode_message_from(r, intern)
+                if self._wal is not None:
+                    # duplicates are journaled too: replay routes them
+                    # through the same dedup guard, so the rebuilt
+                    # state cannot depend on when dedup happened
+                    self._wal_append(
+                        self._dur.encode_recv_record(self._now(), message))
+                node.receive(message)
+            self._maybe_snapshot()
 
     async def _serve_client(self, reader, writer) -> None:
         self.stats["client_conns"] += 1
@@ -436,6 +664,9 @@ class ReplicaServer:
             results: List[Tuple[int, Any]] = []
             for kind, variable, value in ops:
                 if kind == OP_WRITE:
+                    if self._wal is not None:
+                        self._wal_append(self._dur.encode_write_record(
+                            self._now(), variable, value))
                     wid = node.do_write(variable, value)
                     self.applied[self.node_id] = wid.seq
                     self.stats["writes"] += 1
@@ -448,13 +679,23 @@ class ReplicaServer:
                         if obs_on:
                             self._m_waits.inc()
                         await self._await_session(session)
+                    if self._wal is not None:
+                        # reads are journaled because OptP's Figure 5
+                        # line 1 folds LastWriteOn into Write_co -- a
+                        # read changes the causal past of later writes
+                        self._wal_append(self._dur.encode_read_record(
+                            self._now(), variable))
                     results.append((OP_READ, node.do_read(variable)))
                     self.stats["reads"] += 1
                     if obs_on:
                         self._m_reads.inc()
+            if self._wal is not None:
+                # group commit: the response acknowledges these ops
+                self._wal.sync()
             write_frame(writer,
                         codec.encode_response(tuple(self.applied), results))
             await writer.drain()
+            self._maybe_snapshot()
 
     async def _serve_admin(self, reader, writer) -> None:
         while True:
@@ -486,13 +727,17 @@ class ReplicaServer:
             self._links[dest].flush()
 
     def _status(self) -> Dict[str, Any]:
+        stats = dict(self.stats)
+        if self._wal is not None:
+            stats["wal_bytes"] = self._wal.bytes_written
+            stats["wal_fsyncs"] = self._wal.fsyncs
         return {
             "group": self.group,
             "node": self.node_id,
             "applied": tuple(self.applied),
             "buffered": self.node.buffered_count,
             "writes_issued": self.node.protocol.writes_issued,
-            "stats": dict(self.stats),
+            "stats": stats,
         }
 
     def _stopped_frame(self) -> bytes:

@@ -25,7 +25,8 @@ __all__ = ["loadgen_main", "node_main"]
 
 
 def node_main(spec_json: str, group: int, node_id: int, rundir: str,
-              record: bool, batch_window: float) -> None:
+              record: bool, batch_window: float,
+              wal_dir: "str | None" = None) -> None:
     """Run one replica server until an admin shutdown."""
     # A terminal Ctrl-C signals the whole foreground process group.
     # Replicas must survive it: the parent catches the interrupt and
@@ -37,6 +38,7 @@ def node_main(spec_json: str, group: int, node_id: int, rundir: str,
         spec, group, node_id,
         record=record,
         rundir=root,
+        wal_dir=Path(wal_dir) if wal_dir is not None else None,
         batch_window=batch_window,
     )
     ready = root / f"node-g{group}n{node_id}.ready"

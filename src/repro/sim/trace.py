@@ -320,6 +320,23 @@ class Trace:
         return "\n".join(lines)
 
 
+class NullTrace(Trace):
+    """A trace that drops every event.
+
+    Satisfies the :class:`~repro.sim.node.Node` contract at zero cost;
+    the scheduler and protocol state are unaffected, only the event
+    log is absent.  Used by non-recording replica servers and by the
+    durability layer's recovery replay (where the pre-crash events are
+    already on the authoritative trace and must not be re-recorded).
+    """
+
+    def record(self, *args, **kwargs):  # type: ignore[override]
+        return None
+
+    def record_compact(self, *args, **kwargs):  # type: ignore[override]
+        return None
+
+
 class FlatTrace(Trace):
     """A :class:`Trace` with a deferred, allocation-light append path.
 

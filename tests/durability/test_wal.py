@@ -1,0 +1,255 @@
+"""WAL / snapshot codec round-trips and torn-tail recovery.
+
+Two layers: hypothesis property tests over the record vocabulary
+(every encodable record must decode back identically, and *any*
+corruption -- a cut at an arbitrary byte, a flipped bit -- must reduce
+the log to exactly its last valid prefix, never crash, never resync
+into garbage), and deliberate framing tests for the snapshot file's
+all-or-nothing contract.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import ControlMessage, UpdateMessage
+from repro.durability import (
+    KIND_READ,
+    KIND_RECV,
+    KIND_WRITE,
+    WalError,
+    WalWriter,
+    decode_record,
+    decode_snapshot,
+    encode_read_record,
+    encode_recv_record,
+    encode_snapshot,
+    encode_write_record,
+    frame_record,
+    read_framed_file,
+    read_wal,
+    write_framed_file,
+)
+from repro.model.operations import WriteId
+
+# -- the value universe the WAL may carry ------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+    st.builds(WriteId, st.integers(0, 50), st.integers(1, 2**31)),
+)
+
+values = st.recursive(
+    scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.lists(inner, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=8), inner, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+messages = st.one_of(
+    st.builds(
+        UpdateMessage,
+        sender=st.integers(0, 3),
+        wid=st.builds(WriteId, st.integers(0, 3), st.integers(1, 100)),
+        variable=st.text(min_size=1, max_size=10),
+        value=scalars,
+        payload=st.fixed_dictionaries(
+            {"write_co": st.tuples(st.integers(0, 9), st.integers(0, 9))}
+        ),
+    ),
+    st.builds(
+        ControlMessage,
+        sender=st.integers(0, 3),
+        kind=st.text(min_size=1, max_size=8),
+        payload=st.dictionaries(st.text(max_size=8), scalars, max_size=3),
+    ),
+)
+
+records = st.one_of(
+    st.builds(encode_write_record, times, st.text(min_size=1, max_size=12),
+              values),
+    st.builds(encode_read_record, times, st.text(min_size=1, max_size=12)),
+    st.builds(encode_recv_record, times, messages),
+)
+
+
+class TestRecordRoundtrip:
+    @given(t=times, variable=st.text(min_size=1, max_size=12), value=values)
+    @settings(max_examples=150, deadline=None)
+    def test_write_record(self, t, variable, value):
+        rec = decode_record(encode_write_record(t, variable, value))
+        assert rec == (KIND_WRITE, t, variable, value)
+
+    @given(t=times, variable=st.text(min_size=1, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_read_record(self, t, variable):
+        rec = decode_record(encode_read_record(t, variable))
+        assert rec == (KIND_READ, t, variable)
+
+    @given(t=times, message=messages)
+    @settings(max_examples=150, deadline=None)
+    def test_recv_record(self, t, message):
+        kind, back_t, back_msg = decode_record(encode_recv_record(t, message))
+        assert kind == KIND_RECV
+        assert back_t == t
+        assert back_msg == message
+        assert type(back_msg) is type(message)
+
+    @given(st.binary(max_size=80))
+    @settings(max_examples=200, deadline=None)
+    def test_garbage_body_never_crashes(self, blob):
+        # the record body behind a *valid* CRC frame could still be
+        # damaged in memory; decoding must fail loudly, not corrupt
+        try:
+            decode_record(blob)
+        except WalError:
+            pass
+
+
+class TestSnapshotRoundtrip:
+    @given(doc=st.dictionaries(st.text(max_size=8), values, max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, doc):
+        assert decode_snapshot(encode_snapshot(doc)) == doc
+
+    def test_trailing_bytes_rejected(self):
+        blob = encode_snapshot({"a": 1}) + b"\x00"
+        with pytest.raises(WalError):
+            decode_snapshot(blob)
+
+
+class TestWalFile:
+    def _write(self, path, bodies, fsync_every=2):
+        writer = WalWriter(path, fsync_every=fsync_every)
+        for body in bodies:
+            writer.append(body)
+        writer.sync()
+        writer.close()
+
+    @given(bodies=st.lists(records, min_size=0, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_disk_roundtrip(self, bodies, tmp_path_factory):
+        path = tmp_path_factory.mktemp("wal") / "node.wal"
+        self._write(path, bodies)
+        res = read_wal(path)
+        assert res.bodies == bodies
+        assert not res.truncated
+        assert res.tail_bytes == 0
+
+    @given(data=st.data(), bodies=st.lists(records, min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_cut_at_any_byte_yields_last_valid_prefix(
+        self, data, bodies, tmp_path_factory
+    ):
+        """A crash mid-append tears the file at an arbitrary byte; the
+        reader must recover exactly the records whose frames lie fully
+        before the cut."""
+        path = tmp_path_factory.mktemp("wal") / "node.wal"
+        self._write(path, bodies)
+        blob = path.read_bytes()
+        cut = data.draw(st.integers(0, len(blob) - 1))
+        path.write_bytes(blob[:cut])
+        sizes = [len(frame_record(b)) for b in bodies]
+        expected, consumed = [], 0
+        for body, size in zip(bodies, sizes):
+            if consumed + size > cut:
+                break
+            expected.append(body)
+            consumed += size
+        res = read_wal(path)
+        assert res.bodies == expected
+        assert res.valid_bytes == consumed
+        assert res.truncated == (cut != consumed)
+        assert res.tail_bytes == cut - consumed
+
+    @given(data=st.data(), bodies=st.lists(records, min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_bit_flip_stops_at_damaged_record(
+        self, data, bodies, tmp_path_factory
+    ):
+        """Flipping one bit anywhere inside record i's frame (CRC, body
+        or length) must reduce the readable log to records[:i] -- the
+        CRC gate refuses to resync past damage."""
+        path = tmp_path_factory.mktemp("wal") / "node.wal"
+        self._write(path, bodies)
+        blob = bytearray(path.read_bytes())
+        victim = data.draw(st.integers(0, len(bodies) - 1))
+        start = sum(len(frame_record(b)) for b in bodies[:victim])
+        size = len(frame_record(bodies[victim]))
+        offset = start + data.draw(st.integers(0, size - 1))
+        bit = data.draw(st.integers(0, 7))
+        blob[offset] ^= 1 << bit
+        path.write_bytes(bytes(blob))
+        res = read_wal(path)
+        assert res.bodies == bodies[:victim]
+        assert res.truncated
+
+    def test_missing_file_is_empty(self, tmp_path):
+        res = read_wal(tmp_path / "nope.wal")
+        assert res.bodies == [] and not res.truncated
+
+    def test_append_resumes_after_reopen(self, tmp_path):
+        path = tmp_path / "node.wal"
+        first = encode_read_record(1.0, "x")
+        second = encode_read_record(2.0, "y")
+        self._write(path, [first])
+        writer = WalWriter(path)
+        writer.append(second)
+        writer.sync()
+        writer.close()
+        assert read_wal(path).bodies == [first, second]
+
+    def test_fsync_batching_counts(self, tmp_path):
+        writer = WalWriter(tmp_path / "node.wal", fsync_every=3)
+        for i in range(7):
+            writer.append(encode_read_record(float(i), "x"))
+        writer.sync()
+        writer.close()
+        # 7 appends at a cadence of 3 -> 2 automatic syncs + the final
+        # explicit one; group commit is what keeps fsyncs << records
+        assert writer.records == 7
+        assert writer.fsyncs == 3
+
+
+class TestFramedFile:
+    def test_roundtrip_and_atomic_replace(self, tmp_path):
+        path = tmp_path / "node.snap"
+        write_framed_file(path, b"one")
+        write_framed_file(path, b"two")
+        assert read_framed_file(path) == b"two"
+        assert not path.with_suffix(".snap.tmp").exists()
+
+    def test_missing_returns_none(self, tmp_path):
+        assert read_framed_file(tmp_path / "nope.snap") is None
+
+    def test_corruption_raises_not_tolerated(self, tmp_path):
+        """Snapshots are written atomically, so -- unlike the WAL tail
+        -- a damaged snapshot is a real fault, not a crash artifact."""
+        path = tmp_path / "node.snap"
+        write_framed_file(path, b"payload")
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(WalError):
+            read_framed_file(path)
+
+    def test_oversize_record_rejected(self, tmp_path):
+        from repro.durability import MAX_RECORD
+
+        path = tmp_path / "node.wal"
+        big_len = struct.pack(">II", MAX_RECORD + 1, 0)
+        path.write_bytes(big_len + b"x" * 64)
+        res = read_wal(path)
+        assert res.bodies == [] and res.truncated

@@ -126,9 +126,19 @@ def test_repo_is_flow_clean():
     report = lint_paths([Path("src/repro")], flow=True)
     assert report.ok, report.to_text()
     assert {"RL101", "RL102", "RL103", "RL104"} <= set(report.rules_applied)
-    # same sanctioned suppressions as the syntactic gate: the flow pass
-    # introduces no new ones
-    assert len(report.suppressed) == 11
-    assert not {f.code for f in report.suppressed} & {
-        "RL101", "RL102", "RL103", "RL104",
-    }
+    # the syntactic gate's suppressions plus exactly three flow-rule
+    # ones: the durability restores.  restore_state rewrites the
+    # apply/write_co vectors wholesale from a snapshot; RL102's
+    # monotonicity discipline governs live protocol steps, not crash
+    # recovery (see docs/fault-tolerance.md)
+    assert len(report.suppressed) == 14
+    flow_only = sorted(
+        (f.path.rsplit("/", 1)[-1], f.code)
+        for f in report.suppressed
+        if f.code in {"RL101", "RL102", "RL103", "RL104"}
+    )
+    assert flow_only == [
+        ("anbkh.py", "RL102"),
+        ("optp.py", "RL102"),
+        ("optp.py", "RL102"),
+    ]
